@@ -1,0 +1,81 @@
+"""TAB-TRADEOFF — "a thorough trade-off exploration for different
+memory layer sizes" (paper, abstract and section 2: "able to find all
+the optimal trade-off points").
+
+Sweeps the L1 scratchpad from 512 B to 64 KiB for three representative
+applications (one per domain), printing the (size, cycles, energy)
+table and the Pareto-optimal sizes.
+
+Shape assertions:
+
+* the sweep produces a non-trivial Pareto front (>= 2 distinct points):
+  size genuinely trades off against cycles/energy;
+* the best-EDP point is interior or at the top of the sweep, and the
+  cost at the best size beats the smallest size (more on-chip memory
+  helps until capacity stops binding);
+* larger L1 is NOT always better — past the working set the analytic
+  energy/latency penalties of a big SRAM win (this is *why* the
+  exploration is needed).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.pareto import pareto_front
+from repro.analysis.report import sweep_table
+from repro.apps import build_app
+from repro.core.tradeoff import sweep_layer_sizes
+from repro.units import fmt_bytes, kib
+
+SWEEP_APPS = ("motion_estimation", "wavelet", "filterbank")
+SIZES = tuple(kib(s) for s in (0.5, 1, 2, 4, 8, 16, 32, 64))
+
+
+def run_sweep(name):
+    return sweep_layer_sizes(build_app(name), sizes_bytes=SIZES)
+
+
+def test_tradeoff_sweeps(benchmark):
+    benchmark.group = "tradeoff"
+    points_by_app = {}
+    for name in SWEEP_APPS[1:]:
+        points_by_app[name] = run_sweep(name)
+    # benchmark one sweep (the others already ran once above)
+    points_by_app[SWEEP_APPS[0]] = benchmark.pedantic(
+        lambda: run_sweep(SWEEP_APPS[0]), rounds=1, iterations=1
+    )
+
+    sections = []
+    for name, points in points_by_app.items():
+        front = pareto_front(
+            points, key=lambda p: (p.cycles, p.energy_nj, p.l1_bytes)
+        )
+        front_sizes = ", ".join(fmt_bytes(p.l1_bytes) for p in front)
+        sections.append(
+            f"## {name}\n{sweep_table(points)}\nPareto sizes: {front_sizes}"
+        )
+
+        # non-trivial trade-off front
+        assert len(front) >= 2, name
+
+        by_edp = sorted(points, key=lambda p: p.edp)
+        best = by_edp[0]
+        smallest = points[0]
+        # growing the layer never has to hurt the best achievable point
+        assert best.edp <= smallest.edp, name
+
+    # on at least one app, size genuinely matters (strict improvement)...
+    strict_improvement = any(
+        min(p.edp for p in points) < points[0].edp
+        for points in points_by_app.values()
+    )
+    assert strict_improvement
+    # ...and bigger is not always better on at least one app
+    regressions = 0
+    for name, points in points_by_app.items():
+        for earlier, later in zip(points, points[1:]):
+            if later.edp > earlier.edp * 1.01:
+                regressions += 1
+    assert regressions >= 1
+
+    write_artifact("tradeoff_sweep.txt", "\n\n".join(sections))

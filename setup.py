@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file
+exists so legacy editable installs (``pip install -e . --no-use-pep517``)
+work on machines without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

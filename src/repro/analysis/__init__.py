@@ -1,0 +1,33 @@
+"""Result analysis and reporting.
+
+* :mod:`~repro.analysis.pareto` — Pareto-front filtering for the
+  trade-off exploration (the paper's "all the optimal trade-off
+  points").
+* :mod:`~repro.analysis.report` — fixed-width tables for scenario and
+  sweep results (what the CLI and benchmark harness print).
+* :mod:`~repro.analysis.charts` — ASCII bar charts approximating the
+  paper's Figures 2 and 3 in a terminal.
+* :mod:`~repro.analysis.records` — experiment records used to generate
+  EXPERIMENTS.md entries programmatically.
+"""
+
+from repro.analysis.pareto import ParetoPoint, pareto_front
+from repro.analysis.report import (
+    format_table,
+    scenario_table,
+    sweep_table,
+)
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+from repro.analysis.records import ExperimentRecord, render_records
+
+__all__ = [
+    "ExperimentRecord",
+    "ParetoPoint",
+    "bar_chart",
+    "format_table",
+    "grouped_bar_chart",
+    "pareto_front",
+    "render_records",
+    "scenario_table",
+    "sweep_table",
+]

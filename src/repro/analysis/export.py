@@ -1,0 +1,98 @@
+"""Machine-readable export of exploration results.
+
+Downstream users (plotting scripts, regression dashboards) need the
+numbers, not the ASCII tables.  This module serialises
+:class:`~repro.core.mhla.MhlaResult` and trade-off sweeps to plain
+dictionaries, JSON and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.core.mhla import MhlaResult
+from repro.core.scenarios import SCENARIO_ORDER
+from repro.core.tradeoff import TradeoffPoint
+
+
+def result_to_dict(result: MhlaResult) -> dict:
+    """Flatten one exploration result to plain data."""
+    scenarios = {}
+    for name in SCENARIO_ORDER:
+        if name not in result.scenarios:
+            continue
+        scenario = result.scenarios[name]
+        report = scenario.report
+        scenarios[name] = {
+            "cycles": report.cycles,
+            "energy_nj": report.energy_nj,
+            "compute_cycles": report.compute_cycles,
+            "cpu_access_cycles": report.cpu_access_cycles,
+            "stall_cycles": report.stall_cycles,
+            "transfer_words": report.transfer_words,
+            "fill_events": report.fill_events,
+            "copies": scenario.assignment.copy_count(),
+        }
+    return {
+        "app": result.app_name,
+        "platform": result.platform_name,
+        "scenarios": scenarios,
+        "mhla_speedup": result.mhla_speedup_fraction,
+        "te_speedup": result.te_speedup_fraction,
+        "total_speedup": result.total_speedup_fraction,
+        "energy_reduction": result.energy_reduction_fraction,
+    }
+
+
+def results_to_json(results: Sequence[MhlaResult], indent: int = 2) -> str:
+    """Serialise several results to a JSON document."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def results_to_csv(results: Sequence[MhlaResult]) -> str:
+    """One CSV row per (app, scenario) pair."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["app", "platform", "scenario", "cycles", "energy_nj", "stall_cycles",
+         "copies"]
+    )
+    for result in results:
+        flat = result_to_dict(result)
+        for scenario_name, data in flat["scenarios"].items():
+            writer.writerow(
+                [
+                    flat["app"],
+                    flat["platform"],
+                    scenario_name,
+                    f"{data['cycles']:.0f}",
+                    f"{data['energy_nj']:.3f}",
+                    f"{data['stall_cycles']:.0f}",
+                    data["copies"],
+                ]
+            )
+    return buffer.getvalue()
+
+
+def sweep_to_csv(points: Sequence[TradeoffPoint]) -> str:
+    """One CSV row per explored layer size."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["l1_bytes", "mhla_cycles", "te_cycles", "energy_nj", "copies", "edp"]
+    )
+    for point in points:
+        writer.writerow(
+            [
+                point.l1_bytes,
+                f"{point.cycles:.0f}",
+                f"{point.te_cycles:.0f}",
+                f"{point.energy_nj:.3f}",
+                point.copies,
+                f"{point.edp:.6e}",
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,43 @@
+"""Experiment records: paper claim vs measured value.
+
+EXPERIMENTS.md tracks, for every figure/table of the paper, what the
+paper claims and what this reproduction measures.  The benchmark
+harness produces :class:`ExperimentRecord` values; ``render_records``
+turns them into the markdown rows so the document can be regenerated
+mechanically instead of hand-edited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One row of the paper-vs-measured ledger."""
+
+    experiment_id: str
+    artefact: str  # e.g. "Figure 2"
+    claim: str  # the paper's statement
+    measured: str  # what this repo reproduces
+    verdict: str  # "holds" | "holds (shape)" | "deviates: ..."
+
+    def as_markdown_row(self) -> str:
+        """Render as a markdown table row."""
+        return (
+            f"| {self.experiment_id} | {self.artefact} | {self.claim} | "
+            f"{self.measured} | {self.verdict} |"
+        )
+
+
+RECORD_TABLE_HEADER = (
+    "| exp id | artefact | paper claim | measured | verdict |\n"
+    "|---|---|---|---|---|"
+)
+
+
+def render_records(records: list[ExperimentRecord]) -> str:
+    """Render a full markdown table of experiment records."""
+    lines = [RECORD_TABLE_HEADER]
+    lines.extend(record.as_markdown_row() for record in records)
+    return "\n".join(lines)

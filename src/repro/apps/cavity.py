@@ -1,0 +1,95 @@
+"""Cavity detection — medical image processing chain.
+
+A well-known DTSE benchmark: a pipeline of 2-D window filters over a
+medical image (Gaussian blur, gradient/edge computation, histogram of
+edge strengths, thresholded labelling).  Its defining property for MHLA
+is the *pipeline of short-lived stage buffers*: ``blur`` is dead as
+soon as nest 2 has consumed it, ``edge`` dies after nest 4 — so row
+copies of different stages can share the same scratchpad bytes
+(in-place), and the lifetime-aware occupancy check is what makes the
+aggressive assignment feasible.
+
+The histogram nest adds a data-dependent reference (``hist[edge[y][x]]``),
+modelled conservatively as touching the whole 256-entry table — a small,
+heavily reused array that the assignment engine prefers to *re-home*
+on-chip instead of copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.ir.builder import ProgramBuilder, dim, fixed
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class CavityParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frame: FrameFormat = CIF
+    window: int = 3
+    blur_cycles: int = 14
+    edge_cycles: int = 16
+    label_cycles: int = 6
+
+    def __post_init__(self) -> None:
+        require_positive(
+            window=self.window,
+            blur_cycles=self.blur_cycles,
+            edge_cycles=self.edge_cycles,
+            label_cycles=self.label_cycles,
+        )
+
+
+def build(params: CavityParams | None = None) -> Program:
+    """Build the four-nest cavity-detection program."""
+    p = params or CavityParams()
+    height, width = p.frame.height, p.frame.width
+    taps = p.window * p.window
+
+    b = ProgramBuilder("cavity")
+    img = b.array("img", (height, width), element_bytes=1, kind="input")
+    blur = b.array("blur", (height, width), element_bytes=1, kind="internal")
+    edge = b.array("edge", (height, width), element_bytes=1, kind="internal")
+    hist = b.array("hist", (256,), element_bytes=4, kind="internal")
+    label = b.array("label", (height, width), element_bytes=1, kind="output")
+
+    # Nest 1: Gaussian blur (window filter over the input image).
+    with b.loop("cb_y", height):
+        with b.loop("cb_x", width, work=p.blur_cycles):
+            b.read(
+                img,
+                dim(("cb_y", 1), extent=p.window),
+                dim(("cb_x", 1), extent=p.window),
+                count=taps,
+                label="blur_window",
+            )
+            b.write(blur, dim(("cb_y", 1)), dim(("cb_x", 1)), count=1)
+
+    # Nest 2: gradient magnitude (edge strength).
+    with b.loop("ce_y", height):
+        with b.loop("ce_x", width, work=p.edge_cycles):
+            b.read(
+                blur,
+                dim(("ce_y", 1), extent=p.window),
+                dim(("ce_x", 1), extent=p.window),
+                count=2 * taps,
+                label="sobel_window",
+            )
+            b.write(edge, dim(("ce_y", 1)), dim(("ce_x", 1)), count=1)
+
+    # Nest 3: histogram of edge strengths (data-dependent indexing).
+    with b.loop("ch_y", height):
+        with b.loop("ch_x", width, work=3):
+            b.read(edge, dim(("ch_y", 1)), dim(("ch_x", 1)), count=1)
+            b.write(hist, fixed(extent=256), count=1, label="hist_update")
+
+    # Nest 4: adaptive threshold + labelling.
+    with b.loop("cl_y", height):
+        with b.loop("cl_x", width, work=p.label_cycles):
+            b.read(edge, dim(("cl_y", 1)), dim(("cl_x", 1)), count=1)
+            b.read(hist, fixed(extent=256), count=1, label="threshold_lookup")
+            b.write(label, dim(("cl_y", 1)), dim(("cl_x", 1)), count=1)
+    return b.build()

@@ -1,0 +1,90 @@
+"""Edge detection: Sobel + non-maximum suppression + hysteresis.
+
+A three-stage image-processing pipeline (the Canny skeleton) over a CIF
+frame.  Like cavity detection it is window-filter dominated, but with a
+heavier per-pixel arithmetic mix in the first stage (two 3x3
+convolutions plus a magnitude estimate) and *two* intermediate planes
+(gradient magnitude and direction) flowing between stages — more
+simultaneously live row-strip copies than any other app in the suite,
+which stresses the per-layer occupancy accounting at small L1 sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.ir.builder import ProgramBuilder, dim
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class EdgeDetectionParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frame: FrameFormat = CIF
+    window: int = 3
+    sobel_cycles: int = 18
+    nms_cycles: int = 10
+    hysteresis_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        require_positive(
+            window=self.window,
+            sobel_cycles=self.sobel_cycles,
+            nms_cycles=self.nms_cycles,
+            hysteresis_cycles=self.hysteresis_cycles,
+        )
+
+
+def build(params: EdgeDetectionParams | None = None) -> Program:
+    """Build the three-nest edge-detection program."""
+    p = params or EdgeDetectionParams()
+    height, width = p.frame.height, p.frame.width
+    taps = p.window * p.window
+
+    b = ProgramBuilder("edge_detection")
+    src = b.array("src", (height, width), element_bytes=1, kind="input")
+    grad = b.array("grad", (height, width), element_bytes=2, kind="internal")
+    gdir = b.array("gdir", (height, width), element_bytes=1, kind="internal")
+    thin = b.array("thin", (height, width), element_bytes=1, kind="internal")
+    edges = b.array("edges", (height, width), element_bytes=1, kind="output")
+
+    # Nest 1: Sobel x/y convolutions + gradient magnitude/direction.
+    with b.loop("es_y", height):
+        with b.loop("es_x", width, work=p.sobel_cycles):
+            b.read(
+                src,
+                dim(("es_y", 1), extent=p.window),
+                dim(("es_x", 1), extent=p.window),
+                count=2 * taps,
+                label="sobel_window",
+            )
+            b.write(grad, dim(("es_y", 1)), dim(("es_x", 1)), count=1)
+            b.write(gdir, dim(("es_y", 1)), dim(("es_x", 1)), count=1)
+
+    # Nest 2: non-maximum suppression along the gradient direction.
+    with b.loop("en_y", height):
+        with b.loop("en_x", width, work=p.nms_cycles):
+            b.read(
+                grad,
+                dim(("en_y", 1), extent=p.window),
+                dim(("en_x", 1), extent=p.window),
+                count=3,
+                label="nms_neighbours",
+            )
+            b.read(gdir, dim(("en_y", 1)), dim(("en_x", 1)), count=1)
+            b.write(thin, dim(("en_y", 1)), dim(("en_x", 1)), count=1)
+
+    # Nest 3: hysteresis thresholding (one forward pass).
+    with b.loop("eh_y", height):
+        with b.loop("eh_x", width, work=p.hysteresis_cycles):
+            b.read(
+                thin,
+                dim(("eh_y", 1), extent=p.window),
+                dim(("eh_x", 1), extent=p.window),
+                count=taps,
+                label="hysteresis_window",
+            )
+            b.write(edges, dim(("eh_y", 1)), dim(("eh_x", 1)), count=1)
+    return b.build()

@@ -1,0 +1,101 @@
+"""32-band pseudo-QMF analysis filter bank (audio processing domain).
+
+The MPEG-audio-style subband front end: per 32-sample input hop, a
+512-tap windowing of the sliding input history, partial-sum folding to
+64 values, then matrixing with a 32x64 cosine table.
+
+This kernel mixes all three placement archetypes in one nest:
+
+* the **sliding input window** (512 samples advancing by 32) — a copy
+  with a 16:1 reuse-to-transfer ratio and perfectly predictable delta
+  fills, ideal for TE prefetching;
+* **small internal state** (``z``, ``y``) that belongs on-chip wholesale;
+* the **8 KiB matrixing table** — exactly the default L1 capacity, so
+  the assignment engine must arbitrate between the table and the
+  window buffers (at bigger L1 sweeps the table moves in; see the
+  TAB-TRADEOFF experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import require_positive
+from repro.ir.builder import ProgramBuilder, dim
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class FilterbankParams:
+    """Workload knobs with MPEG-audio-like defaults."""
+
+    nblocks: int = 96
+    taps: int = 512
+    bands: int = 32
+    hop: int = 32
+    mac_cycles: int = 5
+
+    def __post_init__(self) -> None:
+        require_positive(
+            nblocks=self.nblocks,
+            taps=self.taps,
+            bands=self.bands,
+            hop=self.hop,
+            mac_cycles=self.mac_cycles,
+        )
+        if self.taps % self.hop:
+            raise ValueError("taps must be a multiple of hop")
+
+
+def build(params: FilterbankParams | None = None) -> Program:
+    """Build the single-nest, three-phase filter-bank program."""
+    p = params or FilterbankParams()
+    partials = p.taps // 8  # 64 partial sums for the classic 512/32 bank
+    folds = p.taps // partials
+
+    b = ProgramBuilder("filterbank")
+    audio = b.array(
+        "audio", (p.nblocks * p.hop + p.taps,), element_bytes=2, kind="input"
+    )
+    win = b.array("win", (p.taps,), element_bytes=4, kind="input")
+    mtab = b.array("mtab", (p.bands, partials), element_bytes=4, kind="input")
+    z = b.array("z", (p.taps,), element_bytes=4, kind="internal")
+    y = b.array("y", (partials,), element_bytes=4, kind="internal")
+    sb = b.array("sb", (p.nblocks, p.bands), element_bytes=4, kind="output")
+
+    with b.loop("fb_bl", p.nblocks):
+        # Phase 1: window the sliding 512-sample input history.
+        with b.loop("fb_wz", p.taps, work=p.mac_cycles):
+            b.read(
+                audio,
+                dim(("fb_bl", p.hop), ("fb_wz", 1)),
+                count=1,
+                label="input_window",
+            )
+            b.read(win, dim(("fb_wz", 1)), count=1, label="window_coeff")
+            b.write(z, dim(("fb_wz", 1)), count=1)
+
+        # Phase 2: fold the windowed samples into 64 partial sums.
+        with b.loop("fb_py", partials):
+            with b.loop("fb_pk", folds, work=p.mac_cycles):
+                b.read(
+                    z,
+                    dim(("fb_py", 1), ("fb_pk", partials)),
+                    count=1,
+                    label="fold_read",
+                )
+            b.write(y, dim(("fb_py", 1)), count=1)
+
+        # Phase 3: matrixing with the 32x64 cosine table.
+        with b.loop("fb_mb", p.bands):
+            with b.loop("fb_mj", partials, work=p.mac_cycles):
+                b.read(
+                    mtab,
+                    dim(("fb_mb", 1)),
+                    dim(("fb_mj", 1)),
+                    count=1,
+                    label="matrix_coeff",
+                )
+                b.read(y, dim(("fb_mj", 1)), count=1, label="partial_sum")
+            b.write(sb, dim(("fb_bl", 1)), dim(("fb_mb", 1)), count=1)
+    return b.build()

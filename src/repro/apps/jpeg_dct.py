@@ -1,0 +1,168 @@
+"""JPEG-style encoder core: 8x8 DCT, quantisation, zig-zag, Huffman.
+
+Image-compression kernel with four sequential nests and — unlike the
+window-filter apps — two *small constant tables* whose reuse dominates:
+the DCT cosine table and the quantisation table are read once per
+coefficient for the whole image.  The optimal placement is not a copy
+chain but a **home move**: park the table on-chip for the program's
+entire lifetime (the ``array_home`` decision of MHLA step 1).
+
+The block-structured accesses (pixels read block by block) give copy
+candidates at the block-row and block levels, and the stages' buffers
+(``coef``, ``quant``) have staggered lifetimes for the in-place model.
+
+The final Huffman nest is deliberately *hostile* to copying: its VLC
+table is indexed by coefficient value (data-dependent), modelled as a
+16 KiB footprint per access — too large for L1, so those accesses keep
+hitting a far layer whatever the assignment does.  Full industrial
+applications always contain such code; it is why the paper's energy
+gains saturate instead of approaching 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.ir.builder import ProgramBuilder, dim, fixed
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class JpegDctParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frame: FrameFormat = CIF
+    block: int = 8
+    dct_mac_cycles: int = 3  # per MAC; 16 MACs per coefficient (two passes)
+    quant_cycles: int = 8
+    scan_cycles: int = 5
+    huffman_cycles: int = 14
+    vlc_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        require_positive(
+            block=self.block,
+            dct_mac_cycles=self.dct_mac_cycles,
+            quant_cycles=self.quant_cycles,
+            scan_cycles=self.scan_cycles,
+            huffman_cycles=self.huffman_cycles,
+            vlc_entries=self.vlc_entries,
+        )
+        self.frame.blocks(self.block)
+
+
+def build(params: JpegDctParams | None = None) -> Program:
+    """Build the three-nest JPEG encoder core."""
+    p = params or JpegDctParams()
+    rows, cols = p.frame.blocks(p.block)
+    height, width = p.frame.height, p.frame.width
+    n = p.block
+    blocks = rows * cols
+
+    b = ProgramBuilder("jpeg_dct")
+    img = b.array("img", (height, width), element_bytes=1, kind="input")
+    costab = b.array("costab", (n, n), element_bytes=4, kind="input")
+    qtab = b.array("qtab", (n, n), element_bytes=4, kind="input")
+    zztab = b.array("zztab", (n * n,), element_bytes=4, kind="input")
+    vlctab = b.array("vlctab", (p.vlc_entries,), element_bytes=4, kind="input")
+    coef = b.array("coef", (height, width), element_bytes=2, kind="internal")
+    quant = b.array("quant", (height, width), element_bytes=2, kind="internal")
+    codes = b.array("codes", (blocks, n * n), element_bytes=2, kind="internal")
+    bits = b.array("bits", (blocks, n * n), element_bytes=2, kind="output")
+
+    # Nest 1: 8x8 block DCT (row pass + column pass folded: each output
+    # coefficient consumes 2*n MACs over the pixel block and cosine rows).
+    with b.loop("jd_by", rows):
+        with b.loop("jd_bx", cols):
+            with b.loop("jd_u", n):
+                with b.loop("jd_v", n, work=2 * n * p.dct_mac_cycles):
+                    b.read(
+                        img,
+                        dim(("jd_by", n), ("jd_u", 1)),
+                        dim(("jd_bx", n), ("jd_v", 1)),
+                        count=2,
+                        label="pixel_block",
+                    )
+                    b.read(
+                        costab,
+                        dim(("jd_u", 1)),
+                        dim(("jd_v", 1)),
+                        count=2 * n,
+                        label="cosines",
+                    )
+                    b.write(
+                        coef,
+                        dim(("jd_by", n), ("jd_u", 1)),
+                        dim(("jd_bx", n), ("jd_v", 1)),
+                        count=1,
+                    )
+
+    # Nest 2: quantisation (coefficient-wise table divide).
+    with b.loop("jq_by", rows):
+        with b.loop("jq_bx", cols):
+            with b.loop("jq_u", n):
+                with b.loop("jq_v", n, work=p.quant_cycles):
+                    b.read(
+                        coef,
+                        dim(("jq_by", n), ("jq_u", 1)),
+                        dim(("jq_bx", n), ("jq_v", 1)),
+                        count=1,
+                    )
+                    b.read(
+                        qtab,
+                        dim(("jq_u", 1)),
+                        dim(("jq_v", 1)),
+                        count=1,
+                        label="quant_table",
+                    )
+                    b.write(
+                        quant,
+                        dim(("jq_by", n), ("jq_u", 1)),
+                        dim(("jq_bx", n), ("jq_v", 1)),
+                        count=1,
+                    )
+
+    # Nest 3: zig-zag scan into the code buffer.
+    with b.loop("jz_by", rows):
+        with b.loop("jz_bx", cols):
+            with b.loop("jz_i", n * n, work=p.scan_cycles):
+                b.read(zztab, dim(("jz_i", 1)), count=1, label="zigzag_index")
+                b.read(
+                    quant,
+                    dim(("jz_by", n), extent=n),
+                    dim(("jz_bx", n), extent=n),
+                    count=1,
+                    label="scan_block",
+                )
+                b.write(
+                    codes,
+                    dim(("jz_by", cols), ("jz_bx", 1)),
+                    dim(("jz_i", 1)),
+                    count=1,
+                )
+
+    # Nest 4: Huffman entropy coding — value-indexed VLC lookups that no
+    # static copy can serve (data-dependent footprint).
+    with b.loop("jh_by", rows):
+        with b.loop("jh_bx", cols):
+            with b.loop("jh_i", n * n, work=p.huffman_cycles):
+                b.read(
+                    codes,
+                    dim(("jh_by", cols), ("jh_bx", 1)),
+                    dim(("jh_i", 1)),
+                    count=1,
+                )
+                b.read(
+                    vlctab,
+                    fixed(extent=p.vlc_entries),
+                    count=2,
+                    label="vlc_lookup",
+                )
+                b.write(
+                    bits,
+                    dim(("jh_by", cols), ("jh_bx", 1)),
+                    dim(("jh_i", 1)),
+                    count=1,
+                )
+    return b.build()

@@ -1,0 +1,113 @@
+"""Full-search motion estimation (video encoding domain).
+
+The canonical data-reuse showcase of the DTSE literature and the
+motivating kernel of the paper's domain: for every 16x16 macroblock of
+the current frame, a +/-8 full search compares against a 31x31-pixel
+region of the previous frame.  The reference-window access is a
+textbook *sliding window*: consecutive macroblocks share most of their
+search region, so a copy kept on-chip only needs a 16-pixel-wide strip
+of new data per macroblock step — exactly the delta-transfer behaviour
+:mod:`repro.reuse` models.
+
+Reuse structure exercised:
+
+* ``cur`` block copy at the macroblock level (re-read once per search
+  candidate: ~289x reuse);
+* ``prev`` search-window copy chain (window at L2 or L1, candidate
+  block deeper) with delta fills;
+* tiny ``mv`` output stream.
+
+Per-pixel SAD work (subtract, absolute, accumulate, addressing, loop
+overhead on a single-issue embedded core) is charged on the candidate
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.ir.builder import ProgramBuilder, dim
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class MotionEstimationParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frames: int = 2
+    frame: FrameFormat = CIF
+    block: int = 16
+    search: int = 8
+    sad_cycles_per_pixel: int = 10
+
+    def __post_init__(self) -> None:
+        require_positive(
+            frames=self.frames,
+            block=self.block,
+            search=self.search,
+            sad_cycles_per_pixel=self.sad_cycles_per_pixel,
+        )
+        self.frame.blocks(self.block)  # validates divisibility
+
+
+def build(params: MotionEstimationParams | None = None) -> Program:
+    """Build the full-search motion-estimation program."""
+    p = params or MotionEstimationParams()
+    rows, cols = p.frame.blocks(p.block)
+    candidates = 2 * p.search + 1
+    pixels = p.block * p.block
+
+    b = ProgramBuilder("motion_estimation")
+    video = b.array(
+        "video",
+        (p.frames + 1, p.frame.height, p.frame.width),
+        element_bytes=1,
+        kind="input",
+    )
+    mv = b.array("mv", (p.frames, rows, cols), element_bytes=4, kind="output")
+
+    with b.loop("me_f", p.frames):
+        with b.loop("me_by", rows):
+            with b.loop("me_bx", cols, work=candidates):
+                with b.loop("me_cy", candidates):
+                    with b.loop(
+                        "me_cx", candidates, work=pixels * p.sad_cycles_per_pixel
+                    ):
+                        # current macroblock: re-read for every candidate
+                        b.read(
+                            video,
+                            dim(("me_f", 1), offset=1),
+                            dim(("me_by", p.block), extent=p.block),
+                            dim(("me_bx", p.block), extent=p.block),
+                            count=pixels,
+                            label="cur_block",
+                        )
+                        # reference search window of the previous frame
+                        b.read(
+                            video,
+                            dim(("me_f", 1)),
+                            dim(
+                                ("me_by", p.block),
+                                ("me_cy", 1),
+                                extent=p.block,
+                                offset=-p.search,
+                            ),
+                            dim(
+                                ("me_bx", p.block),
+                                ("me_cx", 1),
+                                extent=p.block,
+                                offset=-p.search,
+                            ),
+                            count=pixels,
+                            label="ref_window",
+                        )
+                b.write(
+                    mv,
+                    dim(("me_f", 1)),
+                    dim(("me_by", 1)),
+                    dim(("me_bx", 1)),
+                    count=1,
+                    label="best_mv",
+                )
+    return b.build()

@@ -1,0 +1,98 @@
+"""MPEG-4 style motion compensation + reconstruction (video encoding).
+
+The decoder-side counterpart of motion estimation: for each macroblock,
+fetch a (block+1)^2 reference region (the extra row/column feeds
+half-pel bilinear interpolation), add the dequantised residual and
+write the reconstructed frame.
+
+Compared to full-search ME this kernel has far less reuse per fetched
+byte (each reference pixel is used ~4x, residual and recon exactly
+once), so it probes the *streaming* end of the assignment trade-off:
+copies win mostly through burst fills rather than through repeated
+on-chip hits, and the TE step's prefetching is what removes the
+remaining fill stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.ir.builder import ProgramBuilder, dim
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class Mpeg4McParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frames: int = 3
+    frame: FrameFormat = CIF
+    block: int = 16
+    interp_cycles_per_pixel: int = 12
+
+    def __post_init__(self) -> None:
+        require_positive(
+            frames=self.frames,
+            block=self.block,
+            interp_cycles_per_pixel=self.interp_cycles_per_pixel,
+        )
+        self.frame.blocks(self.block)
+
+
+def build(params: Mpeg4McParams | None = None) -> Program:
+    """Build the motion-compensation program."""
+    p = params or Mpeg4McParams()
+    rows, cols = p.frame.blocks(p.block)
+
+    b = ProgramBuilder("mpeg4_mc")
+    ref = b.array(
+        "ref",
+        (p.frames, p.frame.height + p.block + 1, p.frame.width + p.block + 1),
+        element_bytes=1,
+        kind="input",
+    )
+    resid = b.array(
+        "resid",
+        (p.frames, p.frame.height, p.frame.width),
+        element_bytes=2,
+        kind="input",
+    )
+    recon = b.array(
+        "recon",
+        (p.frames, p.frame.height, p.frame.width),
+        element_bytes=1,
+        kind="output",
+    )
+
+    with b.loop("mc_f", p.frames):
+        with b.loop("mc_by", rows):
+            with b.loop("mc_bx", cols):
+                with b.loop("mc_py", p.block):
+                    with b.loop("mc_px", p.block, work=p.interp_cycles_per_pixel):
+                        # 2x2 neighbourhood for half-pel bilinear interpolation
+                        b.read(
+                            ref,
+                            dim(("mc_f", 1)),
+                            dim(("mc_by", p.block), ("mc_py", 1), extent=2),
+                            dim(("mc_bx", p.block), ("mc_px", 1), extent=2),
+                            count=4,
+                            label="ref_quad",
+                        )
+                        b.read(
+                            resid,
+                            dim(("mc_f", 1)),
+                            dim(("mc_by", p.block), ("mc_py", 1)),
+                            dim(("mc_bx", p.block), ("mc_px", 1)),
+                            count=1,
+                            label="residual",
+                        )
+                        b.write(
+                            recon,
+                            dim(("mc_f", 1)),
+                            dim(("mc_by", p.block), ("mc_py", 1)),
+                            dim(("mc_bx", p.block), ("mc_px", 1)),
+                            count=1,
+                            label="recon_pixel",
+                        )
+    return b.build()

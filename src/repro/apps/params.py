@@ -1,0 +1,60 @@
+"""Shared workload parameter helpers.
+
+Video kernels use standard frame formats; keeping them here makes every
+application module read like its reference description ("CIF luminance,
+16x16 macroblocks, +/-8 search range").
+
+The default experiment scale is chosen so that
+
+* frame-sized arrays (~100 KiB at CIF) do **not** fit on chip — the
+  whole point of layer assignment is deciding which *parts* move close
+  to the CPU; and
+* the discrete-event simulator stays fast (a handful of frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class FrameFormat:
+    """A video frame geometry (luminance plane)."""
+
+    name: str
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 16 or self.height < 16:
+            raise ValidationError(f"frame {self.name!r} too small: {self}")
+
+    @property
+    def pixels(self) -> int:
+        """Pixels per frame."""
+        return self.width * self.height
+
+    def blocks(self, block: int) -> tuple[int, int]:
+        """(rows, cols) of macroblock grid; frame must tile evenly."""
+        if self.height % block or self.width % block:
+            raise ValidationError(
+                f"{self.name}: {self.width}x{self.height} not divisible by "
+                f"block size {block}"
+            )
+        return self.height // block, self.width // block
+
+
+QCIF = FrameFormat("QCIF", width=176, height=144)
+"""Quarter CIF: 176x144 luminance."""
+
+CIF = FrameFormat("CIF", width=352, height=288)
+"""CIF: 352x288 luminance — the default experiment scale."""
+
+
+def require_positive(**values: int) -> None:
+    """Validate that every named parameter is >= 1."""
+    for name, value in values.items():
+        if value < 1:
+            raise ValidationError(f"parameter {name} must be >= 1, got {value}")

@@ -1,0 +1,235 @@
+"""QSDPCM — quad-tree structured DPCM video codec (video encoding).
+
+QSDPCM is the flagship multi-nest benchmark of the DTSE/ATOMIUM suite:
+a hierarchical motion estimator (coarse search on a 4:1 subsampled
+frame, then a small full-resolution refinement) followed by DPCM
+reconstruction.  It exercises the parts of MHLA the single-nest kernels
+cannot:
+
+* **inter-nest lifetimes** — the subsampled frame is produced by nest 1
+  and consumed by nest 2 only; its copies can share on-chip space with
+  the refinement buffers (in-place);
+* **inter-nest dependences** — prefetches of ``sub4`` in nest 2 may be
+  hoisted across all of nest 2's loops because the producer finished in
+  nest 1, while the reconstruction nest reads *and* writes ``recon``,
+  which caps its hoisting freedom (the dependence-limit path of
+  Figure 1's ``dep_analysis``);
+* several simultaneously live copy chains competing for L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.errors import ValidationError
+from repro.ir.builder import ProgramBuilder, dim, fixed
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class QsdpcmParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frames: int = 2
+    frame: FrameFormat = CIF
+    block: int = 16
+    sub_factor: int = 4
+    coarse_search: int = 2  # +/- at quarter resolution (~ +/-8 full res)
+    refine_search: int = 2  # +/- at full resolution
+    mac_cycles: int = 10
+
+    def __post_init__(self) -> None:
+        require_positive(
+            frames=self.frames,
+            block=self.block,
+            sub_factor=self.sub_factor,
+            coarse_search=self.coarse_search,
+            refine_search=self.refine_search,
+            mac_cycles=self.mac_cycles,
+        )
+        self.frame.blocks(self.block)  # full-resolution macroblock grid
+        if self.block % self.sub_factor:
+            raise ValidationError(
+                f"block {self.block} must be divisible by sub_factor "
+                f"{self.sub_factor}"
+            )
+        if self.frame.height % self.sub_factor or self.frame.width % self.sub_factor:
+            raise ValidationError(
+                f"frame {self.frame.name} not divisible by sub_factor "
+                f"{self.sub_factor}"
+            )
+
+
+def build(params: QsdpcmParams | None = None) -> Program:
+    """Build the four-nest QSDPCM program."""
+    p = params or QsdpcmParams()
+    height, width = p.frame.height, p.frame.width
+    sub_h, sub_w = height // p.sub_factor, width // p.sub_factor
+    rows, cols = p.frame.blocks(p.block)
+    sub_block = p.block // p.sub_factor
+    coarse = 2 * p.coarse_search + 1
+    refine = 2 * p.refine_search + 1
+
+    b = ProgramBuilder("qsdpcm")
+    video = b.array(
+        "video", (p.frames + 1, height, width), element_bytes=1, kind="input"
+    )
+    sub4 = b.array(
+        "sub4", (p.frames + 1, sub_h, sub_w), element_bytes=1, kind="internal"
+    )
+    mv4 = b.array("mv4", (p.frames, rows, cols), element_bytes=4, kind="internal")
+    recon = b.array(
+        "recon", (p.frames + 1, height, width), element_bytes=1, kind="internal"
+    )
+    qout = b.array(
+        "qout", (p.frames, height, width), element_bytes=1, kind="output"
+    )
+    # Value-indexed quantiser/VLC table: data-dependent accesses that no
+    # static copy can serve (see jpeg_dct for the rationale).
+    vlc = b.array("qs_vlc", (4096,), element_bytes=4, kind="input")
+
+    # Nest 1: 4:1 mean subsampling of the incoming frame.
+    with b.loop("qs_f", p.frames):
+        with b.loop("qs_y", sub_h):
+            with b.loop("qs_x", sub_w, work=p.sub_factor * p.sub_factor + 4):
+                b.read(
+                    video,
+                    dim(("qs_f", 1), offset=1),
+                    dim(("qs_y", p.sub_factor), extent=p.sub_factor),
+                    dim(("qs_x", p.sub_factor), extent=p.sub_factor),
+                    count=p.sub_factor * p.sub_factor,
+                    label="subsample_window",
+                )
+                b.write(
+                    sub4,
+                    dim(("qs_f", 1), offset=1),
+                    dim(("qs_y", 1)),
+                    dim(("qs_x", 1)),
+                    count=1,
+                )
+
+    # Nest 2: coarse full search on the subsampled frames.
+    sub_pixels = sub_block * sub_block
+    with b.loop("qm_f", p.frames):
+        with b.loop("qm_by", rows):
+            with b.loop("qm_bx", cols, work=coarse):
+                with b.loop("qm_cy", coarse):
+                    with b.loop("qm_cx", coarse, work=sub_pixels * p.mac_cycles):
+                        b.read(
+                            sub4,
+                            dim(("qm_f", 1), offset=1),
+                            dim(("qm_by", sub_block), extent=sub_block),
+                            dim(("qm_bx", sub_block), extent=sub_block),
+                            count=sub_pixels,
+                            label="sub_cur",
+                        )
+                        b.read(
+                            sub4,
+                            dim(("qm_f", 1)),
+                            dim(
+                                ("qm_by", sub_block),
+                                ("qm_cy", 1),
+                                extent=sub_block,
+                                offset=-p.coarse_search,
+                            ),
+                            dim(
+                                ("qm_bx", sub_block),
+                                ("qm_cx", 1),
+                                extent=sub_block,
+                                offset=-p.coarse_search,
+                            ),
+                            count=sub_pixels,
+                            label="sub_ref",
+                        )
+                b.write(
+                    mv4,
+                    dim(("qm_f", 1)),
+                    dim(("qm_by", 1)),
+                    dim(("qm_bx", 1)),
+                    count=1,
+                )
+
+    # Nest 3: full-resolution refinement around the coarse vector.
+    pixels = p.block * p.block
+    with b.loop("qr_f", p.frames):
+        with b.loop("qr_by", rows):
+            with b.loop("qr_bx", cols, work=refine):
+                b.read(
+                    mv4,
+                    dim(("qr_f", 1)),
+                    dim(("qr_by", 1)),
+                    dim(("qr_bx", 1)),
+                    count=1,
+                    label="coarse_mv",
+                )
+                with b.loop("qr_cy", refine):
+                    with b.loop("qr_cx", refine, work=pixels * p.mac_cycles):
+                        b.read(
+                            video,
+                            dim(("qr_f", 1), offset=1),
+                            dim(("qr_by", p.block), extent=p.block),
+                            dim(("qr_bx", p.block), extent=p.block),
+                            count=pixels,
+                            label="full_cur",
+                        )
+                        b.read(
+                            video,
+                            dim(("qr_f", 1)),
+                            dim(
+                                ("qr_by", p.block),
+                                ("qr_cy", 1),
+                                extent=p.block,
+                                offset=-p.refine_search,
+                            ),
+                            dim(
+                                ("qr_bx", p.block),
+                                ("qr_cx", 1),
+                                extent=p.block,
+                                offset=-p.refine_search,
+                            ),
+                            count=pixels,
+                            label="full_ref",
+                        )
+
+    # Nest 4: DPCM reconstruction — reads the previous reconstructed
+    # frame and writes the current one (same-nest dependence on recon).
+    with b.loop("qd_f", p.frames):
+        with b.loop("qd_y", height):
+            with b.loop("qd_x", width, work=12):
+                b.read(
+                    video,
+                    dim(("qd_f", 1), offset=1),
+                    dim(("qd_y", 1)),
+                    dim(("qd_x", 1)),
+                    count=1,
+                )
+                b.read(
+                    recon,
+                    dim(("qd_f", 1)),
+                    dim(("qd_y", 1), extent=1 + 2 * p.refine_search),
+                    dim(("qd_x", 1), extent=1 + 2 * p.refine_search),
+                    count=1,
+                    label="pred_region",
+                )
+                b.write(
+                    recon,
+                    dim(("qd_f", 1), offset=1),
+                    dim(("qd_y", 1)),
+                    dim(("qd_x", 1)),
+                    count=1,
+                )
+                b.read(
+                    vlc,
+                    fixed(extent=4096),
+                    count=1,
+                    label="vlc_lookup",
+                )
+                b.write(
+                    qout,
+                    dim(("qd_f", 1)),
+                    dim(("qd_y", 1)),
+                    dim(("qd_x", 1)),
+                    count=1,
+                )
+    return b.build()

@@ -1,0 +1,90 @@
+"""Uniform access to the nine-application suite.
+
+The benchmark harness, CLI and examples address applications by name;
+this registry is the single source of truth for which applications
+exist and how to build them with default parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.ir.program import Program
+
+from repro.apps import (
+    cavity,
+    edge_detection,
+    filterbank,
+    jpeg_dct,
+    motion_estimation,
+    mpeg4_mc,
+    qsdpcm,
+    voice_coder,
+    wavelet,
+)
+
+_REGISTRY: dict[str, tuple[Callable[[], Program], str]] = {
+    "motion_estimation": (
+        motion_estimation.build,
+        "full-search block motion estimation, CIF, +/-8 (video encoding)",
+    ),
+    "qsdpcm": (
+        qsdpcm.build,
+        "quad-tree structured DPCM codec with hierarchical ME (video encoding)",
+    ),
+    "mpeg4_mc": (
+        mpeg4_mc.build,
+        "MPEG-4 motion compensation + reconstruction (video encoding)",
+    ),
+    "cavity": (
+        cavity.build,
+        "cavity detection image chain (medical image processing)",
+    ),
+    "wavelet": (
+        wavelet.build,
+        "two-level 2-D 5/3 wavelet transform (image compression)",
+    ),
+    "jpeg_dct": (
+        jpeg_dct.build,
+        "JPEG encoder core: 8x8 DCT + quantisation + zig-zag (image)",
+    ),
+    "edge_detection": (
+        edge_detection.build,
+        "Sobel + non-max suppression + hysteresis (image processing)",
+    ),
+    "voice_coder": (
+        voice_coder.build,
+        "GSM-style LPC speech coder front end (audio processing)",
+    ),
+    "filterbank": (
+        filterbank.build,
+        "32-band pseudo-QMF analysis filter bank (audio processing)",
+    ),
+}
+
+
+def all_app_names() -> tuple[str, ...]:
+    """Names of the nine applications, in canonical report order."""
+    return tuple(_REGISTRY)
+
+
+def app_descriptions() -> dict[str, str]:
+    """One-line description per application."""
+    return {name: description for name, (_build, description) in _REGISTRY.items()}
+
+
+def build_app(name: str) -> Program:
+    """Build one application with its default parameters."""
+    try:
+        builder, _description = _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown application {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+    return builder()
+
+
+def build_all() -> dict[str, Program]:
+    """Build the full nine-application suite."""
+    return {name: build_app(name) for name in _REGISTRY}

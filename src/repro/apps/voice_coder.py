@@ -1,0 +1,110 @@
+"""GSM-style LPC speech coder front end (audio processing domain).
+
+Four nests per the classic full-rate coder structure: pre-emphasis +
+Hamming windowing (streaming), autocorrelation (the reuse hot spot:
+each 160-sample frame is swept once per lag), Schur/Levinson recursion
+(tiny working set), and residual filtering (short sliding windows).
+
+Audio kernels sit at the low-reuse end of the paper's suite: working
+sets are small (a frame buffer easily fits in L1), so the interesting
+MHLA decisions are *home moves* of the frame-sized buffers and the
+coefficient tables rather than deep copy chains — and because per-frame
+processing is long relative to the small fills, TE hides essentially
+all transfer time ("a lot of processing loops", section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import require_positive
+from repro.ir.builder import ProgramBuilder, dim
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class VoiceCoderParams:
+    """Workload knobs with GSM-full-rate-like defaults."""
+
+    nframes: int = 64
+    samples: int = 160
+    order: int = 8
+    mac_cycles: int = 6
+    recursion_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        require_positive(
+            nframes=self.nframes,
+            samples=self.samples,
+            order=self.order,
+            mac_cycles=self.mac_cycles,
+            recursion_cycles=self.recursion_cycles,
+        )
+
+
+def build(params: VoiceCoderParams | None = None) -> Program:
+    """Build the four-nest LPC front-end program."""
+    p = params or VoiceCoderParams()
+    lags = p.order + 1
+
+    b = ProgramBuilder("voice_coder")
+    speech = b.array(
+        "speech", (p.nframes, p.samples + p.order), element_bytes=2, kind="input"
+    )
+    hamm = b.array("hamm", (p.samples,), element_bytes=4, kind="input")
+    wind = b.array(
+        "wind", (p.nframes, p.samples + p.order), element_bytes=2, kind="internal"
+    )
+    acf = b.array("acf", (p.nframes, lags), element_bytes=4, kind="internal")
+    lar = b.array("lar", (p.nframes, lags), element_bytes=4, kind="output")
+    resid = b.array(
+        "resid", (p.nframes, p.samples), element_bytes=2, kind="output"
+    )
+
+    # Nest 1: pre-emphasis + Hamming window (pure streaming).
+    with b.loop("vp_f", p.nframes):
+        with b.loop("vp_n", p.samples, work=8):
+            b.read(
+                speech,
+                dim(("vp_f", 1)),
+                dim(("vp_n", 1), extent=2),
+                count=2,
+                label="preemphasis_pair",
+            )
+            b.read(hamm, dim(("vp_n", 1)), count=1, label="window_coeff")
+            b.write(wind, dim(("vp_f", 1)), dim(("vp_n", 1)), count=1)
+
+    # Nest 2: autocorrelation — the frame buffer is re-read per lag.
+    with b.loop("va_f", p.nframes):
+        with b.loop("va_k", lags):
+            with b.loop("va_n", p.samples, work=p.mac_cycles):
+                b.read(
+                    wind,
+                    dim(("va_f", 1)),
+                    dim(("va_n", 1), extent=lags),
+                    count=2,
+                    label="acf_pair",
+                )
+            b.write(acf, dim(("va_f", 1)), dim(("va_k", 1)), count=1)
+
+    # Nest 3: Schur/Levinson recursion on the tiny acf vector.
+    with b.loop("vl_f", p.nframes):
+        with b.loop("vl_i", lags):
+            with b.loop("vl_j", lags, work=p.recursion_cycles):
+                b.read(acf, dim(("vl_f", 1)), dim(("vl_j", 1)), count=2)
+            b.write(lar, dim(("vl_f", 1)), dim(("vl_i", 1)), count=1)
+
+    # Nest 4: short-term residual filtering (order-tap sliding window).
+    with b.loop("vr_f", p.nframes):
+        with b.loop("vr_n", p.samples):
+            with b.loop("vr_k", lags, work=p.mac_cycles):
+                b.read(
+                    wind,
+                    dim(("vr_f", 1)),
+                    dim(("vr_n", 1), extent=lags),
+                    count=1,
+                    label="filter_window",
+                )
+                b.read(lar, dim(("vr_f", 1)), dim(("vr_k", 1)), count=1)
+            b.write(resid, dim(("vr_f", 1)), dim(("vr_n", 1)), count=1)
+    return b.build()

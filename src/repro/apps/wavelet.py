@@ -1,0 +1,128 @@
+"""Two-level 2-D 5/3 wavelet transform (image compression domain).
+
+Each level runs a horizontal filtering pass (5-tap windows along rows)
+and a vertical pass (5-tap windows along columns).  The vertical pass
+is the interesting one for layer assignment: its natural copy candidate
+is a *strip of five image rows* that slides down by one row per outer
+iteration — a multi-kilobyte buffer with a one-row delta fill, the
+sweet spot for DMA prefetching (large transfers, plenty of row
+processing to hide them behind).
+
+Level 2 repeats both passes on the quarter-size LL band, producing a
+second set of (smaller) copy chains whose lifetimes do not overlap the
+level-1 ones — more in-place sharing for the occupancy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.params import CIF, FrameFormat, require_positive
+from repro.ir.builder import ProgramBuilder, dim
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class WaveletParams:
+    """Workload knobs with literature-typical defaults."""
+
+    frame: FrameFormat = CIF
+    taps: int = 5
+    mac_cycles: int = 12
+
+    def __post_init__(self) -> None:
+        require_positive(taps=self.taps, mac_cycles=self.mac_cycles)
+        if self.frame.width % 4 or self.frame.height % 4:
+            raise ValueError("frame must be divisible by 4 for two levels")
+
+
+def build(params: WaveletParams | None = None) -> Program:
+    """Build the two-level wavelet program (4 nests)."""
+    p = params or WaveletParams()
+    height, width = p.frame.height, p.frame.width
+    half_h, half_w = height // 2, width // 2
+
+    b = ProgramBuilder("wavelet")
+    img = b.array("img", (height, width), element_bytes=2, kind="input")
+    tmp1 = b.array("tmp1", (height, width), element_bytes=2, kind="internal")
+    dec1 = b.array("dec1", (height, width), element_bytes=2, kind="internal")
+    tmp2 = b.array("tmp2", (half_h, half_w), element_bytes=2, kind="internal")
+    out2 = b.array("out2", (half_h, half_w), element_bytes=2, kind="output")
+
+    # Level 1, horizontal pass: 5-tap window along each row.
+    with b.loop("w1h_y", height):
+        with b.loop("w1h_x", half_w, work=p.mac_cycles):
+            b.read(
+                img,
+                dim(("w1h_y", 1)),
+                dim(("w1h_x", 2), extent=p.taps),
+                count=p.taps,
+                label="h1_window",
+            )
+            b.write(tmp1, dim(("w1h_y", 1)), dim(("w1h_x", 1)), count=1, label="h1_low")
+            b.write(
+                tmp1,
+                dim(("w1h_y", 1)),
+                dim(("w1h_x", 1), offset=half_w),
+                count=1,
+                label="h1_high",
+            )
+
+    # Level 1, vertical pass: 5-tap window along each column; the copy
+    # candidate at the row level is a 5-row strip sliding by 2.
+    with b.loop("w1v_y", half_h):
+        with b.loop("w1v_x", width, work=p.mac_cycles):
+            b.read(
+                tmp1,
+                dim(("w1v_y", 2), extent=p.taps),
+                dim(("w1v_x", 1)),
+                count=p.taps,
+                label="v1_window",
+            )
+            b.write(dec1, dim(("w1v_y", 1)), dim(("w1v_x", 1)), count=1, label="v1_low")
+            b.write(
+                dec1,
+                dim(("w1v_y", 1), offset=half_h),
+                dim(("w1v_x", 1)),
+                count=1,
+                label="v1_high",
+            )
+
+    # Level 2, horizontal pass on the LL quadrant of dec1.
+    with b.loop("w2h_y", half_h):
+        with b.loop("w2h_x", half_w // 2, work=p.mac_cycles):
+            b.read(
+                dec1,
+                dim(("w2h_y", 1)),
+                dim(("w2h_x", 2), extent=p.taps),
+                count=p.taps,
+                label="h2_window",
+            )
+            b.write(tmp2, dim(("w2h_y", 1)), dim(("w2h_x", 1)), count=1, label="h2_low")
+            b.write(
+                tmp2,
+                dim(("w2h_y", 1)),
+                dim(("w2h_x", 1), offset=half_w // 2),
+                count=1,
+                label="h2_high",
+            )
+
+    # Level 2, vertical pass.
+    with b.loop("w2v_y", half_h // 2):
+        with b.loop("w2v_x", half_w, work=p.mac_cycles):
+            b.read(
+                tmp2,
+                dim(("w2v_y", 2), extent=p.taps),
+                dim(("w2v_x", 1)),
+                count=p.taps,
+                label="v2_window",
+            )
+            b.write(out2, dim(("w2v_y", 1)), dim(("w2v_x", 1)), count=1, label="v2_low")
+            b.write(
+                out2,
+                dim(("w2v_y", 1), offset=half_h // 2),
+                dim(("w2v_x", 1)),
+                count=1,
+                label="v2_high",
+            )
+    return b.build()

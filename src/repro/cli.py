@@ -1,0 +1,184 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Sub-commands mirror the experiments:
+
+* ``repro list``                 — the nine applications
+* ``repro run APP``              — four scenarios for one application
+* ``repro fig2``                 — Figure 2 (performance) for the suite
+* ``repro fig3``                 — Figure 3 (energy) for the suite
+* ``repro sweep APP``            — L1-size trade-off sweep (TAB-TRADEOFF)
+* ``repro simulate APP``         — estimator-vs-simulator validation
+* ``repro show APP``             — program structure + copy candidates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.charts import grouped_bar_chart
+from repro.analysis.pareto import pareto_front
+from repro.analysis.report import scenario_table, sweep_table
+from repro.apps import all_app_names, app_descriptions, build_app
+from repro.core.mhla import Mhla
+from repro.core.scenarios import SCENARIO_ORDER
+from repro.core.tradeoff import sweep_layer_sizes
+from repro.memory.presets import embedded_3layer
+from repro.sim import simulate
+from repro.sim.stats import relative_error
+from repro.units import fmt_bytes, kib
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name, description in app_descriptions().items():
+        print(f"{name:18s} {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = build_app(args.app)
+    platform = embedded_3layer(l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib))
+    result = Mhla(program, platform).explore()
+    print(scenario_table([result]))
+    print()
+    print(f"MHLA speedup:        {result.mhla_speedup_fraction:.1%}")
+    print(f"TE extra speedup:    {result.te_speedup_fraction:.1%}")
+    print(f"Energy reduction:    {result.energy_reduction_fraction:.1%}")
+    te = result.scenario("mhla_te").te
+    if te is not None:
+        print(te.summary())
+    return 0
+
+
+def _suite_results(l1_kib: float, l2_kib: float):
+    platform = embedded_3layer(l1_bytes=kib(l1_kib), l2_bytes=kib(l2_kib))
+    return [Mhla(build_app(name), platform).explore() for name in all_app_names()]
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    results = _suite_results(args.l1_kib, args.l2_kib)
+    print("Figure 2 — execution cycles, normalised per app (oob = 100%):\n")
+    groups = {
+        result.app_name: result.cycles_by_scenario() for result in results
+    }
+    print(grouped_bar_chart(groups, SCENARIO_ORDER))
+    print()
+    print(scenario_table(results))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    results = _suite_results(args.l1_kib, args.l2_kib)
+    print("Figure 3 — energy, normalised per app (oob = 100%):\n")
+    groups = {
+        result.app_name: {
+            "oob": result.scenario("oob").energy_nj,
+            "mhla": result.scenario("mhla").energy_nj,
+            "mhla_te": result.scenario("mhla_te").energy_nj,
+        }
+        for result in results
+    }
+    print(grouped_bar_chart(groups, ("oob", "mhla", "mhla_te")))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    program = build_app(args.app)
+    sizes = [kib(size) for size in (0.5, 1, 2, 4, 8, 16, 32, 64)]
+    points = sweep_layer_sizes(program, sizes_bytes=sizes)
+    print(sweep_table(points))
+    front = pareto_front(points, key=lambda p: (p.cycles, p.energy_nj, p.l1_bytes))
+    labels = ", ".join(fmt_bytes(point.l1_bytes) for point in front)
+    print(f"\nPareto-optimal L1 sizes (cycles, energy, size): {labels}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    program = build_app(args.app)
+    platform = embedded_3layer(l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib))
+    tool = Mhla(program, platform)
+    result = tool.explore()
+    print(f"{'scenario':10s} {'estimated':>14s} {'simulated':>14s} {'error':>8s}")
+    for name in ("mhla", "mhla_te"):
+        scenario = result.scenario(name)
+        stats = simulate(tool.ctx, scenario.assignment, scenario.te)
+        error = relative_error(stats.cycles, scenario.cycles)
+        print(
+            f"{name:10s} {scenario.cycles:>14,.0f} {stats.cycles:>14,.0f} "
+            f"{error:>8.2%}"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.ir.pretty import format_candidates, format_program
+
+    program = build_app(args.app)
+    platform = embedded_3layer(
+        l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
+    )
+    print(format_program(program))
+    print()
+    print(format_candidates(program, platform))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MHLA with Time Extensions (DATE 2005) exploration tool",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the nine applications").set_defaults(
+        func=_cmd_list
+    )
+
+    def add_platform_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--l1-kib", type=float, default=8.0, help="L1 size in KiB")
+        p.add_argument("--l2-kib", type=float, default=64.0, help="L2 size in KiB")
+
+    run = sub.add_parser("run", help="four scenarios for one application")
+    run.add_argument("app", choices=all_app_names())
+    add_platform_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    fig2 = sub.add_parser("fig2", help="Figure 2 (performance) for the suite")
+    add_platform_args(fig2)
+    fig2.set_defaults(func=_cmd_fig2)
+
+    fig3 = sub.add_parser("fig3", help="Figure 3 (energy) for the suite")
+    add_platform_args(fig3)
+    fig3.set_defaults(func=_cmd_fig3)
+
+    sweep = sub.add_parser("sweep", help="L1 size trade-off sweep")
+    sweep.add_argument("app", choices=all_app_names())
+    sweep.set_defaults(func=_cmd_sweep)
+
+    simulate_cmd = sub.add_parser(
+        "simulate", help="validate estimator against the simulator"
+    )
+    simulate_cmd.add_argument("app", choices=all_app_names())
+    add_platform_args(simulate_cmd)
+    simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    show = sub.add_parser(
+        "show", help="print program structure and copy candidates"
+    )
+    show.add_argument("app", choices=all_app_names())
+    add_platform_args(show)
+    show.set_defaults(func=_cmd_show)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

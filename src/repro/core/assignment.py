@@ -1,0 +1,246 @@
+"""MHLA step 1: the selection and assignment search.
+
+Implements the greedy steepest-descent engine in the spirit of the
+layer-assignment technique the paper builds on (Brockmeyer et al., DATE
+2003).  Starting from the out-of-the-box placement (all arrays off-chip,
+no copies), the engine repeatedly evaluates every legal *move*:
+
+* **add a copy**: select an unselected copy candidate of some reference
+  group and place it on an on-chip layer, keeping the chain monotone
+  (each copy strictly closer to the CPU than its parent);
+* **re-home an array**: move a whole array to an on-chip layer (wins for
+  small, heavily reused tables where even a copy is overhead).
+
+Each move is scored with the analytical estimator
+(:func:`repro.core.costs.estimate_cost`), checked against the per-layer
+capacity constraints with lifetime-aware occupancy, and the move with
+the best improvement of the chosen :class:`Objective` is applied.  The
+search stops when no move improves the objective, then runs one cleanup
+pass dropping copies whose removal does not hurt (they only waste
+space the TE step could use for double buffering).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.context import AnalysisContext, Assignment
+from repro.core.costs import CostReport, estimate_cost
+from repro.errors import AssignmentError
+
+__all__ = ["Assignment", "GreedyAssigner", "Objective", "objective_value"]
+
+
+class Objective(enum.Enum):
+    """What the assignment search minimises."""
+
+    CYCLES = "cycles"
+    ENERGY = "energy"
+    EDP = "edp"
+
+
+def objective_value(report: CostReport, objective: Objective) -> float:
+    """Scalar value of *objective* for a cost report (lower is better)."""
+    if objective is Objective.CYCLES:
+        return report.cycles
+    if objective is Objective.ENERGY:
+        return report.energy_nj
+    return report.cycles * report.energy_nj
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One candidate search step (internal)."""
+
+    kind: str  # "copy" | "home"
+    description: str
+    result: Assignment
+    value: float
+
+
+@dataclass(frozen=True)
+class SearchTrace:
+    """Log of the accepted moves, for reports and debugging."""
+
+    steps: tuple[str, ...]
+    initial_value: float
+    final_value: float
+
+
+class GreedyAssigner:
+    """Steepest-descent assignment search (see module docstring).
+
+    Parameters
+    ----------
+    ctx:
+        Shared analysis context.
+    objective:
+        Metric to minimise; :attr:`Objective.EDP` balances the paper's
+        two evaluation axes and is the default used by the scenario
+        runner.
+    allow_home_moves:
+        Permit whole-array re-homing moves (disable to compare against
+        the exhaustive engine, which explores copies only by default).
+    max_steps:
+        Safety bound on accepted moves.
+    """
+
+    def __init__(
+        self,
+        ctx: AnalysisContext,
+        objective: Objective = Objective.EDP,
+        allow_home_moves: bool = True,
+        max_steps: int = 200,
+    ):
+        self.ctx = ctx
+        self.objective = objective
+        self.allow_home_moves = allow_home_moves
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> tuple[Assignment, SearchTrace]:
+        """Run the search; returns the assignment and its move trace."""
+        assignment = self.ctx.out_of_box_assignment()
+        if not self.ctx.fits(assignment):
+            raise AssignmentError(
+                "even the out-of-the-box placement violates capacity; "
+                "the off-chip layer must be unbounded"
+            )
+        value = self._value(assignment)
+        initial_value = value
+        steps: list[str] = []
+
+        for _round in range(self.max_steps):
+            move = self._best_move(assignment, value)
+            if move is None:
+                break
+            assignment = move.result
+            value = move.value
+            steps.append(move.description)
+        else:
+            raise AssignmentError(
+                f"assignment search did not converge in {self.max_steps} steps"
+            )
+
+        assignment, value, dropped = self._cleanup(assignment, value)
+        steps.extend(dropped)
+        trace = SearchTrace(
+            steps=tuple(steps), initial_value=initial_value, final_value=value
+        )
+        return assignment, trace
+
+    # ------------------------------------------------------------------
+    # move generation
+    # ------------------------------------------------------------------
+
+    def _value(self, assignment: Assignment) -> float:
+        return objective_value(estimate_cost(self.ctx, assignment), self.objective)
+
+    def _best_move(
+        self, assignment: Assignment, current_value: float
+    ) -> _Move | None:
+        best: _Move | None = None
+        for move in self._legal_moves(assignment):
+            if move.value >= current_value:
+                continue
+            if best is None or move.value < best.value:
+                best = move
+        return best
+
+    def _legal_moves(self, assignment: Assignment):
+        yield from self._copy_moves(assignment)
+        if self.allow_home_moves:
+            yield from self._home_moves(assignment)
+
+    def _copy_moves(self, assignment: Assignment):
+        hierarchy = self.ctx.platform.hierarchy
+        for group_key, spec in self.ctx.specs.items():
+            selected = dict(assignment.copies.get(group_key, ()))
+            for candidate in spec.candidates:
+                if candidate.uid in selected:
+                    continue
+                for layer in hierarchy.onchip_layers:
+                    trial = assignment.with_copy(
+                        group_key, candidate.uid, layer.name
+                    )
+                    if not self._chain_is_legal(trial, group_key):
+                        continue
+                    if not self.ctx.fits(trial):
+                        continue
+                    value = self._value(trial)
+                    yield _Move(
+                        kind="copy",
+                        description=(
+                            f"copy {candidate.uid} -> {layer.name} "
+                            f"({candidate.size_bytes} B)"
+                        ),
+                        result=trial,
+                        value=value,
+                    )
+
+    def _home_moves(self, assignment: Assignment):
+        hierarchy = self.ctx.platform.hierarchy
+        for array_name, home in assignment.array_home.items():
+            array = self.ctx.program.array(array_name)
+            for layer in hierarchy.onchip_layers:
+                if layer.name == home:
+                    continue
+                if not layer.fits(array.bytes):
+                    continue
+                trial = assignment.with_home(array_name, layer.name)
+                if not self._all_chains_legal(trial):
+                    continue
+                if not self.ctx.fits(trial):
+                    continue
+                value = self._value(trial)
+                yield _Move(
+                    kind="home",
+                    description=f"home {array_name} -> {layer.name}",
+                    result=trial,
+                    value=value,
+                )
+
+    def _chain_is_legal(self, assignment: Assignment, group_key: str) -> bool:
+        try:
+            self.ctx.chain_for(assignment, group_key)
+        except Exception:
+            return False
+        return True
+
+    def _all_chains_legal(self, assignment: Assignment) -> bool:
+        return all(
+            self._chain_is_legal(assignment, group_key)
+            for group_key in self.ctx.specs
+        )
+
+    # ------------------------------------------------------------------
+    # cleanup pass
+    # ------------------------------------------------------------------
+
+    def _cleanup(
+        self, assignment: Assignment, value: float
+    ) -> tuple[Assignment, float, list[str]]:
+        """Drop copies whose removal does not worsen the objective."""
+        dropped: list[str] = []
+        improved = True
+        while improved:
+            improved = False
+            for group_key, selections in list(assignment.copies.items()):
+                for uid, _layer in selections:
+                    trial = assignment.without_copy(group_key, uid)
+                    if not self._all_chains_legal(trial):
+                        continue
+                    trial_value = self._value(trial)
+                    if trial_value <= value:
+                        assignment = trial
+                        value = trial_value
+                        dropped.append(f"drop {uid} (no loss)")
+                        improved = True
+                        break
+                if improved:
+                    break
+        return assignment, value, dropped

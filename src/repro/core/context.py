@@ -1,0 +1,234 @@
+"""Shared analysis context.
+
+Every step of the flow (cost estimation, assignment search, time
+extensions, simulation) needs the same pre-computed facts about a
+(program, platform) pair: the reference groups, their candidate chains,
+the dependence information and the stmt-to-group mapping.  Computing
+them once in :class:`AnalysisContext` keeps the steps consistent and the
+search fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.errors import ValidationError
+from repro.ir.dependences import DependenceInfo, analyze_dependences
+from repro.ir.program import Program, StmtContext
+from repro.lifetime.intervals import Interval
+from repro.lifetime.occupancy import OccupancyMap, SpaceClaim, build_occupancy
+from repro.memory.presets import Platform
+from repro.reuse.candidates import (
+    CandidateChainSpec,
+    CopyCandidate,
+    RefGroup,
+    enumerate_candidates,
+)
+from repro.reuse.chains import CopyChain, chain_of
+
+
+@dataclass
+class Assignment:
+    """A placement decision: array homes plus selected copies.
+
+    Attributes
+    ----------
+    array_home:
+        Layer name per array.  Every array of the program must appear.
+    copies:
+        Per group key, the selected ``(candidate_uid, layer_name)``
+        pairs.  Order is irrelevant here; chains are re-sorted by level
+        when materialised.
+    """
+
+    array_home: dict[str, str]
+    copies: dict[str, tuple[tuple[str, str], ...]] = field(default_factory=dict)
+
+    def clone(self) -> "Assignment":
+        """Independent copy (used by search engines to try moves)."""
+        return Assignment(
+            array_home=dict(self.array_home),
+            copies={key: tuple(value) for key, value in self.copies.items()},
+        )
+
+    def with_copy(self, group_key: str, candidate_uid: str, layer_name: str) -> "Assignment":
+        """New assignment with one more selected copy."""
+        updated = self.clone()
+        existing = updated.copies.get(group_key, ())
+        if any(uid == candidate_uid for uid, _layer in existing):
+            raise ValidationError(f"candidate {candidate_uid!r} already selected")
+        updated.copies[group_key] = existing + ((candidate_uid, layer_name),)
+        return updated
+
+    def without_copy(self, group_key: str, candidate_uid: str) -> "Assignment":
+        """New assignment with one copy removed."""
+        updated = self.clone()
+        existing = updated.copies.get(group_key, ())
+        remaining = tuple(
+            (uid, layer) for uid, layer in existing if uid != candidate_uid
+        )
+        if len(remaining) == len(existing):
+            raise ValidationError(f"candidate {candidate_uid!r} is not selected")
+        if remaining:
+            updated.copies[group_key] = remaining
+        else:
+            updated.copies.pop(group_key, None)
+        return updated
+
+    def with_home(self, array_name: str, layer_name: str) -> "Assignment":
+        """New assignment with an array's home layer changed."""
+        updated = self.clone()
+        if array_name not in updated.array_home:
+            raise ValidationError(f"unknown array {array_name!r}")
+        updated.array_home[array_name] = layer_name
+        return updated
+
+    def selected_uids(self) -> tuple[str, ...]:
+        """All selected candidate uids (sorted, deterministic)."""
+        uids = []
+        for selections in self.copies.values():
+            uids.extend(uid for uid, _layer in selections)
+        return tuple(sorted(uids))
+
+    def copy_count(self) -> int:
+        """Number of selected copies."""
+        return sum(len(selections) for selections in self.copies.values())
+
+
+class AnalysisContext:
+    """Pre-computed analyses for one (program, platform) pair."""
+
+    def __init__(self, program: Program, platform: Platform):
+        self.program = program
+        self.platform = platform
+        self.specs: dict[str, CandidateChainSpec] = enumerate_candidates(program)
+        self.deps: DependenceInfo = analyze_dependences(program)
+
+    # ------------------------------------------------------------------
+    # group lookups
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def groups(self) -> tuple[RefGroup, ...]:
+        """All reference groups, deterministic order."""
+        return tuple(spec.group for spec in self.specs.values())
+
+    @cached_property
+    def _group_key_by_stmt_signature(self) -> dict[tuple, str]:
+        table: dict[tuple, str] = {}
+        for spec in self.specs.values():
+            group = spec.group
+            table[
+                (group.nest_index, group.array_name, str(group.ref), group.loop_names)
+            ] = group.key
+        return table
+
+    def group_key_of(self, context: StmtContext) -> str:
+        """Group key serving a given statement context."""
+        signature = (
+            context.nest_index,
+            context.stmt.array_name,
+            str(context.stmt.ref),
+            context.loop_names,
+        )
+        try:
+            return self._group_key_by_stmt_signature[signature]
+        except KeyError:
+            raise ValidationError(
+                f"statement {context.stmt} has no reference group"
+            ) from None
+
+    def candidate(self, uid: str) -> CopyCandidate:
+        """Candidate lookup by uid."""
+        group_key, _at, _level = uid.partition("@")
+        spec = self.specs.get(group_key)
+        if spec is None or uid not in spec.by_uid:
+            raise ValidationError(f"unknown candidate uid {uid!r}")
+        return spec.by_uid[uid]
+
+    # ------------------------------------------------------------------
+    # assignments
+    # ------------------------------------------------------------------
+
+    def out_of_box_assignment(self) -> Assignment:
+        """The paper's baseline: every array off-chip, no copies."""
+        offchip = self.platform.hierarchy.offchip.name
+        return Assignment(
+            array_home={name: offchip for name in self.program.arrays}
+        )
+
+    def chain_for(self, assignment: Assignment, group_key: str) -> CopyChain:
+        """Materialise and validate the copy chain of one group."""
+        spec = self.specs[group_key]
+        home = assignment.array_home[spec.group.array_name]
+        selections = tuple(
+            (self.candidate(uid), layer_name)
+            for uid, layer_name in assignment.copies.get(group_key, ())
+        )
+        return chain_of(spec.group, home, selections, self.platform.hierarchy)
+
+    def chains(self, assignment: Assignment) -> dict[str, CopyChain]:
+        """All chains of an assignment."""
+        return {
+            group_key: self.chain_for(assignment, group_key)
+            for group_key in self.specs
+        }
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+
+    def space_claims(
+        self,
+        assignment: Assignment,
+        extra_buffer_uids: frozenset[str] = frozenset(),
+    ) -> tuple[SpaceClaim, ...]:
+        """Space claims implied by an assignment.
+
+        *extra_buffer_uids* lists copies that the TE step double-buffers;
+        they claim twice their size for the duration of their nest.
+        """
+        claims: list[SpaceClaim] = []
+        for array_name, layer_name in assignment.array_home.items():
+            first, last = self.program.live_interval(array_name)
+            claims.append(
+                SpaceClaim(
+                    layer_name=layer_name,
+                    interval=Interval(first, last),
+                    bytes=self.program.array(array_name).bytes,
+                    tag=f"array:{array_name}",
+                )
+            )
+        for group_key, selections in assignment.copies.items():
+            nest = self.specs[group_key].group.nest_index
+            for uid, layer_name in selections:
+                candidate = self.candidate(uid)
+                factor = 2 if uid in extra_buffer_uids else 1
+                claims.append(
+                    SpaceClaim(
+                        layer_name=layer_name,
+                        interval=Interval(nest, nest),
+                        bytes=candidate.size_bytes * factor,
+                        tag=f"copy:{uid}",
+                    )
+                )
+        return tuple(claims)
+
+    def occupancy(
+        self,
+        assignment: Assignment,
+        extra_buffer_uids: frozenset[str] = frozenset(),
+    ) -> OccupancyMap:
+        """Occupancy map of an assignment (optionally with TE doubling)."""
+        return build_occupancy(self.space_claims(assignment, extra_buffer_uids))
+
+    def fits(
+        self,
+        assignment: Assignment,
+        extra_buffer_uids: frozenset[str] = frozenset(),
+    ) -> bool:
+        """Capacity feasibility of an assignment."""
+        return self.occupancy(assignment, extra_buffer_uids).fits(
+            self.platform.hierarchy
+        )

@@ -1,0 +1,291 @@
+"""Analytical cost model: cycles and energy of an assignment.
+
+This is the estimator the MHLA search loops over, reproducing the
+paper's model:
+
+* **Energy** counts memory-hierarchy accesses only ("in our models we
+  only consider accesses to the memory hierarchy", section 3): CPU
+  accesses pay the random-access energy of the layer that serves them;
+  block transfers pay burst energy at both endpoints plus DMA overhead.
+* **Cycles** = CPU compute + CPU access time + block-transfer stalls.
+  A *fill* (parent -> copy) must complete before the data is used, so
+  without time extensions the CPU stalls for the full ``BT_time``; a
+  time-extended fill stalls only for ``max(0, BT_time - hidden)``.
+  *Write-backs* (copy -> parent) are posted: with a transfer engine the
+  CPU never waits for them (they still cost energy and engine
+  occupancy, which the simulator arbitrates).
+* The **ideal** variant zeroes every fill stall — the paper's "0 wait
+  cycles block transfer time" reference line in Figure 2.
+* On a platform *without* a transfer engine the CPU itself executes
+  copies word by word (and TE is not applicable, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+from repro.ir.loops import Block, Loop, Node
+from repro.ir.statements import AccessStmt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.context import AnalysisContext, Assignment
+    from repro.core.te import TeSchedule
+
+
+@dataclass
+class LayerTraffic:
+    """Access counts observed by one memory layer."""
+
+    cpu_reads: int = 0
+    cpu_writes: int = 0
+    dma_read_words: int = 0
+    dma_write_words: int = 0
+
+    @property
+    def cpu_total(self) -> int:
+        """All CPU random accesses at this layer."""
+        return self.cpu_reads + self.cpu_writes
+
+    @property
+    def dma_total_words(self) -> int:
+        """All DMA words moved through this layer."""
+        return self.dma_read_words + self.dma_write_words
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Complete estimate for one (assignment, schedule) configuration."""
+
+    cycles: float
+    compute_cycles: float
+    cpu_access_cycles: float
+    stall_cycles: float
+    copy_cpu_cycles: float
+    energy_nj: float
+    cpu_access_energy_nj: float
+    transfer_energy_nj: float
+    dma_busy_cycles: float
+    fill_events: int
+    transfer_words: int
+    traffic: dict[str, LayerTraffic] = field(default_factory=dict, compare=False)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"cycles={self.cycles:.0f} (compute={self.compute_cycles:.0f}, "
+            f"access={self.cpu_access_cycles:.0f}, stall={self.stall_cycles:.0f}) "
+            f"energy={self.energy_nj:.0f} nJ"
+        )
+
+
+def _per_execution_cycles(node: Node, stmt_latency: dict[int, int]) -> float:
+    """CPU cycles of one execution of *node* (compute + access time).
+
+    Block-transfer stalls are deliberately excluded: this routine is the
+    ``compute_loop_cycles()`` of Figure 1 — the work available to *hide*
+    a transfer behind.
+    """
+    if isinstance(node, Loop):
+        inner = sum(
+            _per_execution_cycles(child, stmt_latency) for child in node.body
+        )
+        return node.trips * (node.work_cycles + inner)
+    if isinstance(node, Block):
+        return sum(_per_execution_cycles(child, stmt_latency) for child in node.body)
+    if isinstance(node, AccessStmt):
+        return node.count * stmt_latency[id(node)]
+    raise ValidationError(f"unexpected IR node {node!r}")
+
+
+def stmt_latency_table(
+    ctx: "AnalysisContext", assignment: "Assignment"
+) -> dict[int, int]:
+    """Per-statement access latency under the given assignment.
+
+    Keyed by ``id(stmt)`` — statement objects are unique within a
+    validated program, and both the TE hiding estimate and the simulator
+    walk the same tree objects.
+    """
+    chains = ctx.chains(assignment)
+    hierarchy = ctx.platform.hierarchy
+    table: dict[int, int] = {}
+    for context in ctx.program.statement_contexts:
+        group_key = ctx.group_key_of(context)
+        layer = hierarchy.layer(chains[group_key].serving_layer)
+        table[id(context.stmt)] = layer.latency_cycles
+    return table
+
+
+def iteration_cycles(
+    ctx: "AnalysisContext", assignment: "Assignment", loop_name: str
+) -> float:
+    """Cycles of ONE iteration of the named loop (compute + access time).
+
+    This is the hiding capacity a time extension gains when it hoists a
+    block transfer across one iteration of that loop.
+    """
+    loop = ctx.program.loops_by_name.get(loop_name)
+    if loop is None:
+        raise ValidationError(f"unknown loop {loop_name!r}")
+    stmt_latency = stmt_latency_table(ctx, assignment)
+    return _per_execution_cycles(loop, stmt_latency) / loop.trips
+
+
+def estimate_cost(
+    ctx: "AnalysisContext",
+    assignment: "Assignment",
+    te: "TeSchedule | None" = None,
+    ideal: bool = False,
+) -> CostReport:
+    """Estimate cycles and energy for *assignment* on *ctx*'s platform."""
+    program = ctx.program
+    platform = ctx.platform
+    hierarchy = platform.hierarchy
+    chains = ctx.chains(assignment)
+
+    traffic: dict[str, LayerTraffic] = {
+        layer.name: LayerTraffic() for layer in hierarchy
+    }
+
+    # ------------------------------------------------------------------
+    # CPU accesses: each group's accesses hit its serving layer.
+    # ------------------------------------------------------------------
+    cpu_access_cycles = 0.0
+    cpu_access_energy = 0.0
+    for group_key, chain in chains.items():
+        group = chain.group
+        layer = hierarchy.layer(chain.serving_layer)
+        cpu_access_cycles += group.total_accesses * layer.latency_cycles
+        cpu_access_energy += group.reads * layer.access_energy_nj(is_write=False)
+        cpu_access_energy += group.writes * layer.access_energy_nj(is_write=True)
+        traffic[layer.name].cpu_reads += group.reads
+        traffic[layer.name].cpu_writes += group.writes
+
+    # ------------------------------------------------------------------
+    # Block transfers: fills stall (minus hidden cycles), write-backs
+    # are posted; both cost energy and engine occupancy.
+    # ------------------------------------------------------------------
+    stall_cycles = 0.0
+    copy_cpu_cycles = 0.0
+    transfer_energy = 0.0
+    dma_busy = 0.0
+    fill_events = 0
+    transfer_words_total = 0
+
+    for group_key, chain in chains.items():
+        element_bytes = program.array(chain.group.array_name).element_bytes
+        for selected, parent_layer_name in chain.links():
+            candidate = selected.candidate
+            copy_layer = hierarchy.layer(selected.layer_name)
+            parent_layer = hierarchy.layer(parent_layer_name)
+            words_first = platform.words_for_bytes(
+                candidate.first_fill_elements * element_bytes
+            )
+            words_steady = platform.words_for_bytes(
+                candidate.steady_fill_elements * element_bytes
+            )
+            sweeps = candidate.fill_sweeps
+            steady = candidate.steady_fills_per_sweep
+
+            hidden = 0.0
+            if te is not None:
+                hidden = te.hidden_cycles(candidate.uid)
+
+            if candidate.reads_served > 0:  # fill direction: parent -> copy
+                if platform.dma is None:
+                    per_word = parent_layer.latency_cycles + copy_layer.latency_cycles
+                    copy_cpu_cycles += sweeps * (
+                        words_first + steady * words_steady
+                    ) * per_word
+                    transfer_energy += sweeps * (
+                        words_first + steady * words_steady
+                    ) * (
+                        parent_layer.access_energy_nj(is_write=False)
+                        + copy_layer.access_energy_nj(is_write=True)
+                    )
+                else:
+                    bt_first = platform.dma.transfer_cycles(
+                        words_first, parent_layer, copy_layer
+                    )
+                    bt_steady = platform.dma.transfer_cycles(
+                        words_steady, parent_layer, copy_layer
+                    )
+                    if not ideal:
+                        wait_first = max(0.0, bt_first - hidden)
+                        wait_steady = max(0.0, bt_steady - hidden)
+                        stall_cycles += sweeps * (
+                            wait_first + steady * wait_steady
+                        )
+                    dma_busy += sweeps * (bt_first + steady * bt_steady)
+                    transfer_energy += sweeps * (
+                        platform.dma.transfer_energy_nj(
+                            words_first, parent_layer, copy_layer
+                        )
+                        + steady
+                        * platform.dma.transfer_energy_nj(
+                            words_steady, parent_layer, copy_layer
+                        )
+                    )
+                moved = sweeps * (words_first + steady * words_steady)
+                traffic[parent_layer.name].dma_read_words += moved
+                traffic[copy_layer.name].dma_write_words += moved
+                transfer_words_total += moved
+                fill_events += candidate.total_fills
+
+            if candidate.writes_served > 0:  # write-back: copy -> parent
+                if platform.dma is None:
+                    per_word = copy_layer.latency_cycles + parent_layer.latency_cycles
+                    copy_cpu_cycles += sweeps * (
+                        words_first + steady * words_steady
+                    ) * per_word
+                    transfer_energy += sweeps * (
+                        words_first + steady * words_steady
+                    ) * (
+                        copy_layer.access_energy_nj(is_write=False)
+                        + parent_layer.access_energy_nj(is_write=True)
+                    )
+                else:
+                    bt_first = platform.dma.transfer_cycles(
+                        words_first, copy_layer, parent_layer
+                    )
+                    bt_steady = platform.dma.transfer_cycles(
+                        words_steady, copy_layer, parent_layer
+                    )
+                    dma_busy += sweeps * (bt_first + steady * bt_steady)
+                    transfer_energy += sweeps * (
+                        platform.dma.transfer_energy_nj(
+                            words_first, copy_layer, parent_layer
+                        )
+                        + steady
+                        * platform.dma.transfer_energy_nj(
+                            words_steady, copy_layer, parent_layer
+                        )
+                    )
+                moved = sweeps * (words_first + steady * words_steady)
+                traffic[copy_layer.name].dma_read_words += moved
+                traffic[parent_layer.name].dma_write_words += moved
+                transfer_words_total += moved
+                fill_events += candidate.total_fills
+
+    compute = float(program.compute_cycles())
+    total_cycles = (
+        compute + cpu_access_cycles + stall_cycles + copy_cpu_cycles
+    )
+    total_energy = cpu_access_energy + transfer_energy
+
+    return CostReport(
+        cycles=total_cycles,
+        compute_cycles=compute,
+        cpu_access_cycles=cpu_access_cycles,
+        stall_cycles=stall_cycles,
+        copy_cpu_cycles=copy_cpu_cycles,
+        energy_nj=total_energy,
+        cpu_access_energy_nj=cpu_access_energy,
+        transfer_energy_nj=transfer_energy,
+        dma_busy_cycles=dma_busy,
+        fill_events=fill_events,
+        transfer_words=transfer_words_total,
+        traffic=traffic,
+    )

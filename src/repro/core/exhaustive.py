@@ -1,0 +1,165 @@
+"""Brute-force reference assignment engine.
+
+Enumerates every legal assignment (all monotone copy sub-chains per
+reference group, optionally all on-chip array homes) and returns the
+global optimum of the objective.  Exponential — guarded by a state
+budget — and intended for validating the greedy engine on small
+programs (DESIGN.md experiment ABL-ASSIGN) and for unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.assignment import Objective, objective_value
+from repro.core.context import AnalysisContext, Assignment
+from repro.core.costs import estimate_cost
+from repro.errors import AssignmentError
+from repro.reuse.candidates import CandidateChainSpec
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Optimum found by full enumeration."""
+
+    assignment: Assignment
+    value: float
+    evaluated: int
+    feasible: int
+
+
+class ExhaustiveAssigner:
+    """Full enumeration of the assignment space (see module docstring).
+
+    Parameters
+    ----------
+    ctx:
+        Shared analysis context.
+    objective:
+        Metric to minimise.
+    include_home_moves:
+        Also enumerate on-chip homes for arrays that fit on-chip.  Off
+        by default to keep the space comparable with the greedy's core
+        decision (copy selection).
+    max_states:
+        Upper bound on the number of complete assignments that will be
+        evaluated; exceeded bounds raise :class:`AssignmentError` so a
+        caller never silently waits forever.
+    """
+
+    def __init__(
+        self,
+        ctx: AnalysisContext,
+        objective: Objective = Objective.EDP,
+        include_home_moves: bool = False,
+        max_states: int = 200_000,
+    ):
+        self.ctx = ctx
+        self.objective = objective
+        self.include_home_moves = include_home_moves
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+
+    def _group_options(
+        self, spec: CandidateChainSpec
+    ) -> list[tuple[tuple[str, str], ...]]:
+        """All monotone (uid, layer) chains for one group, incl. empty."""
+        hierarchy = self.ctx.platform.hierarchy
+        onchip = hierarchy.onchip_layers
+        candidates = sorted(spec.candidates, key=lambda c: c.level)
+        options: list[tuple[tuple[str, str], ...]] = [()]
+
+        def extend(
+            start: int, chain: tuple[tuple[str, str], ...], last_layer_index: int
+        ) -> None:
+            for position in range(start, len(candidates)):
+                candidate = candidates[position]
+                for layer in onchip:
+                    layer_index = hierarchy.index_of(layer)
+                    if layer_index <= last_layer_index:
+                        continue
+                    grown = chain + ((candidate.uid, layer.name),)
+                    options.append(grown)
+                    extend(position + 1, grown, layer_index)
+
+        extend(0, (), 0)  # index 0 == off-chip home
+        return options
+
+    def _home_options(self, array_name: str) -> list[str]:
+        hierarchy = self.ctx.platform.hierarchy
+        offchip = hierarchy.offchip.name
+        if not self.include_home_moves:
+            return [offchip]
+        array = self.ctx.program.array(array_name)
+        homes = [offchip]
+        homes.extend(
+            layer.name
+            for layer in hierarchy.onchip_layers
+            if layer.fits(array.bytes)
+        )
+        return homes
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExhaustiveResult:
+        """Enumerate, evaluate and return the optimum."""
+        group_keys = sorted(self.ctx.specs)
+        per_group = [self._group_options(self.ctx.specs[key]) for key in group_keys]
+        array_names = sorted(self.ctx.program.arrays)
+        per_array = [self._home_options(name) for name in array_names]
+
+        total = 1
+        for options in itertools.chain(per_group, per_array):
+            total *= len(options)
+            if total > self.max_states:
+                raise AssignmentError(
+                    f"exhaustive space exceeds max_states={self.max_states}; "
+                    "use the greedy engine for this program"
+                )
+
+        best_assignment: Assignment | None = None
+        best_value = float("inf")
+        evaluated = 0
+        feasible = 0
+
+        for homes in itertools.product(*per_array):
+            base_home = dict(zip(array_names, homes))
+            for selections in itertools.product(*per_group):
+                evaluated += 1
+                assignment = Assignment(
+                    array_home=dict(base_home),
+                    copies={
+                        key: chain
+                        for key, chain in zip(group_keys, selections)
+                        if chain
+                    },
+                )
+                if not self._is_legal(assignment):
+                    continue
+                if not self.ctx.fits(assignment):
+                    continue
+                feasible += 1
+                value = objective_value(
+                    estimate_cost(self.ctx, assignment), self.objective
+                )
+                if value < best_value:
+                    best_value = value
+                    best_assignment = assignment
+
+        if best_assignment is None:
+            raise AssignmentError("no feasible assignment found")
+        return ExhaustiveResult(
+            assignment=best_assignment,
+            value=best_value,
+            evaluated=evaluated,
+            feasible=feasible,
+        )
+
+    def _is_legal(self, assignment: Assignment) -> bool:
+        try:
+            self.ctx.chains(assignment)
+        except Exception:
+            return False
+        return True

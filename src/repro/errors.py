@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes partition failures by pipeline stage: program construction
+(:class:`ValidationError`), memory modelling (:class:`CapacityError`),
+the MHLA assignment search (:class:`AssignmentError`), the time-extension
+step (:class:`ScheduleError`) and the discrete-event simulator
+(:class:`SimulationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError):
+    """A program, reference or builder invariant was violated.
+
+    Raised while constructing or freezing IR objects: duplicate names,
+    non-positive trip counts, references to undeclared loops or arrays,
+    rank mismatches between a reference and its array, and similar
+    structural problems.
+    """
+
+
+class CapacityError(ReproError):
+    """A buffer placement exceeds the capacity of a memory layer."""
+
+
+class AssignmentError(ReproError):
+    """The MHLA assignment search was asked to do something impossible.
+
+    For example: no layer is large enough to host an array, or an
+    explicitly requested placement conflicts with the hierarchy.
+    """
+
+
+class ScheduleError(ReproError):
+    """The time-extension (prefetch) scheduler hit an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an internal inconsistency."""

@@ -1,0 +1,51 @@
+"""Program intermediate representation (IR).
+
+The MHLA technique operates on a compile-time model of a data-dominated
+application: a sequence of perfectly or imperfectly nested loops whose
+bodies read and write multi-dimensional arrays through affine index
+expressions.  This package provides that model:
+
+* :class:`~repro.ir.arrays.Array` — a named multi-dimensional array.
+* :class:`~repro.ir.refs.DimExpr` / :class:`~repro.ir.refs.AffineRef` —
+  affine index expressions with rectangular access windows; these are the
+  objects the data-reuse analysis (:mod:`repro.reuse`) consumes.
+* :class:`~repro.ir.loops.Loop` / :class:`~repro.ir.loops.Block` — the
+  loop tree.
+* :class:`~repro.ir.statements.AccessStmt` — a leaf read/write statement.
+* :class:`~repro.ir.program.Program` — a frozen, validated whole program.
+* :class:`~repro.ir.builder.ProgramBuilder` — the ergonomic way to
+  construct programs (used by all bundled applications and examples).
+* :mod:`~repro.ir.dependences` — the producer/consumer analysis that
+  bounds how far a block transfer may be prefetched (paper, Figure 1:
+  ``dep_analysis`` / ``loops_between``).
+
+The IR deliberately carries exactly the information the paper's tool
+needed from the ATOMIUM front-end: loop structure, trip counts, array
+shapes, and per-reference affine footprints.  There is no scalar code,
+control flow, or pointer model — those are irrelevant to layer
+assignment and prefetch scheduling.
+"""
+
+from repro.ir.arrays import Array, ArrayKind
+from repro.ir.refs import AffineRef, DimExpr
+from repro.ir.statements import AccessKind, AccessStmt
+from repro.ir.loops import Block, Loop, Node
+from repro.ir.program import Program
+from repro.ir.builder import ProgramBuilder
+from repro.ir.dependences import DependenceInfo, analyze_dependences
+
+__all__ = [
+    "AccessKind",
+    "AccessStmt",
+    "AffineRef",
+    "Array",
+    "ArrayKind",
+    "Block",
+    "DependenceInfo",
+    "DimExpr",
+    "Loop",
+    "Node",
+    "Program",
+    "ProgramBuilder",
+    "analyze_dependences",
+]

@@ -1,0 +1,90 @@
+"""Array declarations.
+
+An :class:`Array` is the unit of placement in MHLA: every array is
+assigned a *home layer* in the memory hierarchy, and (optionally) a chain
+of smaller *copies* in layers closer to the processor.  Arrays carry a
+``kind`` tag describing where their data comes from, which the dependence
+analysis uses to decide how far a prefetch may be hoisted:
+
+* ``INPUT``    — produced outside the program (e.g. a captured frame);
+  available from time zero, so prefetches of it are only constrained by
+  loop structure.
+* ``INTERNAL`` — produced and consumed by the program.
+* ``OUTPUT``   — produced by the program for external consumption;
+  treated like ``INTERNAL`` for scheduling, but reported separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+class ArrayKind(enum.Enum):
+    """Provenance of an array's data (see module docstring)."""
+
+    INPUT = "input"
+    INTERNAL = "internal"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named, rectangular, multi-dimensional array.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a program.
+    shape:
+        Extent of each dimension, in elements.  All extents must be >= 1.
+    element_bytes:
+        Storage size of one element.  Video/image kernels typically use
+        1 (pixels) or 2 (16-bit samples/coefficients); the default of 4
+        matches a 32-bit word.
+    kind:
+        Data provenance; see :class:`ArrayKind`.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    element_bytes: int = 4
+    kind: ArrayKind = ArrayKind.INTERNAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("array name must be non-empty")
+        if not self.shape:
+            raise ValidationError(f"array {self.name!r} must have rank >= 1")
+        if any(extent < 1 for extent in self.shape):
+            raise ValidationError(
+                f"array {self.name!r} has a non-positive dimension: {self.shape}"
+            )
+        if self.element_bytes < 1:
+            raise ValidationError(
+                f"array {self.name!r} has invalid element size {self.element_bytes}"
+            )
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def elements(self) -> int:
+        """Total number of elements."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def bytes(self) -> int:
+        """Total storage footprint in bytes."""
+        return self.elements * self.element_bytes
+
+    def __str__(self) -> str:
+        dims = "x".join(str(extent) for extent in self.shape)
+        return f"{self.name}[{dims}]({self.element_bytes}B)"

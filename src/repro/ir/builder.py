@@ -1,0 +1,171 @@
+"""Ergonomic construction of :class:`~repro.ir.program.Program` objects.
+
+The builder provides a context-manager style mirroring the loop structure
+of the modelled C code::
+
+    from repro.ir import ProgramBuilder
+    from repro.ir.builder import dim
+
+    b = ProgramBuilder("motion_estimation")
+    frame = b.array("frame", (144, 176), element_bytes=1, kind="input")
+
+    with b.loop("mb_y", 9):
+        with b.loop("mb_x", 11, work=2):
+            b.read(frame,
+                   dim(("mb_y", 16), extent=16),
+                   dim(("mb_x", 16), extent=16),
+                   count=256)
+    program = b.build()
+
+Every bundled application (:mod:`repro.apps`) is written against this
+API, and it is the intended entry point for users modelling their own
+kernels.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.ir.arrays import Array, ArrayKind
+from repro.ir.loops import Loop, Node
+from repro.ir.program import Program
+from repro.ir.refs import AffineRef, DimExpr
+from repro.ir.statements import AccessKind, AccessStmt
+
+
+def dim(*terms: tuple[str, int], extent: int = 1, offset: int = 0) -> DimExpr:
+    """Build one dimension of an affine reference.
+
+    ``dim(("mb_y", 16), ("v", 1), extent=3)`` models the index expression
+    ``16*mb_y + v + [0, 3)``.
+    """
+    return DimExpr(terms=tuple(terms), extent=extent, offset=offset)
+
+
+def fixed(extent: int = 1, offset: int = 0) -> DimExpr:
+    """A loop-invariant dimension: a constant window of *extent* elements."""
+    return DimExpr(terms=(), extent=extent, offset=offset)
+
+
+class ProgramBuilder:
+    """Incremental program constructor (see module docstring for usage)."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValidationError("program name must be non-empty")
+        self._name = name
+        self._arrays: dict[str, Array] = {}
+        # Stack of child lists; the bottom entry collects top-level nests.
+        self._stack: list[list[Node]] = [[]]
+        self._loop_names: set[str] = set()
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        element_bytes: int = 4,
+        kind: str | ArrayKind = ArrayKind.INTERNAL,
+    ) -> str:
+        """Declare an array and return its name (for use in accesses)."""
+        if name in self._arrays:
+            raise ValidationError(f"array {name!r} declared twice")
+        if isinstance(kind, str):
+            kind = ArrayKind(kind)
+        self._arrays[name] = Array(
+            name=name, shape=tuple(shape), element_bytes=element_bytes, kind=kind
+        )
+        return name
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def loop(self, name: str, trips: int, work: int = 0) -> Iterator[None]:
+        """Open a counted loop; statements added inside become its body.
+
+        Parameters
+        ----------
+        name:
+            Program-unique iterator name.
+        trips:
+            Static trip count.
+        work:
+            CPU compute cycles per iteration beyond memory access time.
+        """
+        if self._built:
+            raise ValidationError("builder already finalized")
+        if name in self._loop_names:
+            raise ValidationError(f"loop name {name!r} used twice")
+        self._loop_names.add(name)
+        self._stack.append([])
+        try:
+            yield
+        finally:
+            body = self._stack.pop()
+            node = Loop(name=name, trips=trips, body=tuple(body), work_cycles=work)
+            self._stack[-1].append(node)
+
+    # ------------------------------------------------------------------
+    # accesses
+    # ------------------------------------------------------------------
+
+    def read(
+        self, array: str, *dims: DimExpr, count: int = 1, label: str = ""
+    ) -> AccessStmt:
+        """Add a read access statement at the current nesting position."""
+        return self._access(array, dims, AccessKind.READ, count, label)
+
+    def write(
+        self, array: str, *dims: DimExpr, count: int = 1, label: str = ""
+    ) -> AccessStmt:
+        """Add a write access statement at the current nesting position."""
+        return self._access(array, dims, AccessKind.WRITE, count, label)
+
+    def _access(
+        self,
+        array: str,
+        dims: tuple[DimExpr, ...],
+        kind: AccessKind,
+        count: int,
+        label: str,
+    ) -> AccessStmt:
+        if self._built:
+            raise ValidationError("builder already finalized")
+        if array not in self._arrays:
+            raise ValidationError(
+                f"array {array!r} must be declared before it is accessed"
+            )
+        if not dims:
+            raise ValidationError(f"access to {array!r} needs at least one dimension")
+        stmt = AccessStmt(
+            array_name=array,
+            ref=AffineRef(dims=tuple(dims)),
+            kind=kind,
+            count=count,
+            label=label,
+        )
+        self._stack[-1].append(stmt)
+        return stmt
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Validate and freeze the program.  The builder becomes unusable."""
+        if self._built:
+            raise ValidationError("build() called twice")
+        if len(self._stack) != 1:
+            raise ValidationError("build() called with an open loop context")
+        self._built = True
+        return Program(
+            name=self._name, arrays=self._arrays, nests=tuple(self._stack[0])
+        )

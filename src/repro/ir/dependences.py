@@ -1,0 +1,103 @@
+"""Producer/consumer dependence analysis.
+
+This implements the ``dep_analysis`` / ``loops_between`` steps of the
+paper's Figure 1: for a block transfer (BT) that fills a copy of array
+*A* inside a loop nest, determine across how many enclosing loops the
+BT's issue point may legally be hoisted ("time-extended").
+
+The rule is conservative and matches the paper's single-threaded model:
+
+* Data of an ``INPUT`` array, or of an array whose last producing nest
+  executes *before* the consuming nest, exists before the consuming nest
+  starts — the BT may be hoisted across **all** loops enclosing its fill
+  point (within its nest).
+* If the array is (also) written inside the **same** nest, hoisting must
+  not cross the iteration boundary of any loop that encloses both the
+  writer and the fill point: prefetching data of a future iteration of
+  that loop would read elements the producer has not written yet.  The
+  freedom therefore stops at the deepest loop shared between the fill
+  point's path and any writer's path.
+
+The result is expressed as :meth:`DependenceInfo.hoist_freedom`, the list
+of loops (innermost first) whose iteration boundaries a BT may cross —
+exactly the ``BT_freedom_loops`` list iterated by the TE greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.arrays import ArrayKind
+from repro.ir.loops import Loop
+from repro.ir.program import Program, StmtContext
+
+
+def _shared_prefix_len(a: tuple[str, ...], b: tuple[str, ...]) -> int:
+    """Length of the longest common prefix of two loop-name paths."""
+    n = 0
+    for left, right in zip(a, b):
+        if left != right:
+            break
+        n += 1
+    return n
+
+
+@dataclass(frozen=True)
+class DependenceInfo:
+    """Pre-computed dependence facts for one program."""
+
+    program: Program
+    writers_by_nest_array: dict[tuple[int, str], tuple[StmtContext, ...]]
+
+    def writers_in_nest(self, nest_index: int, array_name: str) -> tuple[StmtContext, ...]:
+        """Write statements of *array_name* inside nest *nest_index*."""
+        return self.writers_by_nest_array.get((nest_index, array_name), ())
+
+    def hoist_limit_depth(
+        self, array_name: str, nest_index: int, consumer_loop_names: tuple[str, ...]
+    ) -> int:
+        """Number of outer loops a BT for *array_name* may NOT cross.
+
+        Returns ``d`` such that the BT issue may be hoisted across loops
+        ``consumer_loop_names[d:]`` (0 = full freedom inside the nest).
+
+        *consumer_loop_names* is the enclosing-loop path of the copy's
+        fill point, outermost first.
+        """
+        array = self.program.array(array_name)
+        if array.kind is ArrayKind.INPUT:
+            return 0
+        limit = 0
+        for writer in self.writers_in_nest(nest_index, array_name):
+            shared = _shared_prefix_len(consumer_loop_names, writer.loop_names)
+            limit = max(limit, shared)
+        return limit
+
+    def hoist_freedom(
+        self,
+        array_name: str,
+        nest_index: int,
+        fill_path: tuple[Loop, ...],
+    ) -> tuple[Loop, ...]:
+        """Loops whose iteration boundary the BT may cross, innermost first.
+
+        *fill_path* is the enclosing-loop path of the fill point,
+        outermost first.  The returned loops are ordered innermost first
+        because the TE greedy extends one loop at a time starting from
+        the fill point and moving outward (paper, Figure 1).
+        """
+        names = tuple(loop.name for loop in fill_path)
+        limit = self.hoist_limit_depth(array_name, nest_index, names)
+        free = fill_path[limit:]
+        return tuple(reversed(free))
+
+
+def analyze_dependences(program: Program) -> DependenceInfo:
+    """Run the dependence analysis over *program*."""
+    writers: dict[tuple[int, str], list[StmtContext]] = {}
+    for context in program.statement_contexts:
+        if context.stmt.is_write:
+            key = (context.nest_index, context.stmt.array_name)
+            writers.setdefault(key, []).append(context)
+    frozen = {key: tuple(value) for key, value in writers.items()}
+    return DependenceInfo(program=program, writers_by_nest_array=frozen)

@@ -1,0 +1,167 @@
+"""The loop tree: :class:`Loop` and :class:`Block` nodes.
+
+A program body is a tree whose internal nodes are :class:`Loop` (a
+counted loop with a trip count and optional per-iteration compute work)
+and :class:`Block` (a sequential composition), and whose leaves are
+:class:`~repro.ir.statements.AccessStmt`.
+
+Nodes are immutable once constructed.  Structural helpers used throughout
+the library (pre-order walks, enclosing-loop paths, per-iteration
+statement execution counts) live here so that every analysis shares one
+definition of "the loops enclosing this statement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import ValidationError
+from repro.ir.statements import AccessStmt
+
+Node = Union["Loop", "Block", AccessStmt]
+"""Any member of the loop tree."""
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop.
+
+    Parameters
+    ----------
+    name:
+        Iterator name; must be unique along any root-to-leaf path (and,
+        by builder convention, unique per program).
+    trips:
+        Trip count (>= 1).  MHLA is a compile-time technique: trip counts
+        are static, as in the paper's application suite.
+    body:
+        Child nodes executed once per iteration, in order.
+    work_cycles:
+        CPU compute cycles consumed per iteration *in addition to* memory
+        access time (address arithmetic, ALU work).  This is the
+        "processing" the TE step hides block transfers behind.
+    """
+
+    name: str
+    trips: int
+    body: tuple[Node, ...] = ()
+    work_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("loop name must be non-empty")
+        if self.trips < 1:
+            raise ValidationError(
+                f"loop {self.name!r} must have trips >= 1, got {self.trips}"
+            )
+        if self.work_cycles < 0:
+            raise ValidationError(
+                f"loop {self.name!r} has negative work_cycles {self.work_cycles}"
+            )
+
+    def __str__(self) -> str:
+        return f"for {self.name} in 0..{self.trips}"
+
+
+@dataclass(frozen=True)
+class Block:
+    """Sequential composition of nodes (no iteration of its own)."""
+
+    body: tuple[Node, ...] = ()
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"block[{len(self.body)}]" + (f" '{self.label}'" if self.label else "")
+
+
+def children_of(node: Node) -> tuple[Node, ...]:
+    """Children of *node* (empty for leaf statements)."""
+    if isinstance(node, (Loop, Block)):
+        return node.body
+    return ()
+
+
+def walk_preorder(node: Node) -> Iterator[Node]:
+    """Yield *node* and all descendants in pre-order."""
+    yield node
+    for child in children_of(node):
+        yield from walk_preorder(child)
+
+
+def iter_statements(node: Node) -> Iterator[AccessStmt]:
+    """Yield every :class:`AccessStmt` under *node* in program order."""
+    for item in walk_preorder(node):
+        if isinstance(item, AccessStmt):
+            yield item
+
+
+def iter_loops(node: Node) -> Iterator[Loop]:
+    """Yield every :class:`Loop` under *node* in pre-order."""
+    for item in walk_preorder(node):
+        if isinstance(item, Loop):
+            yield item
+
+
+def loop_path_to(root: Node, target: AccessStmt) -> tuple[Loop, ...] | None:
+    """Enclosing loops of *target* from outermost to innermost.
+
+    Returns ``None`` if *target* (by identity) is not under *root*.
+    """
+
+    def search(node: Node, path: tuple[Loop, ...]) -> tuple[Loop, ...] | None:
+        if node is target:
+            return path
+        if isinstance(node, Loop):
+            inner = path + (node,)
+            for child in node.body:
+                found = search(child, inner)
+                if found is not None:
+                    return found
+        elif isinstance(node, Block):
+            for child in node.body:
+                found = search(child, path)
+                if found is not None:
+                    return found
+        return None
+
+    return search(root, ())
+
+
+def executions_of(path: tuple[Loop, ...]) -> int:
+    """Total executions of a statement enclosed by *path* loops."""
+    total = 1
+    for loop in path:
+        total *= loop.trips
+    return total
+
+
+def validate_tree(root: Node) -> None:
+    """Check structural invariants of a loop tree.
+
+    Raises :class:`~repro.errors.ValidationError` on: duplicate loop
+    names along a path, or a node appearing twice (the tree must be a
+    tree, not a DAG — analyses rely on each statement having exactly one
+    enclosing-loop path).
+    """
+    seen_ids: set[int] = set()
+
+    def visit(node: Node, names_on_path: frozenset[str]) -> None:
+        if id(node) in seen_ids and isinstance(node, (Loop, Block)):
+            raise ValidationError(
+                f"node {node} appears more than once in the tree; "
+                "construct a fresh node per use"
+            )
+        seen_ids.add(id(node))
+        if isinstance(node, Loop):
+            if node.name in names_on_path:
+                raise ValidationError(
+                    f"loop name {node.name!r} repeats along a nesting path"
+                )
+            inner = names_on_path | {node.name}
+        else:
+            inner = names_on_path
+        for child in children_of(node):
+            visit(child, inner)
+
+    visit(root, frozenset())

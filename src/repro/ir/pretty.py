@@ -1,0 +1,78 @@
+"""Pretty-printer for programs.
+
+Renders a :class:`~repro.ir.program.Program` as indented pseudo-C so a
+user can eyeball the loop structure, access patterns and compute
+weights of a model.  Used by the CLI's ``show`` command, helpful when
+writing new application models.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loops import Block, Loop, Node
+from repro.ir.program import Program
+from repro.ir.statements import AccessStmt
+from repro.units import fmt_bytes
+
+
+def format_program(program: Program, show_arrays: bool = True) -> str:
+    """Render the whole program as indented text."""
+    lines: list[str] = [f"program {program.name}:"]
+    if show_arrays:
+        lines.append("  arrays:")
+        for array in program.arrays.values():
+            dims = "x".join(str(extent) for extent in array.shape)
+            lines.append(
+                f"    {array.kind.value:8s} {array.name}[{dims}] "
+                f"({array.element_bytes} B/elem, {fmt_bytes(array.bytes)})"
+            )
+    for index, nest in enumerate(program.nests):
+        lines.append(f"  nest {index}:")
+        lines.extend(_format_node(nest, depth=2))
+    return "\n".join(lines)
+
+
+def _format_node(node: Node, depth: int) -> list[str]:
+    pad = "  " * depth
+    if isinstance(node, Loop):
+        work = f"  // +{node.work_cycles} cyc/iter" if node.work_cycles else ""
+        lines = [f"{pad}for {node.name} in 0..{node.trips}:{work}"]
+        for child in node.body:
+            lines.extend(_format_node(child, depth + 1))
+        return lines
+    if isinstance(node, Block):
+        lines = []
+        for child in node.body:
+            lines.extend(_format_node(child, depth))
+        return lines
+    if isinstance(node, AccessStmt):
+        verb = "read " if node.is_read else "write"
+        label = f"  // {node.label}" if node.label else ""
+        return [f"{pad}{verb} {node.array_name}{node.ref} x{node.count}{label}"]
+    raise TypeError(f"unexpected node {node!r}")
+
+
+def format_candidates(program: Program, platform) -> str:
+    """Render every reference group's copy-candidate chain."""
+    from repro.core.context import AnalysisContext
+
+    ctx = AnalysisContext(program, platform)
+    lines = [f"copy candidates for {program.name}:"]
+    for key in sorted(ctx.specs):
+        spec = ctx.specs[key]
+        group = spec.group
+        lines.append(
+            f"  {key}: array={group.array_name} reads={group.reads} "
+            f"writes={group.writes} depth={group.depth}"
+        )
+        for candidate in spec.candidates:
+            fills = (
+                f"{candidate.fill_sweeps} sweep(s) x "
+                f"{1 + candidate.steady_fills_per_sweep} fill(s)"
+            )
+            lines.append(
+                f"    L{candidate.level}: {fmt_bytes(candidate.size_bytes):>9s}"
+                f"  {fills:>20s}"
+                f"  steady delta {candidate.steady_fill_elements} elem"
+                f"  (fill loop: {candidate.fill_loop_name or 'nest entry'})"
+            )
+    return "\n".join(lines)

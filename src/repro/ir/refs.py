@@ -1,0 +1,203 @@
+"""Affine array references with rectangular access windows.
+
+The data-reuse analysis at the heart of MHLA needs, for every array
+reference, the *footprint* of the data touched while some subset of the
+enclosing loops range over their iteration spaces.  We support the class
+of references that covers the paper's application domain (block and
+sliding-window accesses of image/video/audio kernels):
+
+    index_d = offset_d + sum_j stride_{d,j} * i_j  + [0, extent_d)
+
+for each array dimension *d*, where ``i_j`` are enclosing loop iterators.
+The trailing ``[0, extent_d)`` term is a *window*: a reference may touch
+a small rectangle of elements per execution (e.g. a 16x16 macroblock, a
+3-tap filter neighbourhood) rather than a single element.
+
+For this class, the footprint of a reference while loops in a set *S*
+range (and all other loops are fixed) is a product of per-dimension
+extents:
+
+    extent_d(S) = extent_d + sum_{j in S} |stride_{d,j}| * (trips_j - 1)
+
+which is exact whenever distinct iterations touch contiguous or
+overlapping ranges (stride <= current extent), and a tight upper bound
+otherwise.  The same per-dimension arithmetic yields the *delta* between
+consecutive iterations of a loop — the number of newly required elements
+— which MHLA uses to size block transfers when windows overlap (e.g.
+motion-estimation search windows, where each macroblock step only needs
+a strip of new pixels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DimExpr:
+    """The affine index expression of one array dimension.
+
+    Parameters
+    ----------
+    terms:
+        ``(loop_name, stride)`` pairs.  A loop may appear at most once
+        per dimension; strides must be non-zero (drop the term instead).
+    extent:
+        Window width along this dimension (>= 1).  ``extent=1`` is a
+        single-element access.
+    offset:
+        Constant offset; only used for bounds clipping and printing.
+    """
+
+    terms: tuple[tuple[str, int], ...] = ()
+    extent: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise ValidationError(f"window extent must be >= 1, got {self.extent}")
+        seen: set[str] = set()
+        for loop_name, stride in self.terms:
+            if not loop_name:
+                raise ValidationError("loop name in DimExpr term must be non-empty")
+            if stride == 0:
+                raise ValidationError(
+                    f"stride for loop {loop_name!r} must be non-zero "
+                    "(omit the term for a loop-invariant dimension)"
+                )
+            if loop_name in seen:
+                raise ValidationError(
+                    f"loop {loop_name!r} appears twice in one dimension expression"
+                )
+            seen.add(loop_name)
+
+    @property
+    def loop_names(self) -> frozenset[str]:
+        """Names of the loops this dimension's index depends on."""
+        return frozenset(name for name, _ in self.terms)
+
+    def stride_of(self, loop_name: str) -> int:
+        """Stride of *loop_name* in this dimension (0 if absent)."""
+        for name, stride in self.terms:
+            if name == loop_name:
+                return stride
+        return 0
+
+    def extent_when(self, ranging: Iterable[str], trips: Mapping[str, int]) -> int:
+        """Extent of the touched index range while loops in *ranging* range.
+
+        Loops not in *ranging* are held fixed and contribute nothing.
+
+        Parameters
+        ----------
+        ranging:
+            Names of the loops allowed to range over their full trip
+            count.
+        trips:
+            Trip count per loop name; must cover every ranging loop that
+            appears in this dimension.
+        """
+        ranging_set = set(ranging)
+        span = self.extent
+        for loop_name, stride in self.terms:
+            if loop_name not in ranging_set:
+                continue
+            if loop_name not in trips:
+                raise ValidationError(
+                    f"no trip count supplied for ranging loop {loop_name!r}"
+                )
+            span += abs(stride) * (trips[loop_name] - 1)
+        return span
+
+    def __str__(self) -> str:
+        parts = [f"{stride}*{name}" for name, stride in self.terms]
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        expr = "+".join(parts)
+        if self.extent > 1:
+            expr += f"+[0..{self.extent})"
+        return expr
+
+
+@dataclass(frozen=True)
+class AffineRef:
+    """A full affine reference: one :class:`DimExpr` per array dimension."""
+
+    dims: tuple[DimExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValidationError("AffineRef must have rank >= 1")
+
+    @property
+    def rank(self) -> int:
+        """Number of array dimensions indexed."""
+        return len(self.dims)
+
+    @property
+    def loop_names(self) -> frozenset[str]:
+        """Union of the loops used across all dimensions."""
+        names: set[str] = set()
+        for dim in self.dims:
+            names.update(dim.loop_names)
+        return frozenset(names)
+
+    def footprint_when(
+        self,
+        ranging: Iterable[str],
+        trips: Mapping[str, int],
+        shape: tuple[int, ...] | None = None,
+    ) -> int:
+        """Number of distinct elements touched while *ranging* loops range.
+
+        If *shape* is given, each per-dimension extent is clipped to the
+        array bound — a reference can never touch more elements along a
+        dimension than the array holds.
+        """
+        ranging_set = set(ranging)
+        if shape is not None and len(shape) != self.rank:
+            raise ValidationError(
+                f"shape rank {len(shape)} does not match reference rank {self.rank}"
+            )
+        total = 1
+        for position, dim in enumerate(self.dims):
+            span = dim.extent_when(ranging_set, trips)
+            if shape is not None:
+                span = min(span, shape[position])
+            total *= span
+        return total
+
+    def per_dim_extents(
+        self,
+        ranging: Iterable[str],
+        trips: Mapping[str, int],
+        shape: tuple[int, ...] | None = None,
+    ) -> tuple[int, ...]:
+        """Per-dimension extents of the footprint rectangle (clipped)."""
+        ranging_set = set(ranging)
+        extents = []
+        for position, dim in enumerate(self.dims):
+            span = dim.extent_when(ranging_set, trips)
+            if shape is not None:
+                span = min(span, shape[position])
+            extents.append(span)
+        return tuple(extents)
+
+    def shift_of(self, loop_name: str) -> tuple[int, ...]:
+        """Per-dimension index shift caused by one step of *loop_name*."""
+        return tuple(dim.stride_of(loop_name) for dim in self.dims)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(dim) for dim in self.dims) + "]"
+
+
+def single(*terms: tuple[str, int], extent: int = 1, offset: int = 0) -> DimExpr:
+    """Convenience constructor for a :class:`DimExpr`.
+
+    >>> single(("mb_y", 16), ("v", 1), extent=1)
+    DimExpr(terms=(('mb_y', 16), ('v', 1)), extent=1, offset=0)
+    """
+    return DimExpr(terms=tuple(terms), extent=extent, offset=offset)

@@ -1,0 +1,76 @@
+"""Leaf access statements.
+
+An :class:`AccessStmt` models "the body of this loop performs *count*
+read (or write) accesses to array *A* through affine reference *R* per
+innermost iteration".  It is the only kind of observable work in the IR
+besides the per-iteration compute cycles declared on loops — exactly the
+abstraction level of the paper's cost model, which counts memory-hierarchy
+accesses and CPU processing cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.ir.refs import AffineRef
+
+
+class AccessKind(enum.Enum):
+    """Direction of an access statement."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AccessStmt:
+    """A read or write of one array, executed once per enclosing iteration.
+
+    Parameters
+    ----------
+    array_name:
+        Name of the accessed array (resolved against the program's
+        declarations when the program is frozen).
+    ref:
+        Affine index expression; its rank must match the array's.
+    kind:
+        :class:`AccessKind.READ` or :class:`AccessKind.WRITE`.
+    count:
+        Number of accesses issued per execution of this statement.  Most
+        statements use 1; a window reference that reads its full window
+        each iteration (e.g. a 16x16 SAD) sets ``count`` to the window
+        size.
+    label:
+        Optional human-readable name used in reports and traces.
+    """
+
+    array_name: str
+    ref: AffineRef
+    kind: AccessKind
+    count: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.array_name:
+            raise ValidationError("access statement needs an array name")
+        if self.count < 1:
+            raise ValidationError(
+                f"access count must be >= 1, got {self.count} for {self.array_name!r}"
+            )
+
+    @property
+    def is_read(self) -> bool:
+        """True for reads."""
+        return self.kind is AccessKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """True for writes."""
+        return self.kind is AccessKind.WRITE
+
+    def __str__(self) -> str:
+        verb = "rd" if self.is_read else "wr"
+        tag = f" '{self.label}'" if self.label else ""
+        return f"{verb} {self.array_name}{self.ref} x{self.count}{tag}"

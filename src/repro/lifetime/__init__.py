@@ -1,0 +1,27 @@
+"""Lifetime and in-place (storage sharing) analysis.
+
+MHLA "takes into consideration ... limited lifetime of the arrays of an
+application" (paper, abstract): two buffers whose lifetimes do not
+overlap can share the same on-chip space, so the capacity check of a
+layer must use the **maximum concurrent occupancy over time**, not the
+sum of buffer sizes.
+
+The timeline granularity is the program's top-level nest sequence (nest
+*k* runs strictly before nest *k+1*; the paper's scope is single
+threaded).  Arrays are live from their first to their last accessing
+nest (inputs from program start, outputs to program end); copies are
+live only during their nest — until a time extension stretches them
+backwards for prefetching, which is exactly the size effect the TE step
+must re-check (Figure 1's ``fits_size``).
+"""
+
+from repro.lifetime.intervals import Interval, max_concurrent
+from repro.lifetime.occupancy import LayerOccupancy, OccupancyMap, build_occupancy
+
+__all__ = [
+    "Interval",
+    "LayerOccupancy",
+    "OccupancyMap",
+    "build_occupancy",
+    "max_concurrent",
+]

@@ -1,0 +1,76 @@
+"""Discrete intervals on the program timeline.
+
+An :class:`Interval` is an inclusive ``[start, end]`` range of nest
+indices.  The module also provides :func:`max_concurrent`, the weighted
+maximum-overlap computation that turns a set of (interval, bytes) pairs
+into a peak occupancy — the quantity compared against a layer capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Inclusive integer interval ``[start, end]`` on the nest timeline."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValidationError(f"interval start must be >= 0, got {self.start}")
+        if self.end < self.start:
+            raise ValidationError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two inclusive intervals share at least one step."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains(self, step: int) -> bool:
+        """True when *step* lies inside the interval."""
+        return self.start <= step <= self.end
+
+    @property
+    def length(self) -> int:
+        """Number of timeline steps covered."""
+        return self.end - self.start + 1
+
+    def union_bound(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (used by lifetime merging)."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def __str__(self) -> str:
+        return f"[{self.start}..{self.end}]"
+
+
+def max_concurrent(weighted: Iterable[tuple[Interval, int]]) -> int:
+    """Peak sum of weights over all timeline steps.
+
+    Uses the classic sweep over interval endpoints: +weight at
+    ``start``, -weight just after ``end``.
+    """
+    events: list[tuple[int, int]] = []
+    for interval, weight in weighted:
+        if weight < 0:
+            raise ValidationError("occupancy weights must be >= 0")
+        events.append((interval.start, weight))
+        events.append((interval.end + 1, -weight))
+    events.sort()
+    peak = 0
+    current = 0
+    for _position, change in events:
+        current += change
+        peak = max(peak, current)
+    return peak
+
+
+def occupancy_at(weighted: Iterable[tuple[Interval, int]], step: int) -> int:
+    """Sum of weights whose interval covers *step*."""
+    return sum(weight for interval, weight in weighted if interval.contains(step))

@@ -1,0 +1,113 @@
+"""Per-layer occupancy accounting with lifetime-aware sharing.
+
+The assignment engine and the TE scheduler both need the same question
+answered: *if this set of buffers is placed on this layer, what is the
+peak number of bytes live at any point of the program timeline, and does
+it fit the layer capacity?*  This module answers it over generic
+:class:`SpaceClaim` records so it stays independent of the assignment
+data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ValidationError
+from repro.lifetime.intervals import Interval, max_concurrent, occupancy_at
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class SpaceClaim:
+    """A buffer occupying *bytes* on *layer_name* during *interval*."""
+
+    layer_name: str
+    interval: Interval
+    bytes: int
+    tag: str
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValidationError(f"claim {self.tag!r} has negative size")
+
+
+@dataclass(frozen=True)
+class LayerOccupancy:
+    """All claims placed on one layer."""
+
+    layer_name: str
+    claims: tuple[SpaceClaim, ...]
+
+    @property
+    def peak_bytes(self) -> int:
+        """Maximum concurrent bytes over the timeline (in-place aware)."""
+        return max_concurrent(
+            (claim.interval, claim.bytes) for claim in self.claims
+        )
+
+    @property
+    def sum_bytes(self) -> int:
+        """Naive sum of claim sizes (what a lifetime-blind check would use)."""
+        return sum(claim.bytes for claim in self.claims)
+
+    def bytes_at(self, step: int) -> int:
+        """Occupancy at one timeline step."""
+        return occupancy_at(
+            ((claim.interval, claim.bytes) for claim in self.claims), step
+        )
+
+    def fits(self, capacity_bytes: int) -> bool:
+        """Whether the peak occupancy respects *capacity_bytes* (0 = unbounded)."""
+        if capacity_bytes == 0:
+            return True
+        return self.peak_bytes <= capacity_bytes
+
+
+@dataclass(frozen=True)
+class OccupancyMap:
+    """Occupancy of every layer of a hierarchy."""
+
+    by_layer: dict[str, LayerOccupancy]
+
+    def layer(self, layer_name: str) -> LayerOccupancy:
+        """Occupancy record for *layer_name* (empty if nothing placed)."""
+        return self.by_layer.get(
+            layer_name, LayerOccupancy(layer_name=layer_name, claims=())
+        )
+
+    def fits(self, hierarchy: MemoryHierarchy) -> bool:
+        """True when every layer's peak occupancy is within capacity."""
+        return not self.violations(hierarchy)
+
+    def violations(self, hierarchy: MemoryHierarchy) -> tuple[str, ...]:
+        """Names of layers whose capacity is exceeded."""
+        failed = []
+        for layer in hierarchy:
+            occupancy = self.layer(layer.name)
+            if not occupancy.fits(layer.capacity_bytes):
+                failed.append(layer.name)
+        return tuple(failed)
+
+    def headroom(self, hierarchy: MemoryHierarchy, layer_name: str) -> int:
+        """Free bytes at the layer's peak (can be negative if violated).
+
+        Unbounded layers report a large sentinel headroom.
+        """
+        layer = hierarchy.layer(layer_name)
+        if layer.is_unbounded:
+            return 1 << 62
+        return layer.capacity_bytes - self.layer(layer_name).peak_bytes
+
+
+def build_occupancy(claims: Iterable[SpaceClaim]) -> OccupancyMap:
+    """Group claims by layer into an :class:`OccupancyMap`."""
+    grouped: dict[str, list[SpaceClaim]] = {}
+    for claim in claims:
+        grouped.setdefault(claim.layer_name, []).append(claim)
+    return OccupancyMap(
+        by_layer={
+            name: LayerOccupancy(layer_name=name, claims=tuple(layer_claims))
+            for name, layer_claims in grouped.items()
+        }
+    )

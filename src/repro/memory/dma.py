@@ -1,0 +1,88 @@
+"""Block-transfer (DMA) cost model.
+
+The paper's Time Extensions require "a memory transfer engine (like DMA
+engine or data mover) that allows simultaneous[ly] the CPU to continue
+processing data and the engine to copy off-chip data to on-chip layers".
+This model provides the two quantities MHLA needs per block transfer
+(BT):
+
+* ``transfer_cycles(words, src, dst)`` — the ``BT_time`` of Figure 1:
+  engine setup plus per-word streaming time, paced by the slower of the
+  two endpoints' burst rates;
+* ``transfer_energy_nj(words, src, dst)`` — burst read energy at the
+  source, burst write energy at the destination, plus the engine's own
+  per-word overhead.
+
+Energy is direction-agnostic at this level: an off-chip -> on-chip fill
+reads the off-chip layer and writes the on-chip one, a write-back does
+the reverse; callers pass ``src``/``dst`` accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.memory.layer import MemoryLayer
+
+
+@dataclass(frozen=True)
+class DmaModel:
+    """Cost parameters of the platform's memory transfer engine.
+
+    Parameters
+    ----------
+    setup_cycles:
+        Fixed cost to program and start one block transfer (descriptor
+        write, channel arbitration).
+    energy_per_word_nj:
+        Engine + bus energy per transferred word, on top of the memory
+        endpoints' burst energies.
+    min_words:
+        Transfers are rounded up to this granularity (bus beat size).
+    """
+
+    setup_cycles: int = 30
+    energy_per_word_nj: float = 0.1
+    min_words: int = 4
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0:
+            raise ValidationError("DMA setup_cycles must be >= 0")
+        if self.energy_per_word_nj < 0:
+            raise ValidationError("DMA energy_per_word_nj must be >= 0")
+        if self.min_words < 1:
+            raise ValidationError("DMA min_words must be >= 1")
+
+    def effective_words(self, words: int) -> int:
+        """Words actually moved after granularity rounding."""
+        if words <= 0:
+            return 0
+        remainder = words % self.min_words
+        if remainder:
+            words += self.min_words - remainder
+        return words
+
+    def transfer_cycles(
+        self, words: int, src: MemoryLayer, dst: MemoryLayer
+    ) -> int:
+        """Engine-occupancy cycles of one block transfer (``BT_time``)."""
+        moved = self.effective_words(words)
+        if moved == 0:
+            return 0
+        per_word = max(src.burst_cycles_per_word, dst.burst_cycles_per_word)
+        return self.setup_cycles + int(round(moved * per_word))
+
+    def transfer_energy_nj(
+        self, words: int, src: MemoryLayer, dst: MemoryLayer
+    ) -> float:
+        """Total energy of one block transfer."""
+        moved = self.effective_words(words)
+        if moved == 0:
+            return 0.0
+        per_word = (
+            src.burst_energy_nj(is_write=False)
+            + dst.burst_energy_nj(is_write=True)
+            + self.energy_per_word_nj
+        )
+        return moved * per_word

@@ -1,0 +1,95 @@
+"""A single memory layer.
+
+Each layer carries two cost points per direction:
+
+* *random access* — what a CPU load/store pays (``read_energy_nj``,
+  ``write_energy_nj``, ``latency_cycles``); and
+* *burst access* — what a DMA block transfer pays per word once a burst
+  is open (``burst_read_energy_nj``, ``burst_write_energy_nj``,
+  ``burst_cycles_per_word``).  Burst costs are lower, especially for
+  SDRAM, because row activation is amortised over the burst — this is
+  why copying a block via DMA and then reading it from a scratchpad beats
+  reading each element from SDRAM directly, the effect MHLA exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+from repro.units import fmt_bytes
+
+
+@dataclass(frozen=True)
+class MemoryLayer:
+    """Capacity and access-cost parameters of one hierarchy layer.
+
+    ``capacity_bytes == 0`` denotes an effectively unbounded layer
+    (off-chip SDRAM is orders of magnitude larger than any working set
+    in the paper's application domain).
+    """
+
+    name: str
+    capacity_bytes: int
+    read_energy_nj: float
+    write_energy_nj: float
+    latency_cycles: int
+    burst_read_energy_nj: float
+    burst_write_energy_nj: float
+    burst_cycles_per_word: float
+    is_offchip: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("layer name must be non-empty")
+        if self.capacity_bytes < 0:
+            raise ValidationError(f"layer {self.name!r}: negative capacity")
+        if self.latency_cycles < 1:
+            raise ValidationError(
+                f"layer {self.name!r}: latency must be >= 1 cycle"
+            )
+        for field_name in (
+            "read_energy_nj",
+            "write_energy_nj",
+            "burst_read_energy_nj",
+            "burst_write_energy_nj",
+            "burst_cycles_per_word",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValidationError(
+                    f"layer {self.name!r}: {field_name} must be >= 0"
+                )
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the layer has no meaningful capacity limit."""
+        return self.capacity_bytes == 0
+
+    def fits(self, request_bytes: int) -> bool:
+        """Whether *request_bytes* fits within this layer's capacity."""
+        return self.is_unbounded or request_bytes <= self.capacity_bytes
+
+    def access_energy_nj(self, is_write: bool) -> float:
+        """Random-access energy for one CPU access."""
+        return self.write_energy_nj if is_write else self.read_energy_nj
+
+    def burst_energy_nj(self, is_write: bool) -> float:
+        """Per-word energy inside an open DMA burst."""
+        return self.burst_write_energy_nj if is_write else self.burst_read_energy_nj
+
+    def resized(self, capacity_bytes: int) -> "MemoryLayer":
+        """Return a copy with a different capacity (cost fields unchanged).
+
+        Prefer :func:`repro.memory.presets.build_sram_layer` when the new
+        size should also re-derive energy/latency from the analytic model;
+        this method is for pure capacity what-ifs.
+        """
+        return replace(self, capacity_bytes=capacity_bytes)
+
+    def __str__(self) -> str:
+        cap = "unbounded" if self.is_unbounded else fmt_bytes(self.capacity_bytes)
+        where = "off-chip" if self.is_offchip else "on-chip"
+        return (
+            f"{self.name} ({where}, {cap}, {self.latency_cycles} cyc, "
+            f"{self.read_energy_nj:.3f} nJ/rd)"
+        )

@@ -1,0 +1,190 @@
+"""Discrete memory-module library.
+
+The analytic models in :mod:`repro.memory.energy`/:mod:`timing` give a
+continuous cost curve, but a real design flow (and the paper's tool,
+fed by "architecture specific constraints and models") chooses from a
+*library* of concrete SRAM modules — discrete capacities with
+characterised energy/latency.  This module provides that workflow:
+
+* :class:`MemoryModule` — one characterised module;
+* :class:`MemoryLibrary` — a catalogue with best-fit lookup;
+* :func:`default_sram_library` — a catalogue sampled from the analytic
+  models at power-of-two capacities (stand-in for a vendor datasheet);
+* :func:`platform_from_library` — build an experiment platform whose
+  on-chip layers are *library modules*, so a trade-off sweep explores
+  exactly the capacities a designer could instantiate.
+
+The trade-off engine works unchanged on top: pass
+``lambda size: platform_from_library(lib, l1_bytes=size)`` as the
+platform factory and the sweep snaps every point to real modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ValidationError
+from repro.memory.dma import DmaModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.layer import MemoryLayer
+from repro.memory.presets import Platform, build_offchip_layer, build_sram_layer
+from repro.units import fmt_bytes, kib
+
+
+@dataclass(frozen=True)
+class MemoryModule:
+    """One instantiable SRAM module from a vendor library."""
+
+    part_name: str
+    capacity_bytes: int
+    read_energy_nj: float
+    write_energy_nj: float
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValidationError(
+                f"module {self.part_name!r} needs a positive capacity"
+            )
+        if self.latency_cycles < 1:
+            raise ValidationError(
+                f"module {self.part_name!r} needs latency >= 1"
+            )
+        if min(self.read_energy_nj, self.write_energy_nj) < 0:
+            raise ValidationError(
+                f"module {self.part_name!r} has negative energy"
+            )
+
+    def as_layer(self, layer_name: str) -> MemoryLayer:
+        """Instantiate this module as an on-chip hierarchy layer."""
+        return MemoryLayer(
+            name=layer_name,
+            capacity_bytes=self.capacity_bytes,
+            read_energy_nj=self.read_energy_nj,
+            write_energy_nj=self.write_energy_nj,
+            latency_cycles=self.latency_cycles,
+            burst_read_energy_nj=self.read_energy_nj * 0.8,
+            burst_write_energy_nj=self.write_energy_nj * 0.8,
+            burst_cycles_per_word=1.0,
+            is_offchip=False,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.part_name} ({fmt_bytes(self.capacity_bytes)}, "
+            f"{self.latency_cycles} cyc, {self.read_energy_nj:.3f} nJ/rd)"
+        )
+
+
+@dataclass(frozen=True)
+class MemoryLibrary:
+    """A catalogue of instantiable modules."""
+
+    name: str
+    modules: tuple[MemoryModule, ...]
+
+    def __post_init__(self) -> None:
+        if not self.modules:
+            raise ValidationError(f"library {self.name!r} is empty")
+        names = [module.part_name for module in self.modules]
+        if len(set(names)) != len(names):
+            raise ValidationError(
+                f"library {self.name!r} has duplicate part names"
+            )
+
+    @cached_property
+    def by_capacity(self) -> tuple[MemoryModule, ...]:
+        """Modules sorted by capacity, ascending."""
+        return tuple(sorted(self.modules, key=lambda m: m.capacity_bytes))
+
+    @property
+    def capacities(self) -> tuple[int, ...]:
+        """Available capacities, ascending (sweep points for trade-offs)."""
+        return tuple(module.capacity_bytes for module in self.by_capacity)
+
+    def best_fit(self, min_capacity_bytes: int) -> MemoryModule:
+        """Smallest module holding at least *min_capacity_bytes*."""
+        for module in self.by_capacity:
+            if module.capacity_bytes >= min_capacity_bytes:
+                return module
+        raise ValidationError(
+            f"library {self.name!r} has no module >= "
+            f"{fmt_bytes(min_capacity_bytes)} "
+            f"(largest: {fmt_bytes(self.by_capacity[-1].capacity_bytes)})"
+        )
+
+    def exact(self, capacity_bytes: int) -> MemoryModule:
+        """Module with exactly the given capacity."""
+        for module in self.by_capacity:
+            if module.capacity_bytes == capacity_bytes:
+                return module
+        raise ValidationError(
+            f"library {self.name!r} has no {fmt_bytes(capacity_bytes)} module"
+        )
+
+
+def default_sram_library(
+    min_kib: float = 0.5, max_kib: float = 256
+) -> MemoryLibrary:
+    """Power-of-two catalogue sampled from the analytic SRAM models.
+
+    Stands in for a vendor datasheet: same cost *curve* as the analytic
+    models, but only discrete capacities are instantiable.
+    """
+    modules = []
+    size = kib(min_kib)
+    limit = kib(max_kib)
+    while size <= limit:
+        reference = build_sram_layer(f"ref{size}", size)
+        modules.append(
+            MemoryModule(
+                part_name=f"SPM{fmt_bytes(size).replace(' ', '')}",
+                capacity_bytes=size,
+                read_energy_nj=reference.read_energy_nj,
+                write_energy_nj=reference.write_energy_nj,
+                latency_cycles=reference.latency_cycles,
+            )
+        )
+        size *= 2
+    return MemoryLibrary(name="default-sram", modules=tuple(modules))
+
+
+def platform_from_library(
+    library: MemoryLibrary,
+    l1_bytes: int,
+    l2_bytes: int | None = None,
+    dma: DmaModel | None = None,
+) -> Platform:
+    """Build a platform whose on-chip layers are library modules.
+
+    Sizes are snapped to the smallest module that fits the request
+    (best-fit), mirroring how a designer picks parts.  ``l2_bytes``
+    defaults to the smallest module at least 4x the chosen L1.
+    """
+    l1_module = library.best_fit(l1_bytes)
+    if l2_bytes is None:
+        l2_bytes = 4 * l1_module.capacity_bytes
+    try:
+        l2_module = library.best_fit(max(l2_bytes, 2 * l1_module.capacity_bytes))
+    except ValidationError:
+        # no module that big: fall back to the largest part available
+        l2_module = library.by_capacity[-1]
+    if l2_module.capacity_bytes <= l1_module.capacity_bytes:
+        raise ValidationError(
+            "library cannot realise a strictly decreasing L2 > L1 pair for "
+            f"L1={fmt_bytes(l1_module.capacity_bytes)}"
+        )
+    hierarchy = MemoryHierarchy(
+        name=f"lib:{library.name}",
+        layers=(
+            build_offchip_layer(),
+            l2_module.as_layer("l2"),
+            l1_module.as_layer("l1"),
+        ),
+    )
+    return Platform(
+        name=f"library-{library.name}",
+        hierarchy=hierarchy,
+        dma=dma if dma is not None else DmaModel(),
+    )

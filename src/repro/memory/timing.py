@@ -1,0 +1,51 @@
+"""Analytic latency model for on-chip SRAM and off-chip SDRAM.
+
+Latency grows with SRAM capacity (longer word/bit lines, deeper decode).
+We use a step model calibrated to embedded SoCs of the paper's era
+(~130 nm, CPU clock a few hundred MHz):
+
+* scratchpads up to 16 KiB   — single-cycle access;
+* up to 128 KiB              — 2 cycles;
+* up to 1 MiB                — 3 cycles;
+* larger on-chip             — 4 cycles.
+
+Off-chip SDRAM pays bus + controller overhead on every access.  The
+random-access figure of 12 CPU cycles models the page-hit-dominated
+behaviour of array code (a row miss costs far more, a same-row access
+less); once a DMA burst is open the stream runs at ~2 CPU cycles per
+word.  Only the *ratios* between these numbers matter for the
+trade-offs the paper explores; absolute values scale every scenario
+identically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.units import KIB, MIB
+
+DRAM_RANDOM_LATENCY_CYCLES = 8
+"""CPU stall cycles for one off-chip access (page-hit-dominated mix:
+row-major array code hits open SDRAM rows most of the time)."""
+
+DRAM_BURST_CYCLES_PER_WORD = 4.0
+"""Per-word cycles inside an open SDRAM burst (DMA transfers over a
+paper-era 16-bit memory bus running below the CPU clock)."""
+
+_SRAM_LATENCY_STEPS: tuple[tuple[int, int], ...] = (
+    (16 * KIB, 1),
+    (128 * KIB, 2),
+    (1 * MIB, 3),
+)
+
+SRAM_BURST_CYCLES_PER_WORD = 1.0
+"""Per-word cycles when DMA streams to/from on-chip SRAM."""
+
+
+def sram_latency_cycles(capacity_bytes: int) -> int:
+    """Random-access latency of an on-chip SRAM of the given capacity."""
+    if capacity_bytes <= 0:
+        raise ValidationError("SRAM capacity must be positive")
+    for threshold, cycles in _SRAM_LATENCY_STEPS:
+        if capacity_bytes <= threshold:
+            return cycles
+    return 4

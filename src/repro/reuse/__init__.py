@@ -1,0 +1,46 @@
+"""Data-reuse analysis: copy candidates.
+
+MHLA's first step exploits *data reuse*: "a part of an array is copied
+from one layer to a lower layer, closer to the processor.  As a result,
+energy and performance can be improved since most accesses take place on
+the smaller copy" (paper, section 1).
+
+For every array reference inside a loop nest, this package enumerates the
+*copy candidates*: for each loop level, the buffer that would hold the
+data the reference touches while the loops below that level range.  Each
+candidate is characterised by
+
+* its **size** (the footprint of the sub-nest),
+* its **fill count** (how often it must be re-loaded),
+* its per-fill **transfer volume**, split into a first full fill and
+  steady-state *delta* fills that only move newly required data when
+  consecutive iterations overlap (sliding windows), and
+* the CPU accesses it would serve.
+
+The assignment engine (:mod:`repro.core.assignment`) then selects a
+sub-chain of candidates per reference and places each on a memory layer.
+"""
+
+from repro.reuse.footprint import (
+    delta_elements,
+    footprint_elements,
+    overlap_elements,
+)
+from repro.reuse.candidates import (
+    CandidateChainSpec,
+    CopyCandidate,
+    RefGroup,
+    enumerate_candidates,
+    group_statements,
+)
+
+__all__ = [
+    "CandidateChainSpec",
+    "CopyCandidate",
+    "RefGroup",
+    "delta_elements",
+    "enumerate_candidates",
+    "footprint_elements",
+    "group_statements",
+    "overlap_elements",
+]

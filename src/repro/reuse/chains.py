@@ -1,0 +1,114 @@
+"""Selected copy chains.
+
+Once the assignment step picks a subset of a group's candidates and a
+layer for each, the result is a :class:`CopyChain`: the array home layer,
+then progressively smaller copies on progressively closer layers.  The
+chain determines
+
+* which layer serves the CPU accesses (the innermost copy), and
+* where each copy's block transfers read from / write back to (its
+  *parent* — the next selected copy outward, or the array home).
+
+Chain validity (checked here, relied on everywhere else):
+
+* candidate levels strictly increase along the chain;
+* each copy's layer is strictly closer to the CPU than its parent's —
+  a copy on the same or a further layer could only cost energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.reuse.candidates import CopyCandidate, RefGroup
+
+
+@dataclass(frozen=True)
+class SelectedCopy:
+    """One chosen candidate placed on a layer."""
+
+    candidate: CopyCandidate
+    layer_name: str
+
+
+@dataclass(frozen=True)
+class CopyChain:
+    """A validated chain of selected copies for one reference group."""
+
+    group: RefGroup
+    array_home_layer: str
+    copies: tuple[SelectedCopy, ...]
+
+    def validate(self, hierarchy: MemoryHierarchy) -> None:
+        """Raise :class:`ValidationError` if the chain is malformed."""
+        previous_level = -1
+        previous_layer = self.array_home_layer
+        for selected in self.copies:
+            if selected.candidate.group_key != self.group.key:
+                raise ValidationError(
+                    f"candidate {selected.candidate.uid!r} does not belong to "
+                    f"group {self.group.key!r}"
+                )
+            if selected.candidate.level <= previous_level:
+                raise ValidationError(
+                    f"chain for {self.group.key!r}: candidate levels must "
+                    "strictly increase"
+                )
+            if not hierarchy.is_closer(selected.layer_name, previous_layer):
+                raise ValidationError(
+                    f"chain for {self.group.key!r}: copy at level "
+                    f"{selected.candidate.level} on {selected.layer_name!r} is "
+                    f"not closer to the CPU than its parent {previous_layer!r}"
+                )
+            previous_level = selected.candidate.level
+            previous_layer = selected.layer_name
+
+    @property
+    def serving_layer(self) -> str:
+        """Layer that the group's CPU accesses hit."""
+        if self.copies:
+            return self.copies[-1].layer_name
+        return self.array_home_layer
+
+    def parent_layer_of(self, index: int) -> str:
+        """Layer a given chain element is filled from / flushed to."""
+        if index == 0:
+            return self.array_home_layer
+        return self.copies[index - 1].layer_name
+
+    def links(self) -> tuple[tuple[SelectedCopy, str], ...]:
+        """(copy, parent layer) pairs, outermost copy first."""
+        return tuple(
+            (selected, self.parent_layer_of(index))
+            for index, selected in enumerate(self.copies)
+        )
+
+    @property
+    def onchip_bytes_by_layer(self) -> dict[str, int]:
+        """Buffer bytes this chain occupies per layer (single-buffered)."""
+        usage: dict[str, int] = {}
+        for selected in self.copies:
+            usage[selected.layer_name] = (
+                usage.get(selected.layer_name, 0) + selected.candidate.size_bytes
+            )
+        return usage
+
+
+def chain_of(
+    group: RefGroup,
+    array_home_layer: str,
+    selections: tuple[tuple[CopyCandidate, str], ...],
+    hierarchy: MemoryHierarchy,
+) -> CopyChain:
+    """Build and validate a :class:`CopyChain` from raw selections."""
+    ordered = tuple(
+        SelectedCopy(candidate=candidate, layer_name=layer_name)
+        for candidate, layer_name in sorted(
+            selections, key=lambda pair: pair[0].level
+        )
+    )
+    chain = CopyChain(group=group, array_home_layer=array_home_layer, copies=ordered)
+    chain.validate(hierarchy)
+    return chain

@@ -1,0 +1,80 @@
+"""Footprint arithmetic for affine references.
+
+These functions compute, for a reference ``R`` of array ``A`` nested in
+loops ``L1..Ln`` (outermost first):
+
+* ``footprint_elements(R, ranging, trips, shape)`` — distinct elements
+  touched while the loops in *ranging* sweep their ranges;
+* ``overlap_elements(R, step_loop, ranging, trips, shape)`` — elements
+  shared between the footprints of two consecutive iterations of
+  *step_loop* (all *ranging* loops sweeping inside each iteration);
+* ``delta_elements(...)`` — the complement: elements newly required per
+  step, i.e. the steady-state block-transfer size for a copy filled once
+  per *step_loop* iteration.
+
+All three reduce to per-dimension interval arithmetic because the
+supported reference class touches a (shifting) rectangle; see
+:mod:`repro.ir.refs` for the exactness argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.ir.refs import AffineRef
+
+
+def footprint_elements(
+    ref: AffineRef,
+    ranging: Iterable[str],
+    trips: Mapping[str, int],
+    shape: tuple[int, ...] | None = None,
+) -> int:
+    """Distinct elements touched while *ranging* loops sweep.
+
+    Thin, named wrapper over :meth:`AffineRef.footprint_when` so reuse
+    code reads in domain terms.
+    """
+    return ref.footprint_when(ranging, trips, shape)
+
+
+def overlap_elements(
+    ref: AffineRef,
+    step_loop: str,
+    ranging: Iterable[str],
+    trips: Mapping[str, int],
+    shape: tuple[int, ...] | None = None,
+) -> int:
+    """Elements shared by consecutive iterations of *step_loop*.
+
+    The inner footprint rectangle (with *ranging* loops sweeping) shifts
+    by ``ref.shift_of(step_loop)`` per iteration of *step_loop*; the
+    overlap is the product of per-dimension ``max(0, extent - |shift|)``.
+    """
+    extents = ref.per_dim_extents(ranging, trips, shape)
+    shifts = ref.shift_of(step_loop)
+    overlap = 1
+    for extent, shift in zip(extents, shifts):
+        remaining = max(0, extent - abs(shift))
+        overlap *= remaining
+    return overlap
+
+
+def delta_elements(
+    ref: AffineRef,
+    step_loop: str,
+    ranging: Iterable[str],
+    trips: Mapping[str, int],
+    shape: tuple[int, ...] | None = None,
+) -> int:
+    """Newly required elements per iteration step of *step_loop*.
+
+    This is the steady-state size of the block transfer that updates a
+    copy between consecutive iterations of *step_loop*: the full inner
+    footprint minus the part already present from the previous
+    iteration.  A loop the reference does not depend on yields 0 (pure
+    reuse — nothing new to fetch).
+    """
+    total = footprint_elements(ref, ranging, trips, shape)
+    shared = overlap_elements(ref, step_loop, ranging, trips, shape)
+    return max(0, total - shared)

@@ -1,0 +1,211 @@
+"""The CPU + DMA walker.
+
+The simulator executes the program's loop tree on a virtual clock:
+
+* **Compute & access time** — every statement costs
+  ``count * latency(serving layer)`` per execution and every loop
+  iteration its ``work_cycles``; subtrees with no transfer events are
+  charged analytically in one step (the per-execution cost is exact, so
+  aggregation loses nothing).
+* **Fills** — at the entry of each fill-loop iteration the walker
+  submits the copy's next block transfer to the DMA engine.  The job's
+  issue time is backdated by the TE schedule's hidden cycles (bounded by
+  the nest start: a prefetch cannot start before its nest — the
+  conservative boundary the paper's per-nest scheduling implies); the
+  CPU then blocks until the job completes.  Stall cycles are recorded
+  per copy.
+* **Write-backs** — posted at fill-loop iteration exit; the CPU never
+  blocks on them, but they occupy the engine and can delay later fills
+  (contention that the analytical estimator ignores — measuring this
+  gap is the VAL-SIM experiment).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.costs import _per_execution_cycles, stmt_latency_table
+from repro.errors import SimulationError
+from repro.ir.loops import Block, Loop, Node, iter_loops
+from repro.ir.statements import AccessStmt
+from repro.sim.dma_engine import DmaEngineSim
+from repro.sim.events import NestEventPlan, TransferSite, build_event_plans
+from repro.sim.stats import SimStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import AnalysisContext, Assignment
+    from repro.core.te import TeSchedule
+
+
+class Simulator:
+    """One-shot simulator for a (program, platform, assignment) triple."""
+
+    def __init__(
+        self,
+        ctx: "AnalysisContext",
+        assignment: "Assignment",
+        te: "TeSchedule | None" = None,
+    ):
+        self.ctx = ctx
+        self.assignment = assignment
+        self.te = te
+        self._stmt_latency = stmt_latency_table(ctx, assignment)
+        self._plans = build_event_plans(ctx, assignment, te)
+        self._analytic_cache: dict[int, float] = {}
+
+        if ctx.platform.dma is None and self._plans:
+            raise SimulationError(
+                "assignment has block transfers but the platform has no DMA "
+                "engine; simulate CPU-copy platforms with an empty copy set"
+            )
+
+        # walker state
+        self._now = 0.0
+        self._stall = 0.0
+        self._busy = 0.0
+        self._fill_counts: dict[str, int] = {}
+        self._wb_counts: dict[str, int] = {}
+        self._stall_by_copy: dict[str, float] = {}
+        self._fills_executed = 0
+        self._writebacks_executed = 0
+        self._engine = DmaEngineSim(ctx.platform.dma) if ctx.platform.dma else None
+        self._nest_start = 0.0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Execute the whole program and return measured statistics."""
+        for nest_index, nest in enumerate(self.ctx.program.nests):
+            plan = self._plans.get(nest_index)
+            self._nest_start = self._now
+            if plan is None or plan.is_empty:
+                self._now += self._analytic_cycles(nest)
+                continue
+            self._run_nest(nest, plan)
+        tail_drain = 0.0
+        if self._engine is not None:
+            self._engine.drain()
+            # Posted write-backs may still be streaming when the CPU
+            # finishes; they overlap the next task in a real system, so
+            # the drain tail is reported separately rather than added to
+            # the program's cycle count (keeping parity with the
+            # estimator, which never charges posted transfers).
+            tail_drain = max(0.0, self._engine.free_at - self._now)
+
+        queue_delay = 0.0
+        jobs: tuple = ()
+        if self._engine is not None:
+            jobs = tuple(self._engine.completed)
+            queue_delay = sum(job.queue_delay for job in jobs)
+
+        return SimStats(
+            cycles=self._now,
+            tail_drain_cycles=tail_drain,
+            compute_access_cycles=self._now - self._stall,
+            stall_cycles=self._stall,
+            dma_busy_cycles=self._engine.busy_cycles if self._engine else 0.0,
+            fills_executed=self._fills_executed,
+            writebacks_executed=self._writebacks_executed,
+            queue_delay_cycles=queue_delay,
+            stall_by_copy=dict(self._stall_by_copy),
+            jobs=jobs,
+        )
+
+    # ------------------------------------------------------------------
+    # nest execution
+    # ------------------------------------------------------------------
+
+    def _run_nest(self, nest: Node, plan: NestEventPlan) -> None:
+        event_loops = plan.event_loop_names
+        self._fire_fills(plan.fills_by_loop.get(None, ()))
+        self._visit(nest, plan, event_loops)
+        self._post_writebacks(plan.writebacks_by_loop.get(None, ()))
+
+    def _visit(self, node: Node, plan: NestEventPlan, event_loops: frozenset[str]) -> None:
+        if isinstance(node, AccessStmt):
+            self._now += node.count * self._stmt_latency[id(node)]
+            return
+        if isinstance(node, Block):
+            for child in node.body:
+                self._visit(child, plan, event_loops)
+            return
+        if not isinstance(node, Loop):
+            raise SimulationError(f"unexpected IR node {node!r}")
+
+        if not self._subtree_has_events(node, event_loops):
+            self._now += self._analytic_cycles(node)
+            return
+
+        fills = plan.fills_by_loop.get(node.name, ())
+        writebacks = plan.writebacks_by_loop.get(node.name, ())
+        for _iteration in range(node.trips):
+            self._fire_fills(fills)
+            self._now += node.work_cycles
+            for child in node.body:
+                self._visit(child, plan, event_loops)
+            self._post_writebacks(writebacks)
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+
+    def _fire_fills(self, sites: tuple[TransferSite, ...]) -> None:
+        for site in sites:
+            assert self._engine is not None
+            index = self._fill_counts.get(site.copy_uid, 0)
+            self._fill_counts[site.copy_uid] = index + 1
+            duration = site.duration_for_fill(index)
+            self._fills_executed += 1
+            if duration == 0:
+                continue  # pure-reuse step: nothing new to move
+            issue = max(self._nest_start, self._now - site.hidden_cycles)
+            tag = f"{site.copy_uid}#f{index}"
+            self._engine.submit(tag, issue, duration, site.priority)
+            completion = self._engine.completion_time(tag)
+            if completion > self._now:
+                wait = completion - self._now
+                self._stall += wait
+                self._stall_by_copy[site.copy_uid] = (
+                    self._stall_by_copy.get(site.copy_uid, 0.0) + wait
+                )
+                self._now = completion
+
+    def _post_writebacks(self, sites: tuple[TransferSite, ...]) -> None:
+        for site in sites:
+            assert self._engine is not None
+            index = self._wb_counts.get(site.copy_uid, 0)
+            self._wb_counts[site.copy_uid] = index + 1
+            duration = site.duration_for_fill(index)
+            self._writebacks_executed += 1
+            if duration == 0:
+                continue
+            tag = f"{site.copy_uid}#w{index}"
+            self._engine.submit(tag, self._now, duration, site.priority)
+
+    # ------------------------------------------------------------------
+    # aggregation helpers
+    # ------------------------------------------------------------------
+
+    def _subtree_has_events(self, loop: Loop, event_loops: frozenset[str]) -> bool:
+        if loop.name in event_loops:
+            return True
+        return any(inner.name in event_loops for inner in iter_loops(loop))
+
+    def _analytic_cycles(self, node: Node) -> float:
+        key = id(node)
+        if key not in self._analytic_cache:
+            self._analytic_cache[key] = _per_execution_cycles(
+                node, self._stmt_latency
+            )
+        return self._analytic_cache[key]
+
+
+def simulate(
+    ctx: "AnalysisContext",
+    assignment: "Assignment",
+    te: "TeSchedule | None" = None,
+) -> SimStats:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(ctx, assignment, te).run()

@@ -1,0 +1,142 @@
+"""Transfer event sites derived from an assignment.
+
+A :class:`TransferSite` binds one block-transfer stream to the loop
+whose iterations trigger it.  The simulator's walker consults these
+sites at loop-iteration boundaries:
+
+* ``IN`` sites fire at the **entry** of each fill-loop iteration — the
+  CPU must not proceed into the body until the fill completes (minus
+  whatever the TE schedule hid);
+* ``OUT`` sites fire at the **exit** of each fill-loop iteration — the
+  freshly produced data is posted back without blocking the CPU.
+
+Sites with ``trigger_loop is None`` (level-0 candidates) fire once at
+nest entry / nest exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.block_transfers import (
+    BlockTransfer,
+    TransferDirection,
+    collect_block_transfers,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import AnalysisContext, Assignment
+    from repro.core.te import TeSchedule
+
+
+@dataclass(frozen=True)
+class TransferSite:
+    """A block-transfer stream attached to its triggering loop."""
+
+    bt: BlockTransfer
+    hidden_cycles: float
+    priority: int
+
+    @property
+    def copy_uid(self) -> str:
+        """Uid of the copy this stream belongs to."""
+        return self.bt.copy_uid
+
+    @property
+    def trigger_loop(self) -> str | None:
+        """Loop whose iterations trigger the transfer (None = nest entry)."""
+        return self.bt.fill_loop_name
+
+    @property
+    def period(self) -> int:
+        """Fills per sweep (first + steady)."""
+        return 1 + self.bt.steady_fills_per_sweep
+
+    def words_for_fill(self, fill_index: int) -> int:
+        """Words moved by the *fill_index*-th event of the stream."""
+        if fill_index % self.period == 0:
+            return self.bt.words_first
+        return self.bt.words_steady
+
+    def duration_for_fill(self, fill_index: int) -> int:
+        """Engine-occupancy cycles of the *fill_index*-th event."""
+        if fill_index % self.period == 0:
+            return self.bt.bt_time_first
+        return self.bt.bt_time_steady
+
+
+@dataclass(frozen=True)
+class NestEventPlan:
+    """All transfer sites of one top-level nest, indexed by trigger."""
+
+    fills_by_loop: dict[str | None, tuple[TransferSite, ...]]
+    writebacks_by_loop: dict[str | None, tuple[TransferSite, ...]]
+
+    @property
+    def event_loop_names(self) -> frozenset[str]:
+        """Loops that trigger at least one transfer in this nest."""
+        names: set[str] = set()
+        for name in self.fills_by_loop:
+            if name is not None:
+                names.add(name)
+        for name in self.writebacks_by_loop:
+            if name is not None:
+                names.add(name)
+        return frozenset(names)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the nest moves no data at all."""
+        return not self.fills_by_loop and not self.writebacks_by_loop
+
+
+def build_event_plans(
+    ctx: "AnalysisContext",
+    assignment: "Assignment",
+    te: "TeSchedule | None" = None,
+) -> dict[int, NestEventPlan]:
+    """Group the assignment's block transfers into per-nest plans.
+
+    Within one trigger point, fills are ordered by DMA priority
+    (descending) so the walker submits urgent jobs first — the effect of
+    Figure 1's ``dma_priority()``.
+    """
+    fills: dict[int, dict[str | None, list[TransferSite]]] = {}
+    writebacks: dict[int, dict[str | None, list[TransferSite]]] = {}
+
+    for bt in collect_block_transfers(ctx, assignment):
+        if bt.direction is TransferDirection.IN:
+            # Demand fetches outrank posted writes even without TE (a
+            # standard read-priority DMA channel); dma_priority() then
+            # ranks the fetches among themselves.
+            hidden = te.hidden_cycles(bt.copy_uid) if te is not None else 0.0
+            priority = (
+                te.priority_of(bt.copy_uid) + 1 if te is not None else 1
+            )
+        else:
+            hidden = 0.0
+            priority = 0
+        site = TransferSite(bt=bt, hidden_cycles=hidden, priority=priority)
+        table = fills if bt.direction is TransferDirection.IN else writebacks
+        table.setdefault(bt.nest_index, {}).setdefault(
+            bt.fill_loop_name, []
+        ).append(site)
+
+    plans: dict[int, NestEventPlan] = {}
+    nest_indices = set(fills) | set(writebacks)
+    for nest_index in nest_indices:
+        nest_fills = {
+            trigger: tuple(
+                sorted(sites, key=lambda s: s.priority, reverse=True)
+            )
+            for trigger, sites in fills.get(nest_index, {}).items()
+        }
+        nest_writebacks = {
+            trigger: tuple(sites)
+            for trigger, sites in writebacks.get(nest_index, {}).items()
+        }
+        plans[nest_index] = NestEventPlan(
+            fills_by_loop=nest_fills, writebacks_by_loop=nest_writebacks
+        )
+    return plans

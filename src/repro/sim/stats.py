@@ -1,0 +1,49 @@
+"""Simulation results and estimator-agreement helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.dma_engine import DmaJob
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Measured outcome of one simulated run."""
+
+    cycles: float
+    compute_access_cycles: float
+    stall_cycles: float
+    dma_busy_cycles: float
+    fills_executed: int
+    writebacks_executed: int
+    queue_delay_cycles: float
+    tail_drain_cycles: float = 0.0
+    stall_by_copy: dict[str, float] = field(default_factory=dict, compare=False)
+    jobs: tuple[DmaJob, ...] = field(default=(), compare=False)
+
+    @property
+    def dma_utilization(self) -> float:
+        """Fraction of total time the transfer engine was busy."""
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.dma_busy_cycles / self.cycles)
+
+    def summary(self) -> str:
+        """One-line digest for reports."""
+        return (
+            f"sim: cycles={self.cycles:.0f} stall={self.stall_cycles:.0f} "
+            f"fills={self.fills_executed} wb={self.writebacks_executed} "
+            f"dma_util={self.dma_utilization:.1%}"
+        )
+
+
+def relative_error(measured: float, estimated: float) -> float:
+    """|measured - estimated| / measured (0 when both are zero).
+
+    Used by the VAL-SIM experiment to quantify estimator accuracy; the
+    simulator is the reference because it models DMA contention.
+    """
+    if measured == 0:
+        return 0.0 if estimated == 0 else float("inf")
+    return abs(measured - estimated) / abs(measured)

@@ -1,0 +1,106 @@
+"""Unit helpers and human-readable formatting.
+
+The library internally uses plain integers/floats with fixed units:
+
+* sizes          — bytes (``int``)
+* element counts — words/elements (``int``)
+* time           — CPU clock cycles (``int`` or ``float`` for estimates)
+* energy         — nanojoules (``float``)
+
+This module centralises the conversion constants and the formatting
+helpers used by reports, the CLI and the benchmark harness so that all
+output is consistent.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+"""Bytes per kibibyte."""
+
+MIB = 1024 * KIB
+"""Bytes per mebibyte."""
+
+
+def kib(n: float) -> int:
+    """Return *n* KiB expressed in bytes (rounded to an int)."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Return *n* MiB expressed in bytes (rounded to an int)."""
+    return int(n * MIB)
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix (``B``/``KiB``/``MiB``).
+
+    >>> fmt_bytes(512)
+    '512 B'
+    >>> fmt_bytes(2048)
+    '2.0 KiB'
+    >>> fmt_bytes(3 * 1024 * 1024)
+    '3.0 MiB'
+    """
+    if n < KIB:
+        return f"{int(n)} B"
+    if n < MIB:
+        return f"{n / KIB:.1f} KiB"
+    return f"{n / MIB:.1f} MiB"
+
+
+def fmt_cycles(n: float) -> str:
+    """Format a cycle count with an engineering suffix.
+
+    >>> fmt_cycles(950)
+    '950'
+    >>> fmt_cycles(1_500_000)
+    '1.50M'
+    """
+    if n < 1_000:
+        return f"{int(n)}"
+    if n < 1_000_000:
+        return f"{n / 1_000:.2f}k"
+    if n < 1_000_000_000:
+        return f"{n / 1_000_000:.2f}M"
+    return f"{n / 1_000_000_000:.2f}G"
+
+
+def fmt_energy_nj(n: float) -> str:
+    """Format an energy value given in nanojoules.
+
+    >>> fmt_energy_nj(740.0)
+    '740.0 nJ'
+    >>> fmt_energy_nj(2_500_000.0)
+    '2.500 mJ'
+    """
+    if n < 1_000:
+        return f"{n:.1f} nJ"
+    if n < 1_000_000:
+        return f"{n / 1_000:.3f} uJ"
+    if n < 1_000_000_000:
+        return f"{n / 1_000_000:.3f} mJ"
+    return f"{n / 1_000_000_000:.3f} J"
+
+
+def fmt_percent(fraction: float) -> str:
+    """Format a fraction as a percentage string (``0.42`` -> ``'42.0%'``)."""
+    return f"{fraction * 100.0:.1f}%"
+
+
+def improvement(baseline: float, value: float) -> float:
+    """Return the relative improvement of *value* over *baseline*.
+
+    A positive result means *value* is better (smaller) than *baseline*:
+    ``improvement(100, 40) == 0.6`` (a 60% reduction).  Returns 0.0 for a
+    zero baseline, so callers never divide by zero.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - value) / baseline
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp *value* to the inclusive range [*lo*, *hi*]."""
+    if lo > hi:
+        raise ValueError(f"clamp range is empty: lo={lo} > hi={hi}")
+    return max(lo, min(hi, value))

@@ -1,0 +1,60 @@
+"""Unit tests for :mod:`repro.analysis.pareto`."""
+
+import pytest
+
+from repro.analysis.pareto import dominates, pareto_front
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestParetoFront:
+    POINTS = [
+        ("a", (1.0, 10.0)),
+        ("b", (2.0, 5.0)),
+        ("c", (3.0, 3.0)),
+        ("dominated", (3.0, 11.0)),
+        ("also_dominated", (4.0, 4.0)),
+    ]
+
+    def test_front_members(self):
+        front = pareto_front(self.POINTS, key=lambda p: p[1])
+        names = [name for name, _ in front]
+        assert names == ["a", "b", "c"]
+
+    def test_single_point(self):
+        assert pareto_front([("x", (1, 1))], key=lambda p: p[1]) == (("x", (1, 1)),)
+
+    def test_empty(self):
+        assert pareto_front([], key=lambda p: p[1]) == ()
+
+    def test_duplicates_all_kept(self):
+        points = [("p", (1.0, 2.0)), ("q", (1.0, 2.0))]
+        front = pareto_front(points, key=lambda p: p[1])
+        assert len(front) == 2
+
+    def test_input_order_preserved(self):
+        points = [("z", (3.0, 1.0)), ("a", (1.0, 3.0))]
+        front = pareto_front(points, key=lambda p: p[1])
+        assert [name for name, _ in front] == ["z", "a"]
+
+    def test_three_objectives(self):
+        points = [("a", (1, 9, 9)), ("b", (9, 1, 9)), ("c", (9, 9, 1)), ("d", (9, 9, 9))]
+        front = pareto_front(points, key=lambda p: p[1])
+        assert [name for name, _ in front] == ["a", "b", "c"]

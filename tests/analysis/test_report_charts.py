@@ -1,0 +1,83 @@
+"""Unit tests for report tables, charts and experiment records."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+from repro.analysis.records import ExperimentRecord, render_records
+from repro.analysis.report import format_table, scenario_table, sweep_table
+from repro.core.mhla import Mhla
+from repro.core.tradeoff import sweep_layer_sizes
+from repro.memory.presets import embedded_3layer
+from repro.units import kib
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestScenarioTable:
+    def test_contains_app_and_percentages(self, window_program, platform3):
+        result = Mhla(window_program, platform3).explore()
+        text = scenario_table([result])
+        assert "window" in text
+        assert "%" in text
+        assert "mhla gain" in text
+
+
+class TestSweepTable:
+    def test_one_row_per_point(self, window_program):
+        points = sweep_layer_sizes(
+            window_program, sizes_bytes=(kib(1), kib(4))
+        )
+        text = sweep_table(points)
+        assert "1.0 KiB" in text
+        assert "4.0 KiB" in text
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_peak(self):
+        text = bar_chart({"a": 100.0, "b": 50.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert "empty" in bar_chart({})
+
+    def test_grouped_chart_normalises_to_baseline(self):
+        groups = {"app": {"oob": 200.0, "mhla": 100.0}}
+        text = grouped_bar_chart(groups, ("oob", "mhla"), width=10)
+        assert "100.0%" in text
+        assert "50.0%" in text
+
+    def test_grouped_chart_skips_missing_series(self):
+        groups = {"app": {"oob": 100.0}}
+        text = grouped_bar_chart(groups, ("oob", "missing"))
+        assert "missing" not in text
+
+
+class TestRecords:
+    def test_markdown_rendering(self):
+        record = ExperimentRecord(
+            experiment_id="FIG2",
+            artefact="Figure 2",
+            claim="40-60% gain",
+            measured="54-76%",
+            verdict="holds (shape)",
+        )
+        table = render_records([record])
+        assert table.splitlines()[0].startswith("| exp id")
+        assert "| FIG2 |" in table
+        assert "holds (shape)" in table

@@ -1,0 +1,144 @@
+"""Structural tests for the nine-application suite.
+
+Each application must build, validate, and exhibit the reuse structure
+its module docstring promises — these tests pin the workload models so
+benchmark results stay comparable across changes.
+"""
+
+import pytest
+
+from repro.apps import all_app_names, app_descriptions, build_all, build_app
+from repro.apps.motion_estimation import MotionEstimationParams, build as build_me
+from repro.apps.params import CIF, QCIF
+from repro.core.context import AnalysisContext
+from repro.errors import ValidationError
+from repro.memory.presets import embedded_3layer
+
+
+class TestRegistry:
+    def test_exactly_nine_applications(self):
+        assert len(all_app_names()) == 9
+
+    def test_descriptions_cover_all(self):
+        assert set(app_descriptions()) == set(all_app_names())
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValidationError):
+            build_app("pacman")
+
+    def test_build_all(self):
+        programs = build_all()
+        assert set(programs) == set(all_app_names())
+
+    @pytest.mark.parametrize("name", all_app_names())
+    def test_each_app_builds_and_validates(self, name):
+        program = build_app(name)
+        assert program.total_accesses() > 0
+        assert program.compute_cycles() > 0
+
+    def test_domains_match_paper(self):
+        """Motion estimation, video encoding, image and audio processing."""
+        descriptions = " ".join(app_descriptions().values())
+        assert "motion estimation" in descriptions
+        assert "video encoding" in descriptions
+        assert "image" in descriptions
+        assert "audio" in descriptions
+
+
+class TestSuiteScale:
+    @pytest.mark.parametrize("name", all_app_names())
+    def test_working_sets_exceed_onchip(self, name):
+        """At least one array must not fit on-chip, or layer assignment
+        is trivial (everything moves on-chip)."""
+        program = build_app(name)
+        platform = embedded_3layer()
+        biggest = max(array.bytes for array in program.arrays.values())
+        assert biggest > platform.hierarchy.layer("l1").capacity_bytes
+
+    @pytest.mark.parametrize("name", all_app_names())
+    def test_candidates_exist_for_every_app(self, name):
+        ctx = AnalysisContext(build_app(name), embedded_3layer())
+        assert len(ctx.specs) >= 2
+        assert any(
+            len(spec.candidates) >= 2 for spec in ctx.specs.values()
+        )
+
+
+class TestMotionEstimationStructure:
+    def test_access_volume_formula(self):
+        params = MotionEstimationParams()
+        program = build_me(params)
+        rows, cols = params.frame.blocks(params.block)
+        candidates = (2 * params.search + 1) ** 2
+        pixels = params.block**2
+        sad_accesses = params.frames * rows * cols * candidates * pixels * 2
+        mv_writes = params.frames * rows * cols
+        assert program.total_accesses() == sad_accesses + mv_writes
+
+    def test_qcif_variant(self):
+        program = build_me(MotionEstimationParams(frame=QCIF, frames=1))
+        assert program.arrays["video"].shape == (2, 144, 176)
+
+    def test_search_window_candidate_present(self):
+        ctx = AnalysisContext(build_me(), embedded_3layer())
+        prev_specs = [
+            spec
+            for spec in ctx.specs.values()
+            if spec.group.array_name == "video" and spec.group.reads > 0
+        ]
+        window_sizes = {
+            candidate.size_elements
+            for spec in prev_specs
+            for candidate in spec.candidates
+        }
+        assert 32 * 32 in window_sizes  # the (16+16)^2 search window
+
+
+class TestParameterValidation:
+    def test_me_rejects_bad_block(self):
+        with pytest.raises(ValidationError):
+            MotionEstimationParams(frame=CIF, block=15)
+
+    def test_qsdpcm_rejects_bad_subfactor(self):
+        from repro.apps.qsdpcm import QsdpcmParams
+
+        with pytest.raises(ValidationError):
+            QsdpcmParams(sub_factor=3)
+
+    def test_filterbank_rejects_bad_hop(self):
+        from repro.apps.filterbank import FilterbankParams
+
+        with pytest.raises(ValueError):
+            FilterbankParams(taps=500, hop=32)
+
+    def test_wavelet_rejects_odd_frames(self):
+        from repro.apps.params import FrameFormat
+        from repro.apps.wavelet import WaveletParams
+
+        with pytest.raises(ValueError):
+            WaveletParams(frame=FrameFormat("odd", width=34, height=30))
+
+
+class TestDependenceStructure:
+    def test_qsdpcm_recon_is_self_dependent(self):
+        from repro.ir.dependences import analyze_dependences
+
+        program = build_app("qsdpcm")
+        deps = analyze_dependences(program)
+        nests_writing = program.nests_writing("recon")
+        assert len(nests_writing) == 1
+        nest = nests_writing[0]
+        limit = deps.hoist_limit_depth(
+            "recon", nest, ("qd_f", "qd_y", "qd_x")
+        )
+        assert limit == 3  # reader and writer share the whole path
+
+    def test_qsdpcm_sub4_free_in_consumer_nest(self):
+        from repro.ir.dependences import analyze_dependences
+
+        program = build_app("qsdpcm")
+        deps = analyze_dependences(program)
+        # sub4 produced in nest 0, consumed in nest 1: full freedom there
+        assert deps.hoist_limit_depth(
+            "sub4", 1, ("qm_f", "qm_by", "qm_bx")
+        ) == 0

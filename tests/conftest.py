@@ -1,0 +1,189 @@
+"""Shared fixtures: small, fast programs exercising each mechanism.
+
+The toy programs are deliberately tiny (trip counts of a few dozen) so
+unit tests and the exhaustive assigner run instantly, while still
+exhibiting the behaviours the library must handle: streaming, sliding
+windows, table reuse, producer-consumer nests and same-nest
+read/write dependences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.ir.builder import ProgramBuilder, dim, fixed
+from repro.ir.program import Program
+from repro.memory.presets import Platform, embedded_2layer, embedded_3layer
+from repro.units import kib
+
+
+@pytest.fixture
+def platform3() -> Platform:
+    """Default 3-layer experimental platform (SDRAM + 64K L2 + 8K L1)."""
+    return embedded_3layer()
+
+
+@pytest.fixture
+def platform2() -> Platform:
+    """Simple 2-layer platform (SDRAM + 16K scratchpad)."""
+    return embedded_2layer()
+
+
+@pytest.fixture
+def tiny_platform() -> Platform:
+    """A cramped platform (1 KiB scratchpad) for capacity-pressure tests."""
+    return embedded_2layer(onchip_bytes=kib(1))
+
+
+def make_stream_program(n: int = 64) -> Program:
+    """One nest streaming through an array once (no reuse)."""
+    b = ProgramBuilder("stream")
+    data = b.array("data", (n,), element_bytes=4, kind="input")
+    out = b.array("out", (n,), element_bytes=4, kind="output")
+    with b.loop("s_i", n, work=5):
+        b.read(data, dim(("s_i", 1)), count=1)
+        b.write(out, dim(("s_i", 1)), count=1)
+    return b.build()
+
+
+def make_window_program(rows: int = 16, cols: int = 32) -> Program:
+    """Sliding 3x3 window over a small image (classic reuse)."""
+    b = ProgramBuilder("window")
+    img = b.array("img", (rows, cols), element_bytes=1, kind="input")
+    out = b.array("res", (rows, cols), element_bytes=1, kind="output")
+    with b.loop("w_y", rows):
+        with b.loop("w_x", cols, work=10):
+            b.read(
+                img,
+                dim(("w_y", 1), extent=3),
+                dim(("w_x", 1), extent=3),
+                count=9,
+            )
+            b.write(out, dim(("w_y", 1)), dim(("w_x", 1)), count=1)
+    return b.build()
+
+
+def make_table_program(entries: int = 32, sweeps: int = 100) -> Program:
+    """A small constant table re-read many times (home-move candidate)."""
+    b = ProgramBuilder("table")
+    tab = b.array("tab", (entries,), element_bytes=4, kind="input")
+    out = b.array("acc", (sweeps,), element_bytes=4, kind="output")
+    with b.loop("t_s", sweeps):
+        with b.loop("t_i", entries, work=4):
+            b.read(tab, dim(("t_i", 1)), count=1)
+        b.write(out, dim(("t_s", 1)), count=1)
+    return b.build()
+
+
+def make_two_nest_program(n: int = 32) -> Program:
+    """Producer nest writing a buffer, consumer nest reading it."""
+    b = ProgramBuilder("two_nest")
+    src = b.array("src", (n, n), element_bytes=2, kind="input")
+    mid = b.array("mid", (n, n), element_bytes=2, kind="internal")
+    dst = b.array("dst", (n, n), element_bytes=2, kind="output")
+    with b.loop("p_y", n):
+        with b.loop("p_x", n, work=6):
+            b.read(src, dim(("p_y", 1)), dim(("p_x", 1)), count=1)
+            b.write(mid, dim(("p_y", 1)), dim(("p_x", 1)), count=1)
+    with b.loop("c_y", n):
+        with b.loop("c_x", n, work=6):
+            b.read(mid, dim(("c_y", 1), extent=2), dim(("c_x", 1), extent=2), count=4)
+            b.write(dst, dim(("c_y", 1)), dim(("c_x", 1)), count=1)
+    return b.build()
+
+
+def make_self_dependent_program(n: int = 16) -> Program:
+    """A nest that reads AND writes the same array (hoisting limits)."""
+    b = ProgramBuilder("self_dep")
+    state = b.array("state", (n + 1, n), element_bytes=4, kind="internal")
+    seed = b.array("seed", (n,), element_bytes=4, kind="input")
+    with b.loop("d_t", n):
+        with b.loop("d_i", n, work=8):
+            b.read(seed, dim(("d_i", 1)), count=1)
+            b.read(state, dim(("d_t", 1)), dim(("d_i", 1), extent=3), count=3)
+            b.write(state, dim(("d_t", 1), offset=1), dim(("d_i", 1)), count=1)
+    return b.build()
+
+
+def make_tiny_me_program() -> Program:
+    """A miniature motion-estimation kernel (deep chain, fast to search)."""
+    b = ProgramBuilder("tiny_me")
+    prev = b.array("tm_prev", (40, 40), element_bytes=1, kind="input")
+    cur = b.array("tm_cur", (32, 32), element_bytes=1, kind="input")
+    mv = b.array("tm_mv", (4, 4), element_bytes=4, kind="output")
+    with b.loop("m_by", 4):
+        with b.loop("m_bx", 4):
+            with b.loop("m_cy", 5):
+                with b.loop("m_cx", 5, work=64 * 6):
+                    b.read(
+                        cur,
+                        dim(("m_by", 8), extent=8),
+                        dim(("m_bx", 8), extent=8),
+                        count=64,
+                    )
+                    b.read(
+                        prev,
+                        dim(("m_by", 8), ("m_cy", 1), extent=8),
+                        dim(("m_bx", 8), ("m_cx", 1), extent=8),
+                        count=64,
+                    )
+            b.write(mv, dim(("m_by", 1)), dim(("m_bx", 1)), count=1)
+    return b.build()
+
+
+def make_hist_program(n: int = 64) -> Program:
+    """Data-dependent (whole-table footprint) accesses."""
+    b = ProgramBuilder("hist")
+    img = b.array("h_img", (n, n), element_bytes=1, kind="input")
+    hist = b.array("h_hist", (256,), element_bytes=4, kind="output")
+    with b.loop("h_y", n):
+        with b.loop("h_x", n, work=3):
+            b.read(img, dim(("h_y", 1)), dim(("h_x", 1)), count=1)
+            b.write(hist, fixed(extent=256), count=1)
+    return b.build()
+
+
+@pytest.fixture
+def stream_program() -> Program:
+    return make_stream_program()
+
+
+@pytest.fixture
+def window_program() -> Program:
+    return make_window_program()
+
+
+@pytest.fixture
+def table_program() -> Program:
+    return make_table_program()
+
+
+@pytest.fixture
+def two_nest_program() -> Program:
+    return make_two_nest_program()
+
+
+@pytest.fixture
+def self_dependent_program() -> Program:
+    return make_self_dependent_program()
+
+
+@pytest.fixture
+def tiny_me_program() -> Program:
+    return make_tiny_me_program()
+
+
+@pytest.fixture
+def hist_program() -> Program:
+    return make_hist_program()
+
+
+@pytest.fixture
+def window_ctx(window_program, platform3) -> AnalysisContext:
+    return AnalysisContext(window_program, platform3)
+
+
+@pytest.fixture
+def tiny_me_ctx(tiny_me_program, platform3) -> AnalysisContext:
+    return AnalysisContext(tiny_me_program, platform3)

@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.core.block_transfers`."""
+
+import pytest
+
+from repro.core.block_transfers import (
+    TransferDirection,
+    collect_block_transfers,
+)
+from repro.core.context import AnalysisContext
+
+
+def assignment_with_img_copy(ctx, level=0, layer="l1"):
+    assignment = ctx.out_of_box_assignment()
+    spec = next(s for s in ctx.specs.values() if s.group.array_name == "img")
+    candidate = spec.candidate_at_level(level)
+    return assignment.with_copy(spec.group.key, candidate.uid, layer), candidate
+
+
+class TestCollection:
+    def test_no_copies_no_transfers(self, window_ctx):
+        assert collect_block_transfers(
+            window_ctx, window_ctx.out_of_box_assignment()
+        ) == ()
+
+    def test_read_copy_creates_in_transfer(self, window_ctx):
+        assignment, candidate = assignment_with_img_copy(window_ctx)
+        bts = collect_block_transfers(window_ctx, assignment)
+        assert len(bts) == 1
+        bt = bts[0]
+        assert bt.direction is TransferDirection.IN
+        assert bt.src_layer == "sdram"
+        assert bt.dst_layer == "l1"
+        assert bt.copy_uid == candidate.uid
+
+    def test_write_copy_creates_out_transfer(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(
+            s for s in window_ctx.specs.values() if s.group.array_name == "res"
+        )
+        assignment = assignment.with_copy(
+            spec.group.key, spec.candidate_at_level(0).uid, "l1"
+        )
+        bts = collect_block_transfers(window_ctx, assignment)
+        assert len(bts) == 1
+        assert bts[0].direction is TransferDirection.OUT
+        assert bts[0].src_layer == "l1"
+        assert bts[0].dst_layer == "sdram"
+
+    def test_bt_time_uses_dma_model(self, window_ctx):
+        assignment, candidate = assignment_with_img_copy(window_ctx)
+        bt = collect_block_transfers(window_ctx, assignment)[0]
+        platform = window_ctx.platform
+        words = platform.words_for_bytes(candidate.first_fill_elements * 1)
+        expected = platform.dma.transfer_cycles(
+            words,
+            platform.hierarchy.layer("sdram"),
+            platform.hierarchy.layer("l1"),
+        )
+        assert bt.bt_time_first == expected
+
+    def test_chained_copies_have_parent_levels(self, tiny_me_ctx):
+        assignment = tiny_me_ctx.out_of_box_assignment()
+        spec = next(
+            s
+            for s in tiny_me_ctx.specs.values()
+            if s.group.array_name == "tm_prev"
+        )
+        window = spec.candidate_at_level(2)
+        block = spec.candidate_at_level(4)
+        assignment = assignment.with_copy(spec.group.key, window.uid, "l2")
+        assignment = assignment.with_copy(spec.group.key, block.uid, "l1")
+        bts = collect_block_transfers(tiny_me_ctx, assignment)
+        by_uid = {bt.copy_uid: bt for bt in bts}
+        assert by_uid[window.uid].parent_fill_level == 0
+        assert by_uid[block.uid].parent_fill_level == 2
+        assert by_uid[block.uid].src_layer == "l2"
+
+    def test_no_dma_platform_yields_no_bts(self, window_program, platform3):
+        ctx = AnalysisContext(window_program, platform3.without_dma())
+        assignment, _ = assignment_with_img_copy(ctx)
+        assert collect_block_transfers(ctx, assignment) == ()
+
+
+class TestSortFactor:
+    def test_sort_factor_is_time_per_byte(self, window_ctx):
+        assignment, _ = assignment_with_img_copy(window_ctx)
+        bt = collect_block_transfers(window_ctx, assignment)[0]
+        assert bt.sort_factor == pytest.approx(bt.bt_time / bt.size_bytes)
+
+    def test_steady_time_preferred_when_refills_exist(self, tiny_me_ctx):
+        assignment = tiny_me_ctx.out_of_box_assignment()
+        spec = next(
+            s
+            for s in tiny_me_ctx.specs.values()
+            if s.group.array_name == "tm_prev"
+        )
+        window = spec.candidate_at_level(2)
+        assignment = assignment.with_copy(spec.group.key, window.uid, "l1")
+        bt = collect_block_transfers(tiny_me_ctx, assignment)[0]
+        assert bt.steady_fills_per_sweep > 0
+        assert bt.bt_time == bt.bt_time_steady

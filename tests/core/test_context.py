@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.core.context` (Assignment + AnalysisContext)."""
+
+import pytest
+
+from repro.core.context import AnalysisContext, Assignment
+from repro.errors import ValidationError
+from repro.lifetime.intervals import Interval
+
+
+class TestAssignment:
+    def test_out_of_box(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        assert set(assignment.array_home) == {"img", "res"}
+        assert all(layer == "sdram" for layer in assignment.array_home.values())
+        assert assignment.copy_count() == 0
+
+    def test_with_copy_roundtrip(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(iter(window_ctx.specs.values()))
+        uid = spec.candidates[0].uid
+        grown = assignment.with_copy(spec.group.key, uid, "l1")
+        assert grown.copy_count() == 1
+        assert assignment.copy_count() == 0  # original untouched
+        back = grown.without_copy(spec.group.key, uid)
+        assert back.copy_count() == 0
+
+    def test_duplicate_copy_rejected(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(iter(window_ctx.specs.values()))
+        uid = spec.candidates[0].uid
+        grown = assignment.with_copy(spec.group.key, uid, "l1")
+        with pytest.raises(ValidationError):
+            grown.with_copy(spec.group.key, uid, "l2")
+
+    def test_remove_missing_copy_rejected(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        with pytest.raises(ValidationError):
+            assignment.without_copy("nope", "nope@L0")
+
+    def test_with_home(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment().with_home("img", "l2")
+        assert assignment.array_home["img"] == "l2"
+
+    def test_with_home_unknown_array(self, window_ctx):
+        with pytest.raises(ValidationError):
+            window_ctx.out_of_box_assignment().with_home("ghost", "l1")
+
+    def test_selected_uids_sorted(self, tiny_me_ctx):
+        assignment = tiny_me_ctx.out_of_box_assignment()
+        specs = list(tiny_me_ctx.specs.values())
+        assignment = assignment.with_copy(
+            specs[1].group.key, specs[1].candidates[0].uid, "l1"
+        )
+        assignment = assignment.with_copy(
+            specs[0].group.key, specs[0].candidates[0].uid, "l2"
+        )
+        uids = assignment.selected_uids()
+        assert list(uids) == sorted(uids)
+
+
+class TestContextLookups:
+    def test_candidate_lookup(self, window_ctx):
+        spec = next(iter(window_ctx.specs.values()))
+        candidate = spec.candidates[0]
+        assert window_ctx.candidate(candidate.uid) is candidate
+
+    def test_unknown_candidate_rejected(self, window_ctx):
+        with pytest.raises(ValidationError):
+            window_ctx.candidate("bogus@L9")
+
+    def test_group_key_of_every_statement(self, tiny_me_ctx):
+        for context in tiny_me_ctx.program.statement_contexts:
+            key = tiny_me_ctx.group_key_of(context)
+            assert key in tiny_me_ctx.specs
+
+    def test_chain_for_roundtrip(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(iter(window_ctx.specs.values()))
+        uid = spec.candidates[0].uid
+        assignment = assignment.with_copy(spec.group.key, uid, "l1")
+        chain = window_ctx.chain_for(assignment, spec.group.key)
+        assert chain.serving_layer == "l1"
+
+
+class TestSpaceClaims:
+    def test_offchip_arrays_claim_offchip(self, window_ctx):
+        claims = window_ctx.space_claims(window_ctx.out_of_box_assignment())
+        assert all(c.layer_name == "sdram" for c in claims)
+
+    def test_copy_claims_cover_their_nest(self, two_nest_program, platform3):
+        ctx = AnalysisContext(two_nest_program, platform3)
+        assignment = ctx.out_of_box_assignment()
+        spec = next(
+            s for s in ctx.specs.values()
+            if s.group.array_name == "mid" and s.group.nest_index == 1
+        )
+        uid = spec.candidates[0].uid
+        assignment = assignment.with_copy(spec.group.key, uid, "l1")
+        claims = ctx.space_claims(assignment)
+        copy_claim = next(c for c in claims if c.tag == f"copy:{uid}")
+        assert copy_claim.interval == Interval(1, 1)
+        assert copy_claim.layer_name == "l1"
+
+    def test_extra_buffer_doubles_claim(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(iter(window_ctx.specs.values()))
+        candidate = spec.candidates[-1]
+        assignment = assignment.with_copy(spec.group.key, candidate.uid, "l1")
+        base = window_ctx.space_claims(assignment)
+        doubled = window_ctx.space_claims(
+            assignment, extra_buffer_uids=frozenset({candidate.uid})
+        )
+        base_bytes = next(c for c in base if c.tag.startswith("copy:")).bytes
+        doubled_bytes = next(c for c in doubled if c.tag.startswith("copy:")).bytes
+        assert doubled_bytes == 2 * base_bytes
+
+    def test_fits_detects_oversized_copy(self, tiny_me_ctx, tiny_platform):
+        from repro.core.context import AnalysisContext
+
+        ctx = AnalysisContext(tiny_me_ctx.program, tiny_platform)
+        assignment = ctx.out_of_box_assignment()
+        spec = next(
+            s for s in ctx.specs.values() if s.group.array_name == "tm_prev"
+        )
+        big = spec.candidate_at_level(0)  # 36x36 bytes > 1 KiB scratchpad
+        assignment = assignment.with_copy(spec.group.key, big.uid, "spm")
+        assert not ctx.fits(assignment)

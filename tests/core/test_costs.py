@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.core.costs` (the analytical estimator)."""
+
+import pytest
+
+from repro.core.context import AnalysisContext
+from repro.core.costs import estimate_cost, iteration_cycles
+from repro.errors import ValidationError
+from repro.memory.timing import DRAM_RANDOM_LATENCY_CYCLES
+
+
+class TestOutOfBoxCosts:
+    def test_oob_cycles_closed_form(self, stream_program, platform3):
+        ctx = AnalysisContext(stream_program, platform3)
+        report = estimate_cost(ctx, ctx.out_of_box_assignment())
+        accesses = stream_program.total_accesses()
+        expected = (
+            stream_program.compute_cycles()
+            + accesses * DRAM_RANDOM_LATENCY_CYCLES
+        )
+        assert report.cycles == expected
+        assert report.stall_cycles == 0
+        assert report.fill_events == 0
+
+    def test_oob_energy_closed_form(self, stream_program, platform3):
+        ctx = AnalysisContext(stream_program, platform3)
+        report = estimate_cost(ctx, ctx.out_of_box_assignment())
+        sdram = platform3.hierarchy.offchip
+        expected = 64 * sdram.read_energy_nj + 64 * sdram.write_energy_nj
+        assert report.energy_nj == pytest.approx(expected)
+
+    def test_traffic_counts(self, stream_program, platform3):
+        ctx = AnalysisContext(stream_program, platform3)
+        report = estimate_cost(ctx, ctx.out_of_box_assignment())
+        sdram_traffic = report.traffic["sdram"]
+        assert sdram_traffic.cpu_reads == 64
+        assert sdram_traffic.cpu_writes == 64
+        assert sdram_traffic.dma_total_words == 0
+
+
+class TestCopyCosts:
+    def make_copied(self, window_program, platform3):
+        ctx = AnalysisContext(window_program, platform3)
+        assignment = ctx.out_of_box_assignment()
+        spec = next(
+            s for s in ctx.specs.values() if s.group.array_name == "img"
+        )
+        level0 = spec.candidate_at_level(0)
+        assignment = assignment.with_copy(spec.group.key, level0.uid, "l1")
+        return ctx, assignment, level0
+
+    def test_copy_redirects_accesses(self, window_program, platform3):
+        ctx, assignment, _ = self.make_copied(window_program, platform3)
+        report = estimate_cost(ctx, assignment)
+        assert report.traffic["l1"].cpu_reads == 16 * 32 * 9
+        assert report.traffic["sdram"].cpu_reads == 0
+
+    def test_copy_adds_transfer_costs(self, window_program, platform3):
+        ctx, assignment, level0 = self.make_copied(window_program, platform3)
+        report = estimate_cost(ctx, assignment)
+        assert report.fill_events == 1
+        assert report.transfer_words > 0
+        assert report.stall_cycles > 0  # unhidden fill stalls
+
+    def test_copy_reduces_total_cycles_and_energy(self, window_program, platform3):
+        ctx, assignment, _ = self.make_copied(window_program, platform3)
+        baseline = estimate_cost(ctx, ctx.out_of_box_assignment())
+        improved = estimate_cost(ctx, assignment)
+        assert improved.cycles < baseline.cycles
+        assert improved.energy_nj < baseline.energy_nj
+
+    def test_ideal_zeroes_fill_stalls(self, window_program, platform3):
+        ctx, assignment, _ = self.make_copied(window_program, platform3)
+        plain = estimate_cost(ctx, assignment)
+        ideal = estimate_cost(ctx, assignment, ideal=True)
+        assert ideal.stall_cycles == 0
+        assert ideal.cycles == plain.cycles - plain.stall_cycles
+        assert ideal.energy_nj == pytest.approx(plain.energy_nj)
+
+    def test_writeback_costs_energy_not_stall(self, window_program, platform3):
+        ctx = AnalysisContext(window_program, platform3)
+        assignment = ctx.out_of_box_assignment()
+        spec = next(
+            s for s in ctx.specs.values() if s.group.array_name == "res"
+        )
+        candidate = spec.candidate_at_level(0)
+        assignment = assignment.with_copy(spec.group.key, candidate.uid, "l1")
+        report = estimate_cost(ctx, assignment)
+        assert report.stall_cycles == 0  # write-backs are posted
+        assert report.transfer_energy_nj > 0
+        assert report.traffic["sdram"].dma_write_words > 0
+
+
+class TestNoDmaPlatform:
+    def test_cpu_copies_cost_cycles(self, window_program, platform3):
+        nodma = platform3.without_dma()
+        ctx = AnalysisContext(window_program, nodma)
+        assignment = ctx.out_of_box_assignment()
+        spec = next(
+            s for s in ctx.specs.values() if s.group.array_name == "img"
+        )
+        assignment = assignment.with_copy(
+            spec.group.key, spec.candidate_at_level(0).uid, "l1"
+        )
+        report = estimate_cost(ctx, assignment)
+        assert report.copy_cpu_cycles > 0
+        assert report.stall_cycles == 0
+        assert report.dma_busy_cycles == 0
+
+
+class TestIterationCycles:
+    def test_innermost_loop(self, window_program, platform3):
+        ctx = AnalysisContext(window_program, platform3)
+        assignment = ctx.out_of_box_assignment()
+        # one w_x iteration: 10 work + (9 reads + 1 write) * dram latency
+        expected = 10 + 10 * DRAM_RANDOM_LATENCY_CYCLES
+        assert iteration_cycles(ctx, assignment, "w_x") == pytest.approx(expected)
+
+    def test_outer_loop_includes_inner(self, window_program, platform3):
+        ctx = AnalysisContext(window_program, platform3)
+        assignment = ctx.out_of_box_assignment()
+        inner = iteration_cycles(ctx, assignment, "w_x")
+        outer = iteration_cycles(ctx, assignment, "w_y")
+        assert outer == pytest.approx(32 * inner)
+
+    def test_depends_on_assignment(self, window_program, platform3):
+        ctx = AnalysisContext(window_program, platform3)
+        oob = ctx.out_of_box_assignment()
+        spec = next(
+            s for s in ctx.specs.values() if s.group.array_name == "img"
+        )
+        copied = oob.with_copy(spec.group.key, spec.candidate_at_level(0).uid, "l1")
+        assert iteration_cycles(ctx, copied, "w_x") < iteration_cycles(
+            ctx, oob, "w_x"
+        )
+
+    def test_unknown_loop_rejected(self, window_ctx):
+        with pytest.raises(ValidationError):
+            iteration_cycles(
+                window_ctx, window_ctx.out_of_box_assignment(), "ghost"
+            )

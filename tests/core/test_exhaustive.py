@@ -1,0 +1,63 @@
+"""Unit tests for :mod:`repro.core.exhaustive` vs the greedy engine."""
+
+import pytest
+
+from repro.core.assignment import GreedyAssigner, Objective, objective_value
+from repro.core.context import AnalysisContext
+from repro.core.costs import estimate_cost
+from repro.core.exhaustive import ExhaustiveAssigner
+from repro.errors import AssignmentError
+
+
+class TestEnumeration:
+    def test_finds_feasible_optimum(self, window_ctx):
+        result = ExhaustiveAssigner(window_ctx).run()
+        assert result.feasible >= 1
+        assert result.evaluated >= result.feasible
+        assert window_ctx.fits(result.assignment)
+
+    def test_optimum_beats_baseline(self, window_ctx):
+        result = ExhaustiveAssigner(window_ctx).run()
+        baseline = objective_value(
+            estimate_cost(window_ctx, window_ctx.out_of_box_assignment()),
+            Objective.EDP,
+        )
+        assert result.value <= baseline
+
+    def test_state_budget_enforced(self, tiny_me_ctx):
+        with pytest.raises(AssignmentError):
+            ExhaustiveAssigner(tiny_me_ctx, max_states=10).run()
+
+    def test_home_options_enlarge_space(self, table_program, platform3):
+        ctx = AnalysisContext(table_program, platform3)
+        without = ExhaustiveAssigner(ctx, include_home_moves=False).run()
+        with_homes = ExhaustiveAssigner(ctx, include_home_moves=True).run()
+        assert with_homes.evaluated > without.evaluated
+        assert with_homes.value <= without.value
+
+
+class TestGreedyQuality:
+    """ABL-ASSIGN: the greedy should track the global optimum closely."""
+
+    @pytest.mark.parametrize(
+        "program_fixture",
+        ["stream_program", "window_program", "table_program", "hist_program"],
+    )
+    def test_greedy_within_5_percent_of_optimum(
+        self, program_fixture, platform3, request
+    ):
+        program = request.getfixturevalue(program_fixture)
+        ctx = AnalysisContext(program, platform3)
+        optimum = ExhaustiveAssigner(ctx, include_home_moves=False).run()
+        greedy_assignment, trace = GreedyAssigner(
+            ctx, allow_home_moves=False
+        ).run()
+        assert trace.final_value <= optimum.value * 1.05
+
+    def test_greedy_matches_optimum_on_two_nests(
+        self, two_nest_program, platform3
+    ):
+        ctx = AnalysisContext(two_nest_program, platform3)
+        optimum = ExhaustiveAssigner(ctx, include_home_moves=False).run()
+        _assignment, trace = GreedyAssigner(ctx, allow_home_moves=False).run()
+        assert trace.final_value <= optimum.value * 1.05

@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.core.tradeoff` (layer-size exploration)."""
+
+import pytest
+
+from repro.analysis.pareto import pareto_front
+from repro.core.tradeoff import (
+    default_platform_factory,
+    sweep_layer_sizes,
+)
+from repro.units import kib
+
+
+class TestSweep:
+    SIZES = (kib(1), kib(4), kib(16))
+
+    def test_one_point_per_size(self, window_program):
+        points = sweep_layer_sizes(window_program, sizes_bytes=self.SIZES)
+        assert [p.l1_bytes for p in points] == list(self.SIZES)
+
+    def test_te_never_slower_than_mhla(self, window_program):
+        points = sweep_layer_sizes(window_program, sizes_bytes=self.SIZES)
+        for point in points:
+            assert point.te_cycles <= point.cycles
+
+    def test_edp_property(self, window_program):
+        points = sweep_layer_sizes(window_program, sizes_bytes=self.SIZES)
+        for point in points:
+            assert point.edp == pytest.approx(point.cycles * point.energy_nj)
+
+    def test_results_attached(self, window_program):
+        points = sweep_layer_sizes(window_program, sizes_bytes=(kib(4),))
+        assert points[0].result.scenario("mhla").cycles == points[0].cycles
+
+    def test_pareto_front_nonempty(self, tiny_me_program):
+        points = sweep_layer_sizes(tiny_me_program, sizes_bytes=self.SIZES)
+        front = pareto_front(
+            points, key=lambda p: (p.cycles, p.energy_nj, p.l1_bytes)
+        )
+        assert 1 <= len(front) <= len(points)
+
+    def test_custom_factory_used(self, window_program):
+        seen = []
+
+        def factory(size):
+            seen.append(size)
+            return default_platform_factory(size)
+
+        sweep_layer_sizes(
+            window_program, platform_factory=factory, sizes_bytes=(kib(2),)
+        )
+        assert seen == [kib(2)]
+
+
+class TestDefaultFactory:
+    def test_l2_scales_with_big_l1(self):
+        platform = default_platform_factory(kib(64))
+        assert platform.hierarchy.layer("l2").capacity_bytes == kib(256)
+
+    def test_l2_fixed_for_small_l1(self):
+        platform = default_platform_factory(kib(2))
+        assert platform.hierarchy.layer("l2").capacity_bytes == kib(64)

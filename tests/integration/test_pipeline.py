@@ -1,0 +1,92 @@
+"""Integration tests: the full flow on the real application suite.
+
+These are the library-level guarantees the benchmarks rely on; they run
+the complete two-step exploration for every bundled application on the
+default platform and check the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.apps import all_app_names, build_app
+from repro.core.mhla import Mhla
+from repro.core.te import TimeExtensionEngine
+from repro.memory.presets import embedded_3layer
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    platform = embedded_3layer()
+    return {
+        name: Mhla(build_app(name), platform).explore()
+        for name in all_app_names()
+    }
+
+
+class TestSuiteWideClaims:
+    def test_every_app_improves_performance(self, suite_results):
+        for name, result in suite_results.items():
+            assert result.mhla_speedup_fraction > 0.2, name
+
+    def test_every_app_improves_energy(self, suite_results):
+        """Paper: 'significant performance and energy consumption gains
+        on every application'."""
+        for name, result in suite_results.items():
+            assert result.energy_reduction_fraction > 0.3, name
+
+    def test_te_never_hurts(self, suite_results):
+        for name, result in suite_results.items():
+            assert result.te_speedup_fraction >= 0.0, name
+
+    def test_te_helps_somewhere(self, suite_results):
+        best = max(r.te_speedup_fraction for r in suite_results.values())
+        assert best > 0.03
+
+    def test_ordering_on_every_app(self, suite_results):
+        for name, result in suite_results.items():
+            cycles = result.cycles_by_scenario()
+            assert cycles["oob"] >= cycles["mhla"] >= cycles["mhla_te"], name
+            assert cycles["mhla_te"] >= cycles["ideal"], name
+
+    def test_energy_unchanged_by_te(self, suite_results):
+        for name, result in suite_results.items():
+            assert result.scenario("mhla").energy_nj == pytest.approx(
+                result.scenario("mhla_te").energy_nj
+            ), name
+
+    def test_assignments_fit_their_platform(self, suite_results):
+        platform = embedded_3layer()
+        for name, result in suite_results.items():
+            program = build_app(name)
+            from repro.core.context import AnalysisContext
+
+            ctx = AnalysisContext(program, platform)
+            scenario = result.scenario("mhla_te")
+            extra = (
+                scenario.te.extra_buffer_uids
+                if scenario.te is not None
+                else frozenset()
+            )
+            assert ctx.fits(scenario.assignment, extra), name
+
+
+class TestTeMechanics:
+    def test_te_extends_transfers_on_suite(self, suite_results):
+        extended_anywhere = any(
+            result.scenario("mhla_te").te.extended_count > 0
+            for result in suite_results.values()
+        )
+        assert extended_anywhere
+
+    def test_te_idempotent(self):
+        program = build_app("voice_coder")
+        platform = embedded_3layer()
+        tool = Mhla(program, platform)
+        result = tool.explore()
+        assignment = result.scenario("mhla").assignment
+        first = TimeExtensionEngine(tool.ctx).run(assignment)
+        second = TimeExtensionEngine(tool.ctx).run(assignment)
+        assert first.decisions.keys() == second.decisions.keys()
+        for uid in first.decisions:
+            assert first.decisions[uid].hidden_cycles == pytest.approx(
+                second.decisions[uid].hidden_cycles
+            )

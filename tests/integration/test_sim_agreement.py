@@ -1,0 +1,42 @@
+"""VAL-SIM integration: simulator vs estimator on the real suite.
+
+The estimator drives the search, the simulator replays the decisions
+with a real DMA queue; agreement within a contention-sized tolerance on
+every application validates both.
+"""
+
+import pytest
+
+from repro.apps import all_app_names, build_app
+from repro.core.mhla import Mhla
+from repro.memory.presets import embedded_3layer
+from repro.sim import simulate
+from repro.sim.stats import relative_error
+
+# Apps that are fast to simulate (iteration counts at fill levels).
+SIMULATED_APPS = tuple(all_app_names())
+
+
+@pytest.mark.parametrize("name", SIMULATED_APPS)
+def test_mhla_simulation_agrees(name):
+    platform = embedded_3layer()
+    tool = Mhla(build_app(name), platform)
+    result = tool.explore()
+    scenario = result.scenario("mhla")
+    stats = simulate(tool.ctx, scenario.assignment)
+    assert relative_error(stats.cycles, scenario.cycles) < 0.1, (
+        f"{name}: sim={stats.cycles:.0f} est={scenario.cycles:.0f}"
+    )
+
+
+@pytest.mark.parametrize("name", SIMULATED_APPS)
+def test_te_simulation_agrees_and_never_slower_than_ideal(name):
+    platform = embedded_3layer()
+    tool = Mhla(build_app(name), platform)
+    result = tool.explore()
+    scenario = result.scenario("mhla_te")
+    stats = simulate(tool.ctx, scenario.assignment, scenario.te)
+    assert relative_error(stats.cycles, scenario.cycles) < 0.15, name
+    # the simulated TE run can never beat the analytic zero-wait ideal
+    # by more than rounding noise
+    assert stats.cycles >= result.scenario("ideal").cycles * 0.999, name

@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.ir.arrays`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.arrays import Array, ArrayKind
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        array = Array("frame", (144, 176), element_bytes=1)
+        assert array.rank == 2
+        assert array.elements == 144 * 176
+        assert array.bytes == 144 * 176
+
+    def test_element_bytes_scales_size(self):
+        array = Array("coeffs", (8, 8), element_bytes=4)
+        assert array.bytes == 64 * 4
+
+    def test_default_kind_is_internal(self):
+        assert Array("x", (4,)).kind is ArrayKind.INTERNAL
+
+    def test_rank_one(self):
+        array = Array("vec", (100,))
+        assert array.rank == 1
+        assert array.elements == 100
+
+    def test_rank_three(self):
+        array = Array("video", (3, 288, 352), element_bytes=1)
+        assert array.elements == 3 * 288 * 352
+
+    def test_str_mentions_shape_and_element_size(self):
+        text = str(Array("a", (2, 3), element_bytes=2))
+        assert "a" in text
+        assert "2x3" in text
+        assert "2B" in text
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Array("", (4,))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            Array("x", ())
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            Array("x", (4, 0))
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            Array("x", (-1,))
+
+    def test_zero_element_bytes_rejected(self):
+        with pytest.raises(ValidationError):
+            Array("x", (4,), element_bytes=0)
+
+
+class TestKinds:
+    @pytest.mark.parametrize("kind", list(ArrayKind))
+    def test_all_kinds_constructible(self, kind):
+        assert Array("x", (4,), kind=kind).kind is kind
+
+    def test_kind_from_string_value(self):
+        assert ArrayKind("input") is ArrayKind.INPUT
+        assert ArrayKind("output") is ArrayKind.OUTPUT

@@ -1,0 +1,121 @@
+"""Unit tests for :mod:`repro.ir.builder` (the construction DSL)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.builder import ProgramBuilder, dim, fixed
+from repro.ir.statements import AccessKind
+
+
+class TestHappyPath:
+    def test_minimal_program(self):
+        b = ProgramBuilder("p")
+        data = b.array("data", (8,), kind="input")
+        with b.loop("i", 8):
+            b.read(data, dim(("i", 1)))
+        program = b.build()
+        assert program.name == "p"
+        assert program.trips == {"i": 8}
+        assert program.total_accesses() == 8
+
+    def test_nested_loops_and_work(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4, 4))
+        with b.loop("i", 4, work=7):
+            with b.loop("j", 4, work=3):
+                b.write(a, dim(("i", 1)), dim(("j", 1)))
+        program = b.build()
+        assert program.compute_cycles() == 4 * (7 + 4 * 3)
+
+    def test_multiple_top_level_nests(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            b.write(a, dim(("i", 1)))
+        with b.loop("j", 4):
+            b.read(a, dim(("j", 1)))
+        program = b.build()
+        assert len(program.nests) == 2
+
+    def test_read_write_kinds(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            r = b.read(a, dim(("i", 1)))
+            w = b.write(a, dim(("i", 1)))
+        b.build()
+        assert r.kind is AccessKind.READ
+        assert w.kind is AccessKind.WRITE
+
+    def test_fixed_dim_helper(self):
+        expr = fixed(extent=256)
+        assert expr.terms == ()
+        assert expr.extent == 256
+
+
+class TestErrors:
+    def test_undeclared_array_access(self):
+        b = ProgramBuilder("p")
+        with b.loop("i", 4):
+            with pytest.raises(ValidationError):
+                b.read("ghost", dim(("i", 1)))
+
+    def test_duplicate_array(self):
+        b = ProgramBuilder("p")
+        b.array("a", (4,))
+        with pytest.raises(ValidationError):
+            b.array("a", (4,))
+
+    def test_duplicate_loop_name(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            b.write(a, dim(("i", 1)))
+        with pytest.raises(ValidationError):
+            b.loop("i", 4).__enter__()
+
+    def test_build_twice_rejected(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            b.write(a, dim(("i", 1)))
+        b.build()
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_access_after_build_rejected(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            b.write(a, dim(("i", 1)))
+        b.build()
+        with pytest.raises(ValidationError):
+            b.read(a, dim(("i", 1)))
+
+    def test_access_without_dims_rejected(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            with pytest.raises(ValidationError):
+                b.read(a)
+
+    def test_empty_program_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_ref_with_foreign_loop_rejected_at_build(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,))
+        with b.loop("i", 4):
+            b.read(a, dim(("elsewhere", 1)))
+        with pytest.raises(ValidationError):
+            b.build()
+
+    def test_rank_mismatch_rejected_at_build(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4, 4))
+        with b.loop("i", 4):
+            b.read(a, dim(("i", 1)))  # rank 1 ref on rank 2 array
+        with pytest.raises(ValidationError):
+            b.build()

@@ -1,0 +1,76 @@
+"""Unit tests for :mod:`repro.ir.dependences` (hoisting freedom)."""
+
+from repro.ir.dependences import analyze_dependences
+
+
+class TestInputArrays:
+    def test_input_array_has_full_freedom(self, window_program):
+        deps = analyze_dependences(window_program)
+        path = ("w_y", "w_x")
+        assert deps.hoist_limit_depth("img", 0, path) == 0
+
+    def test_freedom_loops_innermost_first(self, window_program):
+        deps = analyze_dependences(window_program)
+        read = next(
+            c for c in window_program.statement_contexts if c.stmt.is_read
+        )
+        freedom = deps.hoist_freedom("img", 0, read.path)
+        assert tuple(loop.name for loop in freedom) == ("w_x", "w_y")
+
+
+class TestProducerConsumer:
+    def test_earlier_nest_producer_gives_full_freedom(self, two_nest_program):
+        deps = analyze_dependences(two_nest_program)
+        # mid is written in nest 0; reads in nest 1 have full freedom
+        assert deps.hoist_limit_depth("mid", 1, ("c_y", "c_x")) == 0
+
+    def test_writers_recorded_per_nest(self, two_nest_program):
+        deps = analyze_dependences(two_nest_program)
+        assert len(deps.writers_in_nest(0, "mid")) == 1
+        assert deps.writers_in_nest(1, "mid") == ()
+
+
+class TestSameNestDependence:
+    def test_same_nest_writer_blocks_shared_loops(self, self_dependent_program):
+        deps = analyze_dependences(self_dependent_program)
+        # state is read and written under the same (d_t, d_i) loops:
+        # the whole consumer path is shared with the writer.
+        limit = deps.hoist_limit_depth("state", 0, ("d_t", "d_i"))
+        assert limit == 2
+
+    def test_same_nest_freedom_empty(self, self_dependent_program):
+        deps = analyze_dependences(self_dependent_program)
+        read = next(
+            c
+            for c in self_dependent_program.statement_contexts
+            if c.stmt.array_name == "state" and c.stmt.is_read
+        )
+        assert deps.hoist_freedom("state", 0, read.path) == ()
+
+    def test_pure_input_in_same_nest_unaffected(self, self_dependent_program):
+        deps = analyze_dependences(self_dependent_program)
+        assert deps.hoist_limit_depth("seed", 0, ("d_t", "d_i")) == 0
+
+    def test_partial_freedom_when_writer_is_shallower(self):
+        from repro.ir.builder import ProgramBuilder, dim
+
+        b = ProgramBuilder("partial")
+        buf = b.array("buf", (8, 16))
+        src = b.array("src", (8, 16), kind="input")
+        with b.loop("t", 8):
+            b.write(buf, dim(("t", 1)), dim(extent=16))
+            with b.loop("u", 16):
+                with b.loop("v", 4, work=2):
+                    b.read(buf, dim(("t", 1)), dim(("u", 1)), count=1)
+                    b.read(src, dim(("t", 1)), dim(("u", 1)), count=1)
+        program = b.build()
+        deps = analyze_dependences(program)
+        # writer shares only loop "t" with the (t, u, v) consumers
+        assert deps.hoist_limit_depth("buf", 0, ("t", "u", "v")) == 1
+        read = next(
+            c
+            for c in program.statement_contexts
+            if c.stmt.array_name == "buf" and c.stmt.is_read
+        )
+        freedom = deps.hoist_freedom("buf", 0, read.path)
+        assert tuple(loop.name for loop in freedom) == ("v", "u")

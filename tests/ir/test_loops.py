@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.ir.loops` (tree structure + walks)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.loops import (
+    Block,
+    Loop,
+    executions_of,
+    iter_loops,
+    iter_statements,
+    loop_path_to,
+    validate_tree,
+    walk_preorder,
+)
+from repro.ir.refs import AffineRef, single
+from repro.ir.statements import AccessKind, AccessStmt
+
+
+def make_stmt(array="a"):
+    return AccessStmt(
+        array_name=array,
+        ref=AffineRef(dims=(single(("i", 1)),)),
+        kind=AccessKind.READ,
+    )
+
+
+class TestLoop:
+    def test_str(self):
+        assert "0..8" in str(Loop("i", 8))
+
+    def test_trips_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Loop("i", 0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValidationError):
+            Loop("i", 4, work_cycles=-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Loop("", 4)
+
+
+class TestWalks:
+    def build_tree(self):
+        stmt1, stmt2 = make_stmt(), make_stmt("b")
+        inner = Loop("j", 3, body=(stmt1,))
+        outer = Loop("i", 5, body=(inner, stmt2))
+        return outer, inner, stmt1, stmt2
+
+    def test_preorder_visits_all(self):
+        outer, inner, stmt1, stmt2 = self.build_tree()
+        visited = list(walk_preorder(outer))
+        assert visited == [outer, inner, stmt1, stmt2]
+
+    def test_iter_statements_in_order(self):
+        outer, _inner, stmt1, stmt2 = self.build_tree()
+        assert list(iter_statements(outer)) == [stmt1, stmt2]
+
+    def test_iter_loops(self):
+        outer, inner, *_ = self.build_tree()
+        assert list(iter_loops(outer)) == [outer, inner]
+
+    def test_loop_path_to_inner_stmt(self):
+        outer, inner, stmt1, _ = self.build_tree()
+        assert loop_path_to(outer, stmt1) == (outer, inner)
+
+    def test_loop_path_to_outer_stmt(self):
+        outer, _inner, _s1, stmt2 = self.build_tree()
+        assert loop_path_to(outer, stmt2) == (outer,)
+
+    def test_loop_path_missing_returns_none(self):
+        outer, *_ = self.build_tree()
+        assert loop_path_to(outer, make_stmt()) is None
+
+    def test_block_is_transparent_for_paths(self):
+        stmt = make_stmt()
+        loop = Loop("i", 2, body=(Block(body=(stmt,)),))
+        assert loop_path_to(loop, stmt) == (loop,)
+
+    def test_executions_of(self):
+        outer, inner, *_ = self.build_tree()
+        assert executions_of((outer, inner)) == 15
+        assert executions_of(()) == 1
+
+
+class TestValidateTree:
+    def test_duplicate_loop_name_on_path_rejected(self):
+        inner = Loop("i", 2, body=(make_stmt(),))
+        outer = Loop("i", 2, body=(inner,))
+        with pytest.raises(ValidationError):
+            validate_tree(outer)
+
+    def test_same_name_in_siblings_allowed_by_tree_check(self):
+        # program-level uniqueness is enforced by Program, not the tree
+        a = Loop("i", 2, body=(make_stmt(),))
+        b = Loop("j", 2, body=(make_stmt(),))
+        validate_tree(Block(body=(a, b)))
+
+    def test_shared_node_rejected(self):
+        shared = Loop("j", 2, body=(make_stmt(),))
+        tree = Block(body=(Loop("a", 2, body=(shared,)), Loop("b", 2, body=(shared,))))
+        with pytest.raises(ValidationError):
+            validate_tree(tree)

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.ir.refs` (affine references, footprints)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.refs import AffineRef, DimExpr, single
+
+
+class TestDimExpr:
+    def test_extent_fixed_loops_only_window(self):
+        expr = single(("i", 4), extent=3)
+        assert expr.extent_when([], {}) == 3
+
+    def test_extent_one_ranging_loop(self):
+        # index = 4*i + [0,3): i in 0..9 -> touches 4*9 + 3 = 39 positions
+        expr = single(("i", 4), extent=3)
+        assert expr.extent_when(["i"], {"i": 10}) == 4 * 9 + 3
+
+    def test_extent_two_ranging_loops(self):
+        # 16*b + 1*c + [0,16) with b:0..9, c:0..16
+        expr = single(("b", 16), ("c", 1), extent=16)
+        assert expr.extent_when(["b", "c"], {"b": 10, "c": 17}) == 16 * 9 + 16 + 16
+
+    def test_negative_stride_uses_magnitude(self):
+        expr = single(("i", -2), extent=1)
+        assert expr.extent_when(["i"], {"i": 5}) == 2 * 4 + 1
+
+    def test_stride_of_absent_loop_is_zero(self):
+        expr = single(("i", 4))
+        assert expr.stride_of("j") == 0
+        assert expr.stride_of("i") == 4
+
+    def test_missing_trip_count_raises(self):
+        expr = single(("i", 1))
+        with pytest.raises(ValidationError):
+            expr.extent_when(["i"], {})
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValidationError):
+            single(("i", 0))
+
+    def test_duplicate_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            DimExpr(terms=(("i", 1), ("i", 2)))
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValidationError):
+            DimExpr(terms=(), extent=0)
+
+
+class TestAffineRef:
+    def make_window_ref(self):
+        """The motion-estimation reference pattern."""
+        return AffineRef(
+            dims=(
+                single(("by", 16), ("cy", 1), extent=16),
+                single(("bx", 16), ("cx", 1), extent=16),
+            )
+        )
+
+    TRIPS = {"by": 9, "bx": 11, "cy": 17, "cx": 17}
+
+    def test_footprint_innermost(self):
+        ref = self.make_window_ref()
+        # all loops fixed: one 16x16 block
+        assert ref.footprint_when([], self.TRIPS) == 256
+
+    def test_footprint_search_window(self):
+        ref = self.make_window_ref()
+        # candidate loops ranging: (16+16) x (16+16) search window
+        assert ref.footprint_when(["cy", "cx"], self.TRIPS) == 32 * 32
+
+    def test_footprint_whole_frame_band(self):
+        ref = self.make_window_ref()
+        # bx and candidates ranging: 32 rows x full width band
+        expected_cols = 16 * 10 + 16 + 16
+        assert ref.footprint_when(["bx", "cy", "cx"], self.TRIPS) == 32 * expected_cols
+
+    def test_shape_clipping(self):
+        ref = self.make_window_ref()
+        clipped = ref.footprint_when(["cy", "cx"], self.TRIPS, shape=(20, 20))
+        assert clipped == 20 * 20
+
+    def test_shift_of(self):
+        ref = self.make_window_ref()
+        assert ref.shift_of("bx") == (0, 16)
+        assert ref.shift_of("cy") == (1, 0)
+
+    def test_loop_names_union(self):
+        ref = self.make_window_ref()
+        assert ref.loop_names == {"by", "bx", "cy", "cx"}
+
+    def test_rank_mismatch_with_shape_raises(self):
+        ref = self.make_window_ref()
+        with pytest.raises(ValidationError):
+            ref.footprint_when([], self.TRIPS, shape=(4,))
+
+    def test_empty_ref_rejected(self):
+        with pytest.raises(ValidationError):
+            AffineRef(dims=())
+
+    def test_per_dim_extents(self):
+        ref = self.make_window_ref()
+        assert ref.per_dim_extents(["cy", "cx"], self.TRIPS) == (32, 32)
+
+
+class TestFootprintMonotonicity:
+    """Adding ranging loops can never shrink a footprint."""
+
+    def test_nested_ranging_sets_grow(self):
+        ref = AffineRef(
+            dims=(single(("a", 3), ("b", 1), extent=2), single(("c", 5), extent=4))
+        )
+        trips = {"a": 4, "b": 7, "c": 3}
+        ordered_sets = [[], ["b"], ["a", "b"], ["a", "b", "c"]]
+        footprints = [ref.footprint_when(s, trips) for s in ordered_sets]
+        assert footprints == sorted(footprints)

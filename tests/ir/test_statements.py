@@ -1,0 +1,40 @@
+"""Unit tests for :mod:`repro.ir.statements`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.refs import AffineRef, single
+from repro.ir.statements import AccessKind, AccessStmt
+
+
+def ref1d():
+    return AffineRef(dims=(single(("i", 1)),))
+
+
+class TestAccessStmt:
+    def test_read_properties(self):
+        stmt = AccessStmt("a", ref1d(), AccessKind.READ, count=4)
+        assert stmt.is_read
+        assert not stmt.is_write
+        assert stmt.count == 4
+
+    def test_write_properties(self):
+        stmt = AccessStmt("a", ref1d(), AccessKind.WRITE)
+        assert stmt.is_write
+        assert not stmt.is_read
+
+    def test_str_shows_direction_and_count(self):
+        stmt = AccessStmt("buf", ref1d(), AccessKind.READ, count=9, label="win")
+        text = str(stmt)
+        assert "rd" in text
+        assert "buf" in text
+        assert "x9" in text
+        assert "win" in text
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValidationError):
+            AccessStmt("a", ref1d(), AccessKind.READ, count=0)
+
+    def test_empty_array_name_rejected(self):
+        with pytest.raises(ValidationError):
+            AccessStmt("", ref1d(), AccessKind.READ)

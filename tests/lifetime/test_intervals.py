@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.lifetime.intervals`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lifetime.intervals import Interval, max_concurrent, occupancy_at
+
+
+class TestInterval:
+    def test_overlap(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+        assert Interval(1, 5).overlaps(Interval(2, 3))
+
+    def test_contains(self):
+        interval = Interval(1, 3)
+        assert interval.contains(1)
+        assert interval.contains(3)
+        assert not interval.contains(0)
+        assert not interval.contains(4)
+
+    def test_length(self):
+        assert Interval(2, 2).length == 1
+        assert Interval(0, 4).length == 5
+
+    def test_union_bound(self):
+        assert Interval(0, 1).union_bound(Interval(3, 4)) == Interval(0, 4)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            Interval(3, 2)
+        with pytest.raises(ValidationError):
+            Interval(-1, 2)
+
+
+class TestMaxConcurrent:
+    def test_disjoint_intervals_do_not_stack(self):
+        claims = [(Interval(0, 0), 100), (Interval(1, 1), 120)]
+        assert max_concurrent(claims) == 120
+
+    def test_overlapping_intervals_stack(self):
+        claims = [(Interval(0, 2), 100), (Interval(1, 3), 50)]
+        assert max_concurrent(claims) == 150
+
+    def test_adjacent_inclusive_endpoints_stack(self):
+        # [0,1] and [1,2] share step 1
+        claims = [(Interval(0, 1), 10), (Interval(1, 2), 10)]
+        assert max_concurrent(claims) == 20
+
+    def test_empty(self):
+        assert max_concurrent([]) == 0
+
+    def test_triple_stack(self):
+        claims = [(Interval(0, 4), 1), (Interval(1, 3), 1), (Interval(2, 2), 1)]
+        assert max_concurrent(claims) == 3
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            max_concurrent([(Interval(0, 1), -5)])
+
+    def test_occupancy_at_step(self):
+        claims = [(Interval(0, 2), 10), (Interval(2, 4), 20)]
+        assert occupancy_at(claims, 0) == 10
+        assert occupancy_at(claims, 2) == 30
+        assert occupancy_at(claims, 4) == 20
+        assert occupancy_at(claims, 5) == 0

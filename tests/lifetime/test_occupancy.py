@@ -1,0 +1,93 @@
+"""Unit tests for :mod:`repro.lifetime.occupancy` (in-place accounting)."""
+
+import pytest
+
+from repro.lifetime.intervals import Interval
+from repro.lifetime.occupancy import (
+    LayerOccupancy,
+    SpaceClaim,
+    build_occupancy,
+)
+from repro.memory.presets import embedded_3layer
+from repro.units import kib
+
+
+def claim(layer, start, end, nbytes, tag="t"):
+    return SpaceClaim(
+        layer_name=layer, interval=Interval(start, end), bytes=nbytes, tag=tag
+    )
+
+
+class TestLayerOccupancy:
+    def test_peak_respects_lifetimes(self):
+        occupancy = LayerOccupancy(
+            layer_name="l1",
+            claims=(claim("l1", 0, 0, 6000), claim("l1", 1, 1, 7000)),
+        )
+        assert occupancy.peak_bytes == 7000
+        assert occupancy.sum_bytes == 13000
+
+    def test_inplace_sharing_enables_placement(self):
+        """Two disjoint-lifetime buffers fit where their sum would not."""
+        occupancy = LayerOccupancy(
+            layer_name="l1",
+            claims=(claim("l1", 0, 0, 6000), claim("l1", 1, 1, 6000)),
+        )
+        assert occupancy.fits(kib(8))  # 6000 peak <= 8192
+        assert occupancy.sum_bytes > kib(8)
+
+    def test_overlapping_buffers_stack(self):
+        occupancy = LayerOccupancy(
+            layer_name="l1",
+            claims=(claim("l1", 0, 1, 6000), claim("l1", 1, 2, 6000)),
+        )
+        assert occupancy.peak_bytes == 12000
+        assert not occupancy.fits(kib(8))
+
+    def test_unbounded_capacity_always_fits(self):
+        occupancy = LayerOccupancy(
+            layer_name="sdram", claims=(claim("sdram", 0, 9, 10**9),)
+        )
+        assert occupancy.fits(0)
+
+    def test_bytes_at(self):
+        occupancy = LayerOccupancy(
+            layer_name="l1",
+            claims=(claim("l1", 0, 1, 100), claim("l1", 1, 2, 50)),
+        )
+        assert occupancy.bytes_at(0) == 100
+        assert occupancy.bytes_at(1) == 150
+        assert occupancy.bytes_at(2) == 50
+
+
+class TestOccupancyMap:
+    def test_violations_lists_overfull_layers(self):
+        platform = embedded_3layer(l1_bytes=kib(1))
+        occupancy = build_occupancy(
+            [claim("l1", 0, 0, kib(2)), claim("l2", 0, 0, kib(2))]
+        )
+        assert occupancy.violations(platform.hierarchy) == ("l1",)
+        assert not occupancy.fits(platform.hierarchy)
+
+    def test_fits_when_within_capacity(self):
+        platform = embedded_3layer()
+        occupancy = build_occupancy([claim("l1", 0, 3, kib(4))])
+        assert occupancy.fits(platform.hierarchy)
+
+    def test_headroom(self):
+        platform = embedded_3layer(l1_bytes=kib(8))
+        occupancy = build_occupancy([claim("l1", 0, 0, kib(3))])
+        assert occupancy.headroom(platform.hierarchy, "l1") == kib(5)
+
+    def test_headroom_unbounded(self):
+        platform = embedded_3layer()
+        occupancy = build_occupancy([])
+        assert occupancy.headroom(platform.hierarchy, "sdram") > 10**15
+
+    def test_empty_layer_lookup(self):
+        occupancy = build_occupancy([])
+        assert occupancy.layer("l1").peak_bytes == 0
+
+    def test_negative_claim_rejected(self):
+        with pytest.raises(Exception):
+            claim("l1", 0, 0, -5)

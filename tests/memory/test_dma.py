@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.memory.dma` (block-transfer cost model)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.memory.dma import DmaModel
+from repro.memory.presets import build_offchip_layer, build_sram_layer
+from repro.units import kib
+
+
+@pytest.fixture
+def dma():
+    return DmaModel(setup_cycles=30, energy_per_word_nj=0.1, min_words=4)
+
+
+@pytest.fixture
+def sdram():
+    return build_offchip_layer()
+
+
+@pytest.fixture
+def l1():
+    return build_sram_layer("l1", kib(8))
+
+
+class TestGranularity:
+    def test_rounding_up(self, dma):
+        assert dma.effective_words(1) == 4
+        assert dma.effective_words(4) == 4
+        assert dma.effective_words(5) == 8
+
+    def test_zero_words(self, dma):
+        assert dma.effective_words(0) == 0
+        assert dma.effective_words(-3) == 0
+
+
+class TestCycles:
+    def test_zero_transfer_costs_nothing(self, dma, sdram, l1):
+        assert dma.transfer_cycles(0, sdram, l1) == 0
+
+    def test_setup_plus_streaming(self, dma, sdram, l1):
+        # slower endpoint (sdram burst rate) paces the stream
+        expected = 30 + int(round(100 * sdram.burst_cycles_per_word))
+        assert dma.transfer_cycles(100, sdram, l1) == expected
+
+    def test_sram_to_sram_is_faster(self, dma, sdram, l1):
+        l2 = build_sram_layer("l2", kib(64))
+        assert dma.transfer_cycles(100, l2, l1) < dma.transfer_cycles(100, sdram, l1)
+
+    def test_monotone_in_words(self, dma, sdram, l1):
+        times = [dma.transfer_cycles(w, sdram, l1) for w in (4, 8, 64, 256)]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+
+class TestEnergy:
+    def test_zero_transfer(self, dma, sdram, l1):
+        assert dma.transfer_energy_nj(0, sdram, l1) == 0.0
+
+    def test_components_sum(self, dma, sdram, l1):
+        words = 8
+        per_word = (
+            sdram.burst_read_energy_nj + l1.burst_write_energy_nj + 0.1
+        )
+        assert dma.transfer_energy_nj(words, sdram, l1) == pytest.approx(
+            words * per_word
+        )
+
+    def test_direction_matters(self, dma, sdram, l1):
+        # writing to sdram uses sdram's (higher) burst write energy
+        fill = dma.transfer_energy_nj(64, sdram, l1)
+        writeback = dma.transfer_energy_nj(64, l1, sdram)
+        assert fill != writeback
+
+
+class TestValidation:
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValidationError):
+            DmaModel(setup_cycles=-1)
+
+    def test_zero_min_words_rejected(self):
+        with pytest.raises(ValidationError):
+            DmaModel(min_words=0)

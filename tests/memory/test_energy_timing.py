@@ -1,0 +1,70 @@
+"""Unit tests for the analytic energy and latency models."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.memory import energy, timing
+from repro.units import kib, mib
+
+
+class TestSramEnergy:
+    def test_calibration_anchor(self):
+        assert energy.sram_read_energy_nj(kib(1)) == pytest.approx(0.05)
+
+    def test_sqrt_scaling(self):
+        # 64 KiB = 64x capacity -> 8x energy
+        assert energy.sram_read_energy_nj(kib(64)) == pytest.approx(0.4)
+
+    def test_write_costs_more_than_read(self):
+        cap = kib(8)
+        assert energy.sram_write_energy_nj(cap) > energy.sram_read_energy_nj(cap)
+
+    def test_burst_cheaper_than_random(self):
+        cap = kib(8)
+        assert energy.sram_burst_read_energy_nj(cap) < energy.sram_read_energy_nj(cap)
+        assert (
+            energy.sram_burst_write_energy_nj(cap)
+            < energy.sram_write_energy_nj(cap)
+        )
+
+    def test_monotone_in_capacity(self):
+        values = [energy.sram_read_energy_nj(kib(s)) for s in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            energy.sram_read_energy_nj(0)
+
+    def test_dram_dominates_small_sram(self):
+        # the force behind the paper's energy gains
+        assert energy.DRAM_READ_NJ > 10 * energy.sram_read_energy_nj(kib(8))
+
+
+class TestSramLatency:
+    @pytest.mark.parametrize(
+        "capacity, expected",
+        [
+            (kib(1), 1),
+            (kib(16), 1),
+            (kib(17), 2),
+            (kib(128), 2),
+            (kib(512), 3),
+            (mib(1), 3),
+            (mib(2), 4),
+        ],
+    )
+    def test_latency_steps(self, capacity, expected):
+        assert timing.sram_latency_cycles(capacity) == expected
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            timing.sram_latency_cycles(0)
+
+    def test_offchip_slower_than_onchip(self):
+        assert timing.DRAM_RANDOM_LATENCY_CYCLES > timing.sram_latency_cycles(mib(1))
+
+    def test_burst_faster_than_random(self):
+        assert (
+            timing.DRAM_BURST_CYCLES_PER_WORD
+            < timing.DRAM_RANDOM_LATENCY_CYCLES
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.memory.layer`."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.memory.layer import MemoryLayer
+
+
+def make_layer(**overrides):
+    fields = dict(
+        name="spm",
+        capacity_bytes=8192,
+        read_energy_nj=0.1,
+        write_energy_nj=0.12,
+        latency_cycles=1,
+        burst_read_energy_nj=0.08,
+        burst_write_energy_nj=0.1,
+        burst_cycles_per_word=1.0,
+        is_offchip=False,
+    )
+    fields.update(overrides)
+    return MemoryLayer(**fields)
+
+
+class TestCapacity:
+    def test_fits_within_capacity(self):
+        assert make_layer().fits(8192)
+        assert not make_layer().fits(8193)
+
+    def test_zero_capacity_is_unbounded(self):
+        layer = make_layer(capacity_bytes=0, is_offchip=True)
+        assert layer.is_unbounded
+        assert layer.fits(10**12)
+
+    def test_resized_keeps_costs(self):
+        layer = make_layer()
+        bigger = layer.resized(16384)
+        assert bigger.capacity_bytes == 16384
+        assert bigger.read_energy_nj == layer.read_energy_nj
+
+
+class TestEnergyAccessors:
+    def test_access_energy_by_direction(self):
+        layer = make_layer()
+        assert layer.access_energy_nj(is_write=False) == 0.1
+        assert layer.access_energy_nj(is_write=True) == 0.12
+
+    def test_burst_energy_by_direction(self):
+        layer = make_layer()
+        assert layer.burst_energy_nj(is_write=False) == 0.08
+        assert layer.burst_energy_nj(is_write=True) == 0.1
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            make_layer(capacity_bytes=-1)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            make_layer(latency_cycles=0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValidationError):
+            make_layer(read_energy_nj=-0.1)
+
+    def test_str_mentions_location(self):
+        assert "on-chip" in str(make_layer())
+        assert "off-chip" in str(make_layer(capacity_bytes=0, is_offchip=True))

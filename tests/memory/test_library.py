@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.memory.library` (discrete module catalogue)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.memory.library import (
+    MemoryLibrary,
+    MemoryModule,
+    default_sram_library,
+    platform_from_library,
+)
+from repro.units import kib
+
+
+def module(name="m1", capacity=kib(8), latency=1):
+    return MemoryModule(
+        part_name=name,
+        capacity_bytes=capacity,
+        read_energy_nj=0.1,
+        write_energy_nj=0.12,
+        latency_cycles=latency,
+    )
+
+
+class TestModule:
+    def test_as_layer(self):
+        layer = module().as_layer("l1")
+        assert layer.capacity_bytes == kib(8)
+        assert not layer.is_offchip
+        assert layer.burst_read_energy_nj < layer.read_energy_nj
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            module(capacity=0)
+
+    def test_str_mentions_part(self):
+        assert "m1" in str(module())
+
+
+class TestLibrary:
+    def make_library(self):
+        return MemoryLibrary(
+            name="lib",
+            modules=(
+                module("a", kib(2)),
+                module("b", kib(8)),
+                module("c", kib(32)),
+            ),
+        )
+
+    def test_best_fit_picks_smallest_sufficient(self):
+        lib = self.make_library()
+        assert lib.best_fit(kib(1)).part_name == "a"
+        assert lib.best_fit(kib(2)).part_name == "a"
+        assert lib.best_fit(kib(3)).part_name == "b"
+        assert lib.best_fit(kib(9)).part_name == "c"
+
+    def test_best_fit_overflow_raises(self):
+        with pytest.raises(ValidationError):
+            self.make_library().best_fit(kib(64))
+
+    def test_exact(self):
+        lib = self.make_library()
+        assert lib.exact(kib(8)).part_name == "b"
+        with pytest.raises(ValidationError):
+            lib.exact(kib(4))
+
+    def test_capacities_sorted(self):
+        assert self.make_library().capacities == (kib(2), kib(8), kib(32))
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryLibrary(name="x", modules=())
+
+    def test_duplicate_parts_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryLibrary(name="x", modules=(module("a"), module("a")))
+
+
+class TestDefaultLibrary:
+    def test_power_of_two_catalogue(self):
+        lib = default_sram_library(min_kib=1, max_kib=64)
+        assert lib.capacities == tuple(kib(s) for s in (1, 2, 4, 8, 16, 32, 64))
+
+    def test_costs_follow_analytic_curve(self):
+        lib = default_sram_library()
+        small = lib.exact(kib(1))
+        large = lib.exact(kib(64))
+        assert large.read_energy_nj == pytest.approx(
+            small.read_energy_nj * 8
+        )  # sqrt(64) = 8
+
+
+class TestPlatformFromLibrary:
+    def test_sizes_snap_to_modules(self):
+        lib = default_sram_library()
+        platform = platform_from_library(lib, l1_bytes=kib(3))
+        assert platform.hierarchy.layer("l1").capacity_bytes == kib(4)
+        assert platform.hierarchy.layer("l2").capacity_bytes == kib(16)
+
+    def test_runs_through_the_full_flow(self, window_program):
+        from repro.core.mhla import Mhla
+
+        lib = default_sram_library()
+        platform = platform_from_library(lib, l1_bytes=kib(2))
+        result = Mhla(window_program, platform).explore()
+        assert result.mhla_speedup_fraction > 0
+
+    def test_sweep_over_library_capacities(self, window_program):
+        from repro.core.tradeoff import sweep_layer_sizes
+
+        lib = default_sram_library(min_kib=1, max_kib=8)
+        points = sweep_layer_sizes(
+            window_program,
+            platform_factory=lambda size: platform_from_library(lib, size),
+            sizes_bytes=lib.capacities[:-1],
+        )
+        assert len(points) == len(lib.capacities) - 1

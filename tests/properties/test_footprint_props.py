@@ -1,0 +1,94 @@
+"""Property-based tests for footprint/delta arithmetic (hypothesis).
+
+Invariants:
+
+* footprints are monotone in the ranging-loop set;
+* 1 <= footprint <= product of clipped per-dim maxima;
+* overlap + delta == footprint (exact complement);
+* delta is 0 for loops the reference does not use.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.refs import AffineRef, DimExpr
+from repro.reuse.footprint import (
+    delta_elements,
+    footprint_elements,
+    overlap_elements,
+)
+
+LOOPS = ("a", "b", "c", "d")
+
+
+@st.composite
+def dim_exprs(draw):
+    n_terms = draw(st.integers(min_value=0, max_value=3))
+    names = draw(
+        st.lists(
+            st.sampled_from(LOOPS), min_size=n_terms, max_size=n_terms, unique=True
+        )
+    )
+    terms = tuple(
+        (name, draw(st.integers(min_value=-8, max_value=8).filter(lambda s: s)))
+        for name in names
+    )
+    extent = draw(st.integers(min_value=1, max_value=16))
+    return DimExpr(terms=terms, extent=extent)
+
+
+@st.composite
+def refs_and_trips(draw):
+    rank = draw(st.integers(min_value=1, max_value=3))
+    ref = AffineRef(dims=tuple(draw(dim_exprs()) for _ in range(rank)))
+    trips = {name: draw(st.integers(min_value=1, max_value=12)) for name in LOOPS}
+    return ref, trips
+
+
+@given(refs_and_trips())
+@settings(max_examples=150)
+def test_footprint_positive(data):
+    ref, trips = data
+    assert footprint_elements(ref, LOOPS, trips) >= 1
+
+
+@given(refs_and_trips(), st.sets(st.sampled_from(LOOPS)))
+@settings(max_examples=150)
+def test_footprint_monotone_in_ranging_set(data, subset):
+    ref, trips = data
+    smaller = footprint_elements(ref, subset, trips)
+    larger = footprint_elements(ref, LOOPS, trips)
+    assert smaller <= larger
+
+
+@given(refs_and_trips(), st.sampled_from(LOOPS))
+@settings(max_examples=150)
+def test_overlap_plus_delta_is_footprint(data, step_loop):
+    ref, trips = data
+    ranging = [name for name in LOOPS if name != step_loop]
+    total = footprint_elements(ref, ranging, trips)
+    shared = overlap_elements(ref, step_loop, ranging, trips)
+    new = delta_elements(ref, step_loop, ranging, trips)
+    assert shared + new == total
+    assert 0 <= new <= total
+
+
+@given(refs_and_trips())
+@settings(max_examples=150)
+def test_unused_loop_has_zero_delta(data):
+    ref, trips = data
+    trips = dict(trips)
+    trips["zz"] = 7
+    ranging = list(LOOPS)
+    assert delta_elements(ref, "zz", ranging, trips) == 0
+
+
+@given(refs_and_trips(), st.integers(min_value=1, max_value=20))
+@settings(max_examples=150)
+def test_shape_clipping_never_grows(data, bound):
+    ref, trips = data
+    shape = tuple(bound for _ in range(ref.rank))
+    clipped = footprint_elements(ref, LOOPS, trips, shape)
+    free = footprint_elements(ref, LOOPS, trips)
+    assert clipped <= free
+    assert clipped <= bound**ref.rank

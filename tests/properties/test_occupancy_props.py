@@ -1,0 +1,66 @@
+"""Property-based tests for the in-place occupancy model.
+
+Invariants:
+
+* peak occupancy never exceeds the naive sum of sizes;
+* peak occupancy is at least the largest single claim;
+* the peak equals the maximum of per-step occupancy over all steps;
+* adding a claim never decreases the peak.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lifetime.intervals import Interval
+from repro.lifetime.occupancy import LayerOccupancy, SpaceClaim
+
+
+@st.composite
+def claims(draw):
+    start = draw(st.integers(min_value=0, max_value=10))
+    end = draw(st.integers(min_value=start, max_value=12))
+    nbytes = draw(st.integers(min_value=0, max_value=10_000))
+    return SpaceClaim(
+        layer_name="l1",
+        interval=Interval(start, end),
+        bytes=nbytes,
+        tag=f"c{draw(st.integers(min_value=0, max_value=999))}",
+    )
+
+
+claim_lists = st.lists(claims(), min_size=0, max_size=12)
+
+
+@given(claim_lists)
+@settings(max_examples=200)
+def test_peak_bounded_by_sum(claim_list):
+    occupancy = LayerOccupancy(layer_name="l1", claims=tuple(claim_list))
+    assert occupancy.peak_bytes <= occupancy.sum_bytes
+
+
+@given(claim_lists)
+@settings(max_examples=200)
+def test_peak_at_least_max_single_claim(claim_list):
+    occupancy = LayerOccupancy(layer_name="l1", claims=tuple(claim_list))
+    biggest = max((c.bytes for c in claim_list), default=0)
+    assert occupancy.peak_bytes >= biggest
+
+
+@given(claim_lists)
+@settings(max_examples=200)
+def test_peak_equals_max_over_steps(claim_list):
+    occupancy = LayerOccupancy(layer_name="l1", claims=tuple(claim_list))
+    steps = range(0, 14)
+    assert occupancy.peak_bytes == max(
+        (occupancy.bytes_at(step) for step in steps), default=0
+    )
+
+
+@given(claim_lists, claims())
+@settings(max_examples=200)
+def test_adding_claim_never_decreases_peak(claim_list, extra):
+    before = LayerOccupancy(layer_name="l1", claims=tuple(claim_list)).peak_bytes
+    after = LayerOccupancy(
+        layer_name="l1", claims=tuple(claim_list) + (extra,)
+    ).peak_bytes
+    assert after >= before

@@ -1,0 +1,57 @@
+"""Property-based tests for the Pareto front.
+
+Invariants:
+
+* no front member dominates another front member;
+* every non-front point is dominated by some front member;
+* the front of the front is the front (idempotence);
+* every input appears at most once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import dominates, pareto_front
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@given(point_lists)
+@settings(max_examples=200)
+def test_front_members_mutually_non_dominated(points):
+    front = pareto_front(points, key=lambda p: p)
+    for a in front:
+        for b in front:
+            assert not dominates(a, b)
+
+
+@given(point_lists)
+@settings(max_examples=200)
+def test_excluded_points_are_dominated(points):
+    front = pareto_front(points, key=lambda p: p)
+    front_ids = {id(p) for p in front}
+    for point in points:
+        if id(point) in front_ids:
+            continue
+        assert any(dominates(member, point) for member in front)
+
+
+@given(point_lists)
+@settings(max_examples=200)
+def test_idempotent(points):
+    front = pareto_front(points, key=lambda p: p)
+    assert pareto_front(front, key=lambda p: p) == front
+
+
+@given(point_lists)
+@settings(max_examples=200)
+def test_front_size_bounded(points):
+    front = pareto_front(points, key=lambda p: p)
+    assert len(front) <= len(points)

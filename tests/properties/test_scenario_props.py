@@ -1,0 +1,103 @@
+"""Property-based end-to-end invariants on randomly generated programs.
+
+For any valid program the full flow must satisfy:
+
+* cycles(oob) >= cycles(mhla) >= cycles(mhla_te) >= cycles(ideal);
+* energy(mhla) == energy(mhla_te) == energy(ideal) (TE is time-only);
+* the MHLA assignment and its TE double-buffers respect every layer
+  capacity;
+* the greedy never returns an infeasible or malformed chain.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import AnalysisContext
+from repro.core.scenarios import evaluate_scenarios
+from repro.core.te import TimeExtensionEngine
+from repro.ir.builder import ProgramBuilder, dim
+from repro.memory.presets import embedded_2layer, embedded_3layer
+from repro.units import kib
+
+
+@st.composite
+def random_programs(draw):
+    """Small two-array loop-nest programs with varied reuse shapes."""
+    b = ProgramBuilder("random")
+    rows = draw(st.integers(min_value=4, max_value=24))
+    cols = draw(st.integers(min_value=4, max_value=24))
+    extent = draw(st.integers(min_value=1, max_value=4))
+    stride = draw(st.integers(min_value=1, max_value=4))
+    count = draw(st.integers(min_value=1, max_value=6))
+    work = draw(st.integers(min_value=0, max_value=20))
+    depth3 = draw(st.booleans())
+
+    src = b.array("r_src", (rows * 4 + 8, cols * 4 + 8), element_bytes=1, kind="input")
+    dst = b.array("r_dst", (rows, cols), element_bytes=2, kind="output")
+
+    with b.loop("r_y", rows):
+        with b.loop("r_x", cols, work=work):
+            if depth3:
+                inner_trips = draw(st.integers(min_value=2, max_value=6))
+                with b.loop("r_k", inner_trips, work=2):
+                    b.read(
+                        src,
+                        dim(("r_y", stride), ("r_k", 1), extent=extent),
+                        dim(("r_x", stride), extent=extent),
+                        count=count,
+                    )
+            else:
+                b.read(
+                    src,
+                    dim(("r_y", stride), extent=extent),
+                    dim(("r_x", stride), extent=extent),
+                    count=count,
+                )
+            b.write(dst, dim(("r_y", 1)), dim(("r_x", 1)), count=1)
+    return b.build()
+
+
+PLATFORMS = (
+    embedded_3layer(),
+    embedded_2layer(),
+    embedded_2layer(onchip_bytes=kib(2)),
+)
+
+
+@given(random_programs(), st.sampled_from(range(len(PLATFORMS))))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_scenario_ordering_holds(program, platform_index):
+    platform = PLATFORMS[platform_index]
+    results = evaluate_scenarios(program, platform)
+    assert results["oob"].cycles >= results["mhla"].cycles
+    assert results["mhla"].cycles >= results["mhla_te"].cycles
+    assert results["mhla_te"].cycles >= results["ideal"].cycles
+    assert results["mhla"].energy_nj <= results["oob"].energy_nj
+    assert results["mhla"].energy_nj == pytest.approx(
+        results["mhla_te"].energy_nj
+    )
+    assert results["mhla"].energy_nj == pytest.approx(
+        results["ideal"].energy_nj
+    )
+
+
+@given(random_programs())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_te_double_buffers_respect_capacity(program):
+    platform = embedded_2layer(onchip_bytes=kib(2))
+    ctx = AnalysisContext(program, platform)
+    from repro.core.assignment import GreedyAssigner
+
+    assignment, _trace = GreedyAssigner(ctx).run()
+    assert ctx.fits(assignment)
+    te = TimeExtensionEngine(ctx).run(assignment)
+    assert ctx.fits(assignment, te.extra_buffer_uids)

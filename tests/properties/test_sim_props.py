@@ -1,0 +1,79 @@
+"""Property-based agreement between simulator and estimator.
+
+For random single-copy placements the simulator's cycle count must stay
+close to the analytical estimate (exactly equal when transfers are
+unhidden and uncontended; within a tolerance once TE, priorities and
+engine contention come into play), and TE must never make the simulated
+program slower.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import AnalysisContext
+from repro.core.costs import estimate_cost
+from repro.core.te import TimeExtensionEngine
+from repro.ir.builder import ProgramBuilder, dim
+from repro.memory.presets import embedded_3layer
+from repro.sim import simulate
+from repro.sim.stats import relative_error
+
+
+@st.composite
+def window_programs(draw):
+    rows = draw(st.integers(min_value=4, max_value=20))
+    cols = draw(st.integers(min_value=8, max_value=40))
+    extent = draw(st.integers(min_value=1, max_value=3))
+    work = draw(st.integers(min_value=0, max_value=15))
+    b = ProgramBuilder("sim_prop")
+    img = b.array("sp_img", (rows + 4, cols + 4), element_bytes=1, kind="input")
+    out = b.array("sp_out", (rows, cols), element_bytes=1, kind="output")
+    with b.loop("sp_y", rows):
+        with b.loop("sp_x", cols, work=work):
+            b.read(
+                img,
+                dim(("sp_y", 1), extent=extent),
+                dim(("sp_x", 1), extent=extent),
+                count=extent * extent,
+            )
+            b.write(out, dim(("sp_y", 1)), dim(("sp_x", 1)), count=1)
+    return b.build()
+
+
+@given(window_programs(), st.integers(min_value=0, max_value=2))
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_unhidden_simulation_matches_estimate(program, level):
+    platform = embedded_3layer()
+    ctx = AnalysisContext(program, platform)
+    assignment = ctx.out_of_box_assignment()
+    spec = next(s for s in ctx.specs.values() if s.group.array_name == "sp_img")
+    level = min(level, len(spec.candidates) - 1)
+    candidate = spec.candidates[level]
+    assignment = assignment.with_copy(spec.group.key, candidate.uid, "l1")
+    if not ctx.fits(assignment):
+        return  # randomly drawn copy too large for L1: nothing to check
+    stats = simulate(ctx, assignment)
+    report = estimate_cost(ctx, assignment)
+    assert relative_error(stats.cycles, report.cycles) < 1e-9
+
+
+@given(window_programs())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_te_never_slows_simulation(program):
+    platform = embedded_3layer()
+    ctx = AnalysisContext(program, platform)
+    from repro.core.assignment import GreedyAssigner
+
+    assignment, _ = GreedyAssigner(ctx, allow_home_moves=False).run()
+    te = TimeExtensionEngine(ctx).run(assignment)
+    plain = simulate(ctx, assignment)
+    hidden = simulate(ctx, assignment, te)
+    assert hidden.cycles <= plain.cycles + 1e-6

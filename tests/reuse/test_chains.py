@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.reuse.chains` (selected copy chains)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.reuse.chains import CopyChain, SelectedCopy, chain_of
+
+
+@pytest.fixture
+def prev_spec(tiny_me_ctx):
+    return next(
+        spec
+        for spec in tiny_me_ctx.specs.values()
+        if spec.group.array_name == "tm_prev"
+    )
+
+
+class TestChainValidation:
+    def test_empty_chain_serves_from_home(self, prev_spec, platform3):
+        chain = chain_of(prev_spec.group, "sdram", (), platform3.hierarchy)
+        assert chain.serving_layer == "sdram"
+        assert chain.links() == ()
+
+    def test_single_copy_chain(self, prev_spec, platform3):
+        window = prev_spec.candidate_at_level(2)
+        chain = chain_of(
+            prev_spec.group, "sdram", ((window, "l1"),), platform3.hierarchy
+        )
+        assert chain.serving_layer == "l1"
+        (selected, parent), = chain.links()
+        assert parent == "sdram"
+        assert selected.candidate is window
+
+    def test_two_level_chain_orders_by_level(self, prev_spec, platform3):
+        window = prev_spec.candidate_at_level(2)
+        block = prev_spec.candidate_at_level(4)
+        chain = chain_of(
+            prev_spec.group,
+            "sdram",
+            ((block, "l1"), (window, "l2")),  # deliberately unsorted
+            platform3.hierarchy,
+        )
+        levels = [s.candidate.level for s in chain.copies]
+        assert levels == [2, 4]
+        assert chain.parent_layer_of(0) == "sdram"
+        assert chain.parent_layer_of(1) == "l2"
+        assert chain.serving_layer == "l1"
+
+    def test_copy_not_closer_than_home_rejected(self, prev_spec, platform3):
+        window = prev_spec.candidate_at_level(2)
+        with pytest.raises(ValidationError):
+            chain_of(
+                prev_spec.group, "l1", ((window, "l2"),), platform3.hierarchy
+            )
+
+    def test_non_monotone_layers_rejected(self, prev_spec, platform3):
+        window = prev_spec.candidate_at_level(2)
+        block = prev_spec.candidate_at_level(4)
+        with pytest.raises(ValidationError):
+            chain_of(
+                prev_spec.group,
+                "sdram",
+                ((window, "l1"), (block, "l2")),  # inner copy on farther layer
+                platform3.hierarchy,
+            )
+
+    def test_duplicate_level_rejected(self, prev_spec, platform3):
+        window = prev_spec.candidate_at_level(2)
+        with pytest.raises(ValidationError):
+            chain_of(
+                prev_spec.group,
+                "sdram",
+                ((window, "l2"), (window, "l1")),
+                platform3.hierarchy,
+            )
+
+    def test_foreign_candidate_rejected(self, tiny_me_ctx, prev_spec, platform3):
+        other_spec = next(
+            spec
+            for spec in tiny_me_ctx.specs.values()
+            if spec.group.array_name == "tm_cur"
+        )
+        foreign = other_spec.candidates[0]
+        chain = CopyChain(
+            group=prev_spec.group,
+            array_home_layer="sdram",
+            copies=(SelectedCopy(candidate=foreign, layer_name="l1"),),
+        )
+        with pytest.raises(ValidationError):
+            chain.validate(platform3.hierarchy)
+
+    def test_onchip_bytes_by_layer(self, prev_spec, platform3):
+        window = prev_spec.candidate_at_level(2)
+        block = prev_spec.candidate_at_level(4)
+        chain = chain_of(
+            prev_spec.group,
+            "sdram",
+            ((window, "l2"), (block, "l1")),
+            platform3.hierarchy,
+        )
+        usage = chain.onchip_bytes_by_layer
+        assert usage == {
+            "l2": window.size_bytes,
+            "l1": block.size_bytes,
+        }

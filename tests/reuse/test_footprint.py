@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.reuse.footprint` (delta arithmetic)."""
+
+from repro.ir.refs import AffineRef, single
+from repro.reuse.footprint import (
+    delta_elements,
+    footprint_elements,
+    overlap_elements,
+)
+
+# the motion-estimation reference: 16*b + c + [0,16) in both dims
+ME_REF = AffineRef(
+    dims=(
+        single(("by", 16), ("cy", 1), extent=16),
+        single(("bx", 16), ("cx", 1), extent=16),
+    )
+)
+ME_TRIPS = {"by": 9, "bx": 11, "cy": 17, "cx": 17}
+
+
+class TestSearchWindowDeltas:
+    def test_window_footprint(self):
+        assert footprint_elements(ME_REF, ["cy", "cx"], ME_TRIPS) == 32 * 32
+
+    def test_overlap_when_stepping_bx(self):
+        # stepping bx shifts the 32x32 window right by 16: 32x16 shared
+        assert overlap_elements(ME_REF, "bx", ["cy", "cx"], ME_TRIPS) == 32 * 16
+
+    def test_delta_is_new_strip(self):
+        assert delta_elements(ME_REF, "bx", ["cy", "cx"], ME_TRIPS) == 32 * 16
+
+    def test_delta_plus_overlap_equals_footprint(self):
+        total = footprint_elements(ME_REF, ["cy", "cx"], ME_TRIPS)
+        shared = overlap_elements(ME_REF, "bx", ["cy", "cx"], ME_TRIPS)
+        new = delta_elements(ME_REF, "bx", ["cy", "cx"], ME_TRIPS)
+        assert shared + new == total
+
+
+class TestDegenerateCases:
+    def test_loop_not_in_ref_gives_zero_delta(self):
+        # pure reuse: the data does not move with the loop
+        ref = AffineRef(dims=(single(("i", 1), extent=4),))
+        assert delta_elements(ref, "t", ["i"], {"i": 8, "t": 100}) == 0
+
+    def test_disjoint_step_moves_everything(self):
+        # stride == extent: no overlap between iterations
+        ref = AffineRef(dims=(single(("b", 8), extent=8),))
+        assert overlap_elements(ref, "b", [], {"b": 4}) == 0
+        assert delta_elements(ref, "b", [], {"b": 4}) == 8
+
+    def test_stride_beyond_extent(self):
+        # gaps between iterations: still moves the whole footprint
+        ref = AffineRef(dims=(single(("b", 10), extent=4),))
+        assert delta_elements(ref, "b", [], {"b": 4}) == 4
+
+    def test_sliding_by_one(self):
+        ref = AffineRef(dims=(single(("i", 1), extent=5),))
+        assert delta_elements(ref, "i", [], {"i": 20}) == 1
+
+    def test_shape_clipping_bounds_delta(self):
+        ref = AffineRef(dims=(single(("i", 1), extent=100),))
+        # extent clipped to array size 10 -> overlap 9, delta 1
+        assert delta_elements(ref, "i", [], {"i": 5}, shape=(10,)) == 1
+
+    def test_2d_delta_is_l_shaped_complement(self):
+        # 3x3 window sliding diagonally by (1, 1): overlap 2x2 = 4
+        ref = AffineRef(
+            dims=(single(("d", 1), extent=3), single(("d2", 1), extent=3))
+        )
+        # step loop d affects dim0 only
+        assert delta_elements(ref, "d", [], {"d": 4, "d2": 4}) == 3

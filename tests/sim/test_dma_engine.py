@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.sim.dma_engine` (serial priority channel)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.dma import DmaModel
+from repro.sim.dma_engine import DmaEngineSim
+
+
+@pytest.fixture
+def engine():
+    return DmaEngineSim(DmaModel())
+
+
+class TestSerialService:
+    def test_single_job(self, engine):
+        engine.submit("a", issue_time=10.0, duration=50, priority=1)
+        assert engine.completion_time("a") == 60.0
+        assert engine.busy_cycles == 50
+
+    def test_jobs_serialize(self, engine):
+        engine.submit("a", issue_time=0.0, duration=100, priority=1)
+        engine.submit("b", issue_time=0.0, duration=100, priority=1)
+        # same priority: submission order is FIFO
+        assert engine.completion_time("a") == 100.0
+        assert engine.completion_time("b") == 200.0
+
+    def test_priority_order(self, engine):
+        engine.submit("low", issue_time=0.0, duration=100, priority=1)
+        engine.submit("high", issue_time=0.0, duration=100, priority=9)
+        # asking for low forces both to schedule; high goes first
+        assert engine.completion_time("high") == 100.0
+        assert engine.completion_time("low") == 200.0
+
+    def test_idle_gap(self, engine):
+        engine.submit("a", issue_time=0.0, duration=10, priority=1)
+        engine.completion_time("a")
+        engine.submit("b", issue_time=100.0, duration=10, priority=1)
+        assert engine.completion_time("b") == 110.0
+        assert engine.busy_cycles == 20
+
+    def test_queue_delay_recorded(self, engine):
+        engine.submit("a", issue_time=0.0, duration=100, priority=2)
+        engine.submit("b", issue_time=0.0, duration=10, priority=1)
+        engine.completion_time("b")
+        jobs = {job.tag: job for job in engine.completed}
+        assert jobs["b"].queue_delay == 100.0
+        assert jobs["a"].queue_delay == 0.0
+
+    def test_drain_schedules_everything(self, engine):
+        engine.submit("a", issue_time=0.0, duration=10, priority=1)
+        engine.submit("b", issue_time=0.0, duration=10, priority=1)
+        engine.drain()
+        assert engine.jobs_executed == 2
+        assert engine.free_at == 20.0
+
+
+class TestErrors:
+    def test_unknown_job_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.completion_time("ghost")
+
+    def test_duplicate_tag_rejected(self, engine):
+        engine.submit("a", issue_time=0.0, duration=10, priority=1)
+        with pytest.raises(SimulationError):
+            engine.submit("a", issue_time=5.0, duration=10, priority=1)
+
+    def test_negative_duration_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.submit("a", issue_time=0.0, duration=-1, priority=1)

@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.sim.engine` (the CPU+DMA walker)."""
+
+import pytest
+
+from repro.core.assignment import GreedyAssigner
+from repro.core.context import AnalysisContext
+from repro.core.costs import estimate_cost
+from repro.core.te import TimeExtensionEngine
+from repro.sim import simulate
+from repro.sim.stats import relative_error
+
+
+def copies_assignment(ctx):
+    assignment, _ = GreedyAssigner(ctx, allow_home_moves=False).run()
+    return assignment
+
+
+class TestAgainstClosedForms:
+    def test_oob_matches_estimator_exactly(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        stats = simulate(window_ctx, assignment)
+        report = estimate_cost(window_ctx, assignment)
+        assert stats.cycles == report.cycles
+        assert stats.stall_cycles == 0
+        assert stats.fills_executed == 0
+
+    def test_unhidden_fills_match_estimator(self, window_ctx):
+        assignment = copies_assignment(window_ctx)
+        stats = simulate(window_ctx, assignment)
+        report = estimate_cost(window_ctx, assignment)
+        assert relative_error(stats.cycles, report.cycles) < 0.01
+
+    def test_te_simulation_close_to_estimate(self, tiny_me_ctx):
+        assignment = copies_assignment(tiny_me_ctx)
+        te = TimeExtensionEngine(tiny_me_ctx).run(assignment)
+        stats = simulate(tiny_me_ctx, assignment, te)
+        report = estimate_cost(tiny_me_ctx, assignment, te=te)
+        # simulator adds DMA contention the estimator ignores
+        assert stats.cycles >= report.cycles * 0.99
+        assert relative_error(stats.cycles, report.cycles) < 0.15
+
+    def test_te_never_slower_than_unhidden_sim(self, tiny_me_ctx):
+        assignment = copies_assignment(tiny_me_ctx)
+        te = TimeExtensionEngine(tiny_me_ctx).run(assignment)
+        plain = simulate(tiny_me_ctx, assignment)
+        hidden = simulate(tiny_me_ctx, assignment, te)
+        assert hidden.cycles <= plain.cycles
+
+    def test_fill_counts_match_candidates(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(
+            s for s in window_ctx.specs.values() if s.group.array_name == "img"
+        )
+        row = spec.candidate_at_level(1)
+        assignment = assignment.with_copy(spec.group.key, row.uid, "l1")
+        stats = simulate(window_ctx, assignment)
+        assert stats.fills_executed == row.total_fills
+
+    def test_writebacks_do_not_stall(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(
+            s for s in window_ctx.specs.values() if s.group.array_name == "res"
+        )
+        assignment = assignment.with_copy(
+            spec.group.key, spec.candidate_at_level(1).uid, "l1"
+        )
+        stats = simulate(window_ctx, assignment)
+        assert stats.writebacks_executed > 0
+        assert stats.stall_cycles == 0
+        # final cycles still include the tail write-back draining
+        report = estimate_cost(window_ctx, assignment)
+        assert stats.cycles >= report.cycles
+
+    def test_stall_attribution_per_copy(self, tiny_me_ctx):
+        assignment = copies_assignment(tiny_me_ctx)
+        stats = simulate(tiny_me_ctx, assignment)
+        assert stats.stall_cycles == pytest.approx(
+            sum(stats.stall_by_copy.values())
+        )
+
+    def test_dma_utilization_bounded(self, tiny_me_ctx):
+        assignment = copies_assignment(tiny_me_ctx)
+        stats = simulate(tiny_me_ctx, assignment)
+        assert 0.0 <= stats.dma_utilization <= 1.0
+
+    def test_summary_mentions_cycles(self, window_ctx):
+        stats = simulate(window_ctx, window_ctx.out_of_box_assignment())
+        assert "cycles" in stats.summary()
+
+
+class TestMultiNest:
+    def test_two_nest_program(self, two_nest_program, platform3):
+        ctx = AnalysisContext(two_nest_program, platform3)
+        assignment = copies_assignment(ctx)
+        te = TimeExtensionEngine(ctx).run(assignment)
+        stats = simulate(ctx, assignment, te)
+        report = estimate_cost(ctx, assignment, te=te)
+        assert relative_error(stats.cycles, report.cycles) < 0.15

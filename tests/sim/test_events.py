@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.sim.events` (transfer-site planning)."""
+
+from repro.core.te import TimeExtensionEngine
+from repro.sim.events import build_event_plans
+
+
+def img_row_assignment(ctx):
+    assignment = ctx.out_of_box_assignment()
+    spec = next(s for s in ctx.specs.values() if s.group.array_name == "img")
+    row = spec.candidate_at_level(1)
+    return assignment.with_copy(spec.group.key, row.uid, "l1"), row
+
+
+class TestPlans:
+    def test_empty_for_no_copies(self, window_ctx):
+        plans = build_event_plans(
+            window_ctx, window_ctx.out_of_box_assignment()
+        )
+        assert plans == {}
+
+    def test_fill_attached_to_trigger_loop(self, window_ctx):
+        assignment, row = img_row_assignment(window_ctx)
+        plans = build_event_plans(window_ctx, assignment)
+        plan = plans[0]
+        sites = plan.fills_by_loop["w_y"]
+        assert len(sites) == 1
+        assert sites[0].copy_uid == row.uid
+        assert plan.event_loop_names == {"w_y"}
+        assert not plan.is_empty
+
+    def test_te_hidden_cycles_flow_through(self, window_ctx):
+        assignment, row = img_row_assignment(window_ctx)
+        te = TimeExtensionEngine(window_ctx).run(assignment)
+        plans = build_event_plans(window_ctx, assignment, te)
+        site = plans[0].fills_by_loop["w_y"][0]
+        assert site.hidden_cycles == te.hidden_cycles(row.uid)
+        # fills sit one rank above posted writes (read-priority channel)
+        assert site.priority == te.priority_of(row.uid) + 1
+
+    def test_fill_site_word_schedule(self, window_ctx):
+        assignment, row = img_row_assignment(window_ctx)
+        plans = build_event_plans(window_ctx, assignment)
+        site = plans[0].fills_by_loop["w_y"][0]
+        assert site.period == 1 + row.steady_fills_per_sweep
+        # first fill of a sweep moves the full footprint
+        assert site.words_for_fill(0) >= site.words_for_fill(1)
+
+    def test_writebacks_in_separate_table(self, window_ctx):
+        assignment = window_ctx.out_of_box_assignment()
+        spec = next(
+            s for s in window_ctx.specs.values() if s.group.array_name == "res"
+        )
+        assignment = assignment.with_copy(
+            spec.group.key, spec.candidate_at_level(1).uid, "l1"
+        )
+        plans = build_event_plans(window_ctx, assignment)
+        plan = plans[0]
+        assert not plan.fills_by_loop
+        assert "w_y" in plan.writebacks_by_loop
+
+    def test_priority_ordering_within_trigger(self, tiny_me_ctx):
+        from repro.core.assignment import GreedyAssigner
+
+        assignment, _ = GreedyAssigner(
+            tiny_me_ctx, allow_home_moves=False
+        ).run()
+        te = TimeExtensionEngine(tiny_me_ctx).run(assignment)
+        plans = build_event_plans(tiny_me_ctx, assignment, te)
+        for plan in plans.values():
+            for sites in plan.fills_by_loop.values():
+                priorities = [site.priority for site in sites]
+                assert priorities == sorted(priorities, reverse=True)

@@ -1,0 +1,43 @@
+"""Unit tests for :mod:`repro.sim.stats`."""
+
+import pytest
+
+from repro.sim.stats import SimStats, relative_error
+
+
+def make_stats(cycles=1000.0, stall=100.0, busy=300.0):
+    return SimStats(
+        cycles=cycles,
+        compute_access_cycles=cycles - stall,
+        stall_cycles=stall,
+        dma_busy_cycles=busy,
+        fills_executed=5,
+        writebacks_executed=2,
+        queue_delay_cycles=10.0,
+    )
+
+
+class TestSimStats:
+    def test_utilization(self):
+        assert make_stats().dma_utilization == pytest.approx(0.3)
+
+    def test_utilization_clamped(self):
+        assert make_stats(cycles=100.0, busy=500.0).dma_utilization == 1.0
+
+    def test_zero_cycles(self):
+        assert make_stats(cycles=0.0, stall=0.0).dma_utilization == 0.0
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_underestimate(self):
+        assert relative_error(100.0, 90.0) == pytest.approx(0.1)
+
+    def test_overestimate_symmetric_magnitude(self):
+        assert relative_error(100.0, 110.0) == pytest.approx(0.1)
+
+    def test_zero_measured(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(0.0, 5.0) == float("inf")

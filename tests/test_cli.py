@@ -1,0 +1,55 @@
+"""CLI smoke tests (argument parsing + end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "pacman"])
+
+    def test_platform_args_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "voice_coder", "--l1-kib", "4", "--l2-kib", "32"]
+        )
+        assert args.l1_kib == 4.0
+        assert args.l2_kib == 32.0
+
+
+class TestSubcommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "motion_estimation" in out
+        assert "filterbank" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "voice_coder"]) == 0
+        out = capsys.readouterr().out
+        assert "MHLA speedup" in out
+        assert "Energy reduction" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "voice_coder"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+        assert "KiB" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "voice_coder"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "mhla_te" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "voice_coder"]) == 0
+        out = capsys.readouterr().out
+        assert "program voice_coder" in out
+        assert "copy candidates" in out
+        assert "nest entry" in out

@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.units` and :mod:`repro.errors`."""
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    clamp,
+    fmt_bytes,
+    fmt_cycles,
+    fmt_energy_nj,
+    fmt_percent,
+    improvement,
+    kib,
+    mib,
+)
+
+
+class TestConversions:
+    def test_kib_mib(self):
+        assert kib(1) == 1024
+        assert kib(0.5) == 512
+        assert mib(2) == 2 * 1024 * 1024
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(512, "512 B"), (2048, "2.0 KiB"), (3 * 1024 * 1024, "3.0 MiB")],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (950, "950"),
+            (1_500, "1.50k"),
+            (1_500_000, "1.50M"),
+            (2_000_000_000, "2.00G"),
+        ],
+    )
+    def test_fmt_cycles(self, value, expected):
+        assert fmt_cycles(value) == expected
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (740.0, "740.0 nJ"),
+            (2_500.0, "2.500 uJ"),
+            (2_500_000.0, "2.500 mJ"),
+            (2_500_000_000.0, "2.500 J"),
+        ],
+    )
+    def test_fmt_energy(self, value, expected):
+        assert fmt_energy_nj(value) == expected
+
+    def test_fmt_percent(self):
+        assert fmt_percent(0.423) == "42.3%"
+
+
+class TestImprovement:
+    def test_reduction(self):
+        assert improvement(100, 40) == pytest.approx(0.6)
+
+    def test_regression_is_negative(self):
+        assert improvement(100, 120) == pytest.approx(-0.2)
+
+    def test_zero_baseline(self):
+        assert improvement(0, 10) == 0.0
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_edges(self):
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(5, 10, 0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ValidationError,
+            errors.CapacityError,
+            errors.AssignmentError,
+            errors.ScheduleError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
