@@ -1,0 +1,168 @@
+"""PERF-SEARCH — incremental search-engine speed and regression guard.
+
+The tentpole promise of the incremental evaluation engine is that the
+MHLA greedy search runs >= 5x faster than the monolithic reference
+path on the heavyweight applications, with *bit-identical* results.
+This bench measures both paths under identical conditions (warm
+analysis context, best-of-N wall clock), asserts the speedup and a
+generous absolute wall-clock budget, and guards the evaluated-move
+counts against regressions (>20% more scored moves means the move
+generator or cache broke).
+
+Counters land in ``benchmarks/out/BENCH_search.json`` so the speedup
+trajectory is tracked across PRs:
+
+* per app: reference/incremental wall ms, speedup, moves scored,
+  evaluator cache hits/misses/hit-rate, accepted rounds;
+* the exhaustive block records branch-and-bound nodes vs the full
+  enumeration's state count on a small program;
+* the sweep block records serial vs parallel wall time of a small
+  scenario grid (correctness asserted, timing recorded only).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import OUT_DIR, write_artifact
+from repro.analysis.report import format_table
+from repro.analysis.sweep import ParallelSweepRunner, PlatformSpec, full_grid
+from repro.apps import build_app
+from repro.core.assignment import GreedyAssigner, Objective
+from repro.core.context import AnalysisContext
+from repro.core.exhaustive import ExhaustiveAssigner
+from repro.memory.presets import embedded_3layer
+
+SPEEDUP_APPS = ("qsdpcm", "motion_estimation")
+REQUIRED_SPEEDUP = 5.0
+WALL_BUDGET_S = 2.0  # generous: the incremental search runs in ~10 ms
+
+# Moves the greedy scores per app (initial + trials + cleanup probes).
+# A >20% increase means move generation or caching regressed.
+BASELINE_MOVES = {"qsdpcm": 555, "motion_estimation": 50}
+MOVE_REGRESSION_TOLERANCE = 1.2
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_greedy_search_speedup(benchmark):
+    benchmark.group = "search-speed"
+    record: dict[str, dict] = {}
+    rows = []
+
+    for app_name in SPEEDUP_APPS:
+        ctx = AnalysisContext(build_app(app_name), embedded_3layer())
+        GreedyAssigner(ctx, use_incremental=False).run()  # warm the context
+        ref_s, (ref_assignment, ref_trace) = _best_of(
+            lambda: GreedyAssigner(ctx, use_incremental=False).run(), repeats=3
+        )
+        inc_s, (inc_assignment, inc_trace) = _best_of(
+            lambda: GreedyAssigner(ctx).run(), repeats=7
+        )
+
+        # bit-identical results are a precondition of the comparison
+        assert inc_assignment.array_home == ref_assignment.array_home
+        assert inc_assignment.copies == ref_assignment.copies
+        assert inc_trace.final_value == ref_trace.final_value
+
+        speedup = ref_s / inc_s
+        stats = inc_trace.stats
+        lookups = stats.cache_hits + stats.cache_misses
+        record[app_name] = {
+            "reference_ms": ref_s * 1e3,
+            "incremental_ms": inc_s * 1e3,
+            "speedup": speedup,
+            "moves_evaluated": stats.moves_evaluated,
+            "rounds": stats.rounds,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_hit_rate": stats.cache_hits / lookups if lookups else 0.0,
+        }
+        rows.append(
+            [
+                app_name,
+                f"{ref_s * 1e3:.2f}",
+                f"{inc_s * 1e3:.2f}",
+                f"{speedup:.1f}x",
+                str(stats.moves_evaluated),
+                f"{record[app_name]['cache_hit_rate']:.0%}",
+            ]
+        )
+
+        assert inc_s < WALL_BUDGET_S, (
+            f"{app_name}: incremental search took {inc_s:.2f}s "
+            f"(budget {WALL_BUDGET_S}s)"
+        )
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{app_name}: speedup {speedup:.1f}x below the "
+            f"{REQUIRED_SPEEDUP}x target"
+        )
+        baseline = BASELINE_MOVES[app_name]
+        assert stats.moves_evaluated <= baseline * MOVE_REGRESSION_TOLERANCE, (
+            f"{app_name}: {stats.moves_evaluated} moves scored vs baseline "
+            f"{baseline} (>20% regression)"
+        )
+
+    # pytest-benchmark tracks the incremental hot path over time
+    ctx = AnalysisContext(build_app("qsdpcm"), embedded_3layer())
+    GreedyAssigner(ctx).run()
+    benchmark.pedantic(
+        lambda: GreedyAssigner(ctx).run(), rounds=3, iterations=1
+    )
+
+    # Exhaustive: branch-and-bound nodes vs full enumeration states.
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from tests.conftest import make_two_nest_program
+
+    bnb_ctx = AnalysisContext(make_two_nest_program(), embedded_3layer())
+    bnb_s, bnb = _best_of(lambda: ExhaustiveAssigner(bnb_ctx).run(), repeats=3)
+    record["exhaustive_two_nest"] = {
+        "bnb_ms": bnb_s * 1e3,
+        "bnb_nodes": bnb.evaluated,
+        "bnb_pruned": bnb.pruned,
+        "enumeration_states": 10_000,
+        "value": bnb.value,
+    }
+    assert bnb.evaluated < 10_000  # orders of magnitude below the product
+
+    # Parallel sweep: serial == parallel, wall times recorded.
+    grid = full_grid(
+        apps=("motion_estimation", "wavelet"),
+        platforms=(PlatformSpec(label="default"),),
+        objectives=(Objective.EDP,),
+    )
+    serial_s, serial = _best_of(lambda: ParallelSweepRunner(jobs=1).run(grid), 1)
+    parallel_s, parallel = _best_of(
+        lambda: ParallelSweepRunner(jobs=2).run(grid), 1
+    )
+    for left, right in zip(serial, parallel):
+        assert (
+            left.result.scenario("mhla_te").cycles
+            == right.result.scenario("mhla_te").cycles
+        )
+    record["sweep_grid"] = {
+        "cells": len(grid),
+        "serial_ms": serial_s * 1e3,
+        "parallel2_ms": parallel_s * 1e3,
+    }
+
+    (OUT_DIR / "BENCH_search.json").parent.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_search.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    table = format_table(
+        ["app", "ref ms", "inc ms", "speedup", "moves", "cache hit"], rows
+    )
+    write_artifact("search_speed.txt", table)

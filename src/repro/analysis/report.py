@@ -69,6 +69,37 @@ def scenario_table(results: Sequence[MhlaResult]) -> str:
     return format_table(headers, rows)
 
 
+def search_stats_table(results: Sequence[MhlaResult]) -> str:
+    """Search-engine counters: one row per application.
+
+    Surfaces the :class:`~repro.core.assignment.SearchStats` block the
+    greedy engine records on its trace (moves scored, accepted moves,
+    cleanup drops, evaluator cache hit rate, wall time).
+    """
+    headers = ["app", "moves", "rounds", "applied", "drops", "cache hit", "time ms"]
+    rows = []
+    for result in results:
+        trace = result.scenario("mhla").trace
+        stats = trace.stats if trace is not None else None
+        if stats is None:
+            rows.append([result.app_name, "-", "-", "-", "-", "-", "-"])
+            continue
+        lookups = stats.cache_hits + stats.cache_misses
+        hit_rate = stats.cache_hits / lookups if lookups else 0.0
+        rows.append(
+            [
+                result.app_name,
+                str(stats.moves_evaluated),
+                str(stats.rounds),
+                str(stats.moves_applied),
+                str(stats.cleanup_drops),
+                fmt_percent(hit_rate),
+                f"{stats.wall_time_s * 1e3:.1f}",
+            ]
+        )
+    return format_table(headers, rows)
+
+
 def sweep_table(points: Sequence[TradeoffPoint]) -> str:
     """TAB-TRADEOFF table: one row per explored L1 size."""
     headers = ["L1 size", "mhla cyc", "te cyc", "energy", "copies", "EDP"]

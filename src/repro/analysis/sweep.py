@@ -1,0 +1,191 @@
+"""Parallel scenario sweeps over the app x platform x objective grid.
+
+The exploration tool is routinely run over *many* scenarios at once —
+every bundled application on several platform configurations under
+each objective.  The cells are embarrassingly parallel (each is one
+independent :class:`~repro.core.mhla.Mhla` exploration), so
+:class:`ParallelSweepRunner` fans them across a
+:mod:`multiprocessing` pool.
+
+Determinism: cells are picklable *recipes* (app name + platform
+parameters + objective), workers rebuild the program/platform from the
+recipe, and results come back in exactly the submitted cell order
+(``pool.map`` preserves order), so a parallel run produces output
+identical to the serial path.  ``jobs <= 1`` short-circuits to an
+in-process loop with no pool at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.report import format_table
+from repro.apps import all_app_names, build_app
+from repro.core.assignment import Objective
+from repro.core.mhla import Mhla, MhlaResult
+from repro.errors import ValidationError
+from repro.memory.presets import Platform, embedded_2layer, embedded_3layer
+from repro.units import fmt_bytes, fmt_cycles, fmt_energy_nj, fmt_percent, kib
+
+__all__ = [
+    "DEFAULT_PLATFORM_SPECS",
+    "ParallelSweepRunner",
+    "PlatformSpec",
+    "SweepCell",
+    "SweepCellResult",
+    "full_grid",
+    "grid_table",
+]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A picklable platform recipe (workers rebuild the real platform).
+
+    ``l2_bytes`` is ignored by the 2-layer kind, whose single
+    scratchpad takes ``l1_bytes``.
+    """
+
+    kind: str = "embedded_3layer"
+    l1_bytes: int = kib(8)
+    l2_bytes: int = kib(64)
+    label: str = ""
+
+    def build(self) -> Platform:
+        """Materialise the platform this spec describes."""
+        if self.kind == "embedded_3layer":
+            return embedded_3layer(l1_bytes=self.l1_bytes, l2_bytes=self.l2_bytes)
+        if self.kind == "embedded_2layer":
+            return embedded_2layer(onchip_bytes=self.l1_bytes)
+        raise ValidationError(f"unknown platform kind {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        """Display name for tables."""
+        if self.label:
+            return self.label
+        if self.kind == "embedded_2layer":
+            return f"2layer/{fmt_bytes(self.l1_bytes)}"
+        return f"3layer/{fmt_bytes(self.l1_bytes)}+{fmt_bytes(self.l2_bytes)}"
+
+
+DEFAULT_PLATFORM_SPECS: tuple[PlatformSpec, ...] = (
+    PlatformSpec(label="default"),
+    PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16), label="small"),
+)
+"""The grid's default platform pair: the paper's platform + a cramped one."""
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: an app on a platform under an objective."""
+
+    app: str
+    platform: PlatformSpec
+    objective: Objective
+    sort_factor: str = "time_per_size"
+
+
+@dataclass(frozen=True)
+class SweepCellResult:
+    """A cell together with its full exploration result."""
+
+    cell: SweepCell
+    result: MhlaResult
+
+
+def evaluate_cell(cell: SweepCell) -> MhlaResult:
+    """Run the full MHLA(+TE) flow for one cell (the pool worker)."""
+    program = build_app(cell.app)
+    platform = cell.platform.build()
+    return Mhla(
+        program,
+        platform,
+        objective=cell.objective,
+        sort_factor=cell.sort_factor,
+    ).explore()
+
+
+def full_grid(
+    apps: Iterable[str] | None = None,
+    platforms: Sequence[PlatformSpec] = DEFAULT_PLATFORM_SPECS,
+    objectives: Sequence[Objective] = tuple(Objective),
+) -> tuple[SweepCell, ...]:
+    """The app x platform x objective grid in deterministic order.
+
+    App-major, then platform, then objective — the order the serial
+    path iterates and the order results are returned in.
+    """
+    app_names = tuple(apps) if apps is not None else all_app_names()
+    return tuple(
+        SweepCell(app=app, platform=platform, objective=objective)
+        for app in app_names
+        for platform in platforms
+        for objective in objectives
+    )
+
+
+class ParallelSweepRunner:
+    """Evaluate sweep cells across a multiprocessing pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``None``, 0 or 1 run serially in
+        process; larger values cap at the number of cells.  Results
+        are always returned in cell order, so the output is identical
+        regardless of *jobs*.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = jobs
+
+    def run(self, cells: Iterable[SweepCell]) -> tuple[SweepCellResult, ...]:
+        """Evaluate all cells; deterministic result ordering."""
+        cell_list = tuple(cells)
+        jobs = self.jobs or 1
+        if cell_list:
+            jobs = min(jobs, len(cell_list))
+        if jobs <= 1:
+            results = [evaluate_cell(cell) for cell in cell_list]
+        else:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                results = pool.map(evaluate_cell, cell_list, chunksize=1)
+        return tuple(
+            SweepCellResult(cell=cell, result=result)
+            for cell, result in zip(cell_list, results)
+        )
+
+
+def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
+    """Fixed-width table of a grid sweep, one row per cell."""
+    headers = [
+        "app",
+        "platform",
+        "objective",
+        "oob cyc",
+        "te cyc",
+        "total gain",
+        "oob nJ",
+        "mhla nJ",
+        "E gain",
+    ]
+    rows = []
+    for outcome in outcomes:
+        result = outcome.result
+        rows.append(
+            [
+                outcome.cell.app,
+                outcome.cell.platform.name,
+                outcome.cell.objective.value,
+                fmt_cycles(result.scenario("oob").cycles),
+                fmt_cycles(result.scenario("mhla_te").cycles),
+                fmt_percent(result.total_speedup_fraction),
+                fmt_energy_nj(result.scenario("oob").energy_nj),
+                fmt_energy_nj(result.scenario("mhla").energy_nj),
+                fmt_percent(result.energy_reduction_fraction),
+            ]
+        )
+    return format_table(headers, rows)

@@ -7,8 +7,13 @@ Sub-commands mirror the experiments:
 * ``repro fig2``                 — Figure 2 (performance) for the suite
 * ``repro fig3``                 — Figure 3 (energy) for the suite
 * ``repro sweep APP``            — L1-size trade-off sweep (TAB-TRADEOFF)
+* ``repro sweep``                — app x platform x objective grid sweep
 * ``repro simulate APP``         — estimator-vs-simulator validation
 * ``repro show APP``             — program structure + copy candidates
+
+Both sweep forms accept ``--jobs N`` to fan the independent
+explorations across a multiprocessing pool; results are returned in
+deterministic order, so the output is identical to a serial run.
 """
 
 from __future__ import annotations
@@ -19,11 +24,19 @@ from typing import Sequence
 
 from repro.analysis.charts import grouped_bar_chart
 from repro.analysis.pareto import pareto_front
-from repro.analysis.report import scenario_table, sweep_table
+from repro.analysis.report import scenario_table, search_stats_table, sweep_table
+from repro.analysis.sweep import (
+    ParallelSweepRunner,
+    PlatformSpec,
+    SweepCell,
+    full_grid,
+    grid_table,
+)
 from repro.apps import all_app_names, app_descriptions, build_app
+from repro.core.assignment import Objective
 from repro.core.mhla import Mhla
 from repro.core.scenarios import SCENARIO_ORDER
-from repro.core.tradeoff import sweep_layer_sizes
+from repro.core.tradeoff import TradeoffPoint, default_l2_bytes
 from repro.memory.presets import embedded_3layer
 from repro.sim import simulate
 from repro.sim.stats import relative_error
@@ -48,6 +61,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     te = result.scenario("mhla_te").te
     if te is not None:
         print(te.summary())
+    trace = result.scenario("mhla").trace
+    if trace is not None and trace.stats is not None:
+        print(trace.stats.summary())
     return 0
 
 
@@ -65,6 +81,8 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     print(grouped_bar_chart(groups, SCENARIO_ORDER))
     print()
     print(scenario_table(results))
+    print()
+    print(search_stats_table(results))
     return 0
 
 
@@ -84,9 +102,37 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    program = build_app(args.app)
+    runner = ParallelSweepRunner(jobs=args.jobs)
+    if args.app is None:
+        # Grid mode: every app x platform x objective.
+        outcomes = runner.run(full_grid())
+        print("Scenario grid — app x platform x objective:\n")
+        print(grid_table(outcomes))
+        return 0
+
+    # L1-size trade-off sweep for one application (TAB-TRADEOFF).
     sizes = [kib(size) for size in (0.5, 1, 2, 4, 8, 16, 32, 64)]
-    points = sweep_layer_sizes(program, sizes_bytes=sizes)
+    cells = tuple(
+        SweepCell(
+            app=args.app,
+            platform=PlatformSpec(
+                l1_bytes=size, l2_bytes=default_l2_bytes(size)
+            ),
+            objective=Objective.EDP,
+        )
+        for size in sizes
+    )
+    points = tuple(
+        TradeoffPoint(
+            l1_bytes=cell.platform.l1_bytes,
+            cycles=outcome.result.scenario("mhla").cycles,
+            energy_nj=outcome.result.scenario("mhla").energy_nj,
+            te_cycles=outcome.result.scenario("mhla_te").cycles,
+            copies=outcome.result.scenario("mhla").assignment.copy_count(),
+            result=outcome.result,
+        )
+        for cell, outcome in zip(cells, runner.run(cells))
+    )
     print(sweep_table(points))
     front = pareto_front(points, key=lambda p: (p.cycles, p.energy_nj, p.l1_bytes))
     labels = ", ".join(fmt_bytes(point.l1_bytes) for point in front)
@@ -153,8 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_platform_args(fig3)
     fig3.set_defaults(func=_cmd_fig3)
 
-    sweep = sub.add_parser("sweep", help="L1 size trade-off sweep")
-    sweep.add_argument("app", choices=all_app_names())
+    sweep = sub.add_parser(
+        "sweep",
+        help="L1 size trade-off sweep (with APP) or the full "
+        "app x platform x objective grid (without)",
+    )
+    sweep.add_argument("app", nargs="?", default=None, choices=all_app_names())
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = serial; output is "
+        "identical regardless)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     simulate_cmd = sub.add_parser(

@@ -11,25 +11,44 @@ no copies), the engine repeatedly evaluates every legal *move*:
 * **re-home an array**: move a whole array to an on-chip layer (wins for
   small, heavily reused tables where even a copy is overhead).
 
-Each move is scored with the analytical estimator
-(:func:`repro.core.costs.estimate_cost`), checked against the per-layer
-capacity constraints with lifetime-aware occupancy, and the move with
-the best improvement of the chosen :class:`Objective` is applied.  The
-search stops when no move improves the objective, then runs one cleanup
-pass dropping copies whose removal does not hurt (they only waste
-space the TE step could use for double buffering).
+Each move is scored against the analytical cost model, checked against
+the per-layer capacity constraints with lifetime-aware occupancy, and
+the move with the best improvement of the chosen :class:`Objective` is
+applied.  The search stops when no move improves the objective, then
+runs one cleanup pass dropping copies whose removal does not hurt (they
+only waste space the TE step could use for double buffering).
+
+By default moves are scored with the **incremental evaluation engine**
+(:mod:`repro.core.incremental`): a trial move looks up cached per-group
+cost contributions, substitutes the touched group's new contribution
+and folds the totals, probing capacity against a mutable occupancy
+ledger — no chains are rebuilt, no occupancy map materialised, and the
+trial :class:`Assignment` itself is only constructed when a move is
+accepted.  Scores and feasibility answers are bit-identical to the
+monolithic path (``use_incremental=False``), which re-runs
+:func:`repro.core.costs.estimate_cost` and rebuilds the occupancy map
+for every trial and is kept as the reference implementation.
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 
 from repro.core.context import AnalysisContext, Assignment
 from repro.core.costs import CostReport, estimate_cost
-from repro.errors import AssignmentError
+from repro.core.incremental import IncrementalEvaluator, OccupancyLedger
+from repro.errors import AssignmentError, ValidationError
 
-__all__ = ["Assignment", "GreedyAssigner", "Objective", "objective_value"]
+__all__ = [
+    "Assignment",
+    "GreedyAssigner",
+    "Objective",
+    "SearchStats",
+    "SearchTrace",
+    "objective_value",
+]
 
 
 class Objective(enum.Enum):
@@ -49,14 +68,66 @@ def objective_value(report: CostReport, objective: Objective) -> float:
     return report.cycles * report.energy_nj
 
 
+def _objective_from_totals(
+    cycles: float, energy: float, objective: Objective
+) -> float:
+    """Objective scalar from pre-folded totals (same math as above)."""
+    if objective is Objective.CYCLES:
+        return cycles
+    if objective is Objective.ENERGY:
+        return energy
+    return cycles * energy
+
+
 @dataclass(frozen=True)
 class _Move:
-    """One candidate search step (internal)."""
+    """One candidate search step (internal).
+
+    The trial :class:`Assignment` is built lazily (:meth:`apply`) on
+    the incremental path; the monolithic path carries it in *result*.
+    """
 
     kind: str  # "copy" | "home"
     description: str
-    result: Assignment
     value: float
+    result: Assignment | None = None
+    group_key: str | None = None
+    uid: str | None = None
+    layer_name: str | None = None
+    array_name: str | None = None
+    old_layer: str | None = None
+
+    def apply(self, assignment: Assignment) -> Assignment:
+        """The assignment this move produces."""
+        if self.result is not None:
+            return self.result
+        if self.kind == "copy":
+            return assignment.with_copy(self.group_key, self.uid, self.layer_name)
+        return assignment.with_home(self.array_name, self.layer_name)
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Counters of one search run (surfaced in reports/benchmarks)."""
+
+    rounds: int
+    moves_evaluated: int
+    moves_applied: int
+    cleanup_drops: int
+    cache_hits: int
+    cache_misses: int
+    wall_time_s: float
+
+    def summary(self) -> str:
+        """One-line digest for reports."""
+        total = self.cache_hits + self.cache_misses
+        hit_rate = self.cache_hits / total if total else 0.0
+        return (
+            f"search: {self.moves_evaluated} moves scored in {self.rounds} "
+            f"rounds, {self.moves_applied} applied, {self.cleanup_drops} "
+            f"cleanup drops, cache hit rate {hit_rate:.0%}, "
+            f"{self.wall_time_s * 1e3:.1f} ms"
+        )
 
 
 @dataclass(frozen=True)
@@ -66,6 +137,7 @@ class SearchTrace:
     steps: tuple[str, ...]
     initial_value: float
     final_value: float
+    stats: SearchStats | None = None
 
 
 class GreedyAssigner:
@@ -84,6 +156,16 @@ class GreedyAssigner:
         the exhaustive engine, which explores copies only by default).
     max_steps:
         Safety bound on accepted moves.
+    use_incremental:
+        Score moves with the incremental evaluation engine (default).
+        The monolithic path re-estimates every trial from scratch and
+        exists as the bit-identical reference for equivalence tests and
+        speedup benchmarks.
+    evaluator:
+        Optionally share a pre-warmed :class:`IncrementalEvaluator`
+        (e.g. across the scenario runner) instead of building a fresh
+        one.  Cache counters on a shared evaluator accumulate across
+        runs.
     """
 
     def __init__(
@@ -92,11 +174,20 @@ class GreedyAssigner:
         objective: Objective = Objective.EDP,
         allow_home_moves: bool = True,
         max_steps: int = 200,
+        use_incremental: bool = True,
+        evaluator: IncrementalEvaluator | None = None,
     ):
         self.ctx = ctx
         self.objective = objective
         self.allow_home_moves = allow_home_moves
         self.max_steps = max_steps
+        self.use_incremental = use_incremental
+        if not use_incremental:
+            self.evaluator = None  # the monolithic reference path
+        else:
+            self.evaluator = evaluator or IncrementalEvaluator(ctx)
+        self._ledger: OccupancyLedger | None = None
+        self._moves_evaluated = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -104,21 +195,32 @@ class GreedyAssigner:
 
     def run(self) -> tuple[Assignment, SearchTrace]:
         """Run the search; returns the assignment and its move trace."""
+        started = time.perf_counter()
+        self._moves_evaluated = 0
         assignment = self.ctx.out_of_box_assignment()
         if not self.ctx.fits(assignment):
             raise AssignmentError(
                 "even the out-of-the-box placement violates capacity; "
                 "the off-chip layer must be unbounded"
             )
+        hits_before = misses_before = 0
+        if self.evaluator is not None:
+            self._ledger = self.evaluator.ledger_for(assignment)
+            hits_before = self.evaluator.stats.hits
+            misses_before = self.evaluator.stats.misses
         value = self._value(assignment)
         initial_value = value
         steps: list[str] = []
 
+        rounds = 0
         for _round in range(self.max_steps):
+            rounds += 1
             move = self._best_move(assignment, value)
             if move is None:
                 break
-            assignment = move.result
+            result = move.apply(assignment)
+            self._apply_to_ledger(move)
+            assignment = result
             value = move.value
             steps.append(move.description)
         else:
@@ -126,19 +228,58 @@ class GreedyAssigner:
                 f"assignment search did not converge in {self.max_steps} steps"
             )
 
+        applied = len(steps)
         assignment, value, dropped = self._cleanup(assignment, value)
         steps.extend(dropped)
+        stats = SearchStats(
+            rounds=rounds,
+            moves_evaluated=self._moves_evaluated,
+            moves_applied=applied,
+            cleanup_drops=len(dropped),
+            cache_hits=(
+                self.evaluator.stats.hits - hits_before if self.evaluator else 0
+            ),
+            cache_misses=(
+                self.evaluator.stats.misses - misses_before
+                if self.evaluator
+                else 0
+            ),
+            wall_time_s=time.perf_counter() - started,
+        )
         trace = SearchTrace(
-            steps=tuple(steps), initial_value=initial_value, final_value=value
+            steps=tuple(steps),
+            initial_value=initial_value,
+            final_value=value,
+            stats=stats,
         )
         return assignment, trace
 
     # ------------------------------------------------------------------
-    # move generation
+    # scoring
     # ------------------------------------------------------------------
 
     def _value(self, assignment: Assignment) -> float:
+        self._moves_evaluated += 1
+        if self.evaluator is not None:
+            cycles, energy = self.evaluator.cycles_energy(assignment)
+            return _objective_from_totals(cycles, energy, self.objective)
         return objective_value(estimate_cost(self.ctx, assignment), self.objective)
+
+    def _apply_to_ledger(self, move: _Move) -> None:
+        if self._ledger is None:
+            return
+        if move.kind == "copy":
+            self.evaluator.apply_copy(
+                self._ledger, move.group_key, move.uid, move.layer_name
+            )
+        else:
+            self.evaluator.apply_home(
+                self._ledger, move.array_name, move.old_layer, move.layer_name
+            )
+
+    # ------------------------------------------------------------------
+    # move generation
+    # ------------------------------------------------------------------
 
     def _best_move(
         self, assignment: Assignment, current_value: float
@@ -152,9 +293,110 @@ class GreedyAssigner:
         return best
 
     def _legal_moves(self, assignment: Assignment):
-        yield from self._copy_moves(assignment)
-        if self.allow_home_moves:
-            yield from self._home_moves(assignment)
+        if self.evaluator is not None:
+            base = self.evaluator.contributions(assignment)
+            yield from self._copy_moves_incremental(assignment, base)
+            if self.allow_home_moves:
+                yield from self._home_moves_incremental(assignment, base)
+        else:
+            yield from self._copy_moves(assignment)
+            if self.allow_home_moves:
+                yield from self._home_moves(assignment)
+
+    # -- incremental path ----------------------------------------------
+
+    def _score_substituted(self, base, substitutions) -> float:
+        """Objective of *base* with some contributions replaced.
+
+        The fold runs over the full canonical-order list, so the result
+        is bit-identical to scoring the trial assignment from scratch.
+        """
+        contribs = list(base)
+        for index, contribution in substitutions:
+            contribs[index] = contribution
+        cycles, energy = self.evaluator.totals_of(contribs)
+        self._moves_evaluated += 1
+        return _objective_from_totals(cycles, energy, self.objective)
+
+    def _copy_moves_incremental(self, assignment: Assignment, base):
+        evaluator = self.evaluator
+        hierarchy = self.ctx.platform.hierarchy
+        for group_key, spec in self.ctx.specs.items():
+            existing = assignment.copies.get(group_key, ())
+            selected = {uid for uid, _layer in existing}
+            home = assignment.array_home[spec.group.array_name]
+            index = evaluator.group_index(group_key)
+            for candidate in spec.candidates:
+                if candidate.uid in selected:
+                    continue
+                for layer in hierarchy.onchip_layers:
+                    trial_selections = existing + ((candidate.uid, layer.name),)
+                    contribution = evaluator.contribution_or_none(
+                        group_key, home, trial_selections
+                    )
+                    if contribution is None:
+                        continue
+                    if not evaluator.fits_with_copy(
+                        self._ledger, group_key, candidate.uid, layer.name
+                    ):
+                        continue
+                    value = self._score_substituted(
+                        base, ((index, contribution),)
+                    )
+                    yield _Move(
+                        kind="copy",
+                        description=(
+                            f"copy {candidate.uid} -> {layer.name} "
+                            f"({candidate.size_bytes} B)"
+                        ),
+                        value=value,
+                        group_key=group_key,
+                        uid=candidate.uid,
+                        layer_name=layer.name,
+                    )
+
+    def _home_moves_incremental(self, assignment: Assignment, base):
+        evaluator = self.evaluator
+        hierarchy = self.ctx.platform.hierarchy
+        for array_name, home in assignment.array_home.items():
+            array = self.ctx.program.array(array_name)
+            affected = evaluator.groups_of_array(array_name)
+            for layer in hierarchy.onchip_layers:
+                if layer.name == home:
+                    continue
+                if not layer.fits(array.bytes):
+                    continue
+                substitutions = []
+                legal = True
+                for group_key in affected:
+                    contribution = evaluator.contribution_or_none(
+                        group_key,
+                        layer.name,
+                        assignment.copies.get(group_key, ()),
+                    )
+                    if contribution is None:
+                        legal = False
+                        break
+                    substitutions.append(
+                        (evaluator.group_index(group_key), contribution)
+                    )
+                if not legal:
+                    continue
+                if not evaluator.fits_with_home(
+                    self._ledger, array_name, home, layer.name
+                ):
+                    continue
+                value = self._score_substituted(base, substitutions)
+                yield _Move(
+                    kind="home",
+                    description=f"home {array_name} -> {layer.name}",
+                    value=value,
+                    array_name=array_name,
+                    old_layer=home,
+                    layer_name=layer.name,
+                )
+
+    # -- monolithic reference path -------------------------------------
 
     def _copy_moves(self, assignment: Assignment):
         hierarchy = self.ctx.platform.hierarchy
@@ -178,8 +420,11 @@ class GreedyAssigner:
                             f"copy {candidate.uid} -> {layer.name} "
                             f"({candidate.size_bytes} B)"
                         ),
-                        result=trial,
                         value=value,
+                        result=trial,
+                        group_key=group_key,
+                        uid=candidate.uid,
+                        layer_name=layer.name,
                     )
 
     def _home_moves(self, assignment: Assignment):
@@ -192,7 +437,7 @@ class GreedyAssigner:
                 if not layer.fits(array.bytes):
                     continue
                 trial = assignment.with_home(array_name, layer.name)
-                if not self._all_chains_legal(trial):
+                if not self._array_chains_legal(trial, array_name):
                     continue
                 if not self.ctx.fits(trial):
                     continue
@@ -200,21 +445,34 @@ class GreedyAssigner:
                 yield _Move(
                     kind="home",
                     description=f"home {array_name} -> {layer.name}",
-                    result=trial,
                     value=value,
+                    result=trial,
+                    array_name=array_name,
+                    old_layer=home,
+                    layer_name=layer.name,
                 )
 
     def _chain_is_legal(self, assignment: Assignment, group_key: str) -> bool:
+        """Chain-validity probe; only chain validation counts as illegal."""
         try:
             self.ctx.chain_for(assignment, group_key)
-        except Exception:
+        except ValidationError:
             return False
         return True
 
-    def _all_chains_legal(self, assignment: Assignment) -> bool:
+    def _array_chains_legal(
+        self, assignment: Assignment, array_name: str
+    ) -> bool:
+        """Chain legality of the groups a home move can affect.
+
+        A home move only changes the chains of *array_name*'s groups;
+        all other groups keep their (already legal) chains, so checking
+        the affected groups is equivalent to checking all of them.
+        """
         return all(
             self._chain_is_legal(assignment, group_key)
-            for group_key in self.ctx.specs
+            for group_key, spec in self.ctx.specs.items()
+            if spec.group.array_name == array_name
         )
 
     # ------------------------------------------------------------------
@@ -229,14 +487,24 @@ class GreedyAssigner:
         improved = True
         while improved:
             improved = False
+            base = (
+                self.evaluator.contributions(assignment)
+                if self.evaluator is not None
+                else None
+            )
             for group_key, selections in list(assignment.copies.items()):
-                for uid, _layer in selections:
-                    trial = assignment.without_copy(group_key, uid)
-                    if not self._all_chains_legal(trial):
+                for uid, layer_name in selections:
+                    trial_value = self._cleanup_trial_value(
+                        assignment, base, group_key, uid
+                    )
+                    if trial_value is None:
                         continue
-                    trial_value = self._value(trial)
                     if trial_value <= value:
-                        assignment = trial
+                        if self._ledger is not None:
+                            self.evaluator.remove_copy(
+                                self._ledger, group_key, uid, layer_name
+                            )
+                        assignment = assignment.without_copy(group_key, uid)
                         value = trial_value
                         dropped.append(f"drop {uid} (no loss)")
                         improved = True
@@ -244,3 +512,23 @@ class GreedyAssigner:
                 if improved:
                     break
         return assignment, value, dropped
+
+    def _cleanup_trial_value(
+        self, assignment: Assignment, base, group_key: str, uid: str
+    ) -> float | None:
+        """Objective after dropping one copy, or None if illegal."""
+        if self.evaluator is not None:
+            home, selections = self.evaluator.group_state(assignment, group_key)
+            remaining = tuple(pair for pair in selections if pair[0] != uid)
+            contribution = self.evaluator.contribution_or_none(
+                group_key, home, remaining
+            )
+            if contribution is None:
+                return None
+            return self._score_substituted(
+                base, ((self.evaluator.group_index(group_key), contribution),)
+            )
+        trial = assignment.without_copy(group_key, uid)
+        if not self._chain_is_legal(trial, group_key):
+            return None
+        return self._value(trial)

@@ -32,6 +32,14 @@ from repro.reuse.chains import CopyChain, chain_of
 class Assignment:
     """A placement decision: array homes plus selected copies.
 
+    Assignments are treated as **immutable** by the search engines:
+    every move helper returns a new instance and the two dicts must not
+    be mutated in place.  Because of that, the move helpers share every
+    untouched structure with the source assignment — ``with_copy`` and
+    ``without_copy`` reuse the ``array_home`` dict and all other groups'
+    selection tuples, ``with_home`` reuses the whole ``copies`` dict —
+    so a trial move is O(changed entry), not O(program).
+
     Attributes
     ----------
     array_home:
@@ -46,43 +54,43 @@ class Assignment:
     copies: dict[str, tuple[tuple[str, str], ...]] = field(default_factory=dict)
 
     def clone(self) -> "Assignment":
-        """Independent copy (used by search engines to try moves)."""
+        """Independent copy (for callers that want to mutate freely)."""
         return Assignment(
             array_home=dict(self.array_home),
-            copies={key: tuple(value) for key, value in self.copies.items()},
+            copies=dict(self.copies),
         )
 
     def with_copy(self, group_key: str, candidate_uid: str, layer_name: str) -> "Assignment":
         """New assignment with one more selected copy."""
-        updated = self.clone()
-        existing = updated.copies.get(group_key, ())
+        existing = self.copies.get(group_key, ())
         if any(uid == candidate_uid for uid, _layer in existing):
             raise ValidationError(f"candidate {candidate_uid!r} already selected")
-        updated.copies[group_key] = existing + ((candidate_uid, layer_name),)
-        return updated
+        copies = dict(self.copies)
+        copies[group_key] = existing + ((candidate_uid, layer_name),)
+        return Assignment(array_home=self.array_home, copies=copies)
 
     def without_copy(self, group_key: str, candidate_uid: str) -> "Assignment":
         """New assignment with one copy removed."""
-        updated = self.clone()
-        existing = updated.copies.get(group_key, ())
+        existing = self.copies.get(group_key, ())
         remaining = tuple(
             (uid, layer) for uid, layer in existing if uid != candidate_uid
         )
         if len(remaining) == len(existing):
             raise ValidationError(f"candidate {candidate_uid!r} is not selected")
+        copies = dict(self.copies)
         if remaining:
-            updated.copies[group_key] = remaining
+            copies[group_key] = remaining
         else:
-            updated.copies.pop(group_key, None)
-        return updated
+            copies.pop(group_key, None)
+        return Assignment(array_home=self.array_home, copies=copies)
 
     def with_home(self, array_name: str, layer_name: str) -> "Assignment":
         """New assignment with an array's home layer changed."""
-        updated = self.clone()
-        if array_name not in updated.array_home:
+        if array_name not in self.array_home:
             raise ValidationError(f"unknown array {array_name!r}")
-        updated.array_home[array_name] = layer_name
-        return updated
+        array_home = dict(self.array_home)
+        array_home[array_name] = layer_name
+        return Assignment(array_home=array_home, copies=self.copies)
 
     def selected_uids(self) -> tuple[str, ...]:
         """All selected candidate uids (sorted, deterministic)."""

@@ -1,10 +1,26 @@
-"""Brute-force reference assignment engine.
+"""Brute-force reference assignment engine with branch-and-bound.
 
 Enumerates every legal assignment (all monotone copy sub-chains per
 reference group, optionally all on-chip array homes) and returns the
-global optimum of the objective.  Exponential — guarded by a state
-budget — and intended for validating the greedy engine on small
-programs (DESIGN.md experiment ABL-ASSIGN) and for unit tests.
+global optimum of the objective.  Two modes:
+
+* ``prune=True`` (default) — depth-first **branch and bound** over the
+  same option space.  Per-(group, home) option tables memoise each
+  option's cost contribution, chain legality and space claims; the
+  search prunes a subtree when its claims already violate a layer
+  capacity (occupancy is additive, so no completion can recover), when
+  an option's chain is illegal, or when a per-group lower bound on the
+  objective proves the subtree cannot beat the incumbent.  The bound
+  compares with a 1e-9 relative slack so float rounding can never
+  prune the true optimum, and leaves are scored with the exact
+  canonical-order fold — the optimum is identical to full enumeration.
+* ``prune=False`` — the straight product enumeration (the historical
+  reference), scoring every complete assignment.
+
+With pruning the practical ``max_states`` ceiling rises by orders of
+magnitude: the budget counts *visited search nodes* rather than the
+full product-space size, and exceeded budgets still raise
+:class:`AssignmentError` so a caller never silently waits forever.
 """
 
 from __future__ import annotations
@@ -14,23 +30,46 @@ from dataclasses import dataclass
 
 from repro.core.assignment import Objective, objective_value
 from repro.core.context import AnalysisContext, Assignment
-from repro.core.costs import estimate_cost
-from repro.errors import AssignmentError
+from repro.core.costs import GroupContribution, fold_objective_totals
+from repro.core.incremental import IncrementalEvaluator, OccupancyLedger
+from repro.errors import AssignmentError, ValidationError
 from repro.reuse.candidates import CandidateChainSpec
+
+_BOUND_SLACK = 1.0 - 1e-9
+"""Safety factor on lower bounds: prunes only subtrees that are worse
+than the incumbent by more than float-rounding noise."""
 
 
 @dataclass(frozen=True)
 class ExhaustiveResult:
-    """Optimum found by full enumeration."""
+    """Optimum found by (pruned) enumeration.
+
+    ``evaluated`` counts search nodes visited (complete assignments in
+    ``prune=False`` mode); ``feasible`` counts complete feasible
+    assignments scored; ``pruned`` counts subtrees cut by the objective
+    lower bound.
+    """
 
     assignment: Assignment
     value: float
     evaluated: int
     feasible: int
+    pruned: int = 0
+
+
+@dataclass(frozen=True)
+class _OptionRow:
+    """One enumerated option of a group under a fixed array home."""
+
+    option: tuple[tuple[str, str], ...]
+    contribution: GroupContribution | None  # None == illegal chain
+    claims: tuple[tuple[str, int, int], ...]  # (layer, nest, bytes)
+    cycles_scalar: float
+    energy_scalar: float
 
 
 class ExhaustiveAssigner:
-    """Full enumeration of the assignment space (see module docstring).
+    """Optimal assignment search (see module docstring).
 
     Parameters
     ----------
@@ -43,9 +82,15 @@ class ExhaustiveAssigner:
         by default to keep the space comparable with the greedy's core
         decision (copy selection).
     max_states:
-        Upper bound on the number of complete assignments that will be
-        evaluated; exceeded bounds raise :class:`AssignmentError` so a
-        caller never silently waits forever.
+        Budget on visited search nodes (``prune=True``) or enumerated
+        complete assignments (``prune=False``); exceeded budgets raise
+        :class:`AssignmentError`.
+    prune:
+        Use branch-and-bound (default).  Disable to run the historical
+        full enumeration, e.g. as the oracle in equivalence tests.
+    evaluator:
+        Optionally share a pre-warmed
+        :class:`~repro.core.incremental.IncrementalEvaluator`.
     """
 
     def __init__(
@@ -54,12 +99,18 @@ class ExhaustiveAssigner:
         objective: Objective = Objective.EDP,
         include_home_moves: bool = False,
         max_states: int = 200_000,
+        prune: bool = True,
+        evaluator: IncrementalEvaluator | None = None,
     ):
         self.ctx = ctx
         self.objective = objective
         self.include_home_moves = include_home_moves
         self.max_states = max_states
+        self.prune = prune
+        self.evaluator = evaluator or IncrementalEvaluator(ctx)
 
+    # ------------------------------------------------------------------
+    # option enumeration (shared by both modes)
     # ------------------------------------------------------------------
 
     def _group_options(
@@ -104,7 +155,16 @@ class ExhaustiveAssigner:
     # ------------------------------------------------------------------
 
     def run(self) -> ExhaustiveResult:
-        """Enumerate, evaluate and return the optimum."""
+        """Search the space and return the optimum."""
+        if self.prune:
+            return self._run_branch_and_bound()
+        return self._run_enumerate()
+
+    # ------------------------------------------------------------------
+    # mode 1: historical full enumeration (the oracle)
+    # ------------------------------------------------------------------
+
+    def _run_enumerate(self) -> ExhaustiveResult:
         group_keys = sorted(self.ctx.specs)
         per_group = [self._group_options(self.ctx.specs[key]) for key in group_keys]
         array_names = sorted(self.ctx.program.arrays)
@@ -141,9 +201,8 @@ class ExhaustiveAssigner:
                 if not self.ctx.fits(assignment):
                     continue
                 feasible += 1
-                value = objective_value(
-                    estimate_cost(self.ctx, assignment), self.objective
-                )
+                cycles, energy = self.evaluator.cycles_energy(assignment)
+                value = self._objective(cycles, energy)
                 if value < best_value:
                     best_value = value
                     best_assignment = assignment
@@ -158,8 +217,189 @@ class ExhaustiveAssigner:
         )
 
     def _is_legal(self, assignment: Assignment) -> bool:
+        """Every chain materialises; only chain validation may fail."""
         try:
             self.ctx.chains(assignment)
-        except Exception:
+        except ValidationError:
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # mode 2: branch and bound
+    # ------------------------------------------------------------------
+
+    def _objective(self, cycles: float, energy: float) -> float:
+        if self.objective is Objective.CYCLES:
+            return cycles
+        if self.objective is Objective.ENERGY:
+            return energy
+        return cycles * energy
+
+    def _option_table(
+        self, group_key: str, home_layer: str, options
+    ) -> list[_OptionRow]:
+        """Memoised (contribution, claims, scalar costs) per option."""
+        evaluator = self.evaluator
+        nest = self.ctx.specs[group_key].group.nest_index
+        rows = []
+        for option in options:
+            contribution = evaluator.contribution_or_none(
+                group_key, home_layer, option
+            )
+            if contribution is None:
+                rows.append(_OptionRow(option, None, (), 0.0, 0.0))
+                continue
+            claims = tuple(
+                (layer_name, nest, evaluator.candidate_bytes(uid))
+                for uid, layer_name in option
+            )
+            rows.append(
+                _OptionRow(
+                    option=option,
+                    contribution=contribution,
+                    claims=claims,
+                    cycles_scalar=contribution.cycles_scalar,
+                    energy_scalar=contribution.energy_scalar,
+                )
+            )
+        return rows
+
+    def _run_branch_and_bound(self) -> ExhaustiveResult:
+        ctx = self.ctx
+        evaluator = self.evaluator
+        group_keys = sorted(ctx.specs)
+        per_group_options = {
+            key: self._group_options(ctx.specs[key]) for key in group_keys
+        }
+        array_names = sorted(ctx.program.arrays)
+        per_array = [self._home_options(name) for name in array_names]
+        spec_position = {key: i for i, key in enumerate(ctx.specs)}
+        depth_to_position = [spec_position[key] for key in group_keys]
+        group_count = len(group_keys)
+        compute = evaluator.compute_cycles
+        use_edp = self.objective is Objective.EDP
+        use_cycles = self.objective is Objective.CYCLES
+
+        best_assignment: Assignment | None = None
+        best_value = float("inf")
+        counters = {"evaluated": 0, "feasible": 0, "pruned": 0}
+        chosen: list[GroupContribution | None] = [None] * group_count
+        option_path: list[tuple[tuple[str, str], ...]] = [()] * group_count
+
+        def charge_node() -> None:
+            counters["evaluated"] += 1
+            if counters["evaluated"] > self.max_states:
+                raise AssignmentError(
+                    f"exhaustive search exceeded max_states="
+                    f"{self.max_states} visited nodes; "
+                    "use the greedy engine for this program"
+                )
+
+        for homes in itertools.product(*per_array):
+            charge_node()
+            home_map = dict(zip(array_names, homes))
+            ledger = evaluator.ledger_for(
+                Assignment(array_home=dict(home_map), copies={})
+            )
+            if not ledger.fits():
+                continue  # the homes alone violate capacity
+
+            tables = []
+            for key in group_keys:
+                home = home_map[ctx.specs[key].group.array_name]
+                tables.append(
+                    self._option_table(key, home, per_group_options[key])
+                )
+
+            # Per-depth suffix minima of the remaining groups' best
+            # possible scalar contributions (legal options only; the
+            # empty option is always legal so the min exists).
+            suffix_cycles = [0.0] * (group_count + 1)
+            suffix_energy = [0.0] * (group_count + 1)
+            for depth in range(group_count - 1, -1, -1):
+                legal = [row for row in tables[depth] if row.contribution is not None]
+                suffix_cycles[depth] = suffix_cycles[depth + 1] + min(
+                    row.cycles_scalar for row in legal
+                )
+                suffix_energy[depth] = suffix_energy[depth + 1] + min(
+                    row.energy_scalar for row in legal
+                )
+
+            def descend(depth: int, partial_cycles: float, partial_energy: float) -> None:
+                nonlocal best_assignment, best_value
+                if depth == group_count:
+                    counters["feasible"] += 1
+                    (
+                        cpu_access_cycles,
+                        stall_cycles,
+                        copy_cpu_cycles,
+                        cpu_access_energy,
+                        transfer_energy,
+                    ) = fold_objective_totals(chosen)
+                    cycles = (
+                        compute + cpu_access_cycles + stall_cycles + copy_cpu_cycles
+                    )
+                    energy = cpu_access_energy + transfer_energy
+                    value = self._objective(cycles, energy)
+                    if value < best_value:
+                        best_value = value
+                        best_assignment = Assignment(
+                            array_home=dict(home_map),
+                            copies={
+                                key: option
+                                for key, option in zip(group_keys, option_path)
+                                if option
+                            },
+                        )
+                    return
+                for row in tables[depth]:
+                    charge_node()
+                    if row.contribution is None:
+                        continue
+                    if best_value != float("inf"):
+                        cycles_bound = (
+                            compute
+                            + partial_cycles
+                            + row.cycles_scalar
+                            + suffix_cycles[depth + 1]
+                        )
+                        energy_bound = (
+                            partial_energy
+                            + row.energy_scalar
+                            + suffix_energy[depth + 1]
+                        )
+                        if use_edp:
+                            bound = cycles_bound * energy_bound
+                        elif use_cycles:
+                            bound = cycles_bound
+                        else:
+                            bound = energy_bound
+                        if bound * _BOUND_SLACK >= best_value:
+                            counters["pruned"] += 1
+                            continue
+                    fits = True
+                    for layer_name, nest, nbytes in row.claims:
+                        if not ledger.add(layer_name, nest, nest, nbytes):
+                            fits = False
+                    if fits:
+                        chosen[depth_to_position[depth]] = row.contribution
+                        option_path[depth] = row.option
+                        descend(
+                            depth + 1,
+                            partial_cycles + row.cycles_scalar,
+                            partial_energy + row.energy_scalar,
+                        )
+                    for layer_name, nest, nbytes in row.claims:
+                        ledger.remove(layer_name, nest, nest, nbytes)
+
+            descend(0, 0.0, 0.0)
+
+        if best_assignment is None:
+            raise AssignmentError("no feasible assignment found")
+        return ExhaustiveResult(
+            assignment=best_assignment,
+            value=best_value,
+            evaluated=counters["evaluated"],
+            feasible=counters["feasible"],
+            pruned=counters["pruned"],
+        )

@@ -55,16 +55,21 @@ DEFAULT_L1_SWEEP_BYTES: tuple[int, ...] = (
 """Default L1 sweep: 512 B to 64 KiB in powers of two."""
 
 
-def default_platform_factory(l1_bytes: int) -> Platform:
-    """Default sweep platform: 3 layers, L2 grown to stay above L1.
+def default_l2_bytes(l1_bytes: int) -> int:
+    """L2 size rule of the default sweep platform.
 
     Keeps L2 at 64 KiB for small L1 sizes and scales it to 4x L1 once
     the sweep reaches it, so the hierarchy stays strictly decreasing
     (an L1 as large as L2 would make the L2 layer pointless).
     """
+    return max(kib(64), 4 * l1_bytes)
+
+
+def default_platform_factory(l1_bytes: int) -> Platform:
+    """Default sweep platform: 3 layers, L2 grown to stay above L1."""
     from repro.memory.presets import embedded_3layer
 
-    return embedded_3layer(l1_bytes=l1_bytes, l2_bytes=max(kib(64), 4 * l1_bytes))
+    return embedded_3layer(l1_bytes=l1_bytes, l2_bytes=default_l2_bytes(l1_bytes))
 
 
 def sweep_layer_sizes(

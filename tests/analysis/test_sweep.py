@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.analysis.sweep` (the parallel runner)."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    DEFAULT_PLATFORM_SPECS,
+    ParallelSweepRunner,
+    PlatformSpec,
+    SweepCell,
+    full_grid,
+    grid_table,
+)
+from repro.apps import all_app_names
+from repro.core.assignment import Objective
+from repro.errors import ValidationError
+from repro.units import kib
+
+
+class TestPlatformSpec:
+    def test_builds_3layer(self):
+        platform = PlatformSpec(l1_bytes=kib(4), l2_bytes=kib(32)).build()
+        assert platform.hierarchy.layer("l1").capacity_bytes == kib(4)
+        assert platform.hierarchy.layer("l2").capacity_bytes == kib(32)
+
+    def test_builds_2layer(self):
+        platform = PlatformSpec(kind="embedded_2layer", l1_bytes=kib(16)).build()
+        assert platform.hierarchy.layer("spm").capacity_bytes == kib(16)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            PlatformSpec(kind="quantum").build()
+
+    def test_names(self):
+        assert PlatformSpec(label="default").name == "default"
+        assert "3layer" in PlatformSpec().name
+
+
+class TestFullGrid:
+    def test_covers_every_combination(self):
+        grid = full_grid()
+        expected = (
+            len(all_app_names()) * len(DEFAULT_PLATFORM_SPECS) * len(Objective)
+        )
+        assert len(grid) == expected
+        assert len(set(grid)) == expected
+
+    def test_order_is_app_major_and_deterministic(self):
+        grid = full_grid(apps=["wavelet", "cavity"])
+        assert [cell.app for cell in grid[: len(grid) // 2]] == [
+            "wavelet"
+        ] * (len(grid) // 2)
+        assert grid == full_grid(apps=["wavelet", "cavity"])
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def small_grid(self):
+        return full_grid(
+            apps=["motion_estimation", "mpeg4_mc"],
+            platforms=(PlatformSpec(label="default"),),
+            objectives=(Objective.EDP,),
+        )
+
+    def test_serial_results_in_cell_order(self, small_grid):
+        outcomes = ParallelSweepRunner().run(small_grid)
+        assert tuple(outcome.cell for outcome in outcomes) == small_grid
+        for outcome in outcomes:
+            assert outcome.result.app_name == outcome.cell.app
+
+    def test_parallel_identical_to_serial(self, small_grid):
+        serial = ParallelSweepRunner(jobs=1).run(small_grid)
+        parallel = ParallelSweepRunner(jobs=2).run(small_grid)
+        for left, right in zip(serial, parallel):
+            assert left.cell == right.cell
+            for name in ("oob", "mhla", "mhla_te", "ideal"):
+                assert (
+                    left.result.scenario(name).cycles
+                    == right.result.scenario(name).cycles
+                )
+                assert (
+                    left.result.scenario(name).energy_nj
+                    == right.result.scenario(name).energy_nj
+                )
+            assert (
+                left.result.scenario("mhla").assignment.copies
+                == right.result.scenario("mhla").assignment.copies
+            )
+            assert (
+                left.result.scenario("mhla").assignment.array_home
+                == right.result.scenario("mhla").assignment.array_home
+            )
+
+    def test_empty_grid(self):
+        assert ParallelSweepRunner(jobs=4).run(()) == ()
+
+    def test_grid_table_renders(self, small_grid):
+        outcomes = ParallelSweepRunner().run(small_grid)
+        table = grid_table(outcomes)
+        assert "motion_estimation" in table
+        assert "default" in table
+        assert "edp" in table
+
+
+class TestCellPickling:
+    def test_cells_and_results_survive_pickling(self):
+        import pickle
+
+        cell = SweepCell(
+            app="wavelet", platform=PlatformSpec(), objective=Objective.CYCLES
+        )
+        assert pickle.loads(pickle.dumps(cell)) == cell

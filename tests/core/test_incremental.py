@@ -1,0 +1,259 @@
+"""Equivalence tests for the incremental evaluation engine.
+
+The engine's contract is *bit-identical* agreement with the monolithic
+estimator: cached per-group contributions fold to the same floats as a
+fresh :func:`estimate_cost`, the occupancy ledger answers ``fits``
+exactly like the occupancy map, and both search engines return the
+same assignments whether or not they use the incremental path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import all_app_names, build_app
+from repro.core.assignment import GreedyAssigner, Objective
+from repro.core.context import AnalysisContext
+from repro.core.costs import estimate_cost
+from repro.core.exhaustive import ExhaustiveAssigner
+from repro.core.incremental import IncrementalEvaluator
+from repro.errors import ValidationError
+from repro.memory.presets import embedded_3layer
+from tests.conftest import (
+    make_hist_program,
+    make_self_dependent_program,
+    make_stream_program,
+    make_table_program,
+    make_tiny_me_program,
+    make_two_nest_program,
+    make_window_program,
+)
+
+FIXTURE_FACTORIES = (
+    make_stream_program,
+    make_window_program,
+    make_table_program,
+    make_two_nest_program,
+    make_hist_program,
+    make_self_dependent_program,
+    make_tiny_me_program,
+)
+
+
+def _legal_reference(ctx, assignment, group_key) -> bool:
+    """Uncached legality: does the chain materialise?"""
+    try:
+        ctx.chain_for(assignment, group_key)
+    except ValidationError:
+        return False
+    return True
+
+
+def _random_walk(ctx, rng, steps=40):
+    """Yield assignments along a random move walk, legal or not."""
+    hierarchy = ctx.platform.hierarchy
+    layer_names = [layer.name for layer in hierarchy]
+    assignment = ctx.out_of_box_assignment()
+    yield assignment
+    for _ in range(steps):
+        op = rng.random()
+        if op < 0.55:
+            group_key = rng.choice(list(ctx.specs))
+            spec = ctx.specs[group_key]
+            selected = {uid for uid, _ in assignment.copies.get(group_key, ())}
+            unselected = [c for c in spec.candidates if c.uid not in selected]
+            if not unselected:
+                continue
+            candidate = rng.choice(unselected)
+            layer = rng.choice(hierarchy.onchip_layers)
+            assignment = assignment.with_copy(
+                group_key, candidate.uid, layer.name
+            )
+        elif op < 0.8 and assignment.copies:
+            group_key = rng.choice(list(assignment.copies))
+            uid, _layer = rng.choice(assignment.copies[group_key])
+            assignment = assignment.without_copy(group_key, uid)
+        else:
+            array_name = rng.choice(list(ctx.program.arrays))
+            assignment = assignment.with_home(
+                array_name, rng.choice(layer_names)
+            )
+        yield assignment
+
+
+class TestRandomWalkEquivalence:
+    """Property-style: incremental scores == fresh estimates, always."""
+
+    @pytest.mark.parametrize(
+        "app_name", ["motion_estimation", "edge_detection", "filterbank"]
+    )
+    def test_random_moves_match_fresh_estimates(self, app_name):
+        ctx = AnalysisContext(build_app(app_name), embedded_3layer())
+        evaluator = IncrementalEvaluator(ctx)
+        rng = random.Random(1234)
+        checked_legal = 0
+        for assignment in _random_walk(ctx, rng):
+            legal = all(
+                _legal_reference(ctx, assignment, key) for key in ctx.specs
+            )
+            incremental_legal = all(
+                evaluator.chain_is_legal(
+                    key,
+                    assignment.array_home[ctx.specs[key].group.array_name],
+                    assignment.copies.get(key, ()),
+                )
+                for key in ctx.specs
+            )
+            assert incremental_legal == legal
+            if not legal:
+                continue
+            checked_legal += 1
+            report = estimate_cost(ctx, assignment)
+            cycles, energy = evaluator.cycles_energy(assignment)
+            assert cycles == report.cycles  # bitwise, no tolerance
+            assert energy == report.energy_nj
+            folded = evaluator.report(assignment)
+            assert folded == report
+            assert folded.traffic == report.traffic
+            assert (
+                evaluator.ledger_for(assignment).fits()
+                == ctx.fits(assignment)
+            )
+        assert checked_legal >= 10  # the walk must exercise legal states
+
+    @pytest.mark.parametrize("factory", FIXTURE_FACTORIES)
+    def test_fixture_walks_match(self, factory):
+        ctx = AnalysisContext(factory(), embedded_3layer())
+        evaluator = IncrementalEvaluator(ctx)
+        rng = random.Random(99)
+        for assignment in _random_walk(ctx, rng, steps=25):
+            if not all(
+                _legal_reference(ctx, assignment, key) for key in ctx.specs
+            ):
+                continue
+            report = estimate_cost(ctx, assignment)
+            assert evaluator.cycles_energy(assignment) == (
+                report.cycles,
+                report.energy_nj,
+            )
+
+    def test_ledger_probes_match_full_rebuild(self, window_ctx):
+        evaluator = IncrementalEvaluator(window_ctx)
+        assignment = window_ctx.out_of_box_assignment()
+        ledger = evaluator.ledger_for(assignment)
+        hierarchy = window_ctx.platform.hierarchy
+        for group_key, spec in window_ctx.specs.items():
+            for candidate in spec.candidates:
+                for layer in hierarchy.onchip_layers:
+                    trial = assignment.with_copy(
+                        group_key, candidate.uid, layer.name
+                    )
+                    assert evaluator.fits_with_copy(
+                        ledger, group_key, candidate.uid, layer.name
+                    ) == window_ctx.fits(trial)
+
+    def test_cache_stats_accumulate(self, window_ctx):
+        evaluator = IncrementalEvaluator(window_ctx)
+        assignment = window_ctx.out_of_box_assignment()
+        evaluator.cycles_energy(assignment)
+        misses = evaluator.stats.misses
+        assert misses == len(window_ctx.specs)
+        evaluator.cycles_energy(assignment)
+        assert evaluator.stats.misses == misses  # all hits the second time
+        assert evaluator.stats.hits >= len(window_ctx.specs)
+        assert 0.0 <= evaluator.stats.hit_rate() <= 1.0
+
+
+class TestGreedyEquivalence:
+    """Incremental and monolithic greedy return identical results."""
+
+    @pytest.mark.parametrize("app_name", all_app_names())
+    def test_all_apps_identical(self, app_name):
+        ctx = AnalysisContext(build_app(app_name), embedded_3layer())
+        incremental, inc_trace = GreedyAssigner(ctx).run()
+        reference, ref_trace = GreedyAssigner(ctx, use_incremental=False).run()
+        assert incremental.array_home == reference.array_home
+        assert incremental.copies == reference.copies
+        assert inc_trace.steps == ref_trace.steps
+        assert inc_trace.initial_value == ref_trace.initial_value
+        assert inc_trace.final_value == ref_trace.final_value
+        # both paths score the same number of candidate moves
+        assert (
+            inc_trace.stats.moves_evaluated == ref_trace.stats.moves_evaluated
+        )
+
+    @pytest.mark.parametrize("factory", FIXTURE_FACTORIES)
+    @pytest.mark.parametrize("objective", list(Objective))
+    def test_fixtures_identical_per_objective(self, factory, objective):
+        ctx = AnalysisContext(factory(), embedded_3layer())
+        incremental, inc_trace = GreedyAssigner(ctx, objective=objective).run()
+        reference, ref_trace = GreedyAssigner(
+            ctx, objective=objective, use_incremental=False
+        ).run()
+        assert incremental.array_home == reference.array_home
+        assert incremental.copies == reference.copies
+        assert inc_trace.final_value == ref_trace.final_value
+
+    def test_stats_recorded(self, tiny_me_ctx):
+        _assignment, trace = GreedyAssigner(tiny_me_ctx).run()
+        stats = trace.stats
+        assert stats is not None
+        assert stats.moves_evaluated > 0
+        # a converged search needs one final scan that finds no move
+        assert stats.rounds == stats.moves_applied + 1
+        assert stats.cache_hits + stats.cache_misses > 0
+        assert stats.wall_time_s > 0
+        assert "moves scored" in stats.summary()
+
+
+class TestExhaustiveEquivalence:
+    """Branch-and-bound finds exactly the full enumeration's optimum."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            make_stream_program,
+            make_window_program,
+            make_table_program,
+            make_hist_program,
+            make_self_dependent_program,
+        ],
+    )
+    @pytest.mark.parametrize("homes", [False, True])
+    def test_pruned_matches_enumeration(self, factory, homes):
+        program = factory()
+        if homes and program.name == "self_dep":
+            pytest.skip("home space too large for the enumeration oracle")
+        ctx = AnalysisContext(program, embedded_3layer())
+        pruned = ExhaustiveAssigner(ctx, include_home_moves=homes).run()
+        oracle = ExhaustiveAssigner(
+            ctx, include_home_moves=homes, prune=False
+        ).run()
+        assert pruned.value == oracle.value  # bitwise
+        assert pruned.assignment.array_home == oracle.assignment.array_home
+        assert pruned.assignment.copies == oracle.assignment.copies
+        # value pruning means not every feasible state is scored
+        assert pruned.feasible <= oracle.feasible
+
+    def test_pruning_visits_fewer_states(self, window_ctx):
+        pruned = ExhaustiveAssigner(window_ctx).run()
+        oracle = ExhaustiveAssigner(window_ctx, prune=False).run()
+        assert pruned.evaluated < oracle.evaluated
+        assert pruned.pruned > 0
+
+    def test_bnb_solves_spaces_beyond_enumeration(self, tiny_me_ctx):
+        """The seed engine rejected tiny_me at the default budget."""
+        result = ExhaustiveAssigner(tiny_me_ctx).run()
+        assert result.feasible >= 1
+        assert tiny_me_ctx.fits(result.assignment)
+
+    @pytest.mark.parametrize("objective", list(Objective))
+    def test_objectives_agree_with_oracle(self, objective, window_ctx):
+        pruned = ExhaustiveAssigner(window_ctx, objective=objective).run()
+        oracle = ExhaustiveAssigner(
+            window_ctx, objective=objective, prune=False
+        ).run()
+        assert pruned.value == oracle.value
+        assert pruned.assignment.copies == oracle.assignment.copies

@@ -21,6 +21,16 @@ class TestParser:
         assert args.l1_kib == 4.0
         assert args.l2_kib == 32.0
 
+    def test_sweep_app_is_optional(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.app is None
+        assert args.jobs == 1
+
+    def test_sweep_jobs_parsed(self):
+        args = build_parser().parse_args(["sweep", "qsdpcm", "--jobs", "4"])
+        assert args.app == "qsdpcm"
+        assert args.jobs == 4
+
 
 class TestSubcommands:
     def test_list(self, capsys):
@@ -40,6 +50,27 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "Pareto-optimal" in out
         assert "KiB" in out
+
+    def test_sweep_parallel_output_identical(self, capsys):
+        assert main(["sweep", "voice_coder"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", "voice_coder", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_sweep_grid_mode(self, capsys):
+        assert main(["sweep", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "app x platform x objective" in out
+        # every app appears on both platforms under all three objectives
+        assert out.count("qsdpcm") == 6
+        assert "small" in out
+
+    def test_run_prints_search_stats(self, capsys):
+        assert main(["run", "voice_coder"]) == 0
+        out = capsys.readouterr().out
+        assert "moves scored" in out
+        assert "cache hit rate" in out
 
     def test_simulate(self, capsys):
         assert main(["simulate", "voice_coder"]) == 0
