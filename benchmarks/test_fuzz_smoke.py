@@ -1,0 +1,103 @@
+"""PERF-FUZZ — differential-verification throughput smoke.
+
+The fuzz harness is only useful if it is cheap enough to run
+continuously, so this smoke benchmark pins down three things on a
+fixed seed and a bounded case count:
+
+* the whole block verifies clean (a failing tree fails loudly here,
+  with the shrunk reproducer printed by the harness's own machinery);
+* verification throughput stays above a floor and inside a generous
+  wall-clock budget;
+* the expensive checks keep real coverage — if generator drift ever
+  made the oracle or the simulator skip (almost) every case, the block
+  would "pass" while checking nothing, so minimum pass counts are
+  asserted alongside the timing.
+
+Counters land in ``benchmarks/out/BENCH_fuzz.json`` so the
+verification-throughput trajectory is tracked across PRs next to the
+search-speed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import OUT_DIR, write_artifact
+from repro.analysis.report import format_table
+from repro.verify import DifferentialHarness, fuzz
+from repro.verify.differential import FAIL, PASS, SKIP
+
+FUZZ_SEED = 0
+FUZZ_CASES = 30
+WALL_BUDGET_S = 60.0  # generous: the block runs in a few seconds
+MIN_CASES_PER_S = 1.0
+MIN_ORACLE_PASSES = 6
+MIN_SIMULATION_PASSES = 12
+
+
+def test_fuzz_throughput_smoke(benchmark):
+    benchmark.group = "fuzz-smoke"
+    harness = DifferentialHarness()
+
+    started = time.perf_counter()
+    report = fuzz(FUZZ_SEED, FUZZ_CASES, harness=harness, shrink=True)
+    wall_s = time.perf_counter() - started
+
+    failure_digest = [
+        {
+            "seed": failure.report.spec.seed,
+            "checks": [r.check for r in failure.report.failures],
+            "details": [r.detail for r in failure.shrunk_report.failures],
+        }
+        for failure in report.failures
+    ]
+    assert report.ok, f"differential failures: {failure_digest}"
+    assert wall_s < WALL_BUDGET_S, (
+        f"fuzz block took {wall_s:.1f}s (budget {WALL_BUDGET_S}s)"
+    )
+    cases_per_s = FUZZ_CASES / wall_s
+    assert cases_per_s >= MIN_CASES_PER_S
+
+    # Coverage floors: the block must actually exercise the oracle and
+    # the simulator, not skip its way to green.
+    assert report.counts["oracle"][PASS] >= MIN_ORACLE_PASSES
+    assert report.counts["simulation"][PASS] >= MIN_SIMULATION_PASSES
+    assert report.counts["incremental"][PASS] == FUZZ_CASES
+    assert report.counts["te"][PASS] + report.counts["te"][SKIP] == FUZZ_CASES
+
+    record = {
+        "seed": FUZZ_SEED,
+        "cases": FUZZ_CASES,
+        "wall_s": wall_s,
+        "cases_per_s": cases_per_s,
+        "failures": len(report.failures),
+        "checks": {
+            check: dict(row) for check, row in report.counts.items()
+        },
+    }
+    (OUT_DIR / "BENCH_fuzz.json").parent.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_fuzz.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    rows = [
+        [
+            check,
+            str(row.get(PASS, 0)),
+            str(row.get(FAIL, 0)),
+            str(row.get(SKIP, 0)),
+        ]
+        for check, row in report.counts.items()
+    ]
+    rows.append(["throughput", f"{cases_per_s:.1f}/s", "", f"{wall_s:.1f}s"])
+    write_artifact(
+        "fuzz_smoke.txt", format_table(["check", "pass", "fail", "skip"], rows)
+    )
+
+    # pytest-benchmark tracks a small fixed block over time.
+    benchmark.pedantic(
+        lambda: fuzz(FUZZ_SEED, 5, harness=harness, shrink=False),
+        rounds=3,
+        iterations=1,
+    )

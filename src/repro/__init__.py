@@ -34,6 +34,8 @@ from repro.core.scenarios import ScenarioResult, evaluate_scenarios
 from repro.core.te import TeSchedule, TimeExtensionEngine
 from repro.core.tradeoff import TradeoffPoint, sweep_layer_sizes
 from repro.ir import Program, ProgramBuilder
+from repro.synth import generate_case
+from repro.verify import DifferentialHarness, fuzz
 from repro.memory import (
     DmaModel,
     MemoryHierarchy,
@@ -48,6 +50,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisContext",
     "Assignment",
+    "DifferentialHarness",
     "DmaModel",
     "GreedyAssigner",
     "MemoryHierarchy",
@@ -65,6 +68,8 @@ __all__ = [
     "embedded_2layer",
     "embedded_3layer",
     "evaluate_scenarios",
+    "fuzz",
+    "generate_case",
     "sweep_layer_sizes",
     "__version__",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "SweepCellResult",
     "full_grid",
     "grid_table",
+    "synthetic_grid",
 ]
 
 
@@ -124,6 +125,29 @@ def full_grid(
         for app in app_names
         for platform in platforms
         for objective in objectives
+    )
+
+
+def synthetic_grid(
+    count: int,
+    seed: int = 0,
+    platforms: Sequence[PlatformSpec] = DEFAULT_PLATFORM_SPECS,
+    objectives: Sequence[Objective] = (Objective.EDP,),
+) -> tuple[SweepCell, ...]:
+    """A sweep grid over *count* generated applications.
+
+    Cells reference apps by their ``synth/<seed>`` registry names, so
+    pool workers rebuild each program deterministically from the cell
+    recipe — no generator state crosses process boundaries.  Objectives
+    default to EDP only (generated suites are usually large; the full
+    objective cross-product is available by passing ``objectives``).
+    """
+    from repro.synth import synthetic_app_names
+
+    return full_grid(
+        apps=synthetic_app_names(count, seed=seed),
+        platforms=platforms,
+        objectives=objectives,
     )
 
 

@@ -75,12 +75,24 @@ def app_descriptions() -> dict[str, str]:
 
 
 def build_app(name: str) -> Program:
-    """Build one application with its default parameters."""
+    """Build one application with its default parameters.
+
+    Besides the nine bundled kernels, names of the form ``synth/<seed>``
+    build the deterministically generated program of that synthetic
+    case (:mod:`repro.synth`), so sweeps and benchmarks consume
+    generated workloads exactly like bundled ones — including from
+    sweep worker processes, which rebuild apps from the picklable name.
+    """
+    if name.startswith("synth/"):
+        from repro.synth import build_synthetic_app
+
+        return build_synthetic_app(name)
     try:
         builder, _description = _REGISTRY[name]
     except KeyError:
         raise ValidationError(
             f"unknown application {name!r}; available: {', '.join(_REGISTRY)}"
+            " (or synth/<seed> for a generated app)"
         ) from None
     return builder()
 

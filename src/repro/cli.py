@@ -8,8 +8,12 @@ Sub-commands mirror the experiments:
 * ``repro fig3``                 — Figure 3 (energy) for the suite
 * ``repro sweep APP``            — L1-size trade-off sweep (TAB-TRADEOFF)
 * ``repro sweep``                — app x platform x objective grid sweep
+* ``repro sweep --synthetic N``  — grid sweep over N generated apps
 * ``repro simulate APP``         — estimator-vs-simulator validation
 * ``repro show APP``             — program structure + copy candidates
+* ``repro fuzz``                 — differential verification on
+  generated cases (cross-checks estimator, incremental engine,
+  exhaustive oracle and simulator; failures shrink to reproducers)
 
 Both sweep forms accept ``--jobs N`` to fan the independent
 explorations across a multiprocessing pool; results are returned in
@@ -31,6 +35,7 @@ from repro.analysis.sweep import (
     SweepCell,
     full_grid,
     grid_table,
+    synthetic_grid,
 )
 from repro.apps import all_app_names, app_descriptions, build_app
 from repro.core.assignment import Objective
@@ -103,6 +108,22 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     runner = ParallelSweepRunner(jobs=args.jobs)
+    if args.synthetic is not None:
+        if args.app is not None:
+            print(
+                "error: pass either APP or --synthetic N, not both",
+                file=sys.stderr,
+            )
+            return 2
+        outcomes = runner.run(
+            synthetic_grid(args.synthetic, seed=args.seed)
+        )
+        print(
+            f"Scenario grid — {args.synthetic} generated app(s) "
+            f"(seed {args.seed}) x platform:\n"
+        )
+        print(grid_table(outcomes))
+        return 0
     if args.app is None:
         # Grid mode: every app x platform x objective.
         outcomes = runner.run(full_grid())
@@ -155,6 +176,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{error:>8.2%}"
         )
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.synth.spec import case_to_json
+    from repro.verify import CHECK_NAMES, DifferentialHarness, fuzz
+
+    checks = tuple(args.checks) if args.checks else CHECK_NAMES
+    harness = DifferentialHarness(
+        checks=checks,
+        sim_tolerance=args.sim_tolerance,
+        te_sim_tolerance=args.te_sim_tolerance,
+    )
+    report = fuzz(
+        args.seed, args.cases, harness=harness, shrink=not args.no_shrink
+    )
+    print(report.summary())
+    if report.ok:
+        print("all cases verified clean")
+        return 0
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for failure in report.failures:
+        case = failure.shrunk
+        path = out_dir / f"reproducer_{case.seed}.json"
+        path.write_text(case_to_json(case))
+        checks_failed = ", ".join(
+            result.check for result in failure.report.failures
+        )
+        print(f"\ncase seed {case.seed} failed [{checks_failed}]")
+        for result in failure.shrunk_report.failures:
+            print(f"  {result.check}: {result.detail}")
+        print(f"  shrunk reproducer: {path}")
+    print(
+        f"\n{len(report.failures)} of {report.cases} cases failed; rerun one "
+        "with: repro fuzz --seed <case seed> --cases 1"
+    )
+    return 1
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -212,7 +273,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (1 = serial; output is "
         "identical regardless)",
     )
+    sweep.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep over N generated applications instead of the "
+        "bundled suite (mutually exclusive with APP)",
+    )
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first case seed of the generated applications",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differential verification on generated cases: cross-check "
+        "the estimator, incremental engine, exhaustive oracle and "
+        "simulator; shrink failures to minimal reproducers",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0, help="run seed (case 0 uses it verbatim)"
+    )
+    fuzz_cmd.add_argument(
+        "--cases", type=int, default=50, help="number of generated cases"
+    )
+    fuzz_cmd.add_argument(
+        "--checks",
+        nargs="+",
+        choices=("incremental", "oracle", "simulation", "te"),
+        default=None,
+        help="subset of checks to run (default: all four)",
+    )
+    fuzz_cmd.add_argument(
+        "--sim-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed estimator-vs-simulator gap for the mhla scenario",
+    )
+    fuzz_cmd.add_argument(
+        "--te-sim-tolerance",
+        type=float,
+        default=0.60,
+        help="allowed estimator optimism for the mhla_te scenario",
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep failing cases as generated (skip minimisation)",
+    )
+    fuzz_cmd.add_argument(
+        "--out",
+        default="fuzz-failures",
+        help="directory for shrunk reproducer JSON files",
+    )
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     simulate_cmd = sub.add_parser(
         "simulate", help="validate estimator against the simulator"

@@ -23,6 +23,7 @@ from repro.core.context import AnalysisContext, Assignment
 from repro.core.costs import CostReport, estimate_cost
 from repro.core.incremental import IncrementalEvaluator
 from repro.core.te import TeSchedule, TimeExtensionEngine
+from repro.errors import ValidationError
 from repro.ir.program import Program
 from repro.memory.presets import Platform
 
@@ -157,6 +158,15 @@ def evaluate_scenarios(
     scheduling, exactly as in the paper's figures.
     """
     ctx = AnalysisContext(program, platform)
+    if not ctx.specs:
+        # Previously this fell through and produced four "reports" that
+        # were nothing but compute cycles — 0% improvements that looked
+        # like a (meaningless) result.  A program with no reference
+        # groups has no memory accesses to assign; refuse loudly.
+        raise ValidationError(
+            f"program {program.name!r} has no reference groups (no array "
+            "accesses); scenario evaluation would be degenerate"
+        )
     evaluator = IncrementalEvaluator(ctx)
     results: dict[str, ScenarioResult] = {}
     results["oob"] = run_out_of_box(ctx, evaluator=evaluator)

@@ -24,6 +24,7 @@ from repro.memory.layer import MemoryLayer
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.dma import DmaModel
 from repro.memory.presets import (
+    build_platform,
     embedded_2layer,
     embedded_3layer,
     ideal_onchip_platform,
@@ -35,6 +36,7 @@ __all__ = [
     "MemoryHierarchy",
     "MemoryLayer",
     "Platform",
+    "build_platform",
     "embedded_2layer",
     "embedded_3layer",
     "ideal_onchip_platform",

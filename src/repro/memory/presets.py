@@ -144,6 +144,38 @@ def embedded_2layer(
     )
 
 
+def build_platform(
+    name: str,
+    onchip: tuple[tuple[str, int], ...],
+    dma: DmaModel | None = None,
+    word_bytes: int = 4,
+) -> Platform:
+    """Assemble a platform from an arbitrary on-chip layer list.
+
+    *onchip* is ``(layer_name, capacity_bytes)`` pairs ordered furthest
+    to closest; the hierarchy validates that capacities strictly
+    decrease towards the CPU.  Layer latencies and energies are derived
+    from the analytic SRAM models exactly as the fixed presets do, so
+    generated platforms (``repro.synth``) stay within the calibrated
+    cost envelope.
+    """
+    if not onchip:
+        raise ValidationError("a platform needs at least one on-chip layer")
+    hierarchy = MemoryHierarchy(
+        name=f"{name}-hier",
+        layers=(
+            build_offchip_layer(),
+            *(
+                build_sram_layer(layer_name, capacity)
+                for layer_name, capacity in onchip
+            ),
+        ),
+    )
+    return Platform(
+        name=name, hierarchy=hierarchy, dma=dma, word_bytes=word_bytes
+    )
+
+
 def ideal_onchip_platform(capacity_bytes: int = kib(1024)) -> Platform:
     """A platform with a huge single on-chip layer (upper-bound studies)."""
     hierarchy = MemoryHierarchy(

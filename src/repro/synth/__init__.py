@@ -1,0 +1,111 @@
+"""Synthetic workload generation (`repro.synth`).
+
+The paper's evaluation covers nine hand-modelled kernels; this package
+stamps out unlimited seeded (program, platform, objective) cases so the
+differential harness (:mod:`repro.verify`) can continuously cross-check
+the analytical estimator, the incremental engine, the exhaustive oracle
+and the event-driven simulator against each other.
+
+Entry points
+------------
+
+* :func:`generate_case` — seed -> :class:`~repro.synth.spec.CaseSpec`
+  (deterministic; the same seed always yields the same case on any
+  machine).
+* :func:`build_synthetic_app` — builds the *program* of a synthetic
+  case from a registry-style name ``synth/<seed>``; the application
+  registry dispatches these names here so sweeps and benchmarks can
+  consume generated apps exactly like the bundled nine.
+* :func:`synthetic_app_names` — the ``synth/<seed>`` names of a block
+  of cases, for fanning a sweep over generated workloads.
+
+Specs serialize to JSON (:func:`~repro.synth.spec.case_to_json`) and
+back, which is how failing cases become committed regression fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ValidationError
+from repro.ir.program import Program
+from repro.synth.platforms import generate_platform_spec
+from repro.synth.programs import generate_program_spec
+from repro.synth.spec import (
+    CaseSpec,
+    HierarchySpec,
+    ProgramSpec,
+    case_from_json,
+    case_to_json,
+)
+
+__all__ = [
+    "CaseSpec",
+    "HierarchySpec",
+    "ProgramSpec",
+    "SYNTH_APP_PREFIX",
+    "build_synthetic_app",
+    "case_from_json",
+    "case_to_json",
+    "case_seed",
+    "generate_case",
+    "synthetic_app_names",
+]
+
+SYNTH_APP_PREFIX = "synth/"
+"""Registry namespace for generated applications (``synth/<seed>``)."""
+
+_SEED_STRIDE = 1_000_003
+"""Prime stride separating the RNG streams of a fuzz run's cases."""
+
+
+def case_seed(run_seed: int, index: int) -> int:
+    """Derive the per-case seed of case *index* in a run.
+
+    Case 0's seed is the run seed itself, so ``repro fuzz --seed S
+    --cases 1`` regenerates exactly the case a failure report printed
+    as "seed S"; later cases stride far apart so neighbouring run
+    seeds draw disjoint case streams.
+    """
+    return run_seed + index * _SEED_STRIDE
+
+
+def generate_case(seed: int) -> CaseSpec:
+    """Deterministically generate one case spec from *seed*."""
+    rng = random.Random(seed)
+    program = generate_program_spec(rng, f"synth_{seed}")
+    platform = generate_platform_spec(rng, f"synthplat_{seed}")
+    objective = rng.choice(("edp", "edp", "cycles", "energy"))
+    return CaseSpec(
+        seed=seed, program=program, platform=platform, objective=objective
+    )
+
+
+def synthetic_app_names(count: int, seed: int = 0) -> tuple[str, ...]:
+    """Registry names of *count* generated apps starting at *seed*."""
+    if count < 1:
+        raise ValidationError("synthetic app count must be >= 1")
+    return tuple(
+        f"{SYNTH_APP_PREFIX}{case_seed(seed, index)}" for index in range(count)
+    )
+
+
+def build_synthetic_app(name: str) -> Program:
+    """Build the program of a ``synth/<seed>`` registry name.
+
+    Purely a function of the seed embedded in the name — no registration
+    state — so sweep worker processes can rebuild synthetic apps from
+    the picklable cell recipe exactly like bundled ones.
+    """
+    if not name.startswith(SYNTH_APP_PREFIX):
+        raise ValidationError(
+            f"synthetic app names start with {SYNTH_APP_PREFIX!r}: got {name!r}"
+        )
+    suffix = name[len(SYNTH_APP_PREFIX) :]
+    try:
+        seed = int(suffix)
+    except ValueError:
+        raise ValidationError(
+            f"synthetic app name {name!r} needs an integer seed suffix"
+        ) from None
+    return generate_case(seed).program.build()

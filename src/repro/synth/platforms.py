@@ -1,0 +1,67 @@
+"""Seeded random platform generation.
+
+Draws memory hierarchies from the realistic embedded-SoC ranges the
+paper's experiments span: one unbounded off-chip SDRAM plus 1-3 on-chip
+SRAM layers with strictly decreasing capacities between 256 B and
+256 KiB, usually fronted by a transfer engine with varied setup cost
+and bus-beat granularity.  Latencies and energies are *derived* from
+the layer capacities through the same analytic models the fixed
+presets use (:func:`repro.memory.presets.build_sram_layer` via
+:func:`repro.memory.presets.build_platform`), so every generated
+platform stays inside the calibrated cost envelope while still
+exercising the search across very different layer-size ratios.
+
+A minority of platforms have no DMA engine at all — the paper's "TE
+are not applicable" configuration — which forces the CPU-copy cost
+path and the empty TE schedule through the differential checks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.synth.spec import DmaSpec, HierarchySpec, LayerSpec
+
+_MIN_CAPACITY_POW2 = 8  # 256 B
+_MAX_CAPACITY_POW2 = 18  # 256 KiB
+
+
+def generate_platform_spec(rng: random.Random, name: str) -> HierarchySpec:
+    """Generate one random, valid platform spec from an RNG stream."""
+    n_onchip = rng.randint(1, 3)
+
+    # Draw the closest (smallest) layer first, then grow outwards by
+    # whole power-of-two factors: strictly decreasing towards the CPU
+    # is guaranteed, mirroring real scratchpad stacks.  A third of the
+    # platforms get a roomier scratchpad (up to 32 KiB) so the TE
+    # step's double buffers regularly have headroom to extend into.
+    top = 15 if rng.random() < 0.33 else 13
+    pow2 = rng.randint(_MIN_CAPACITY_POW2, top)  # 256 B .. 32 KiB
+    exponents = [pow2]
+    for _ in range(n_onchip - 1):
+        pow2 += rng.randint(1, 3)
+        if pow2 > _MAX_CAPACITY_POW2:
+            break  # keep strict monotonicity; emit a shallower stack
+        exponents.append(pow2)
+    capacities = [2**exponent for exponent in reversed(exponents)]
+
+    onchip = tuple(
+        LayerSpec(name=f"sp{index}", capacity_bytes=capacity)
+        for index, capacity in enumerate(capacities)
+    )
+
+    if rng.random() < 0.85:
+        dma: DmaSpec | None = DmaSpec(
+            setup_cycles=rng.choice((10, 20, 30, 30, 40, 60)),
+            energy_per_word_nj=round(rng.uniform(0.02, 0.3), 3),
+            min_words=rng.choice((1, 2, 4, 4, 8)),
+        )
+    else:
+        dma = None
+
+    return HierarchySpec(
+        name=name,
+        onchip=onchip,
+        dma=dma,
+        word_bytes=rng.choice((2, 4, 4, 4, 8)),
+    )

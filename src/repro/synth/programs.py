@@ -1,0 +1,196 @@
+"""Seeded random program generation.
+
+Stamps out loop-nest programs that cover the behaviours the paper's
+hand-modelled suite exercises — streaming reads, sliding windows,
+blocked (motion-estimation style) references, loop-invariant tables,
+producer/consumer nests and write-backs — but over a much wider range
+of shapes than nine kernels can.  Programs are emitted as
+:class:`~repro.synth.spec.ProgramSpec` (serializable, shrinkable) and
+are always valid by construction:
+
+* loop names are program-unique (``n<i>_l<d>``);
+* every reference uses only loops that enclose it;
+* array shapes are derived *after* access generation as the minimal
+  cover of every access (:func:`~repro.synth.spec.derive_shapes`), so
+  ranks match and indices stay in bounds;
+* every declared array is accessed (arrays the generator orphaned are
+  dropped by the shape derivation).
+
+Trip counts and array sizes are kept deliberately small so the
+exhaustive oracle, the simulator and the monolithic reference path all
+run in milliseconds per case — the harness's throughput is what makes
+continuous cross-checking viable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.synth.spec import (
+    AccessSpec,
+    ArraySpec,
+    DimSpec,
+    LoopSpec,
+    NestSpec,
+    ProgramSpec,
+    derive_shapes,
+)
+
+_ELEMENT_BYTES = (1, 1, 2, 4)
+_TRIP_CHOICES = (2, 3, 4, 4, 5, 6, 8, 8, 10, 12)
+_BLOCK_SIZES = (4, 8, 8, 16)
+_FRAME_STRIDES = (8, 16, 16, 32, 64)
+
+
+def _dim_for(
+    rng: random.Random, loops: tuple[LoopSpec, ...], depth: int
+) -> DimSpec:
+    """One dimension of a reference inside ``loops[:depth]``.
+
+    The styles mirror the bundled suite: *frame* strides make arrays
+    outgrow the on-chip layers (so copies, not home moves, are the
+    winning mechanism, as in the paper's kernels), *blocked* is the
+    motion-estimation search-window shape, *window* slides with
+    overlap, *fixed* is a loop-invariant table slice (home-move bait).
+    """
+    available = loops[:depth]
+    style = rng.random()
+    if style < 0.12 or not available:
+        return DimSpec(terms=(), extent=rng.choice((2, 3, 4, 8, 16)))
+    if style < 0.32 and len(available) >= 2:
+        # Blocked reference: outer*B + inner, the ME search-window shape.
+        outer, inner = rng.sample(range(len(available)), 2)
+        if outer > inner:
+            outer, inner = inner, outer
+        block = rng.choice(_BLOCK_SIZES)
+        return DimSpec(
+            terms=(
+                (available[outer].name, block),
+                (available[inner].name, 1),
+            ),
+            extent=block + rng.choice((0, 0, block // 2)),
+        )
+    if style < 0.62:
+        # Frame-strided reference: a handful of iterations sweeping a
+        # large array in big tiles (keeps trip counts small while the
+        # array itself dwarfs the scratchpads).
+        loop = rng.choice(available)
+        stride = rng.choice(_FRAME_STRIDES)
+        overlap = rng.choice((0, 0, 2, stride // 2))
+        return DimSpec(terms=((loop.name, stride),), extent=stride + overlap)
+    # Unit/small-stride sliding window.
+    loop = rng.choice(available)
+    stride = rng.choice((1, 1, 1, 2))
+    extent = rng.choice((1, 1, 2, 3, 4))
+    return DimSpec(terms=((loop.name, stride),), extent=extent)
+
+
+def _access_for(
+    rng: random.Random,
+    array: ArraySpec,
+    rank: int,
+    kind: str,
+    loops: tuple[LoopSpec, ...],
+) -> AccessSpec:
+    depth = rng.randint(1, len(loops))
+    dims = tuple(_dim_for(rng, loops, depth) for _ in range(rank))
+    count = rng.choice((1, 1, 2, 4, 6))
+    return AccessSpec(
+        array=array.name, kind=kind, depth=depth, dims=dims, count=count
+    )
+
+
+def generate_program_spec(rng: random.Random, name: str) -> ProgramSpec:
+    """Generate one random, valid program spec from an RNG stream."""
+    n_nests = rng.randint(1, 3)
+
+    # Loop structure first: each nest is a chain, innermost carries the
+    # CPU work (the hiding capacity time extensions feed on).
+    nests_loops: list[tuple[LoopSpec, ...]] = []
+    for i in range(n_nests):
+        depth = rng.choice((1, 2, 2, 3, 3, 3))
+        loops = []
+        for d in range(depth):
+            work = rng.randint(2, 32) if d == depth - 1 else 0
+            loops.append(
+                LoopSpec(
+                    name=f"n{i}_l{d}",
+                    trips=rng.choice(_TRIP_CHOICES),
+                    work=work,
+                )
+            )
+        nests_loops.append(tuple(loops))
+
+    # Array pool: at least one input and one output; internals connect
+    # producer/consumer nests when there is more than one nest.
+    ranks: dict[str, int] = {}
+    arrays: list[ArraySpec] = []
+
+    def declare(prefix: str, index: int, kind: str) -> ArraySpec:
+        array = ArraySpec(
+            name=f"{prefix}{index}",
+            shape=(),  # derived later
+            element_bytes=rng.choice(_ELEMENT_BYTES),
+            kind=kind,
+        )
+        ranks[array.name] = rng.choice((1, 2, 2))
+        arrays.append(array)
+        return array
+
+    inputs = [declare("in", i, "input") for i in range(rng.randint(1, 2))]
+    outputs = [declare("out", 0, "output")]
+    internals = (
+        [declare("tmp", 0, "internal")]
+        if n_nests > 1 and rng.random() < 0.6
+        else []
+    )
+
+    # Accesses: reads from inputs (and internals produced earlier),
+    # one write per nest into an output or internal.
+    nest_accesses: list[list[AccessSpec]] = [[] for _ in range(n_nests)]
+    produced: set[str] = set()
+    for i in range(n_nests):
+        loops = nests_loops[i]
+        read_pool = list(inputs) + [
+            a for a in internals if a.name in produced
+        ]
+        for _ in range(rng.randint(1, 3)):
+            source = rng.choice(read_pool)
+            nest_accesses[i].append(
+                _access_for(rng, source, ranks[source.name], "read", loops)
+            )
+        last_nest = i == n_nests - 1
+        write_pool = list(outputs) + (
+            [a for a in internals] if not last_nest else []
+        )
+        target = rng.choice(write_pool)
+        nest_accesses[i].append(
+            _access_for(rng, target, ranks[target.name], "write", loops)
+        )
+        if target.kind == "internal":
+            produced.add(target.name)
+
+    # Guarantee every declared array is touched at least once.
+    touched = {
+        access.array for accesses in nest_accesses for access in accesses
+    }
+    for array in arrays:
+        if array.name in touched:
+            continue
+        nest_index = rng.randrange(n_nests)
+        kind = "write" if array.kind == "output" else "read"
+        nest_accesses[nest_index].append(
+            _access_for(
+                rng, array, ranks[array.name], kind, nests_loops[nest_index]
+            )
+        )
+
+    nests = tuple(
+        NestSpec(loops=nests_loops[i], accesses=tuple(nest_accesses[i]))
+        for i in range(n_nests)
+    )
+    return ProgramSpec(
+        name=name,
+        arrays=derive_shapes(tuple(arrays), nests),
+        nests=nests,
+    )

@@ -1,0 +1,375 @@
+"""Serializable descriptions of synthetic (program, platform) cases.
+
+The synthetic-workload subsystem never manipulates :class:`Program` or
+:class:`Platform` objects directly — it works on *specs*: small frozen
+dataclasses that describe a case and can be (1) built into real objects
+through the public :class:`~repro.ir.builder.ProgramBuilder` /
+:mod:`repro.memory.presets` APIs and (2) serialized to JSON.  That split
+is what makes the differential harness practical:
+
+* the random generators (:mod:`repro.synth.programs`,
+  :mod:`repro.synth.platforms`) emit specs, so every generated case is
+  reproducible from its seed *and* from its serialized form;
+* the shrinker (:mod:`repro.verify.shrink`) transforms specs, not IR,
+  so a minimal reproducer is a few lines of JSON;
+* regression fixtures under ``tests/fixtures/`` are committed spec
+  files that rebuild bit-identical cases on any machine.
+
+Building a spec runs the full :class:`Program` validation, so an
+invalid spec (rank mismatch, unknown loop, non-monotone capacities)
+raises :class:`~repro.errors.ValidationError` instead of silently
+producing a malformed case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.core.assignment import Objective
+from repro.errors import ValidationError
+from repro.ir.builder import ProgramBuilder, dim, fixed
+from repro.ir.program import Program
+from repro.memory.dma import DmaModel
+from repro.memory.presets import Platform, build_platform
+
+SPEC_FORMAT_VERSION = 1
+"""Bumped when the JSON layout changes incompatibly."""
+
+
+@dataclass(frozen=True)
+class DimSpec:
+    """One dimension of an affine reference: ``sum(coeff*loop) + [0, extent)``."""
+
+    terms: tuple[tuple[str, int], ...] = ()
+    extent: int = 1
+    offset: int = 0
+
+    def max_index(self, trips: dict[str, int]) -> int:
+        """Largest element index this dimension can touch."""
+        peak = self.offset + self.extent - 1
+        for loop_name, coeff in self.terms:
+            peak += coeff * (trips[loop_name] - 1)
+        return peak
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One read/write statement inside a nest.
+
+    ``depth`` counts the enclosing loops (1 = outermost loop only);
+    accesses at depth *d* are emitted after the depth-``d+1`` sub-loop,
+    matching the common "write the reduction result after the inner
+    loop" shape of the bundled kernels.
+    """
+
+    array: str
+    kind: str  # "read" | "write"
+    depth: int
+    dims: tuple[DimSpec, ...]
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One counted loop: program-unique name, trip count, CPU work."""
+
+    name: str
+    trips: int
+    work: int = 0
+
+
+@dataclass(frozen=True)
+class NestSpec:
+    """A top-level loop nest: loops outermost-first plus its accesses."""
+
+    loops: tuple[LoopSpec, ...]
+    accesses: tuple[AccessSpec, ...]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One declared array."""
+
+    name: str
+    shape: tuple[int, ...]
+    element_bytes: int = 4
+    kind: str = "internal"  # input | output | internal
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A whole synthetic program, buildable and serializable."""
+
+    name: str
+    arrays: tuple[ArraySpec, ...]
+    nests: tuple[NestSpec, ...]
+
+    def build(self) -> Program:
+        """Materialise the program through :class:`ProgramBuilder`."""
+        b = ProgramBuilder(self.name)
+        for array in self.arrays:
+            b.array(
+                array.name,
+                tuple(array.shape),
+                element_bytes=array.element_bytes,
+                kind=array.kind,
+            )
+        for nest in self.nests:
+            _emit_nest(b, nest)
+        return b.build()
+
+    @property
+    def trips(self) -> dict[str, int]:
+        """Trip count per loop name across all nests."""
+        return {
+            loop.name: loop.trips for nest in self.nests for loop in nest.loops
+        }
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One on-chip SRAM layer of a synthetic platform."""
+
+    name: str
+    capacity_bytes: int
+
+
+@dataclass(frozen=True)
+class DmaSpec:
+    """Transfer-engine parameters (see :class:`~repro.memory.dma.DmaModel`)."""
+
+    setup_cycles: int = 30
+    energy_per_word_nj: float = 0.1
+    min_words: int = 4
+
+    def build(self) -> DmaModel:
+        return DmaModel(
+            setup_cycles=self.setup_cycles,
+            energy_per_word_nj=self.energy_per_word_nj,
+            min_words=self.min_words,
+        )
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """A whole synthetic platform: off-chip + on-chip layers (+ DMA).
+
+    ``onchip`` is ordered furthest-to-closest; capacities must strictly
+    decrease (the hierarchy validates this on build).
+    """
+
+    name: str
+    onchip: tuple[LayerSpec, ...]
+    dma: DmaSpec | None = DmaSpec()
+    word_bytes: int = 4
+
+    def build(self) -> Platform:
+        """Materialise the platform through :mod:`repro.memory.presets`."""
+        return build_platform(
+            name=self.name,
+            onchip=tuple(
+                (layer.name, layer.capacity_bytes) for layer in self.onchip
+            ),
+            dma=self.dma.build() if self.dma is not None else None,
+            word_bytes=self.word_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One differential-verification case: program x platform x objective."""
+
+    seed: int
+    program: ProgramSpec
+    platform: HierarchySpec
+    objective: str = "edp"
+
+    def build(self) -> tuple[Program, Platform, Objective]:
+        """Materialise (program, platform, objective), validating all three."""
+        try:
+            objective = Objective(self.objective)
+        except ValueError:
+            raise ValidationError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {[o.value for o in Objective]}"
+            ) from None
+        return self.program.build(), self.platform.build(), objective
+
+
+# ----------------------------------------------------------------------
+# building helpers
+# ----------------------------------------------------------------------
+
+
+def _emit_dims(access: AccessSpec):
+    dims = []
+    for d in access.dims:
+        if d.terms:
+            dims.append(dim(*d.terms, extent=d.extent, offset=d.offset))
+        else:
+            dims.append(fixed(extent=d.extent, offset=d.offset))
+    return tuple(dims)
+
+
+def _emit_nest(b: ProgramBuilder, nest: NestSpec) -> None:
+    if not nest.loops:
+        raise ValidationError("a NestSpec needs at least one loop")
+    by_depth: dict[int, list[AccessSpec]] = {}
+    for access in nest.accesses:
+        if not 1 <= access.depth <= len(nest.loops):
+            raise ValidationError(
+                f"access depth {access.depth} outside nest depth "
+                f"1..{len(nest.loops)}"
+            )
+        by_depth.setdefault(access.depth, []).append(access)
+
+    def descend(level: int) -> None:
+        loop = nest.loops[level]
+        with b.loop(loop.name, loop.trips, work=loop.work):
+            if level + 1 < len(nest.loops):
+                descend(level + 1)
+            for access in by_depth.get(level + 1, ()):
+                emit = b.read if access.kind == "read" else b.write
+                emit(access.array, *_emit_dims(access), count=access.count)
+
+    descend(0)
+
+
+def derive_shapes(
+    arrays: tuple[ArraySpec, ...], nests: tuple[NestSpec, ...]
+) -> tuple[ArraySpec, ...]:
+    """Shrink every array's shape to the minimal cover of its accesses.
+
+    The generator and the shrinker both call this so array footprints
+    always match the access patterns (no padding that would distort
+    home-move decisions).  Arrays that are never accessed are dropped —
+    the analysis layer treats them as an error.
+    """
+    trips = {
+        loop.name: loop.trips for nest in nests for loop in nest.loops
+    }
+    peak: dict[str, list[int]] = {}
+    for nest in nests:
+        for access in nest.accesses:
+            bounds = [d.max_index(trips) + 1 for d in access.dims]
+            current = peak.get(access.array)
+            if current is None:
+                peak[access.array] = bounds
+            else:
+                if len(current) != len(bounds):
+                    raise ValidationError(
+                        f"array {access.array!r} accessed with ranks "
+                        f"{len(current)} and {len(bounds)}"
+                    )
+                peak[access.array] = [
+                    max(a, b) for a, b in zip(current, bounds)
+                ]
+    return tuple(
+        ArraySpec(
+            name=array.name,
+            shape=tuple(peak[array.name]),
+            element_bytes=array.element_bytes,
+            kind=array.kind,
+        )
+        for array in arrays
+        if array.name in peak
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+
+
+def case_to_json(case: CaseSpec) -> str:
+    """Serialize a case spec to stable, diff-friendly JSON."""
+    payload = {"format": SPEC_FORMAT_VERSION, "case": asdict(case)}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _dim_from(data: dict) -> DimSpec:
+    return DimSpec(
+        terms=tuple((str(name), int(coeff)) for name, coeff in data["terms"]),
+        extent=int(data["extent"]),
+        offset=int(data["offset"]),
+    )
+
+
+def case_from_json(text: str) -> CaseSpec:
+    """Rebuild a :class:`CaseSpec` from :func:`case_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"malformed case JSON: {error}") from None
+    if payload.get("format") != SPEC_FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported case format {payload.get('format')!r}; "
+            f"expected {SPEC_FORMAT_VERSION}"
+        )
+    try:
+        data = payload["case"]
+        program = ProgramSpec(
+            name=str(data["program"]["name"]),
+            arrays=tuple(
+                ArraySpec(
+                    name=str(a["name"]),
+                    shape=tuple(int(n) for n in a["shape"]),
+                    element_bytes=int(a["element_bytes"]),
+                    kind=str(a["kind"]),
+                )
+                for a in data["program"]["arrays"]
+            ),
+            nests=tuple(
+                NestSpec(
+                    loops=tuple(
+                        LoopSpec(
+                            name=str(l["name"]),
+                            trips=int(l["trips"]),
+                            work=int(l["work"]),
+                        )
+                        for l in nest["loops"]
+                    ),
+                    accesses=tuple(
+                        AccessSpec(
+                            array=str(a["array"]),
+                            kind=str(a["kind"]),
+                            depth=int(a["depth"]),
+                            dims=tuple(_dim_from(d) for d in a["dims"]),
+                            count=int(a["count"]),
+                        )
+                        for a in nest["accesses"]
+                    ),
+                )
+                for nest in data["program"]["nests"]
+            ),
+        )
+        dma = data["platform"]["dma"]
+        platform = HierarchySpec(
+            name=str(data["platform"]["name"]),
+            onchip=tuple(
+                LayerSpec(
+                    name=str(l["name"]),
+                    capacity_bytes=int(l["capacity_bytes"]),
+                )
+                for l in data["platform"]["onchip"]
+            ),
+            dma=(
+                DmaSpec(
+                    setup_cycles=int(dma["setup_cycles"]),
+                    energy_per_word_nj=float(dma["energy_per_word_nj"]),
+                    min_words=int(dma["min_words"]),
+                )
+                if dma is not None
+                else None
+            ),
+            word_bytes=int(data["platform"]["word_bytes"]),
+        )
+        return CaseSpec(
+            seed=int(data["seed"]),
+            program=program,
+            platform=platform,
+            objective=str(data["objective"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValidationError(f"malformed case JSON: {error}") from None

@@ -1,0 +1,34 @@
+"""Differential verification (`repro.verify`).
+
+Cross-checks the repository's independent implementations of the cost
+semantics against each other on arbitrary cases — see
+:mod:`repro.verify.differential` for the four checks and
+:mod:`repro.verify.shrink` for reproducer minimisation.  The ``repro
+fuzz`` CLI command and the ``tests/fixtures/`` regression corpus are
+the two consumers.
+"""
+
+from repro.verify.differential import (
+    CHECK_NAMES,
+    CaseReport,
+    CheckResult,
+    DifferentialHarness,
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    run_corpus,
+)
+from repro.verify.shrink import case_size, shrink_case
+
+__all__ = [
+    "CHECK_NAMES",
+    "CaseReport",
+    "CheckResult",
+    "DifferentialHarness",
+    "FuzzFailure",
+    "FuzzReport",
+    "case_size",
+    "fuzz",
+    "run_corpus",
+    "shrink_case",
+]

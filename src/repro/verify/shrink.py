@@ -1,0 +1,272 @@
+"""Greedy minimisation of failing case specs.
+
+When the differential harness finds a failing case, the raw generated
+program is rarely the smallest witness — the defect usually survives
+with fewer nests, shallower loops, tiny trip counts and one access.
+:func:`shrink_case` walks a fixed catalogue of spec-level
+simplifications (drop a nest, drop an access, drop a loop, halve
+trips, zero work, simplify a reference, drop an on-chip layer, re-derive
+minimal array shapes) and greedily keeps every transformation after
+which the *failing* predicate still holds, until no transformation
+applies or the evaluation budget runs out.
+
+Every candidate strictly reduces a size metric, so shrinking always
+terminates; candidates that no longer build (``ValidationError``) are
+rejected like candidates that no longer fail.  The result rebuilds the
+same defect deterministically and serializes to a few lines of JSON —
+that is what lands under ``tests/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.synth.spec import (
+    AccessSpec,
+    CaseSpec,
+    DimSpec,
+    LoopSpec,
+    NestSpec,
+    ProgramSpec,
+    derive_shapes,
+)
+
+
+def case_size(spec: CaseSpec) -> int:
+    """Size metric the shrinker must strictly decrease.
+
+    Counts structure (nests, loops, accesses, reference terms, on-chip
+    layers) and magnitude (trips, extents, counts, work, element bytes,
+    total array elements) so every catalogue transformation reduces it.
+    """
+    program = spec.program
+    size = len(spec.platform.onchip) * 10
+    for array in program.arrays:
+        elements = 1
+        for extent in array.shape:
+            elements *= extent
+        size += 10 + array.element_bytes + min(elements, 10_000)
+    for nest in program.nests:
+        size += 50
+        for loop in nest.loops:
+            size += 20 + loop.trips + loop.work
+        for access in nest.accesses:
+            size += 20 + access.count
+            for d in access.dims:
+                size += d.extent + d.offset + sum(
+                    abs(coeff) for _name, coeff in d.terms
+                )
+    return size
+
+
+def _with_program(spec: CaseSpec, nests: tuple[NestSpec, ...]) -> CaseSpec:
+    """Rebuild the case around *nests*, re-deriving minimal shapes."""
+    arrays = derive_shapes(spec.program.arrays, nests)
+    return replace(
+        spec,
+        program=ProgramSpec(
+            name=spec.program.name, arrays=arrays, nests=nests
+        ),
+    )
+
+
+def _nest_candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    nests = spec.program.nests
+    # Drop a whole nest.
+    if len(nests) > 1:
+        for index in range(len(nests)):
+            yield _with_program(spec, nests[:index] + nests[index + 1 :])
+    for n_index, nest in enumerate(nests):
+        others_before = nests[:n_index]
+        others_after = nests[n_index + 1 :]
+
+        def rebuilt(new_nest: NestSpec) -> CaseSpec:
+            return _with_program(
+                spec, others_before + (new_nest,) + others_after
+            )
+
+        # Drop one access.
+        if len(nest.accesses) > 1:
+            for a_index in range(len(nest.accesses)):
+                yield rebuilt(
+                    replace(
+                        nest,
+                        accesses=nest.accesses[:a_index]
+                        + nest.accesses[a_index + 1 :],
+                    )
+                )
+        # Drop one loop (rewire accesses off the removed iterator).
+        if len(nest.loops) > 1:
+            for l_index in range(len(nest.loops)):
+                dropped = nest.loops[l_index]
+                kept = nest.loops[:l_index] + nest.loops[l_index + 1 :]
+                accesses = tuple(
+                    _strip_loop(access, dropped.name, l_index)
+                    for access in nest.accesses
+                )
+                yield rebuilt(NestSpec(loops=kept, accesses=accesses))
+        # Halve a trip count / zero the work.
+        for l_index, loop in enumerate(nest.loops):
+            if loop.trips > 2:
+                smaller = replace(loop, trips=max(2, loop.trips // 2))
+                yield rebuilt(
+                    replace(
+                        nest,
+                        loops=nest.loops[:l_index]
+                        + (smaller,)
+                        + nest.loops[l_index + 1 :],
+                    )
+                )
+            if loop.work > 0:
+                yield rebuilt(
+                    replace(
+                        nest,
+                        loops=nest.loops[:l_index]
+                        + (replace(loop, work=0),)
+                        + nest.loops[l_index + 1 :],
+                    )
+                )
+        # Simplify one access (count, extents, strides, extra terms).
+        for a_index, access in enumerate(nest.accesses):
+            for simplified in _access_simplifications(access):
+                yield rebuilt(
+                    replace(
+                        nest,
+                        accesses=nest.accesses[:a_index]
+                        + (simplified,)
+                        + nest.accesses[a_index + 1 :],
+                    )
+                )
+
+
+def _strip_loop(access: AccessSpec, loop_name: str, loop_index: int) -> AccessSpec:
+    """Rewrite an access after loop *loop_index* was removed from its nest."""
+    depth = access.depth
+    if depth > loop_index:
+        depth = max(1, depth - 1)
+    dims = tuple(
+        replace(
+            d,
+            terms=tuple(
+                (name, coeff) for name, coeff in d.terms if name != loop_name
+            ),
+        )
+        for d in access.dims
+    )
+    return replace(access, depth=depth, dims=dims)
+
+
+def _access_simplifications(access: AccessSpec) -> Iterator[AccessSpec]:
+    if access.count > 1:
+        yield replace(access, count=1)
+    for d_index, d in enumerate(access.dims):
+
+        def with_dim(new_dim: DimSpec) -> AccessSpec:
+            return replace(
+                access,
+                dims=access.dims[:d_index]
+                + (new_dim,)
+                + access.dims[d_index + 1 :],
+            )
+
+        if d.extent > 1:
+            yield with_dim(replace(d, extent=max(1, d.extent // 2)))
+        if d.offset > 0:
+            yield with_dim(replace(d, offset=0))
+        if len(d.terms) > 1:
+            yield with_dim(replace(d, terms=d.terms[:1]))
+        for t_index, (name, coeff) in enumerate(d.terms):
+            if coeff > 1:
+                yield with_dim(
+                    replace(
+                        d,
+                        terms=d.terms[:t_index]
+                        + ((name, 1),)
+                        + d.terms[t_index + 1 :],
+                    )
+                )
+
+
+def _array_candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    for a_index, array in enumerate(spec.program.arrays):
+        if array.element_bytes > 1:
+            arrays = (
+                spec.program.arrays[:a_index]
+                + (replace(array, element_bytes=1),)
+                + spec.program.arrays[a_index + 1 :]
+            )
+            yield replace(
+                spec, program=replace(spec.program, arrays=arrays)
+            )
+
+
+def _platform_candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    platform = spec.platform
+    if len(platform.onchip) > 1:
+        for index in range(len(platform.onchip)):
+            yield replace(
+                spec,
+                platform=replace(
+                    platform,
+                    onchip=platform.onchip[:index]
+                    + platform.onchip[index + 1 :],
+                ),
+            )
+    for index, layer in enumerate(platform.onchip):
+        if layer.capacity_bytes > 128:
+            shrunk = replace(layer, capacity_bytes=layer.capacity_bytes // 2)
+            yield replace(
+                spec,
+                platform=replace(
+                    platform,
+                    onchip=platform.onchip[:index]
+                    + (shrunk,)
+                    + platform.onchip[index + 1 :],
+                ),
+            )
+
+
+def _candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    yield from _nest_candidates(spec)
+    yield from _array_candidates(spec)
+    yield from _platform_candidates(spec)
+
+
+def shrink_case(
+    spec: CaseSpec,
+    still_fails: Callable[[CaseSpec], bool],
+    budget: int = 250,
+) -> CaseSpec:
+    """Greedily minimise *spec* while *still_fails* keeps returning True.
+
+    *budget* bounds the number of predicate evaluations (each one
+    re-runs the failing differential checks), so shrinking a pathological
+    case degrades to "less shrunk" rather than "slower run".
+    """
+    current = spec
+    evaluations = 0
+    progress = True
+    while progress and evaluations < budget:
+        progress = False
+        current_size = case_size(current)
+        for candidate in _candidates(current):
+            if evaluations >= budget:
+                break
+            if case_size(candidate) >= current_size:
+                continue
+            try:
+                candidate.build()
+            except ReproError:
+                continue
+            evaluations += 1
+            try:
+                failing = still_fails(candidate)
+            except ReproError:
+                failing = False
+            if failing:
+                current = candidate
+                progress = True
+                break
+    return current

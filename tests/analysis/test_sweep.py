@@ -9,6 +9,7 @@ from repro.analysis.sweep import (
     SweepCell,
     full_grid,
     grid_table,
+    synthetic_grid,
 )
 from repro.apps import all_app_names
 from repro.core.assignment import Objective
@@ -109,3 +110,36 @@ class TestCellPickling:
             app="wavelet", platform=PlatformSpec(), objective=Objective.CYCLES
         )
         assert pickle.loads(pickle.dumps(cell)) == cell
+
+
+class TestSyntheticGrid:
+    def test_cells_reference_synth_apps(self):
+        grid = synthetic_grid(2, seed=5)
+        apps = {cell.app for cell in grid}
+        assert all(app.startswith("synth/") for app in apps)
+        assert len(apps) == 2
+        assert "synth/5" in apps  # case 0 uses the run seed verbatim
+        assert len(grid) == 2 * len(DEFAULT_PLATFORM_SPECS)
+
+    def test_parallel_identical_to_serial_on_synthetic_apps(self):
+        grid = synthetic_grid(
+            2,
+            seed=0,
+            platforms=(PlatformSpec(label="default"),),
+        )
+        serial = ParallelSweepRunner(jobs=1).run(grid)
+        parallel = ParallelSweepRunner(jobs=2).run(grid)
+        for left, right in zip(serial, parallel):
+            assert left.cell == right.cell
+            assert (
+                left.result.scenario("mhla_te").cycles
+                == right.result.scenario("mhla_te").cycles
+            )
+            assert (
+                left.result.scenario("mhla").assignment.copies
+                == right.result.scenario("mhla").assignment.copies
+            )
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValidationError):
+            synthetic_grid(0)

@@ -1,0 +1,108 @@
+"""Property-based tests of the synthetic generators themselves.
+
+The generator is the foundation the differential harness stands on, so
+it gets its own invariants: every generated case must build into valid
+``Program``/``Platform`` objects, be bit-deterministic per seed, and
+round-trip through both the JSON spec serialization and the pretty
+printer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import AnalysisContext
+from repro.ir.pretty import format_program
+from repro.synth import (
+    build_synthetic_app,
+    case_seed,
+    generate_case,
+    synthetic_app_names,
+)
+from repro.synth.spec import case_from_json, case_to_json
+
+SEEDS = st.integers(min_value=0, max_value=10_000_000)
+
+
+class TestGeneratedCasesAreValid:
+    @given(seed=SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_every_case_builds_and_analyzes(self, seed):
+        program, platform, objective = generate_case(seed).build()
+        # Program construction already ran full IR validation; the
+        # analysis context exercises candidate enumeration, dependences
+        # and (via live intervals) that every array is accessed.
+        ctx = AnalysisContext(program, platform)
+        assert ctx.specs, "generated programs always have reference groups"
+        for name in program.arrays:
+            first, last = program.live_interval(name)
+            assert 0 <= first <= last < len(program.nests)
+        assert objective.value == generate_case(seed).objective
+
+    @given(seed=SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_shapes_cover_every_access(self, seed):
+        case = generate_case(seed)
+        trips = case.program.trips
+        shapes = {a.name: a.shape for a in case.program.arrays}
+        for nest in case.program.nests:
+            for access in nest.accesses:
+                shape = shapes[access.array]
+                assert len(shape) == len(access.dims)
+                for extent, dim in zip(shape, access.dims):
+                    assert dim.max_index(trips) < extent
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_platform_is_well_formed(self, seed):
+        _program, platform, _objective = generate_case(seed).build()
+        capacities = [
+            layer.capacity_bytes for layer in platform.hierarchy.onchip_layers
+        ]
+        assert all(a > b for a, b in zip(capacities, capacities[1:]))
+        assert platform.hierarchy.offchip.is_unbounded
+
+
+class TestDeterminism:
+    @given(seed=SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_case(self, seed):
+        first = generate_case(seed)
+        second = generate_case(seed)
+        assert first == second
+        assert format_program(first.build()[0]) == format_program(
+            second.build()[0]
+        )
+
+    def test_neighbouring_seeds_differ(self):
+        # Not a hard guarantee per pair, but across a block the streams
+        # must not collapse onto one case.
+        cases = {case_to_json(generate_case(seed)) for seed in range(20)}
+        assert len(cases) == 20
+
+
+class TestRoundTrip:
+    @given(seed=SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_is_lossless(self, seed):
+        case = generate_case(seed)
+        rebuilt = case_from_json(case_to_json(case))
+        assert rebuilt == case
+        # ...and the rebuilt spec materialises the identical program.
+        assert format_program(rebuilt.build()[0]) == format_program(
+            case.build()[0]
+        )
+
+
+class TestRegistryNames:
+    def test_app_names_match_case_seeds(self):
+        names = synthetic_app_names(3, seed=7)
+        assert names[0] == "synth/7"
+        assert names == tuple(
+            f"synth/{case_seed(7, index)}" for index in range(3)
+        )
+
+    def test_build_synthetic_app_matches_generate_case(self):
+        seed = 42
+        app = build_synthetic_app(f"synth/{seed}")
+        direct = generate_case(seed).program.build()
+        assert format_program(app) == format_program(direct)

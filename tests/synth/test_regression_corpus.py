@@ -1,0 +1,79 @@
+"""Tier-1 regression corpus: shrunk synthetic cases, all four checks.
+
+``tests/fixtures/synth_case_*.json`` holds generated cases shrunk to
+the minimal specs that still exercise an interesting slice of the flow
+(copy selection, deep chains, TE extensions, CPU-copy platforms,
+multi-nest lifetimes, every objective).  Every tier-1 run cross-checks
+the estimator, the incremental engine, the exhaustive oracle and the
+simulator on each of them — any future divergence between the cost
+implementations fails here with the fixture name attached.
+
+``repro fuzz`` failures land as new fixtures in this directory (after
+review) so every caught defect stays caught.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.synth.spec import case_from_json
+from repro.verify import CHECK_NAMES, DifferentialHarness, run_corpus
+
+FIXTURE_DIR = pathlib.Path(__file__).parent.parent / "fixtures"
+FIXTURE_PATHS = sorted(FIXTURE_DIR.glob("synth_case_*.json"))
+
+
+def _load(path: pathlib.Path):
+    return case_from_json(path.read_text())
+
+
+def test_corpus_exists_and_is_loadable():
+    assert len(FIXTURE_PATHS) >= 10, (
+        "the regression corpus should hold at least ten shrunk cases"
+    )
+    for path in FIXTURE_PATHS:
+        spec = _load(path)
+        spec.build()  # every committed fixture must materialise
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURE_PATHS, ids=lambda p: p.stem
+)
+def test_fixture_passes_all_differential_checks(path):
+    spec = _load(path)
+    report = DifferentialHarness().run_case(spec)
+    assert tuple(r.check for r in report.results) == CHECK_NAMES
+    assert report.ok, "; ".join(
+        f"{r.check}: {r.detail}" for r in report.failures
+    )
+
+
+def test_run_corpus_convenience_wrapper():
+    specs = {path.stem: _load(path) for path in FIXTURE_PATHS[:2]}
+    reports = run_corpus(specs)
+    assert set(reports) == set(specs)
+    assert all(report.ok for report in reports.values())
+
+
+def test_corpus_covers_the_interesting_mechanisms():
+    """The corpus must keep exercising copies, TE and CPU-copy paths."""
+    from repro.core.scenarios import evaluate_scenarios
+
+    saw_copy = saw_extension = saw_no_dma = saw_multi_nest = False
+    objectives = set()
+    for path in FIXTURE_PATHS:
+        spec = _load(path)
+        program, platform, objective = spec.build()
+        objectives.add(objective)
+        scenarios = evaluate_scenarios(program, platform, objective=objective)
+        if scenarios["mhla"].assignment.copy_count():
+            saw_copy = True
+        te = scenarios["mhla_te"].te
+        if te and any(d.extended for d in te.decisions.values()):
+            saw_extension = True
+        if platform.dma is None:
+            saw_no_dma = True
+        if len(program.nests) > 1:
+            saw_multi_nest = True
+    assert saw_copy and saw_extension and saw_no_dma and saw_multi_nest
+    assert len(objectives) >= 2

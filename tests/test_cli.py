@@ -31,6 +31,29 @@ class TestParser:
         assert args.app == "qsdpcm"
         assert args.jobs == 4
 
+    def test_sweep_synthetic_parsed(self):
+        args = build_parser().parse_args(["sweep", "--synthetic", "3", "--seed", "7"])
+        assert args.synthetic == 3
+        assert args.seed == 7
+        assert args.app is None
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seed == 0
+        assert args.cases == 50
+        assert args.checks is None
+        assert not args.no_shrink
+
+    def test_fuzz_check_subset_parsed(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--checks", "incremental", "te", "--cases", "5"]
+        )
+        assert args.checks == ["incremental", "te"]
+
+    def test_fuzz_unknown_check_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--checks", "vibes"])
+
 
 class TestSubcommands:
     def test_list(self, capsys):
@@ -57,6 +80,60 @@ class TestSubcommands:
         assert main(["sweep", "voice_coder", "--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+    def test_sweep_synthetic(self, capsys):
+        assert main(["sweep", "--synthetic", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "synth/0" in out
+        assert "generated app" in out
+
+    def test_sweep_synthetic_conflicts_with_app(self, capsys):
+        assert main(["sweep", "voice_coder", "--synthetic", "2"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_fuzz_clean_block(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--cases", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all cases verified clean" in out
+        assert "incremental" in out
+
+    def test_fuzz_failure_writes_reproducer(self, capsys, tmp_path, monkeypatch):
+        import dataclasses
+
+        import repro.core.incremental
+        from repro.core.costs import link_contribution
+
+        def skewed(*args, **kwargs):
+            link = link_contribution(*args, **kwargs)
+            return dataclasses.replace(
+                link, stall_terms=link.stall_terms + (1.0,)
+            )
+
+        monkeypatch.setattr(
+            repro.core.incremental, "link_contribution", skewed
+        )
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--cases",
+                "4",
+                "--checks",
+                "incremental",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "shrunk reproducer" in out
+        reproducers = list(tmp_path.glob("reproducer_*.json"))
+        assert reproducers
+
+        from repro.synth.spec import case_from_json
+
+        case_from_json(reproducers[0].read_text()).build()
 
     def test_sweep_grid_mode(self, capsys):
         assert main(["sweep", "--jobs", "2"]) == 0
