@@ -1,0 +1,81 @@
+"""PERF-SERVICE — cold-vs-warm exploration cache smoke.
+
+The exploration service's value proposition is measurable: re-running
+the full 9-app x platform x objective grid against a warm
+content-addressed cache must skip every evaluation (hit rate 100%) and
+finish at least ``MIN_SPEEDUP`` times faster than the cold run, while
+producing a byte-identical grid report.  Numbers land in
+``benchmarks/out/BENCH_service.json`` so the cache's speedup and
+hit-rate floors are tracked across PRs next to the search-speed and
+fuzz-throughput records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import OUT_DIR, write_artifact
+from repro.analysis.sweep import full_grid, grid_table
+from repro.service import ExplorationService, ResultStore
+
+JOBS = 2
+MIN_SPEEDUP = 5.0
+WALL_BUDGET_S = 300.0
+
+
+def test_service_cache_cold_vs_warm(tmp_path):
+    grid = full_grid()
+    cache_dir = tmp_path / "cache"
+
+    started = time.perf_counter()
+    cold_service = ExplorationService(store=ResultStore(cache_dir), jobs=JOBS)
+    cold_outcomes = cold_service.run(grid)
+    cold_s = time.perf_counter() - started
+
+    assert all(outcome.ok for outcome in cold_outcomes)
+    assert cold_service.stats.evaluated == len(grid)
+    assert cold_s < WALL_BUDGET_S
+
+    started = time.perf_counter()
+    warm_service = ExplorationService(store=ResultStore(cache_dir), jobs=JOBS)
+    warm_outcomes = warm_service.run(grid)
+    warm_s = time.perf_counter() - started
+
+    hit_rate = warm_service.stats.hit_rate
+    assert hit_rate == 1.0, f"warm hit rate {hit_rate:.0%}, expected 100%"
+    assert warm_service.stats.evaluated == 0
+
+    cold_report = grid_table(cold_outcomes)
+    warm_report = grid_table(warm_outcomes)
+    assert warm_report == cold_report, "warm report is not byte-identical"
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x faster than cold "
+        f"({cold_s:.3f}s -> {warm_s:.3f}s); floor is {MIN_SPEEDUP}x"
+    )
+
+    record = {
+        "grid_cells": len(grid),
+        "jobs": JOBS,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "warm_hit_rate": hit_rate,
+        "warm_evaluated": warm_service.stats.evaluated,
+        "byte_identical": warm_report == cold_report,
+        "store_records": len(warm_service.store),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_service.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    write_artifact(
+        "PERF-SERVICE.txt",
+        (
+            f"cold grid ({len(grid)} cells, jobs={JOBS}): {cold_s:.3f}s\n"
+            f"warm grid (100% cache hits):           {warm_s:.3f}s\n"
+            f"speedup: {speedup:.1f}x (floor {MIN_SPEEDUP}x)"
+        ),
+    )

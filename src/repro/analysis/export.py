@@ -4,6 +4,17 @@ Downstream users (plotting scripts, regression dashboards) need the
 numbers, not the ASCII tables.  This module serialises
 :class:`~repro.core.mhla.MhlaResult` and trade-off sweeps to plain
 dictionaries, JSON and CSV.
+
+Two fidelity levels exist:
+
+* :func:`result_to_dict` — the lossy *summary* flattening (headline
+  numbers only) used by dashboards and the JSON-RPC service responses.
+* :func:`result_to_state` / :func:`result_from_state` — the lossless
+  *state* round-trip used by the content-addressed result store
+  (:mod:`repro.service.store`).  Every float is preserved exactly
+  (JSON uses shortest-round-trip ``repr``), dict iteration orders are
+  kept, and the rebuilt :class:`MhlaResult` renders byte-identical
+  report tables to the original.
 """
 
 from __future__ import annotations
@@ -13,9 +24,17 @@ import io
 import json
 from typing import Sequence
 
+from repro.core.assignment import SearchStats, SearchTrace
+from repro.core.context import Assignment
+from repro.core.costs import CostReport, LayerTraffic
 from repro.core.mhla import MhlaResult
-from repro.core.scenarios import SCENARIO_ORDER
+from repro.core.scenarios import SCENARIO_ORDER, ScenarioResult
+from repro.core.te import TeDecision, TeSchedule
 from repro.core.tradeoff import TradeoffPoint
+from repro.errors import ValidationError
+
+RESULT_STATE_VERSION = 1
+"""Bumped when the lossless state layout changes incompatibly."""
 
 
 def result_to_dict(result: MhlaResult) -> dict:
@@ -75,6 +94,225 @@ def results_to_csv(results: Sequence[MhlaResult]) -> str:
                 ]
             )
     return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# lossless state round-trip (for the content-addressed result store)
+# ----------------------------------------------------------------------
+
+
+def _report_state(report: CostReport) -> dict:
+    return {
+        "cycles": report.cycles,
+        "compute_cycles": report.compute_cycles,
+        "cpu_access_cycles": report.cpu_access_cycles,
+        "stall_cycles": report.stall_cycles,
+        "copy_cpu_cycles": report.copy_cpu_cycles,
+        "energy_nj": report.energy_nj,
+        "cpu_access_energy_nj": report.cpu_access_energy_nj,
+        "transfer_energy_nj": report.transfer_energy_nj,
+        "dma_busy_cycles": report.dma_busy_cycles,
+        "fill_events": report.fill_events,
+        "transfer_words": report.transfer_words,
+        "traffic": {
+            name: [t.cpu_reads, t.cpu_writes, t.dma_read_words, t.dma_write_words]
+            for name, t in report.traffic.items()
+        },
+    }
+
+
+def _report_from_state(data: dict) -> CostReport:
+    return CostReport(
+        cycles=float(data["cycles"]),
+        compute_cycles=float(data["compute_cycles"]),
+        cpu_access_cycles=float(data["cpu_access_cycles"]),
+        stall_cycles=float(data["stall_cycles"]),
+        copy_cpu_cycles=float(data["copy_cpu_cycles"]),
+        energy_nj=float(data["energy_nj"]),
+        cpu_access_energy_nj=float(data["cpu_access_energy_nj"]),
+        transfer_energy_nj=float(data["transfer_energy_nj"]),
+        dma_busy_cycles=float(data["dma_busy_cycles"]),
+        fill_events=int(data["fill_events"]),
+        transfer_words=int(data["transfer_words"]),
+        traffic={
+            name: LayerTraffic(
+                cpu_reads=int(row[0]),
+                cpu_writes=int(row[1]),
+                dma_read_words=int(row[2]),
+                dma_write_words=int(row[3]),
+            )
+            for name, row in data["traffic"].items()
+        },
+    )
+
+
+def _assignment_state(assignment: Assignment) -> dict:
+    return {
+        "array_home": dict(assignment.array_home),
+        "copies": {
+            group_key: [[uid, layer] for uid, layer in selections]
+            for group_key, selections in assignment.copies.items()
+        },
+    }
+
+
+def _assignment_from_state(data: dict) -> Assignment:
+    return Assignment(
+        array_home={str(k): str(v) for k, v in data["array_home"].items()},
+        copies={
+            str(group_key): tuple(
+                (str(uid), str(layer)) for uid, layer in selections
+            )
+            for group_key, selections in data["copies"].items()
+        },
+    )
+
+
+def _te_state(te: TeSchedule | None) -> dict | None:
+    if te is None:
+        return None
+    return {
+        "decisions": {
+            uid: {
+                "bt_uid": d.bt_uid,
+                "copy_uid": d.copy_uid,
+                "extended_loops": list(d.extended_loops),
+                "hidden_cycles": d.hidden_cycles,
+                "bt_time": d.bt_time,
+                "fully_hidden": d.fully_hidden,
+                "blocked_by_size": d.blocked_by_size,
+                "priority": d.priority,
+            }
+            for uid, d in te.decisions.items()
+        }
+    }
+
+
+def _te_from_state(data: dict | None) -> TeSchedule | None:
+    if data is None:
+        return None
+    return TeSchedule(
+        decisions={
+            str(uid): TeDecision(
+                bt_uid=str(d["bt_uid"]),
+                copy_uid=str(d["copy_uid"]),
+                extended_loops=tuple(str(l) for l in d["extended_loops"]),
+                hidden_cycles=float(d["hidden_cycles"]),
+                bt_time=int(d["bt_time"]),
+                fully_hidden=bool(d["fully_hidden"]),
+                blocked_by_size=bool(d["blocked_by_size"]),
+                priority=int(d["priority"]),
+            )
+            for uid, d in data["decisions"].items()
+        }
+    )
+
+
+def _trace_state(trace: SearchTrace | None) -> dict | None:
+    if trace is None:
+        return None
+    stats = trace.stats
+    return {
+        "steps": list(trace.steps),
+        "initial_value": trace.initial_value,
+        "final_value": trace.final_value,
+        "stats": (
+            None
+            if stats is None
+            else {
+                "rounds": stats.rounds,
+                "moves_evaluated": stats.moves_evaluated,
+                "moves_applied": stats.moves_applied,
+                "cleanup_drops": stats.cleanup_drops,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "wall_time_s": stats.wall_time_s,
+            }
+        ),
+    }
+
+
+def _trace_from_state(data: dict | None) -> SearchTrace | None:
+    if data is None:
+        return None
+    stats = data["stats"]
+    return SearchTrace(
+        steps=tuple(str(step) for step in data["steps"]),
+        initial_value=float(data["initial_value"]),
+        final_value=float(data["final_value"]),
+        stats=(
+            None
+            if stats is None
+            else SearchStats(
+                rounds=int(stats["rounds"]),
+                moves_evaluated=int(stats["moves_evaluated"]),
+                moves_applied=int(stats["moves_applied"]),
+                cleanup_drops=int(stats["cleanup_drops"]),
+                cache_hits=int(stats["cache_hits"]),
+                cache_misses=int(stats["cache_misses"]),
+                wall_time_s=float(stats["wall_time_s"]),
+            )
+        ),
+    )
+
+
+def result_to_state(result: MhlaResult) -> dict:
+    """Lossless plain-data snapshot of one exploration result.
+
+    The snapshot survives ``json.dumps``/``json.loads`` unchanged
+    (floats use shortest-round-trip repr) and
+    :func:`result_from_state` rebuilds an :class:`MhlaResult` whose
+    report tables are byte-identical to the original's.
+    """
+    return {
+        "format": RESULT_STATE_VERSION,
+        "app": result.app_name,
+        "platform": result.platform_name,
+        "scenarios": {
+            name: {
+                "scenario": scenario.scenario,
+                "app_name": scenario.app_name,
+                "report": _report_state(scenario.report),
+                "assignment": _assignment_state(scenario.assignment),
+                "te": _te_state(scenario.te),
+                "trace": _trace_state(scenario.trace),
+            }
+            for name, scenario in result.scenarios.items()
+        },
+    }
+
+
+def result_from_state(state: dict) -> MhlaResult:
+    """Rebuild an :class:`MhlaResult` from :func:`result_to_state` data."""
+    if state.get("format") != RESULT_STATE_VERSION:
+        raise ValidationError(
+            f"unsupported result state format {state.get('format')!r}; "
+            f"expected {RESULT_STATE_VERSION}"
+        )
+    try:
+        scenarios = {
+            str(name): ScenarioResult(
+                scenario=str(data["scenario"]),
+                app_name=str(data["app_name"]),
+                report=_report_from_state(data["report"]),
+                assignment=_assignment_from_state(data["assignment"]),
+                te=_te_from_state(data["te"]),
+                trace=_trace_from_state(data["trace"]),
+            )
+            for name, data in state["scenarios"].items()
+        }
+        return MhlaResult(
+            app_name=str(state["app"]),
+            platform_name=str(state["platform"]),
+            scenarios=scenarios,
+        )
+    except (KeyError, TypeError, IndexError, ValueError, AttributeError) as error:
+        raise ValidationError(f"malformed result state: {error}") from None
+
+
+def result_state_json(result: MhlaResult) -> str:
+    """One-line JSON form of :func:`result_to_state` (for JSONL stores)."""
+    return json.dumps(result_to_state(result), separators=(",", ":"))
 
 
 def sweep_to_csv(points: Sequence[TradeoffPoint]) -> str:

@@ -25,7 +25,7 @@ from repro.analysis.report import format_table
 from repro.apps import all_app_names, build_app
 from repro.core.assignment import Objective
 from repro.core.mhla import Mhla, MhlaResult
-from repro.errors import ValidationError
+from repro.errors import EvaluationError, ValidationError
 from repro.memory.presets import Platform, embedded_2layer, embedded_3layer
 from repro.units import fmt_bytes, fmt_cycles, fmt_energy_nj, fmt_percent, kib
 
@@ -91,10 +91,31 @@ class SweepCell:
 
 @dataclass(frozen=True)
 class SweepCellResult:
-    """A cell together with its full exploration result."""
+    """A cell together with its full exploration result — or its failure.
+
+    Exactly one of ``result`` and ``error`` is set.  A failed cell
+    carries the worker's exception as ``"ExcType: message"`` text (the
+    exception object itself may not pickle across the pool boundary);
+    the rest of the grid still evaluates.
+    """
 
     cell: SweepCell
-    result: MhlaResult
+    result: MhlaResult | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell evaluated successfully."""
+        return self.error is None
+
+    def require(self) -> MhlaResult:
+        """The result, or :class:`EvaluationError` for a failed cell."""
+        if self.result is None:
+            raise EvaluationError(
+                f"cell {self.cell.app}/{self.cell.platform.name}/"
+                f"{self.cell.objective.value} failed: {self.error}"
+            )
+        return self.result
 
 
 def evaluate_cell(cell: SweepCell) -> MhlaResult:
@@ -107,6 +128,22 @@ def evaluate_cell(cell: SweepCell) -> MhlaResult:
         objective=cell.objective,
         sort_factor=cell.sort_factor,
     ).explore()
+
+
+def _evaluate_cell_guarded(
+    cell: SweepCell,
+) -> tuple[MhlaResult | None, str | None]:
+    """Pool worker wrapper: never raises, returns (result, error text).
+
+    Exceptions must not escape the worker: one bad cell would abort
+    ``pool.map`` and throw away every other cell's work (and, before
+    this wrapper existed, did so with an exception whose cell identity
+    was lost).  The error crosses the process boundary as plain text.
+    """
+    try:
+        return evaluate_cell(cell), None
+    except Exception as error:  # noqa: BLE001 — worker boundary
+        return None, f"{type(error).__name__}: {error}"
 
 
 def full_grid(
@@ -167,24 +204,35 @@ class ParallelSweepRunner:
         self.jobs = jobs
 
     def run(self, cells: Iterable[SweepCell]) -> tuple[SweepCellResult, ...]:
-        """Evaluate all cells; deterministic result ordering."""
+        """Evaluate all cells; deterministic result ordering.
+
+        Per-cell failures are surfaced as :class:`SweepCellResult`
+        entries with ``error`` set instead of aborting the grid — the
+        caller decides whether a partial sweep is acceptable
+        (:meth:`SweepCellResult.require` re-raises).
+        """
         cell_list = tuple(cells)
         jobs = self.jobs or 1
         if cell_list:
             jobs = min(jobs, len(cell_list))
         if jobs <= 1:
-            results = [evaluate_cell(cell) for cell in cell_list]
+            outcomes = [_evaluate_cell_guarded(cell) for cell in cell_list]
         else:
             with multiprocessing.Pool(processes=jobs) as pool:
-                results = pool.map(evaluate_cell, cell_list, chunksize=1)
+                outcomes = pool.map(_evaluate_cell_guarded, cell_list, chunksize=1)
         return tuple(
-            SweepCellResult(cell=cell, result=result)
-            for cell, result in zip(cell_list, results)
+            SweepCellResult(cell=cell, result=result, error=error)
+            for cell, (result, error) in zip(cell_list, outcomes)
         )
 
 
 def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
-    """Fixed-width table of a grid sweep, one row per cell."""
+    """Fixed-width table of a grid sweep, one row per cell.
+
+    Failed cells render with dashed metric columns; their error texts
+    are listed after the table so a partial sweep never hides the
+    failures.
+    """
     headers = [
         "app",
         "platform",
@@ -197,8 +245,20 @@ def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
         "E gain",
     ]
     rows = []
+    failed: list[SweepCellResult] = []
     for outcome in outcomes:
         result = outcome.result
+        if result is None:
+            failed.append(outcome)
+            rows.append(
+                [
+                    outcome.cell.app,
+                    outcome.cell.platform.name,
+                    outcome.cell.objective.value,
+                ]
+                + ["-"] * 6
+            )
+            continue
         rows.append(
             [
                 outcome.cell.app,
@@ -212,4 +272,13 @@ def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
                 fmt_percent(result.energy_reduction_fraction),
             ]
         )
-    return format_table(headers, rows)
+    table = format_table(headers, rows)
+    if failed:
+        lines = [table, "", f"{len(failed)} cell(s) failed:"]
+        for outcome in failed:
+            lines.append(
+                f"  {outcome.cell.app}/{outcome.cell.platform.name}/"
+                f"{outcome.cell.objective.value}: {outcome.error}"
+            )
+        return "\n".join(lines)
+    return table

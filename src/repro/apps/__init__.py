@@ -29,6 +29,20 @@ benchmark harness iterates ``all_app_names()`` to regenerate the paper's
 Figures 2 and 3.
 """
 
-from repro.apps.registry import all_app_names, app_descriptions, build_app, build_all
+from repro.apps.registry import (
+    APP_SUITE_VERSION,
+    all_app_names,
+    app_cache_payload,
+    app_descriptions,
+    build_all,
+    build_app,
+)
 
-__all__ = ["all_app_names", "app_descriptions", "build_all", "build_app"]
+__all__ = [
+    "APP_SUITE_VERSION",
+    "all_app_names",
+    "app_cache_payload",
+    "app_descriptions",
+    "build_all",
+    "build_app",
+]

@@ -64,9 +64,46 @@ _REGISTRY: dict[str, tuple[Callable[[], Program], str]] = {
 }
 
 
+APP_SUITE_VERSION = 1
+"""Cache-busting version of the bundled kernels.
+
+The exploration service keys cached results by *content*; bundled
+applications are referenced by name, so their model source is not part
+of the hash.  Bump this whenever a bundled kernel's model changes so
+stale cached results are never served for the new models.
+"""
+
+
 def all_app_names() -> tuple[str, ...]:
     """Names of the nine applications, in canonical report order."""
     return tuple(_REGISTRY)
+
+
+def app_cache_payload(name: str) -> dict:
+    """Stable, JSON-serializable identity of an application for cache keys.
+
+    Bundled kernels hash as ``(name, suite version)``; generated
+    ``synth/<seed>`` apps hash as their seed (the program is a pure
+    function of it).  Unknown names raise :class:`ValidationError` so a
+    typo can never produce a syntactically valid cache key.
+    """
+    if name.startswith("synth/"):
+        from repro.synth import GENERATOR_VERSION
+
+        suffix = name[len("synth/") :]
+        try:
+            seed = int(suffix)
+        except ValueError:
+            raise ValidationError(
+                f"synthetic app name {name!r} needs an integer seed suffix"
+            ) from None
+        return {"synth_seed": seed, "generator_version": GENERATOR_VERSION}
+    if name not in _REGISTRY:
+        raise ValidationError(
+            f"unknown application {name!r}; available: {', '.join(_REGISTRY)}"
+            " (or synth/<seed> for a generated app)"
+        )
+    return {"app": name, "suite_version": APP_SUITE_VERSION}
 
 
 def app_descriptions() -> dict[str, str]:

@@ -14,10 +14,17 @@ Sub-commands mirror the experiments:
 * ``repro fuzz``                 — differential verification on
   generated cases (cross-checks estimator, incremental engine,
   exhaustive oracle and simulator; failures shrink to reproducers)
+* ``repro serve``                — stdin/stdout JSON-RPC exploration
+  service (submit/poll/result/batch against a shared result cache)
 
 Both sweep forms accept ``--jobs N`` to fan the independent
 explorations across a multiprocessing pool; results are returned in
 deterministic order, so the output is identical to a serial run.
+
+``repro run``, ``repro sweep`` and ``repro fuzz`` accept
+``--cache DIR``: exploration results (and clean fuzz verdicts) are
+memoized in a content-addressed store under DIR, so warm re-runs skip
+evaluation entirely and print byte-identical reports.
 """
 
 from __future__ import annotations
@@ -54,10 +61,33 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_executor(args: argparse.Namespace, jobs: int | None = None):
+    """Runner for sweep cells: cache-backed service or plain pool."""
+    from repro.service import ExplorationService, ResultStore
+
+    if getattr(args, "cache", None) is not None:
+        return ExplorationService(
+            store=ResultStore(args.cache), jobs=jobs or getattr(args, "jobs", 1)
+        )
+    return ParallelSweepRunner(jobs=jobs or getattr(args, "jobs", 1))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = build_app(args.app)
-    platform = embedded_3layer(l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib))
-    result = Mhla(program, platform).explore()
+    if args.cache is not None:
+        cell = SweepCell(
+            app=args.app,
+            platform=PlatformSpec(
+                l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
+            ),
+            objective=Objective.EDP,
+        )
+        result = _make_executor(args).run((cell,))[0].require()
+    else:
+        program = build_app(args.app)
+        platform = embedded_3layer(
+            l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
+        )
+        result = Mhla(program, platform).explore()
     print(scenario_table([result]))
     print()
     print(f"MHLA speedup:        {result.mhla_speedup_fraction:.1%}")
@@ -107,7 +137,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = ParallelSweepRunner(jobs=args.jobs)
+    executor = _make_executor(args)
     if args.synthetic is not None:
         if args.app is not None:
             print(
@@ -115,7 +145,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        outcomes = runner.run(
+        outcomes = executor.run(
             synthetic_grid(args.synthetic, seed=args.seed)
         )
         print(
@@ -123,13 +153,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"(seed {args.seed}) x platform:\n"
         )
         print(grid_table(outcomes))
-        return 0
+        return 0 if all(outcome.ok for outcome in outcomes) else 1
     if args.app is None:
         # Grid mode: every app x platform x objective.
-        outcomes = runner.run(full_grid())
+        outcomes = executor.run(full_grid())
         print("Scenario grid — app x platform x objective:\n")
         print(grid_table(outcomes))
-        return 0
+        return 0 if all(outcome.ok for outcome in outcomes) else 1
 
     # L1-size trade-off sweep for one application (TAB-TRADEOFF).
     sizes = [kib(size) for size in (0.5, 1, 2, 4, 8, 16, 32, 64)]
@@ -143,16 +173,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for size in sizes
     )
+    results = [outcome.require() for outcome in executor.run(cells)]
     points = tuple(
         TradeoffPoint(
             l1_bytes=cell.platform.l1_bytes,
-            cycles=outcome.result.scenario("mhla").cycles,
-            energy_nj=outcome.result.scenario("mhla").energy_nj,
-            te_cycles=outcome.result.scenario("mhla_te").cycles,
-            copies=outcome.result.scenario("mhla").assignment.copy_count(),
-            result=outcome.result,
+            cycles=result.scenario("mhla").cycles,
+            energy_nj=result.scenario("mhla").energy_nj,
+            te_cycles=result.scenario("mhla_te").cycles,
+            copies=result.scenario("mhla").assignment.copy_count(),
+            result=result,
         )
-        for cell, outcome in zip(cells, runner.run(cells))
+        for cell, result in zip(cells, results)
     )
     print(sweep_table(points))
     front = pareto_front(points, key=lambda p: (p.cycles, p.energy_nj, p.l1_bytes))
@@ -190,8 +221,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         sim_tolerance=args.sim_tolerance,
         te_sim_tolerance=args.te_sim_tolerance,
     )
+    skip_case = on_clean = None
+    if args.cache is not None:
+        from repro.service import KIND_FUZZ_VERDICT, ResultStore, fuzz_verdict_key
+
+        store = ResultStore(args.cache)
+        # sorted: `--checks incremental oracle` and `--checks oracle
+        # incremental` run the same harness and must share verdicts
+        harness_config = {
+            "checks": sorted(checks),
+            "sim_tolerance": args.sim_tolerance,
+            "te_sim_tolerance": args.te_sim_tolerance,
+        }
+
+        def skip_case(spec):
+            verdict = store.get(
+                fuzz_verdict_key(spec, harness_config), KIND_FUZZ_VERDICT
+            )
+            return verdict is not None and verdict.get("ok") is True
+
+        def on_clean(spec):
+            store.put(
+                fuzz_verdict_key(spec, harness_config),
+                KIND_FUZZ_VERDICT,
+                {"ok": True, "checks": list(checks)},
+            )
+
     report = fuzz(
-        args.seed, args.cases, harness=harness, shrink=not args.no_shrink
+        args.seed,
+        args.cases,
+        harness=harness,
+        shrink=not args.no_shrink,
+        skip_case=skip_case,
+        on_clean=on_clean,
     )
     print(report.summary())
     if report.ok:
@@ -216,6 +278,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         "with: repro fuzz --seed <case seed> --cases 1"
     )
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExplorationService, ResultStore, serve
+
+    service = ExplorationService(
+        store=ResultStore(args.cache), jobs=args.jobs
+    )
+    return serve(service, sys.stdin, sys.stdout)
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -247,9 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--l1-kib", type=float, default=8.0, help="L1 size in KiB")
         p.add_argument("--l2-kib", type=float, default=64.0, help="L2 size in KiB")
 
+    def add_cache_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="content-addressed result cache directory; warm re-runs "
+            "serve memoized results without re-evaluating",
+        )
+
     run = sub.add_parser("run", help="four scenarios for one application")
     run.add_argument("app", choices=all_app_names())
     add_platform_args(run)
+    add_cache_arg(run)
     run.set_defaults(func=_cmd_run)
 
     fig2 = sub.add_parser("fig2", help="Figure 2 (performance) for the suite")
@@ -287,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="first case seed of the generated applications",
     )
+    add_cache_arg(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz_cmd = sub.add_parser(
@@ -330,7 +412,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="fuzz-failures",
         help="directory for shrunk reproducer JSON files",
     )
+    add_cache_arg(fuzz_cmd)
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="JSON-RPC exploration service over stdin/stdout "
+        "(submit/poll/result/batch against a shared result cache)",
+    )
+    add_cache_arg(serve_cmd)
+    serve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for batch evaluation",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     simulate_cmd = sub.add_parser(
         "simulate", help="validate estimator against the simulator"

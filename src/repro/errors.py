@@ -42,5 +42,13 @@ class ScheduleError(ReproError):
     """The time-extension (prefetch) scheduler hit an inconsistent state."""
 
 
+class EvaluationError(ReproError):
+    """A sweep cell evaluation failed (carries the worker's error text)."""
+
+
+class ServiceError(ReproError):
+    """The exploration service was asked for an unknown or failed job."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator detected an internal inconsistency."""

@@ -20,6 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ValidationError
+
+PLATFORM_MODEL_VERSION = 1
+"""Cache-busting version of the platform cost models.
+
+Cache keys identify a preset platform only by its recipe (kind +
+sizes); the latency/energy tables behind the recipe live here and in
+:mod:`repro.memory.energy`/:mod:`repro.memory.timing`.  Bump this when
+any of those models change so memoized exploration results computed
+under the old models are never served for the new ones.
+"""
 from repro.memory.dma import DmaModel
 from repro.memory.energy import (
     DRAM_BURST_READ_NJ,

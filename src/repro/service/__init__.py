@@ -1,0 +1,64 @@
+"""Exploration service: memoized, batched design-space exploration.
+
+The MHLA methodology is an offline exploration, and the same
+(program, platform, search-config) cases recur across sweeps, figure
+regeneration and fuzz runs.  This package eliminates that redundancy
+one level above the evaluator caches: a whole exploration result is
+content-addressed by a canonical hash of its request and memoized in a
+JSON-lines store, so re-running a sweep — in this process, a later
+process, or a concurrent client of ``repro serve`` — skips evaluation
+entirely for every case already explored.
+
+Layers
+------
+
+* :mod:`repro.service.keys`  — canonical content keys (SHA-256 over
+  canonical JSON; stable across dict ordering and process restarts).
+* :mod:`repro.service.store` — :class:`ResultStore`, the append-only
+  JSONL store with an in-memory index; results round-trip losslessly
+  (byte-identical report tables).
+* :mod:`repro.service.queue` — :class:`ExplorationService`, the
+  batched job queue: submit/poll/result, in-flight deduplication,
+  cache hits served without workers, batches fanned across
+  :class:`~repro.analysis.sweep.ParallelSweepRunner`.
+* :mod:`repro.service.rpc`   — the ``repro serve`` stdin/stdout
+  JSON-RPC loop for driving one service from many clients.
+
+The CLI exposes the cache through ``--cache DIR`` on ``repro run``,
+``repro sweep`` and ``repro fuzz``.
+"""
+
+from repro.service.keys import (
+    KEY_FORMAT_VERSION,
+    canonical_json,
+    canonical_payload,
+    case_key,
+    cell_key,
+    content_key,
+    fuzz_verdict_key,
+)
+from repro.service.queue import ExplorationService, ServiceStats
+from repro.service.rpc import serve
+from repro.service.store import (
+    KIND_FUZZ_VERDICT,
+    KIND_RESULT,
+    RESULTS_FILENAME,
+    ResultStore,
+)
+
+__all__ = [
+    "ExplorationService",
+    "KEY_FORMAT_VERSION",
+    "KIND_FUZZ_VERDICT",
+    "KIND_RESULT",
+    "RESULTS_FILENAME",
+    "ResultStore",
+    "ServiceStats",
+    "canonical_json",
+    "canonical_payload",
+    "case_key",
+    "cell_key",
+    "content_key",
+    "fuzz_verdict_key",
+    "serve",
+]

@@ -1,0 +1,282 @@
+"""Batched exploration job queue with in-flight deduplication.
+
+:class:`ExplorationService` sits between clients and
+:class:`~repro.analysis.sweep.ParallelSweepRunner`:
+
+* **cache first** — a submission whose content key is already in the
+  :class:`~repro.service.store.ResultStore` is served without touching
+  a worker;
+* **deduplicate in flight** — identical submissions (same content key)
+  made before the batch runs share one pending job, and a submission
+  for a key another thread is currently evaluating waits for that
+  evaluation instead of repeating it.  Every unique cell is evaluated
+  at most once per store lifetime;
+* **batch** — pending jobs accumulate until :meth:`flush` (called
+  implicitly by :meth:`result` and :meth:`run`) fans the whole batch
+  across the runner's pool in one go, amortising pool start-up over
+  many cells.
+
+The service is thread-safe: many client threads may submit/poll/await
+concurrently (the JSON-RPC front end in :mod:`repro.service.rpc` is one
+such client).  Evaluation itself happens in the flushing thread (and
+its worker processes); other threads block on per-job events.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.sweep import ParallelSweepRunner, SweepCell, SweepCellResult
+from repro.core.mhla import MhlaResult
+from repro.errors import ServiceError
+from repro.service.keys import cell_key
+from repro.service.store import ResultStore
+
+#: Job/request states reported by :meth:`ExplorationService.poll`.
+PENDING = "pending"      # queued, not yet handed to the runner
+RUNNING = "running"      # in the runner (this or another thread's flush)
+DONE = "done"            # result available in the store
+FAILED = "failed"        # evaluation raised; error text recorded
+UNKNOWN = "unknown"      # never submitted to this service/store
+
+
+class _Job:
+    """One in-flight evaluation (shared by all duplicate submissions)."""
+
+    __slots__ = ("key", "cell", "status", "error", "event")
+
+    def __init__(self, key: str, cell: SweepCell):
+        self.key = key
+        self.cell = cell
+        self.status = PENDING
+        self.error: str | None = None
+        self.event = threading.Event()
+
+
+@dataclass
+class ServiceStats:
+    """Counters over one service lifetime (monotonic, cumulative)."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    evaluated: int = 0
+    failed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submissions served from the store."""
+        return self.cache_hits / self.submitted if self.submitted else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "evaluated": self.evaluated,
+            "failed": self.failed,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ExplorationService:
+    """Memoizing, batching front end over the sweep runner.
+
+    Parameters
+    ----------
+    store:
+        Result store (defaults to a fresh in-memory one, which still
+        deduplicates within this service's lifetime).
+    jobs:
+        Worker processes for batch evaluation (see
+        :class:`~repro.analysis.sweep.ParallelSweepRunner`).
+    runner:
+        Injectable runner (tests substitute a counting one).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int | None = None,
+        runner: ParallelSweepRunner | None = None,
+    ):
+        self.store = store if store is not None else ResultStore()
+        self.runner = runner if runner is not None else ParallelSweepRunner(jobs=jobs)
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _Job] = {}
+        self._pending: list[str] = []
+        self._background_flush: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # client API: submit / poll / result
+    # ------------------------------------------------------------------
+
+    def submit(self, cell: SweepCell) -> str:
+        """Enqueue one cell; returns its content key (the job ticket).
+
+        Cache hits and duplicates of in-flight jobs return immediately
+        with the same ticket — the ticket is a pure function of the
+        request, so clients may even compute it themselves.
+        """
+        key = cell_key(cell)
+        with self._lock:
+            self.stats.submitted += 1
+            if key in self.store:
+                self.stats.cache_hits += 1
+                return key
+            existing = self._jobs.get(key)
+            if existing is not None and existing.status != FAILED:
+                self.stats.deduplicated += 1
+                return key
+            # New key — or a failed job, which a fresh submission
+            # retries (a transient worker failure must not poison the
+            # key for the service's lifetime).
+            self._jobs[key] = _Job(key, cell)
+            self._pending.append(key)
+        return key
+
+    def poll(self, key: str) -> str:
+        """Current state of a ticket (``done`` covers store hits)."""
+        with self._lock:
+            if key in self.store:
+                return DONE
+            job = self._jobs.get(key)
+            if job is None:
+                return UNKNOWN
+            return job.status
+
+    def kick(self) -> None:
+        """Start a background flush if anything is pending (non-blocking).
+
+        Submit-then-poll clients never call :meth:`result`, so without
+        this a pending batch would wait forever; the RPC front end
+        kicks on every poll that observes a pending job.  At most one
+        background flush runs at a time — a second kick while it is
+        alive is a no-op, and jobs submitted meanwhile are picked up
+        by the next kick (or by any explicit flush).
+        """
+        with self._lock:
+            if not self._pending:
+                return
+            if (
+                self._background_flush is not None
+                and self._background_flush.is_alive()
+            ):
+                return
+            thread = threading.Thread(
+                target=self.flush, name="mhla-service-flush", daemon=True
+            )
+            self._background_flush = thread
+        thread.start()
+
+    def result(self, key: str, timeout: float | None = None) -> MhlaResult:
+        """The result for a ticket, evaluating the batch if needed.
+
+        Raises :class:`ServiceError` for unknown tickets, failed
+        evaluations, or a timeout waiting on another thread's batch.
+        """
+        with self._lock:
+            job = self._jobs.get(key)
+            needs_flush = job is not None and job.status == PENDING
+        if job is None:
+            result = self.store.get_result(key)
+            if result is None:
+                raise ServiceError(f"unknown job ticket {key!r}")
+            return result
+        if needs_flush:
+            self.flush()
+        if not job.event.wait(timeout):
+            raise ServiceError(f"timed out waiting for job {key!r}")
+        if job.status == FAILED:
+            raise ServiceError(f"job {key!r} failed: {job.error}")
+        result = self.store.get_result(key)
+        if result is None:  # pragma: no cover - store/job invariant
+            raise ServiceError(f"job {key!r} finished but left no result")
+        return result
+
+    # ------------------------------------------------------------------
+    # batch evaluation
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Evaluate every pending job as one batch; returns batch size.
+
+        Concurrent flushes are safe: each grabs only jobs still pending
+        under the lock, so a job is handed to the runner exactly once.
+        """
+        with self._lock:
+            batch = [
+                self._jobs[key]
+                for key in self._pending
+                if self._jobs[key].status == PENDING
+            ]
+            self._pending.clear()
+            for job in batch:
+                job.status = RUNNING
+        if not batch:
+            return 0
+        try:
+            outcomes = self.runner.run(tuple(job.cell for job in batch))
+            with self._lock:
+                for job, outcome in zip(batch, outcomes):
+                    if outcome.ok:
+                        self.store.put_result(job.key, outcome.result)
+                        job.status = DONE
+                        self.stats.evaluated += 1
+                    else:
+                        job.status = FAILED
+                        job.error = outcome.error
+                        self.stats.evaluated += 1
+                        self.stats.failed += 1
+        finally:
+            # Waiters must never hang: anything the batch left in
+            # RUNNING (runner/store raised) fails loudly instead.
+            with self._lock:
+                for job in batch:
+                    if job.status == RUNNING:
+                        job.status = FAILED
+                        job.error = "batch evaluation aborted"
+                        self.stats.failed += 1
+            for job in batch:
+                job.event.set()
+        return len(batch)
+
+    def run(self, cells: Iterable[SweepCell]) -> tuple[SweepCellResult, ...]:
+        """Drop-in for :meth:`ParallelSweepRunner.run`, cache-backed.
+
+        Submits every cell, flushes once, and returns outcomes in cell
+        order.  Results always come back through the store's lossless
+        round-trip, so a cold run's output is byte-identical to the
+        warm re-run that serves the same keys from disk.
+        """
+        cell_list = tuple(cells)
+        keys = [self.submit(cell) for cell in cell_list]
+        self.flush()
+        outcomes = []
+        for cell, key in zip(cell_list, keys):
+            with self._lock:
+                job = self._jobs.get(key)
+            if job is not None:
+                job.event.wait()
+            result = self.store.get_result(key)
+            if result is not None:
+                outcomes.append(SweepCellResult(cell=cell, result=result))
+            else:
+                error = job.error if job is not None else "result missing"
+                outcomes.append(
+                    SweepCellResult(cell=cell, result=None, error=error)
+                )
+        return tuple(outcomes)
+
+    def service_stats(self) -> dict:
+        """Counters plus store occupancy, for the RPC ``stats`` method."""
+        with self._lock:
+            pending = len(self._pending)
+        return {
+            **self.stats.as_dict(),
+            "pending": pending,
+            "store_records": len(self.store),
+        }

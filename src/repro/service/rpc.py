@@ -1,0 +1,279 @@
+"""``repro serve`` — line-delimited JSON-RPC over stdin/stdout.
+
+Many clients (shell scripts, notebooks, other processes) can drive one
+exploration service concurrently by piping requests into a single
+``repro serve`` process; the service deduplicates and memoizes across
+all of them.  The protocol is JSON-RPC 2.0 shaped, one request object
+per line, one response object per line, in request order::
+
+    -> {"jsonrpc": "2.0", "id": 1, "method": "submit",
+        "params": {"app": "qsdpcm",
+                   "platform": {"kind": "embedded_3layer",
+                                "l1_kib": 8, "l2_kib": 64},
+                   "objective": "edp"}}
+    <- {"jsonrpc": "2.0", "id": 1,
+        "result": {"key": "<sha256>", "status": "pending"}}
+
+Methods
+-------
+
+``submit``    params: cell (see below) -> ``{key, status}``
+``poll``      params: ``{key}`` -> ``{key, status}``; polling a
+              pending key kicks the batch into background evaluation,
+              so submit-then-poll loops always make progress
+``result``    params: ``{key}`` (+``"full": true`` for the lossless
+              state) -> ``{key, status, result[, state]}``; evaluates
+              the pending batch if needed
+``batch``     params: ``{cells: [cell, ...]}`` -> evaluates all cells
+              as one deduplicated batch, returns
+              ``{outcomes: [{key, status[, error]}, ...]}``
+``stats``     -> service counters (submissions, hits, dedups, ...)
+``shutdown``  -> acknowledges and ends the loop
+
+A *cell* object names a registry app (bundled or ``synth/<seed>``) and
+an optional platform recipe: ``kind`` (``embedded_3layer`` default or
+``embedded_2layer``), sizes as ``l1_kib``/``l2_kib`` (or exact
+``l1_bytes``/``l2_bytes``), plus ``objective`` (``edp``/``cycles``/
+``energy``) and ``sort_factor``.
+
+Errors use JSON-RPC error objects: ``-32700`` parse error, ``-32600``
+invalid request, ``-32601`` unknown method, ``-32602`` invalid params,
+``-32000`` evaluation/service failures.  Every error names the request
+id it answers (``null`` for unparsable lines), so clients can pipeline
+requests without losing correlation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.analysis.sweep import PlatformSpec, SweepCell
+from repro.analysis.export import result_to_dict, result_to_state
+from repro.core.assignment import Objective
+from repro.errors import ReproError
+from repro.service.keys import cell_key
+from repro.service.queue import ExplorationService
+from repro.units import kib
+
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+SERVICE_ERROR = -32000
+
+
+class _RpcError(Exception):
+    """Internal: carries a JSON-RPC error code + message."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+_CELL_FIELDS = frozenset(("app", "platform", "objective", "sort_factor"))
+_PLATFORM_FIELDS = frozenset(
+    ("kind", "l1_kib", "l2_kib", "l1_bytes", "l2_bytes", "label")
+)
+
+
+def cell_from_params(params: dict) -> SweepCell:
+    """Build a :class:`SweepCell` from a request's cell object.
+
+    Unknown fields are rejected, not defaulted: a typo like ``l1kib``
+    must not silently evaluate (and cache) the default platform.
+    """
+    if not isinstance(params, dict):
+        raise _RpcError(INVALID_PARAMS, "cell must be an object")
+    unknown = set(params) - _CELL_FIELDS
+    if unknown:
+        raise _RpcError(
+            INVALID_PARAMS, f"unknown cell field(s): {', '.join(sorted(unknown))}"
+        )
+    try:
+        app = params["app"]
+    except KeyError:
+        raise _RpcError(INVALID_PARAMS, "cell needs an 'app' field") from None
+    platform = params.get("platform", {})
+    if not isinstance(platform, dict):
+        raise _RpcError(INVALID_PARAMS, "'platform' must be an object")
+    unknown = set(platform) - _PLATFORM_FIELDS
+    if unknown:
+        raise _RpcError(
+            INVALID_PARAMS,
+            f"unknown platform field(s): {', '.join(sorted(unknown))}",
+        )
+    try:
+        l1_bytes = int(
+            platform["l1_bytes"]
+            if "l1_bytes" in platform
+            else kib(float(platform.get("l1_kib", 8.0)))
+        )
+        l2_bytes = int(
+            platform["l2_bytes"]
+            if "l2_bytes" in platform
+            else kib(float(platform.get("l2_kib", 64.0)))
+        )
+        spec = PlatformSpec(
+            kind=str(platform.get("kind", "embedded_3layer")),
+            l1_bytes=l1_bytes,
+            l2_bytes=l2_bytes,
+            label=str(platform.get("label", "")),
+        )
+        objective = Objective(str(params.get("objective", "edp")))
+    except (TypeError, ValueError) as error:
+        raise _RpcError(INVALID_PARAMS, f"bad cell params: {error}") from None
+    return SweepCell(
+        app=str(app),
+        platform=spec,
+        objective=objective,
+        sort_factor=str(params.get("sort_factor", "time_per_size")),
+    )
+
+
+def _require_key(params: dict) -> str:
+    key = params.get("key")
+    if not isinstance(key, str) or not key:
+        raise _RpcError(INVALID_PARAMS, "params need a string 'key'")
+    return key
+
+
+class JsonRpcFrontend:
+    """Dispatches parsed requests against one exploration service."""
+
+    def __init__(self, service: ExplorationService):
+        self.service = service
+        self.running = True
+
+    # -- methods -------------------------------------------------------
+
+    def _submit(self, params: dict) -> dict:
+        key = self.service.submit(cell_from_params(params))
+        return {"key": key, "status": self.service.poll(key)}
+
+    def _poll(self, params: dict) -> dict:
+        key = _require_key(params)
+        status = self.service.poll(key)
+        if status == "pending":
+            # submit-then-poll clients never call `result`, so polling
+            # is what drives the pending batch into evaluation
+            self.service.kick()
+        return {"key": key, "status": status}
+
+    def _result(self, params: dict) -> dict:
+        key = _require_key(params)
+        try:
+            result = self.service.result(key)
+        except ReproError as error:
+            raise _RpcError(SERVICE_ERROR, str(error)) from None
+        response = {
+            "key": key,
+            "status": self.service.poll(key),
+            "result": result_to_dict(result),
+        }
+        if params.get("full"):
+            response["state"] = result_to_state(result)
+        return response
+
+    def _batch(self, params: dict) -> dict:
+        if not isinstance(params, dict) or not isinstance(
+            params.get("cells"), list
+        ):
+            raise _RpcError(INVALID_PARAMS, "batch needs a 'cells' array")
+        cells = tuple(cell_from_params(cell) for cell in params["cells"])
+        outcomes = self.service.run(cells)
+        rows = []
+        for outcome, cell in zip(outcomes, cells):
+            row = {
+                "key": cell_key(cell),
+                "status": "done" if outcome.ok else "failed",
+            }
+            if not outcome.ok:
+                row["error"] = outcome.error
+            rows.append(row)
+        return {"outcomes": rows}
+
+    def _stats(self, _params: dict) -> dict:
+        return self.service.service_stats()
+
+    def _shutdown(self, _params: dict) -> dict:
+        self.running = False
+        return {"ok": True}
+
+    _METHODS = {
+        "submit": _submit,
+        "poll": _poll,
+        "result": _result,
+        "batch": _batch,
+        "stats": _stats,
+        "shutdown": _shutdown,
+    }
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle_line(self, line: str) -> dict | None:
+        """One request line -> one response object (None for blanks)."""
+        if not line.strip():
+            return None
+        request_id = None
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise _RpcError(PARSE_ERROR, f"parse error: {error}") from None
+            if not isinstance(request, dict):
+                raise _RpcError(INVALID_REQUEST, "request must be an object")
+            request_id = request.get("id")
+            method = request.get("method")
+            if not isinstance(method, str) or method not in self._METHODS:
+                raise _RpcError(
+                    METHOD_NOT_FOUND, f"unknown method {method!r}"
+                )
+            params = request.get("params", {})
+            if not isinstance(params, dict):
+                raise _RpcError(INVALID_PARAMS, "params must be an object")
+            result = self._METHODS[method](self, params)
+            return {"jsonrpc": "2.0", "id": request_id, "result": result}
+        except _RpcError as error:
+            return {
+                "jsonrpc": "2.0",
+                "id": request_id,
+                "error": {"code": error.code, "message": str(error)},
+            }
+        except ReproError as error:
+            return {
+                "jsonrpc": "2.0",
+                "id": request_id,
+                "error": {"code": SERVICE_ERROR, "message": str(error)},
+            }
+        except Exception as error:  # noqa: BLE001 — protocol boundary
+            # One bad request (e.g. a corrupt store record) must not
+            # kill the loop for every other pipelined client.
+            return {
+                "jsonrpc": "2.0",
+                "id": request_id,
+                "error": {
+                    "code": INTERNAL_ERROR,
+                    "message": f"internal error: {type(error).__name__}: {error}",
+                },
+            }
+
+
+def serve(
+    service: ExplorationService,
+    stdin: IO[str],
+    stdout: IO[str],
+) -> int:
+    """Run the request loop until EOF or a ``shutdown`` request."""
+    frontend = JsonRpcFrontend(service)
+    for line in stdin:
+        response = frontend.handle_line(line)
+        if response is None:
+            continue
+        stdout.write(json.dumps(response, separators=(",", ":")))
+        stdout.write("\n")
+        stdout.flush()
+        if not frontend.running:
+            break
+    return 0

@@ -1,0 +1,160 @@
+"""Content-addressed result store (JSON-lines + in-memory index).
+
+One cache directory holds one ``results.jsonl`` file; every line is a
+self-contained record::
+
+    {"format": 1, "key": "<sha256>", "kind": "<record kind>",
+     "payload": {...}}
+
+``key`` is the request's content hash (:mod:`repro.service.keys`), so
+the store never needs to interpret the request — identical requests
+address identical lines.  Records are append-only: a re-``put`` of a
+known key is a no-op (content-addressed records cannot change meaning),
+and loading replays the file in order with last-key-wins, so an
+interrupted writer at worst loses its final line.  A truncated trailing
+line (killed process) is skipped with a warning rather than poisoning
+the whole store.
+
+``path=None`` gives a purely in-memory store with the same interface —
+the service uses it to deduplicate within one process when no cache
+directory is configured.
+
+Exploration results go through the lossless state round-trip of
+:mod:`repro.analysis.export` (``result_to_state``/``result_from_state``),
+so a rebuilt :class:`~repro.core.mhla.MhlaResult` renders byte-identical
+report tables to the one that was stored.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+
+from repro.analysis.export import result_from_state, result_to_state
+from repro.core.mhla import MhlaResult
+
+STORE_FORMAT_VERSION = 1
+"""Bumped when the record layout changes incompatibly."""
+
+RESULTS_FILENAME = "results.jsonl"
+"""The one file a cache directory contains."""
+
+KIND_RESULT = "mhla_result"
+KIND_FUZZ_VERDICT = "fuzz_verdict"
+
+
+class ResultStore:
+    """Memoized request results, keyed by content hash.
+
+    Parameters
+    ----------
+    path:
+        Cache *directory* (created on first write).  ``None`` keeps the
+        store purely in memory.
+    """
+
+    def __init__(self, path: str | pathlib.Path | None = None):
+        self._lock = threading.Lock()
+        self._index: dict[str, dict] = {}
+        self._file = (
+            pathlib.Path(path) / RESULTS_FILENAME if path is not None else None
+        )
+        if self._file is not None and self._file.exists():
+            self._load(self._file)
+
+    def _load(self, file: pathlib.Path) -> None:
+        for lineno, line in enumerate(
+            file.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                print(
+                    f"warning: {file}:{lineno}: skipping corrupt cache line",
+                    file=sys.stderr,
+                )
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("format") != STORE_FORMAT_VERSION
+                or not isinstance(record.get("key"), str)
+                or not isinstance(record.get("kind"), str)
+                or not isinstance(record.get("payload"), dict)
+            ):
+                print(
+                    f"warning: {file}:{lineno}: skipping unrecognised record",
+                    file=sys.stderr,
+                )
+                continue
+            self._index[record["key"]] = record
+
+    # ------------------------------------------------------------------
+    # generic records
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, kind: str) -> dict | None:
+        """Payload stored under *key*, or None (kind mismatch = miss)."""
+        with self._lock:
+            record = self._index.get(key)
+        if record is None or record.get("kind") != kind:
+            return None
+        return record["payload"]
+
+    def put(self, key: str, kind: str, payload: dict) -> bool:
+        """Store *payload* under *key*; False if the key already exists.
+
+        Existing keys are left untouched: records are content-addressed,
+        so a second writer by definition holds the same content.
+        """
+        record = {
+            "format": STORE_FORMAT_VERSION,
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+        }
+        with self._lock:
+            if key in self._index:
+                return False
+            self._index[key] = record
+            if self._file is not None:
+                self._file.parent.mkdir(parents=True, exist_ok=True)
+                # One os-level append of the complete line: O_APPEND
+                # plus a single unbuffered write keeps records from
+                # interleaving even when several processes share the
+                # cache directory.
+                line = json.dumps(record, separators=(",", ":")) + "\n"
+                with self._file.open("ab", buffering=0) as handle:
+                    handle.write(line.encode("utf-8"))
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    @property
+    def path(self) -> pathlib.Path | None:
+        """The backing JSONL file (None for in-memory stores)."""
+        return self._file
+
+    # ------------------------------------------------------------------
+    # exploration results
+    # ------------------------------------------------------------------
+
+    def get_result(self, key: str) -> MhlaResult | None:
+        """Rebuild the memoized exploration result under *key*, if any."""
+        payload = self.get(key, KIND_RESULT)
+        if payload is None:
+            return None
+        return result_from_state(payload)
+
+    def put_result(self, key: str, result: MhlaResult) -> bool:
+        """Memoize one exploration result under *key*."""
+        return self.put(key, KIND_RESULT, result_to_state(result))

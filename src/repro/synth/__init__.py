@@ -32,6 +32,7 @@ from repro.ir.program import Program
 from repro.synth.platforms import generate_platform_spec
 from repro.synth.programs import generate_program_spec
 from repro.synth.spec import (
+    AppRefSpec,
     CaseSpec,
     HierarchySpec,
     ProgramSpec,
@@ -40,7 +41,9 @@ from repro.synth.spec import (
 )
 
 __all__ = [
+    "AppRefSpec",
     "CaseSpec",
+    "GENERATOR_VERSION",
     "HierarchySpec",
     "ProgramSpec",
     "SYNTH_APP_PREFIX",
@@ -54,6 +57,15 @@ __all__ = [
 
 SYNTH_APP_PREFIX = "synth/"
 """Registry namespace for generated applications (``synth/<seed>``)."""
+
+GENERATOR_VERSION = 1
+"""Cache-busting version of the seeded generators.
+
+A ``synth/<seed>`` program is a pure function of its seed *and* of the
+generator code; cache keys carry this constant so changing
+:mod:`repro.synth.programs`/:mod:`repro.synth.platforms` invalidates
+memoized results for generated apps instead of serving stale ones.
+"""
 
 _SEED_STRIDE = 1_000_003
 """Prime stride separating the RNG streams of a fuzz run's cases."""

@@ -177,11 +177,31 @@ class HierarchySpec:
 
 
 @dataclass(frozen=True)
+class AppRefSpec:
+    """Reference to a registry application by name.
+
+    Covers the nine bundled kernels (and ``synth/<seed>`` names) so a
+    :class:`CaseSpec` — and therefore the exploration service's cache
+    keys and serialized cases — can describe *any* app the sweep grid
+    can, not only inline synthetic programs.  Serializes to
+    ``{"app": <name>}`` where an inline program serializes to its full
+    structure.
+    """
+
+    name: str
+
+    def build(self) -> Program:
+        from repro.apps import build_app
+
+        return build_app(self.name)
+
+
+@dataclass(frozen=True)
 class CaseSpec:
     """One differential-verification case: program x platform x objective."""
 
     seed: int
-    program: ProgramSpec
+    program: ProgramSpec | AppRefSpec
     platform: HierarchySpec
     objective: str = "edp"
 
@@ -284,7 +304,10 @@ def derive_shapes(
 
 def case_to_json(case: CaseSpec) -> str:
     """Serialize a case spec to stable, diff-friendly JSON."""
-    payload = {"format": SPEC_FORMAT_VERSION, "case": asdict(case)}
+    data = asdict(case)
+    if isinstance(case.program, AppRefSpec):
+        data["program"] = {"app": case.program.name}
+    payload = {"format": SPEC_FORMAT_VERSION, "case": data}
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
@@ -309,41 +332,12 @@ def case_from_json(text: str) -> CaseSpec:
         )
     try:
         data = payload["case"]
-        program = ProgramSpec(
-            name=str(data["program"]["name"]),
-            arrays=tuple(
-                ArraySpec(
-                    name=str(a["name"]),
-                    shape=tuple(int(n) for n in a["shape"]),
-                    element_bytes=int(a["element_bytes"]),
-                    kind=str(a["kind"]),
-                )
-                for a in data["program"]["arrays"]
-            ),
-            nests=tuple(
-                NestSpec(
-                    loops=tuple(
-                        LoopSpec(
-                            name=str(l["name"]),
-                            trips=int(l["trips"]),
-                            work=int(l["work"]),
-                        )
-                        for l in nest["loops"]
-                    ),
-                    accesses=tuple(
-                        AccessSpec(
-                            array=str(a["array"]),
-                            kind=str(a["kind"]),
-                            depth=int(a["depth"]),
-                            dims=tuple(_dim_from(d) for d in a["dims"]),
-                            count=int(a["count"]),
-                        )
-                        for a in nest["accesses"]
-                    ),
-                )
-                for nest in data["program"]["nests"]
-            ),
-        )
+        if "app" in data["program"]:
+            program: ProgramSpec | AppRefSpec = AppRefSpec(
+                name=str(data["program"]["app"])
+            )
+        else:
+            program = _program_from(data["program"])
         dma = data["platform"]["dma"]
         platform = HierarchySpec(
             name=str(data["platform"]["name"]),
@@ -373,3 +367,41 @@ def case_from_json(text: str) -> CaseSpec:
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ValidationError(f"malformed case JSON: {error}") from None
+
+
+def _program_from(data: dict) -> ProgramSpec:
+    return ProgramSpec(
+        name=str(data["name"]),
+        arrays=tuple(
+            ArraySpec(
+                name=str(a["name"]),
+                shape=tuple(int(n) for n in a["shape"]),
+                element_bytes=int(a["element_bytes"]),
+                kind=str(a["kind"]),
+            )
+            for a in data["arrays"]
+        ),
+        nests=tuple(
+            NestSpec(
+                loops=tuple(
+                    LoopSpec(
+                        name=str(l["name"]),
+                        trips=int(l["trips"]),
+                        work=int(l["work"]),
+                    )
+                    for l in nest["loops"]
+                ),
+                accesses=tuple(
+                    AccessSpec(
+                        array=str(a["array"]),
+                        kind=str(a["kind"]),
+                        depth=int(a["depth"]),
+                        dims=tuple(_dim_from(d) for d in a["dims"]),
+                        count=int(a["count"]),
+                    )
+                    for a in nest["accesses"]
+                ),
+            )
+            for nest in data["nests"]
+        ),
+    )

@@ -42,6 +42,7 @@ regression fixture.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.assignment import GreedyAssigner, objective_value
 from repro.core.context import AnalysisContext, Assignment
@@ -110,6 +111,7 @@ class FuzzReport:
     cases: int
     counts: dict[str, dict[str, int]] = field(compare=False)
     failures: tuple[FuzzFailure, ...] = ()
+    cached: int = 0
 
     @property
     def ok(self) -> bool:
@@ -118,10 +120,13 @@ class FuzzReport:
 
     def summary(self) -> str:
         """Multi-line digest for the CLI."""
-        lines = [
+        header = (
             f"fuzz: seed={self.run_seed} cases={self.cases} "
             f"failures={len(self.failures)}"
-        ]
+        )
+        if self.cached:
+            header += f" cached={self.cached}"
+        lines = [header]
         # Only checks that actually ran have a counts row; printing
         # zeros for the rest would be indistinguishable from a check
         # that ran and never passed.
@@ -552,12 +557,22 @@ def fuzz(
     harness: DifferentialHarness | None = None,
     shrink: bool = True,
     shrink_budget: int = 250,
+    skip_case: "Callable[[CaseSpec], bool] | None" = None,
+    on_clean: "Callable[[CaseSpec], None] | None" = None,
 ) -> FuzzReport:
     """Generate *cases* synthetic cases from *seed* and cross-check each.
 
     Failing cases are shrunk to minimal reproducers (unless *shrink* is
     False); the returned report carries both the original and the
     shrunk spec so callers can serialize regression fixtures.
+
+    *skip_case* and *on_clean* are the memoization hooks the CLI's
+    ``--cache`` wiring uses: a case for which *skip_case* returns True
+    is not verified (counted in :attr:`FuzzReport.cached`), and
+    *on_clean* fires for every case that verified clean — together
+    they let a caller persist clean verdicts and skip them on warm
+    re-runs.  Only clean verdicts should ever be cached: a failure must
+    re-run so it can shrink and report.
     """
     if cases < 1:
         raise ValidationError("fuzz needs at least one case")
@@ -566,13 +581,19 @@ def fuzz(
         check: {PASS: 0, FAIL: 0, SKIP: 0} for check in harness.checks
     }
     failures: list[FuzzFailure] = []
+    cached = 0
 
     for index in range(cases):
         spec = generate_case(case_seed(seed, index))
+        if skip_case is not None and skip_case(spec):
+            cached += 1
+            continue
         report = harness.run_case(spec)
         for result in report.results:
             counts[result.check][result.status] += 1
         if report.ok:
+            if on_clean is not None:
+                on_clean(spec)
             continue
         failing = tuple(r.check for r in report.failures)
         if shrink:
@@ -596,6 +617,7 @@ def fuzz(
         cases=cases,
         counts=counts,
         failures=tuple(failures),
+        cached=cached,
     )
 
 

@@ -102,6 +102,61 @@ class TestRunner:
         assert "edp" in table
 
 
+class TestErrorSurfacing:
+    """Regression: a failing cell must not abort (or reorder) the grid."""
+
+    @pytest.fixture(scope="class")
+    def mixed_grid(self):
+        good = full_grid(
+            apps=["voice_coder"],
+            platforms=(PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16)),),
+            objectives=(Objective.EDP,),
+        )
+        # Keys/pickles fine, but the worker's platform build raises.
+        bad = SweepCell(
+            app="voice_coder",
+            platform=PlatformSpec(kind="quantum", label="broken"),
+            objective=Objective.EDP,
+        )
+        return (good[0], bad, good[0])
+
+    def test_serial_failures_are_structured(self, mixed_grid):
+        outcomes = ParallelSweepRunner(jobs=1).run(mixed_grid)
+        assert [outcome.ok for outcome in outcomes] == [True, False, True]
+        assert tuple(outcome.cell for outcome in outcomes) == mixed_grid
+        failed = outcomes[1]
+        assert failed.result is None
+        assert "ValidationError" in failed.error
+        assert "quantum" in failed.error
+        assert outcomes[0].result.app_name == "voice_coder"
+
+    def test_parallel_failures_are_structured(self, mixed_grid):
+        serial = ParallelSweepRunner(jobs=1).run(mixed_grid)
+        parallel = ParallelSweepRunner(jobs=2).run(mixed_grid)
+        assert [o.ok for o in parallel] == [o.ok for o in serial]
+        assert parallel[1].error == serial[1].error
+        assert (
+            parallel[0].result.scenario("mhla").cycles
+            == serial[0].result.scenario("mhla").cycles
+        )
+
+    def test_require_raises_for_failed_cell(self, mixed_grid):
+        from repro.errors import EvaluationError
+
+        outcomes = ParallelSweepRunner().run(mixed_grid)
+        assert outcomes[0].require() is outcomes[0].result
+        with pytest.raises(EvaluationError, match="broken"):
+            outcomes[1].require()
+
+    def test_grid_table_lists_failures(self, mixed_grid):
+        outcomes = ParallelSweepRunner().run(mixed_grid)
+        table = grid_table(outcomes)
+        assert "1 cell(s) failed" in table
+        assert "quantum" in table
+        # good rows still render their metrics
+        assert "voice_coder" in table
+
+
 class TestCellPickling:
     def test_cells_and_results_survive_pickling(self):
         import pickle

@@ -1,0 +1,40 @@
+"""Shared service-test fixtures: an evaluation-counting runner.
+
+Exactly-once guarantees are asserted by recording every cell the
+service actually hands to the sweep runner — the recording happens in
+the flushing thread, so it is pool-safe regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.sweep import ParallelSweepRunner, SweepCell
+
+
+class CountingRunner(ParallelSweepRunner):
+    """Runner that records every cell it is asked to evaluate."""
+
+    def __init__(self, jobs: int | None = None):
+        super().__init__(jobs=jobs)
+        self.evaluated: list[SweepCell] = []
+        self._record_lock = threading.Lock()
+
+    def run(self, cells):
+        cells = tuple(cells)
+        with self._record_lock:
+            self.evaluated.extend(cells)
+        return super().run(cells)
+
+
+@pytest.fixture
+def counting_runner() -> CountingRunner:
+    return CountingRunner()
+
+
+@pytest.fixture
+def make_counting_runner():
+    """Factory for tests that need several independent runners."""
+    return CountingRunner

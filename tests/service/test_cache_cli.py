@@ -1,0 +1,98 @@
+"""Cold-vs-warm byte-identity of the ``--cache`` CLI paths."""
+
+import pytest
+
+from repro.cli import main
+from repro.service import RESULTS_FILENAME
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestSweepCache:
+    def test_tradeoff_sweep_warm_is_byte_identical(self, tmp_path, capsys):
+        argv = ["sweep", "voice_coder", "--cache", str(tmp_path)]
+        cold_code, cold = run_cli(capsys, argv)
+        mtime = (tmp_path / RESULTS_FILENAME).stat().st_mtime_ns
+        warm_code, warm = run_cli(capsys, argv)
+        assert cold_code == warm_code == 0
+        assert warm == cold
+        # the warm run appended nothing: pure cache hits
+        assert (tmp_path / RESULTS_FILENAME).stat().st_mtime_ns == mtime
+
+    def test_synthetic_sweep_warm_is_byte_identical(self, tmp_path, capsys):
+        argv = ["sweep", "--synthetic", "2", "--cache", str(tmp_path)]
+        cold_code, cold = run_cli(capsys, argv)
+        warm_code, warm = run_cli(capsys, argv)
+        assert cold_code == warm_code == 0
+        assert warm == cold
+
+    def test_cold_cache_output_matches_uncached(self, tmp_path, capsys):
+        _code, uncached = run_cli(capsys, ["sweep", "voice_coder"])
+        _code, cached = run_cli(
+            capsys, ["sweep", "voice_coder", "--cache", str(tmp_path)]
+        )
+        assert cached == uncached
+
+
+class TestRunCache:
+    def test_run_warm_is_byte_identical(self, tmp_path, capsys):
+        argv = ["run", "voice_coder", "--l1-kib", "2", "--l2-kib", "16",
+                "--cache", str(tmp_path)]
+        cold_code, cold = run_cli(capsys, argv)
+        warm_code, warm = run_cli(capsys, argv)
+        assert cold_code == warm_code == 0
+        # includes the search-stats line: the cached result replays the
+        # cold run's recorded wall time verbatim
+        assert warm == cold
+        assert "MHLA speedup" in warm
+
+    def test_distinct_platforms_do_not_collide(self, tmp_path, capsys):
+        argv_small = ["run", "voice_coder", "--l1-kib", "2", "--l2-kib", "16",
+                      "--cache", str(tmp_path)]
+        argv_big = ["run", "voice_coder", "--cache", str(tmp_path)]
+        _code, small = run_cli(capsys, argv_small)
+        _code, big = run_cli(capsys, argv_big)
+        assert small != big
+
+
+class TestFuzzCache:
+    def test_second_fuzz_run_serves_cached_verdicts(self, tmp_path, capsys):
+        argv = ["fuzz", "--cases", "3", "--cache", str(tmp_path)]
+        cold_code, cold = run_cli(capsys, argv)
+        warm_code, warm = run_cli(capsys, argv)
+        assert cold_code == warm_code == 0
+        assert "cached" not in cold
+        assert "cached=3" in warm
+        assert "all cases verified clean" in warm
+
+    def test_check_order_shares_verdicts(self, tmp_path, capsys):
+        # Regression: `--checks a b` and `--checks b a` run the same
+        # harness and must share cached verdicts.
+        base = ["fuzz", "--cases", "2", "--cache", str(tmp_path)]
+        run_cli(capsys, base + ["--checks", "incremental", "te"])
+        _code, out = run_cli(capsys, base + ["--checks", "te", "incremental"])
+        assert "cached=2" in out
+
+    def test_tolerance_change_invalidates_verdicts(self, tmp_path, capsys):
+        base = ["fuzz", "--cases", "2", "--cache", str(tmp_path)]
+        run_cli(capsys, base)
+        _code, out = run_cli(
+            capsys, base + ["--sim-tolerance", "0.99"]
+        )
+        assert "cached" not in out
+
+
+@pytest.mark.stress
+class TestFullGridCache:
+    """The acceptance-criteria check, cache edition (CI battery)."""
+
+    def test_full_grid_warm_byte_identical(self, tmp_path, capsys):
+        argv = ["sweep", "--jobs", "2", "--cache", str(tmp_path)]
+        cold_code, cold = run_cli(capsys, argv)
+        warm_code, warm = run_cli(capsys, argv)
+        assert cold_code == warm_code == 0
+        assert warm == cold
+        assert cold.count("qsdpcm") == 6

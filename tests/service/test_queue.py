@@ -1,0 +1,164 @@
+"""Unit tests for the batched exploration job queue."""
+
+import pytest
+
+from repro.analysis.sweep import ParallelSweepRunner, PlatformSpec, SweepCell, full_grid
+from repro.core.assignment import Objective
+from repro.errors import ServiceError
+from repro.service import ExplorationService, ResultStore, cell_key
+from repro.service.queue import DONE, FAILED, PENDING, UNKNOWN
+from repro.units import kib
+
+
+@pytest.fixture
+def cell():
+    return SweepCell(
+        app="voice_coder",
+        platform=PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16)),
+        objective=Objective.EDP,
+    )
+
+
+@pytest.fixture
+def service(counting_runner):
+    return ExplorationService(runner=counting_runner)
+
+
+class TestSubmitPollResult:
+    def test_submit_poll_result_lifecycle(self, service, cell):
+        key = service.submit(cell)
+        assert key == cell_key(cell)
+        assert service.poll(key) == PENDING
+        result = service.result(key)
+        assert result.app_name == "voice_coder"
+        assert service.poll(key) == DONE
+
+    def test_unknown_ticket(self, service):
+        assert service.poll("deadbeef") == UNKNOWN
+        with pytest.raises(ServiceError):
+            service.result("deadbeef")
+
+    def test_duplicate_submissions_share_one_job(self, service, cell):
+        first = service.submit(cell)
+        second = service.submit(cell)
+        assert first == second
+        service.flush()
+        assert service.runner.evaluated.count(cell) == 1
+        assert service.stats.deduplicated == 1
+
+    def test_cache_hit_spawns_no_worker(self, service, cell):
+        service.result(service.submit(cell))
+        evaluations = len(service.runner.evaluated)
+        fresh_key = service.submit(cell)
+        assert service.poll(fresh_key) == DONE
+        assert service.result(fresh_key).app_name == "voice_coder"
+        assert len(service.runner.evaluated) == evaluations
+        assert service.stats.cache_hits == 1
+
+    def test_failed_cell_reports_error(self, service):
+        # Keys fine (platform kinds are not key-validated) but the
+        # worker's platform build raises.
+        bad = SweepCell(
+            app="voice_coder",
+            platform=PlatformSpec(kind="quantum"),
+            objective=Objective.EDP,
+        )
+        key = service.submit(bad)
+        with pytest.raises(ServiceError, match="failed"):
+            service.result(key)
+        assert service.poll(key) == FAILED
+
+    def test_failed_job_can_be_retried(self, service, cell, monkeypatch):
+        # Regression: a (possibly transient) failure must not poison
+        # the key — a fresh submission re-queues it.
+        import repro.analysis.sweep as sweep_mod
+
+        original = sweep_mod.evaluate_cell
+        monkeypatch.setattr(
+            sweep_mod,
+            "evaluate_cell",
+            lambda cell: (_ for _ in ()).throw(RuntimeError("transient")),
+        )
+        key = service.submit(cell)
+        with pytest.raises(ServiceError, match="transient"):
+            service.result(key)
+        assert service.poll(key) == FAILED
+
+        monkeypatch.setattr(sweep_mod, "evaluate_cell", original)
+        retry_key = service.submit(cell)
+        assert retry_key == key
+        assert service.poll(key) == PENDING
+        assert service.result(key).app_name == "voice_coder"
+
+    def test_kick_drives_pending_work_without_result_calls(self, service, cell):
+        # Regression: submit-then-poll clients must make progress.
+        import time
+
+        key = service.submit(cell)
+        assert service.poll(key) == PENDING
+        service.kick()
+        deadline = time.monotonic() + 60
+        while service.poll(key) != DONE:
+            assert time.monotonic() < deadline, "kick never completed the job"
+            time.sleep(0.01)
+        assert service.result(key).app_name == "voice_coder"
+        service.kick()  # nothing pending: a no-op
+
+    def test_flush_batches_all_pending(self, service):
+        grid = full_grid(
+            apps=["voice_coder"],
+            platforms=(PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16)),),
+            objectives=(Objective.EDP, Objective.CYCLES),
+        )
+        for cell in grid:
+            service.submit(cell)
+        assert service.flush() == len(grid)
+        assert service.flush() == 0
+        for cell in grid:
+            assert service.poll(cell_key(cell)) == DONE
+
+
+class TestRun:
+    def test_run_matches_plain_runner_tables(self, cell):
+        from repro.analysis.sweep import grid_table
+
+        cells = (cell,)
+        plain = ParallelSweepRunner().run(cells)
+        serviced = ExplorationService().run(cells)
+        assert grid_table(serviced) == grid_table(plain)
+
+    def test_run_serves_duplicates_from_one_evaluation(self, service, cell):
+        outcomes = service.run((cell, cell, cell))
+        assert len(outcomes) == 3
+        assert service.runner.evaluated.count(cell) == 1
+        states = {id(outcome.result) for outcome in outcomes}
+        assert all(outcome.ok for outcome in outcomes)
+        assert len(states) == 3  # each a fresh rebuild from the store
+
+    def test_run_surfaces_cell_failures(self, service, cell):
+        bad = SweepCell(
+            app="voice_coder",
+            platform=PlatformSpec(kind="quantum"),
+            objective=Objective.EDP,
+        )
+        good_outcome, bad_outcome = service.run((cell, bad))
+        assert good_outcome.ok
+        assert not bad_outcome.ok
+        assert bad_outcome.error
+
+    def test_warm_service_reuses_disk_store(
+        self, tmp_path, cell, make_counting_runner
+    ):
+        cold_runner = make_counting_runner()
+        ExplorationService(
+            store=ResultStore(tmp_path), runner=cold_runner
+        ).run((cell,))
+        assert len(cold_runner.evaluated) == 1
+
+        warm_runner = make_counting_runner()
+        warm = ExplorationService(store=ResultStore(tmp_path), runner=warm_runner)
+        outcomes = warm.run((cell,))
+        assert outcomes[0].ok
+        assert warm_runner.evaluated == []
+        assert warm.stats.cache_hits == 1
+        assert warm.service_stats()["hit_rate"] == 1.0

@@ -1,0 +1,225 @@
+"""Tests for the ``repro serve`` JSON-RPC loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.service import ExplorationService, ResultStore, serve
+from repro.service.rpc import (
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    SERVICE_ERROR,
+    cell_from_params,
+)
+
+
+def roundtrip(service, requests):
+    """Feed request objects/lines through the loop, return responses."""
+    lines = [
+        request if isinstance(request, str) else json.dumps(request)
+        for request in requests
+    ]
+    stdout = io.StringIO()
+    code = serve(service, io.StringIO("\n".join(lines) + "\n"), stdout)
+    assert code == 0
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+def rpc(method, request_id=1, **params):
+    return {"jsonrpc": "2.0", "id": request_id, "method": method, "params": params}
+
+
+VOICE_CELL = {"app": "voice_coder", "platform": {"l1_kib": 2, "l2_kib": 16}}
+
+
+class TestCellParams:
+    def test_defaults(self):
+        cell = cell_from_params({"app": "qsdpcm"})
+        assert cell.app == "qsdpcm"
+        assert cell.platform.kind == "embedded_3layer"
+        assert cell.objective.value == "edp"
+
+    def test_byte_sizes_override_kib(self):
+        cell = cell_from_params(
+            {"app": "qsdpcm", "platform": {"l1_bytes": 1000, "l2_kib": 16}}
+        )
+        assert cell.platform.l1_bytes == 1000
+        assert cell.platform.l2_bytes == 16 * 1024
+
+    def test_missing_app_rejected(self):
+        from repro.service.rpc import _RpcError
+
+        with pytest.raises(_RpcError):
+            cell_from_params({"platform": {}})
+
+    def test_unknown_fields_rejected_not_defaulted(self):
+        # Regression: a typo like "l1kib" must not silently evaluate
+        # (and cache) the default platform.
+        from repro.service.rpc import _RpcError
+
+        with pytest.raises(_RpcError, match="l1kib"):
+            cell_from_params({"app": "qsdpcm", "platform": {"l1kib": 2}})
+        with pytest.raises(_RpcError, match="objektive"):
+            cell_from_params({"app": "qsdpcm", "objektive": "edp"})
+
+
+class TestLoop:
+    def test_submit_result_stats(self):
+        service = ExplorationService()
+        responses = roundtrip(
+            service,
+            [rpc("submit", 1, **VOICE_CELL)],
+        )
+        key = responses[0]["result"]["key"]
+        responses = roundtrip(
+            service,
+            [
+                rpc("result", 2, key=key),
+                rpc("stats", 3),
+                rpc("shutdown", 4),
+            ],
+        )
+        result = responses[0]["result"]
+        assert result["status"] == "done"
+        assert result["result"]["app"] == "voice_coder"
+        assert result["result"]["scenarios"]["oob"]["cycles"] > 0
+        stats = responses[1]["result"]
+        assert stats["submitted"] == 1
+        assert stats["evaluated"] == 1
+        assert responses[2]["result"] == {"ok": True}
+
+    def test_result_full_returns_lossless_state(self):
+        from repro.analysis.export import result_from_state
+        from repro.analysis.report import scenario_table
+
+        service = ExplorationService()
+        submit = roundtrip(service, [rpc("submit", 1, **VOICE_CELL)])
+        key = submit[0]["result"]["key"]
+        responses = roundtrip(service, [rpc("result", 2, key=key, full=True)])
+        state = responses[0]["result"]["state"]
+        rebuilt = result_from_state(state)
+        direct = service.result(key)
+        assert scenario_table([rebuilt]) == scenario_table([direct])
+
+    def test_batch_deduplicates_and_reports_failures(self):
+        service = ExplorationService()
+        responses = roundtrip(
+            service,
+            [
+                rpc(
+                    "batch",
+                    1,
+                    cells=[
+                        VOICE_CELL,
+                        VOICE_CELL,
+                        {
+                            "app": "voice_coder",
+                            "platform": {"kind": "quantum"},
+                        },
+                    ],
+                )
+            ],
+        )
+        outcomes = responses[0]["result"]["outcomes"]
+        assert [o["status"] for o in outcomes] == ["done", "done", "failed"]
+        assert outcomes[0]["key"] == outcomes[1]["key"]
+        assert "quantum" in outcomes[2]["error"]
+        assert service.stats.deduplicated == 1
+
+    def test_shared_cache_across_serve_sessions(self, tmp_path):
+        first = ExplorationService(store=ResultStore(tmp_path))
+        roundtrip(first, [rpc("batch", 1, cells=[VOICE_CELL])])
+
+        second = ExplorationService(store=ResultStore(tmp_path))
+        responses = roundtrip(
+            second,
+            [rpc("submit", 1, **VOICE_CELL), rpc("stats", 2)],
+        )
+        assert responses[0]["result"]["status"] == "done"
+        assert responses[1]["result"]["cache_hits"] == 1
+        assert responses[1]["result"]["evaluated"] == 0
+
+    def test_protocol_errors(self):
+        service = ExplorationService()
+        responses = roundtrip(
+            service,
+            [
+                "not json{",
+                json.dumps([1, 2, 3]),
+                rpc("teleport", 2),
+                rpc("poll", 3),
+                {"jsonrpc": "2.0", "id": 4, "method": "result",
+                 "params": {"key": "0" * 64}},
+            ],
+        )
+        assert responses[0]["error"]["code"] == PARSE_ERROR
+        assert responses[0]["id"] is None
+        assert responses[1]["error"]["code"] == INVALID_REQUEST
+        assert responses[2]["error"]["code"] == METHOD_NOT_FOUND
+        assert responses[3]["error"]["code"] == INVALID_PARAMS
+        assert responses[4]["error"]["code"] == SERVICE_ERROR
+
+    def test_internal_errors_answer_instead_of_killing_the_loop(self, tmp_path):
+        # Regression: a corrupt store record must yield a -32603
+        # response, not a traceback that takes down every client.
+        import json as json_mod
+
+        from repro.service import ResultStore
+
+        service = ExplorationService(store=ResultStore(tmp_path))
+        submit = roundtrip(service, [rpc("submit", 1, **VOICE_CELL)])
+        key = submit[0]["result"]["key"]
+        roundtrip(service, [rpc("result", 2, key=key)])
+
+        # corrupt the stored payload (parses as JSON, bad field type)
+        record = json_mod.loads(
+            (tmp_path / "results.jsonl").read_text().splitlines()[0]
+        )
+        record["payload"]["scenarios"]["oob"]["report"]["cycles"] = "oops"
+        (tmp_path / "results.jsonl").write_text(
+            json_mod.dumps(record) + "\n"
+        )
+
+        poisoned = ExplorationService(store=ResultStore(tmp_path))
+        responses = roundtrip(
+            poisoned,
+            [rpc("result", 3, key=key), rpc("stats", 4)],
+        )
+        assert "error" in responses[0]
+        assert "malformed result state" in responses[0]["error"]["message"]
+        # the loop survived and answered the next request
+        assert responses[1]["result"]["submitted"] == 0
+
+    def test_submit_then_poll_loop_completes(self):
+        # Regression: poll on a pending key must drive evaluation.
+        import time
+
+        service = ExplorationService()
+        frontend_in = [rpc("submit", 1, **VOICE_CELL)]
+        responses = roundtrip(service, frontend_in)
+        key = responses[0]["result"]["key"]
+
+        deadline = time.monotonic() + 60
+        status = "pending"
+        while status != "done":
+            assert time.monotonic() < deadline, "poll loop never completed"
+            responses = roundtrip(service, [rpc("poll", 2, key=key)])
+            status = responses[0]["result"]["status"]
+            time.sleep(0.01)
+        responses = roundtrip(service, [rpc("result", 3, key=key)])
+        assert responses[0]["result"]["result"]["app"] == "voice_coder"
+
+    def test_blank_lines_ignored(self):
+        service = ExplorationService()
+        responses = roundtrip(service, ["", "  ", json.dumps(rpc("stats", 1))])
+        assert len(responses) == 1
+
+    def test_shutdown_stops_the_loop(self):
+        frontend_responses = roundtrip(
+            ExplorationService(),
+            [rpc("shutdown", 1), rpc("stats", 2)],
+        )
+        assert len(frontend_responses) == 1

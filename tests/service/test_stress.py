@@ -1,0 +1,146 @@
+"""Concurrency stress battery for the exploration service.
+
+Excluded from tier-1 by ``pytest.ini`` (``-m "not stress"``); CI runs
+it with ``python -m pytest -m stress``.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.analysis.export import result_to_state
+from repro.analysis.sweep import PlatformSpec, full_grid
+from repro.core.assignment import Objective
+from repro.service import ExplorationService, ResultStore, cell_key
+from repro.units import kib
+
+pytestmark = pytest.mark.stress
+
+CLIENTS = 8
+ROUNDS = 3
+
+
+def overlapping_grids(rng):
+    """Random overlapping slices of one shared 8-cell grid."""
+    base = full_grid(
+        apps=["voice_coder", "jpeg_dct"],
+        platforms=(
+            PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16), label="small"),
+            PlatformSpec(label="default"),
+        ),
+        objectives=(Objective.EDP, Objective.CYCLES),
+    )
+    cells = list(base)
+    rng.shuffle(cells)
+    return base, tuple(cells[: rng.randint(3, len(cells))])
+
+
+class TestParallelClients:
+    def test_overlapping_grids_evaluate_each_cell_exactly_once(
+        self, tmp_path, counting_runner
+    ):
+        runner = counting_runner
+        service = ExplorationService(
+            store=ResultStore(tmp_path), runner=runner
+        )
+        rng = random.Random(1234)
+        base, _ = overlapping_grids(rng)
+        grids = [overlapping_grids(rng)[1] for _ in range(CLIENTS * ROUNDS)]
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def client(index):
+            try:
+                mine = []
+                for round_index in range(ROUNDS):
+                    grid = grids[index * ROUNDS + round_index]
+                    outcomes = service.run(grid)
+                    mine.append(outcomes)
+                results[index] = mine
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(results) == CLIENTS
+
+        # every cell behind a unique key was evaluated exactly once
+        evaluated_keys = [cell_key(cell) for cell in runner.evaluated]
+        assert len(evaluated_keys) == len(set(evaluated_keys))
+        assert set(evaluated_keys) <= {cell_key(cell) for cell in base}
+
+        # all clients observed identical results per cell
+        canonical: dict[str, dict] = {}
+        for client_outcomes in results.values():
+            for outcomes in client_outcomes:
+                for outcome in outcomes:
+                    assert outcome.ok, outcome.error
+                    key = cell_key(outcome.cell)
+                    state = result_to_state(outcome.result)
+                    if key in canonical:
+                        assert state == canonical[key]
+                    else:
+                        canonical[key] = state
+
+    def test_concurrent_submit_then_single_flush(self, counting_runner):
+        runner = counting_runner
+        service = ExplorationService(runner=runner)
+        grid = full_grid(
+            apps=["voice_coder"],
+            platforms=(PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16)),),
+            objectives=tuple(Objective),
+        )
+
+        barrier = threading.Barrier(CLIENTS)
+
+        def submit_all():
+            barrier.wait()
+            for cell in grid:
+                service.submit(cell)
+
+        threads = [threading.Thread(target=submit_all) for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert service.flush() == len(grid)
+        assert len(runner.evaluated) == len(grid)
+        assert service.stats.deduplicated == (CLIENTS - 1) * len(grid)
+
+    def test_concurrent_result_waiters_share_one_evaluation(
+        self, counting_runner
+    ):
+        runner = counting_runner
+        service = ExplorationService(runner=runner)
+        cell = full_grid(
+            apps=["voice_coder"],
+            platforms=(PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16)),),
+            objectives=(Objective.EDP,),
+        )[0]
+        key = service.submit(cell)
+        cycles: list[float] = []
+        barrier = threading.Barrier(CLIENTS)
+
+        def waiter():
+            barrier.wait()
+            result = service.result(key, timeout=60)
+            cycles.append(result.scenario("mhla").cycles)
+
+        threads = [threading.Thread(target=waiter) for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert len(cycles) == CLIENTS
+        assert len(set(cycles)) == 1
+        assert len(runner.evaluated) == 1
