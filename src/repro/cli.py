@@ -16,15 +16,28 @@ Sub-commands mirror the experiments:
   exhaustive oracle and simulator; failures shrink to reproducers)
 * ``repro serve``                — stdin/stdout JSON-RPC exploration
   service (submit/poll/result/batch against a shared result cache)
+* ``repro cache stats DIR``      — cache occupancy, segment layout and
+  damage counters
+* ``repro cache compact DIR``    — crash-safe offline compaction
+  (rewrites live records, reclaims tombstoned/stale bytes)
+* ``repro cache gc DIR``         — evict least-recently-used records
+  down to ``--max-bytes``/``--max-entries``
+* ``repro cache verify DIR``     — re-scan every segment and report
+  corrupt/unrecognised lines and suspect keys (``--deep`` also
+  rebuilds each stored result)
 
 Both sweep forms accept ``--jobs N`` to fan the independent
 explorations across a multiprocessing pool; results are returned in
 deterministic order, so the output is identical to a serial run.
 
-``repro run``, ``repro sweep`` and ``repro fuzz`` accept
-``--cache DIR``: exploration results (and clean fuzz verdicts) are
-memoized in a content-addressed store under DIR, so warm re-runs skip
-evaluation entirely and print byte-identical reports.
+``repro run``, ``repro sweep``, ``repro fuzz`` and ``repro serve``
+accept ``--cache DIR``: exploration results (and clean fuzz verdicts)
+are memoized in a content-addressed store under DIR, so warm re-runs
+skip evaluation entirely and print byte-identical reports.
+``--cache-max-bytes``/``--cache-max-entries`` bound the store: once it
+outgrows a bound, least-recently-used records are evicted (an evicted
+request is simply re-evaluated on its next appearance — results stay
+byte-identical either way).
 """
 
 from __future__ import annotations
@@ -61,13 +74,35 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+SERVE_AUTO_COMPACT_RATIO = 4.0
+"""``repro serve`` compacts once files exceed 4x the live bytes."""
+
+
+def _make_store(
+    args: argparse.Namespace, auto_compact_ratio: float | None = None
+):
+    """Build the ``--cache`` result store with any eviction bounds.
+
+    Auto-compaction is only passed by ``repro serve`` — the one
+    deployment where this process provably owns the directory.
+    """
+    from repro.service import ResultStore
+
+    return ResultStore(
+        args.cache,
+        max_bytes=getattr(args, "cache_max_bytes", None),
+        max_records=getattr(args, "cache_max_entries", None),
+        auto_compact_ratio=auto_compact_ratio,
+    )
+
+
 def _make_executor(args: argparse.Namespace, jobs: int | None = None):
     """Runner for sweep cells: cache-backed service or plain pool."""
-    from repro.service import ExplorationService, ResultStore
+    from repro.service import ExplorationService
 
     if getattr(args, "cache", None) is not None:
         return ExplorationService(
-            store=ResultStore(args.cache), jobs=jobs or getattr(args, "jobs", 1)
+            store=_make_store(args), jobs=jobs or getattr(args, "jobs", 1)
         )
     return ParallelSweepRunner(jobs=jobs or getattr(args, "jobs", 1))
 
@@ -223,9 +258,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     skip_case = on_clean = None
     if args.cache is not None:
-        from repro.service import KIND_FUZZ_VERDICT, ResultStore, fuzz_verdict_key
+        from repro.service import KIND_FUZZ_VERDICT, fuzz_verdict_key
 
-        store = ResultStore(args.cache)
+        store = _make_store(args)
         # sorted: `--checks incremental oracle` and `--checks oracle
         # incremental` run the same harness and must share verdicts
         harness_config = {
@@ -281,12 +316,130 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ExplorationService, ResultStore, serve
+    from repro.service import ExplorationService, serve
 
     service = ExplorationService(
-        store=ResultStore(args.cache), jobs=args.jobs
+        store=_make_store(args, auto_compact_ratio=SERVE_AUTO_COMPACT_RATIO),
+        jobs=args.jobs,
     )
     return serve(service, sys.stdin, sys.stdout)
+
+
+def _open_cache_dir(path_text: str):
+    """ResultStore over an existing cache directory, or None + stderr.
+
+    A typo'd path must error, not report a healthy empty cache (or,
+    worse, be created as a side effect of compaction).
+    """
+    import pathlib
+
+    from repro.service import ResultStore
+
+    if not pathlib.Path(path_text).is_dir():
+        print(f"error: no such cache directory: {path_text}", file=sys.stderr)
+        return None
+    return ResultStore(path_text)
+
+
+def _print_kind_counts(by_kind: dict) -> None:
+    for kind, count in by_kind.items():
+        print(f"  {kind + ':':20s}{count}")
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _open_cache_dir(args.dir)
+    if store is None:
+        return 2
+    stats = store.stats()
+    limits = stats["limits"]
+    print(f"{'backend:':21s}{stats['backend']}")
+    print(f"{'sealed segments:':21s}{stats['sealed_segments']}")
+    print(f"{'file bytes:':21s}{stats['file_bytes']}")
+    print(f"{'active bytes:':21s}{stats['active_bytes']}")
+    print(f"{'live records:':21s}{stats['live_records']}")
+    print(f"{'live bytes:':21s}{stats['live_bytes']}")
+    _print_kind_counts(stats["live_by_kind"])
+    print(f"{'corrupt lines:':21s}{stats['corrupt_lines']}")
+    print(f"{'unrecognised lines:':21s}{stats['unrecognised_lines']}")
+    print(
+        f"{'segment max bytes:':21s}{limits['segment_max_bytes']}"
+    )
+    return 0
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    store = _open_cache_dir(args.dir)
+    if store is None:
+        return 2
+    report = store.compact()
+    print(f"{'segments removed:':21s}{report['segments_removed']}")
+    print(f"{'records written:':21s}{report['records_written']}")
+    print(f"{'bytes before:':21s}{report['bytes_before']}")
+    print(f"{'bytes after:':21s}{report['bytes_after']}")
+    print(f"{'bytes reclaimed:':21s}{report['bytes_reclaimed']}")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    if args.max_bytes is None and args.max_entries is None:
+        print(
+            "error: repro cache gc needs --max-bytes and/or --max-entries",
+            file=sys.stderr,
+        )
+        return 2
+    store = _open_cache_dir(args.dir)
+    if store is None:
+        return 2
+    report = store.gc(max_bytes=args.max_bytes, max_records=args.max_entries)
+    print(f"{'evicted:':21s}{report['evicted']}")
+    print(f"{'live records:':21s}{report['live_records']}")
+    print(f"{'live bytes:':21s}{report['live_bytes']}")
+    if args.compact:
+        compacted = store.compact()
+        print(f"{'bytes reclaimed:':21s}{compacted['bytes_reclaimed']}")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    store = _open_cache_dir(args.dir)
+    if store is None:
+        return 2
+    report = store.verify(deep=args.deep)
+    for counts in report["files"]:
+        print(
+            f"{counts['file']}: {counts['lines']} line(s) = "
+            f"{counts['records']} record(s), {counts['touches']} touch(es), "
+            f"{counts['tombstones']} tombstone(s), "
+            f"{counts['compactions']} compaction(s), "
+            f"{counts['corrupt']} corrupt, "
+            f"{counts['unrecognised']} unrecognised"
+        )
+    print(f"{'live records:':21s}{report['live_records']}")
+    _print_kind_counts(report["live_by_kind"])
+    print(f"{'suspect keys:':21s}{report['suspect_keys']}")
+    damaged = report["corrupt_lines"] + report["unrecognised_lines"]
+    print(f"{'damaged lines:':21s}{damaged}")
+    for entry in report["damage"]:
+        print(f"  {entry['file']}:{entry['line']} {entry['reason']}")
+    if args.deep:
+        print(f"{'deep-checked:':21s}{report['deep_checked']}")
+        for failure in report["deep_failures"]:
+            print(f"  {failure['key']}: {failure['error']}")
+    if report["ok"]:
+        print(
+            f"store is consistent: {report['live_records']} live record(s), "
+            "0 damaged line(s)"
+        )
+        return 0
+    problems = [f"{damaged} damaged line(s)"]
+    if report["suspect_keys"]:
+        problems.append(f"{report['suspect_keys']} suspect key(s)")
+    if report["deep_failures"]:
+        problems.append(f"{len(report['deep_failures'])} unreadable result(s)")
+    if not report["matches_memory"]:  # pragma: no cover - load/replay invariant
+        problems.append("disk view diverges from loaded index")
+    print(f"store is INCONSISTENT ({', '.join(problems)})")
+    return 1
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -300,6 +453,18 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print()
     print(format_candidates(program, platform))
     return 0
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for bounds: a typo like ``-1`` or ``0`` must fail
+    at parse time, not wipe a cache at eviction time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="content-addressed result cache directory; warm re-runs "
             "serve memoized results without re-evaluating",
+        )
+        p.add_argument(
+            "--cache-max-bytes",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="evict least-recently-used cache records once the live "
+            "records exceed N bytes (default: unbounded)",
+        )
+        p.add_argument(
+            "--cache-max-entries",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="evict least-recently-used cache records once more than "
+            "N keys are live (default: unbounded)",
         )
 
     run = sub.add_parser("run", help="four scenarios for one application")
@@ -428,6 +609,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for batch evaluation",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain a result cache directory "
+        "(stats/compact/gc/verify)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="occupancy, segment layout and damage counters"
+    )
+    cache_stats.add_argument("dir", metavar="DIR", help="cache directory")
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+
+    cache_compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite live records into one fresh segment (crash-safe, "
+        "offline; reclaims tombstoned/stale/damaged bytes)",
+    )
+    cache_compact.add_argument("dir", metavar="DIR", help="cache directory")
+    cache_compact.set_defaults(func=_cmd_cache_compact)
+
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-used records down to the given bounds",
+    )
+    cache_gc.add_argument("dir", metavar="DIR", help="cache directory")
+    cache_gc.add_argument(
+        "--max-bytes", type=_positive_int, default=None, metavar="N",
+        help="evict until live records fit in N bytes",
+    )
+    cache_gc.add_argument(
+        "--max-entries", type=_positive_int, default=None, metavar="N",
+        help="evict until at most N keys are live",
+    )
+    cache_gc.add_argument(
+        "--compact", action="store_true",
+        help="also compact afterwards to reclaim the bytes on disk",
+    )
+    cache_gc.set_defaults(func=_cmd_cache_gc)
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-scan every segment; report corrupt/unrecognised lines "
+        "and suspect keys (exit 1 if any)",
+    )
+    cache_verify.add_argument("dir", metavar="DIR", help="cache directory")
+    cache_verify.add_argument(
+        "--deep", action="store_true",
+        help="also rebuild every stored exploration result",
+    )
+    cache_verify.set_defaults(func=_cmd_cache_verify)
 
     simulate_cmd = sub.add_parser(
         "simulate", help="validate estimator against the simulator"

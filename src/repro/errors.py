@@ -5,8 +5,9 @@ All errors raised intentionally by this library derive from
 sub-classes partition failures by pipeline stage: program construction
 (:class:`ValidationError`), memory modelling (:class:`CapacityError`),
 the MHLA assignment search (:class:`AssignmentError`), the time-extension
-step (:class:`ScheduleError`) and the discrete-event simulator
-(:class:`SimulationError`).
+step (:class:`ScheduleError`), the discrete-event simulator
+(:class:`SimulationError`) and the exploration service's result store
+(:class:`StoreError`).
 """
 
 from __future__ import annotations
@@ -48,6 +49,15 @@ class EvaluationError(ReproError):
 
 class ServiceError(ReproError):
     """The exploration service was asked for an unknown or failed job."""
+
+
+class StoreError(ReproError):
+    """The result store was misused (bad key/kind or invalid limits).
+
+    Raised for attempts to ``put`` under a reserved lifecycle record
+    kind (``touch``/``tombstone``/``compaction``), empty or non-string
+    keys, and non-positive eviction/segment size limits.
+    """
 
 
 class SimulationError(ReproError):

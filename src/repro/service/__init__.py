@@ -14,18 +14,26 @@ Layers
 
 * :mod:`repro.service.keys`  — canonical content keys (SHA-256 over
   canonical JSON; stable across dict ordering and process restarts).
-* :mod:`repro.service.store` — :class:`ResultStore`, the append-only
-  JSONL store with an in-memory index; results round-trip losslessly
-  (byte-identical report tables).
+* :mod:`repro.service.store` — :class:`ResultStore`, a segmented
+  JSONL log (sealed segments + active ``results.jsonl``) with an
+  in-memory index; results round-trip losslessly (byte-identical
+  report tables).  The full cache lifecycle lives here: LRU eviction
+  under ``max_bytes``/``max_records`` bounds, crash-safe offline
+  compaction, GC, and ``stats``/``verify`` introspection.
 * :mod:`repro.service.queue` — :class:`ExplorationService`, the
   batched job queue: submit/poll/result, in-flight deduplication,
   cache hits served without workers, batches fanned across
-  :class:`~repro.analysis.sweep.ParallelSweepRunner`.
+  :class:`~repro.analysis.sweep.ParallelSweepRunner`.  Service memory
+  is bounded: finished jobs live in a capped ring buffer with an
+  optional TTL instead of accumulating forever.
 * :mod:`repro.service.rpc`   — the ``repro serve`` stdin/stdout
   JSON-RPC loop for driving one service from many clients.
 
-The CLI exposes the cache through ``--cache DIR`` on ``repro run``,
-``repro sweep`` and ``repro fuzz``.
+The CLI exposes the cache through ``--cache DIR`` (plus
+``--cache-max-bytes``/``--cache-max-entries`` eviction bounds) on
+``repro run``, ``repro sweep``, ``repro fuzz`` and ``repro serve``,
+and manages it through the ``repro cache`` group
+(``stats``/``compact``/``gc``/``verify``).
 """
 
 from repro.service.keys import (
@@ -36,21 +44,32 @@ from repro.service.keys import (
     cell_key,
     content_key,
     fuzz_verdict_key,
+    is_content_key,
 )
 from repro.service.queue import ExplorationService, ServiceStats
 from repro.service.rpc import serve
 from repro.service.store import (
+    CONTROL_KINDS,
+    DEFAULT_SEGMENT_MAX_BYTES,
+    KIND_COMPACTION,
     KIND_FUZZ_VERDICT,
     KIND_RESULT,
+    KIND_TOMBSTONE,
+    KIND_TOUCH,
     RESULTS_FILENAME,
     ResultStore,
 )
 
 __all__ = [
+    "CONTROL_KINDS",
+    "DEFAULT_SEGMENT_MAX_BYTES",
     "ExplorationService",
     "KEY_FORMAT_VERSION",
+    "KIND_COMPACTION",
     "KIND_FUZZ_VERDICT",
     "KIND_RESULT",
+    "KIND_TOMBSTONE",
+    "KIND_TOUCH",
     "RESULTS_FILENAME",
     "ResultStore",
     "ServiceStats",
@@ -60,5 +79,6 @@ __all__ = [
     "cell_key",
     "content_key",
     "fuzz_verdict_key",
+    "is_content_key",
     "serve",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import asdict
 
 from repro.analysis.sweep import PlatformSpec, SweepCell
@@ -43,7 +44,19 @@ from repro.synth.spec import AppRefSpec, CaseSpec
 KEY_FORMAT_VERSION = 1
 """Bumped when the key payload layout changes (invalidates all caches)."""
 
+_CONTENT_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
 _SCALARS = (str, int, float, bool, type(None))
+
+
+def is_content_key(value) -> bool:
+    """True when *value* looks like a key this module produced.
+
+    Every key is a lowercase SHA-256 hex digest; ``repro cache verify``
+    uses this to flag records written by something other than the
+    service (hand edits, foreign tools) as suspect.
+    """
+    return isinstance(value, str) and _CONTENT_KEY_RE.match(value) is not None
 
 
 def canonical_payload(value):

@@ -16,6 +16,18 @@
   across the runner's pool in one go, amortising pool start-up over
   many cells.
 
+**Bounded state** — a long-lived service (``repro serve``) must not
+grow with its history.  ``_jobs`` holds only in-flight work (pending or
+running), so its size is O(in-flight); finished jobs move into a
+completed-job **ring buffer** capped at ``completed_jobs_limit``
+entries and pruned by ``completed_job_ttl`` seconds, kept only so
+``poll``/``result`` can report a recent failure's error text.  Once a
+finished job ages out, ``poll`` answers from the store (``done`` for
+memoized keys, ``unknown`` otherwise) — forgetting history is the
+price of bounded memory, and resubmitting an ``unknown`` key is always
+correct.  The store bounds itself separately via its eviction limits
+(see :mod:`repro.service.store`).
+
 The service is thread-safe: many client threads may submit/poll/await
 concurrently (the JSON-RPC front end in :mod:`repro.service.rpc` is one
 such client).  Evaluation itself happens in the flushing thread (and
@@ -25,6 +37,8 @@ its worker processes); other threads block on per-job events.
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -39,13 +53,16 @@ PENDING = "pending"      # queued, not yet handed to the runner
 RUNNING = "running"      # in the runner (this or another thread's flush)
 DONE = "done"            # result available in the store
 FAILED = "failed"        # evaluation raised; error text recorded
-UNKNOWN = "unknown"      # never submitted to this service/store
+UNKNOWN = "unknown"      # never submitted (or aged out of history)
+
+DEFAULT_COMPLETED_JOBS_LIMIT = 1024
+"""Finished job stubs retained for poll/result reporting."""
 
 
 class _Job:
     """One in-flight evaluation (shared by all duplicate submissions)."""
 
-    __slots__ = ("key", "cell", "status", "error", "event")
+    __slots__ = ("key", "cell", "status", "error", "event", "finished_at")
 
     def __init__(self, key: str, cell: SweepCell):
         self.key = key
@@ -53,6 +70,7 @@ class _Job:
         self.status = PENDING
         self.error: str | None = None
         self.event = threading.Event()
+        self.finished_at: float | None = None
 
 
 @dataclass
@@ -64,6 +82,7 @@ class ServiceStats:
     deduplicated: int = 0
     evaluated: int = 0
     failed: int = 0
+    jobs_expired: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -77,6 +96,7 @@ class ServiceStats:
             "deduplicated": self.deduplicated,
             "evaluated": self.evaluated,
             "failed": self.failed,
+            "jobs_expired": self.jobs_expired,
             "hit_rate": self.hit_rate,
         }
 
@@ -94,6 +114,12 @@ class ExplorationService:
         :class:`~repro.analysis.sweep.ParallelSweepRunner`).
     runner:
         Injectable runner (tests substitute a counting one).
+    completed_jobs_limit:
+        Finished job stubs kept for status/error reporting; the oldest
+        are dropped first (ring buffer).
+    completed_job_ttl:
+        Additionally drop finished stubs older than this many seconds
+        (``None`` = age never expires them).
     """
 
     def __init__(
@@ -101,52 +127,105 @@ class ExplorationService:
         store: ResultStore | None = None,
         jobs: int | None = None,
         runner: ParallelSweepRunner | None = None,
+        completed_jobs_limit: int = DEFAULT_COMPLETED_JOBS_LIMIT,
+        completed_job_ttl: float | None = None,
     ):
+        if completed_jobs_limit < 0:
+            raise ServiceError("completed_jobs_limit must be >= 0")
         self.store = store if store is not None else ResultStore()
         self.runner = runner if runner is not None else ParallelSweepRunner(jobs=jobs)
         self.stats = ServiceStats()
+        self.completed_jobs_limit = completed_jobs_limit
+        self.completed_job_ttl = completed_job_ttl
         self._lock = threading.Lock()
-        self._jobs: dict[str, _Job] = {}
+        self._jobs: dict[str, _Job] = {}           # in-flight only
+        self._completed: OrderedDict[str, _Job] = OrderedDict()
         self._pending: list[str] = []
         self._background_flush: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # bounded completed-job history (all helpers run under self._lock)
+    # ------------------------------------------------------------------
+
+    def _finish(self, job: _Job, status: str, error: str | None = None) -> None:
+        """Move one job out of the in-flight map into the ring buffer."""
+        job.status = status
+        job.error = error
+        job.finished_at = time.monotonic()
+        self._jobs.pop(job.key, None)
+        self._completed.pop(job.key, None)
+        self._completed[job.key] = job
+        while len(self._completed) > self.completed_jobs_limit:
+            self._completed.popitem(last=False)
+            self.stats.jobs_expired += 1
+
+    def _prune_completed(self) -> None:
+        if self.completed_job_ttl is None or not self._completed:
+            return
+        horizon = time.monotonic() - self.completed_job_ttl
+        while self._completed:
+            oldest = next(iter(self._completed.values()))
+            if oldest.finished_at is None or oldest.finished_at > horizon:
+                break
+            self._completed.popitem(last=False)
+            self.stats.jobs_expired += 1
+
+    def _lookup_finished(self, key: str) -> _Job | None:
+        self._prune_completed()
+        return self._completed.get(key)
 
     # ------------------------------------------------------------------
     # client API: submit / poll / result
     # ------------------------------------------------------------------
 
-    def submit(self, cell: SweepCell) -> str:
+    def submit(self, cell: SweepCell, key: str | None = None) -> str:
         """Enqueue one cell; returns its content key (the job ticket).
 
         Cache hits and duplicates of in-flight jobs return immediately
         with the same ticket — the ticket is a pure function of the
-        request, so clients may even compute it themselves.
+        request, so clients may even compute it themselves (and pass
+        it as *key* to skip re-deriving it).  A key whose previous
+        evaluation failed (or aged out of the completed ring) is
+        simply re-queued: a transient worker failure must not poison
+        the key for the service's lifetime.
         """
-        key = cell_key(cell)
+        if key is None:
+            key = cell_key(cell)
         with self._lock:
             self.stats.submitted += 1
             if key in self.store:
                 self.stats.cache_hits += 1
                 return key
-            existing = self._jobs.get(key)
-            if existing is not None and existing.status != FAILED:
+            if key in self._jobs:
                 self.stats.deduplicated += 1
                 return key
-            # New key — or a failed job, which a fresh submission
-            # retries (a transient worker failure must not poison the
-            # key for the service's lifetime).
+            self._prune_completed()
             self._jobs[key] = _Job(key, cell)
             self._pending.append(key)
         return key
 
     def poll(self, key: str) -> str:
-        """Current state of a ticket (``done`` covers store hits)."""
+        """Current state of a ticket (``done`` covers store hits).
+
+        A finished job that aged out of the bounded history reports
+        ``done`` while its result is still memoized and ``unknown``
+        once that record is gone too (resubmitting is then correct).
+        """
         with self._lock:
             if key in self.store:
                 return DONE
             job = self._jobs.get(key)
-            if job is None:
+            if job is not None:
+                return job.status
+            finished = self._lookup_finished(key)
+            if finished is None:
                 return UNKNOWN
-            return job.status
+            if finished.status == DONE:
+                # the store (checked first) no longer holds the result:
+                # it was evicted, so the ticket is effectively unknown
+                self._completed.pop(key, None)
+                return UNKNOWN
+            return finished.status
 
     def kick(self) -> None:
         """Start a background flush if anything is pending (non-blocking).
@@ -181,21 +260,36 @@ class ExplorationService:
         with self._lock:
             job = self._jobs.get(key)
             needs_flush = job is not None and job.status == PENDING
+            if job is not None:
+                # Pin before any flush can put+evict the record: while
+                # the job is still in _jobs, its result is not in the
+                # store yet (flush puts and finishes atomically under
+                # this lock), so the pin always precedes the put.
+                self.store.pin(key)
         if job is None:
             result = self.store.get_result(key)
-            if result is None:
-                raise ServiceError(f"unknown job ticket {key!r}")
+            if result is not None:
+                return result
+            with self._lock:
+                finished = self._lookup_finished(key)
+            if finished is not None and finished.status == FAILED:
+                raise ServiceError(f"job {key!r} failed: {finished.error}")
+            raise ServiceError(f"unknown job ticket {key!r}")
+        # The pin was taken under the lock that observed the job still
+        # in flight, so the record cannot be put and evicted before it.
+        try:
+            if needs_flush:
+                self.flush()
+            if not job.event.wait(timeout):
+                raise ServiceError(f"timed out waiting for job {key!r}")
+            if job.status == FAILED:
+                raise ServiceError(f"job {key!r} failed: {job.error}")
+            result = self.store.get_result(key)
+            if result is None:  # pragma: no cover - store/job invariant
+                raise ServiceError(f"job {key!r} finished but left no result")
             return result
-        if needs_flush:
-            self.flush()
-        if not job.event.wait(timeout):
-            raise ServiceError(f"timed out waiting for job {key!r}")
-        if job.status == FAILED:
-            raise ServiceError(f"job {key!r} failed: {job.error}")
-        result = self.store.get_result(key)
-        if result is None:  # pragma: no cover - store/job invariant
-            raise ServiceError(f"job {key!r} finished but left no result")
-        return result
+        finally:
+            self.store.unpin(key)
 
     # ------------------------------------------------------------------
     # batch evaluation
@@ -211,7 +305,7 @@ class ExplorationService:
             batch = [
                 self._jobs[key]
                 for key in self._pending
-                if self._jobs[key].status == PENDING
+                if key in self._jobs and self._jobs[key].status == PENDING
             ]
             self._pending.clear()
             for job in batch:
@@ -224,11 +318,10 @@ class ExplorationService:
                 for job, outcome in zip(batch, outcomes):
                     if outcome.ok:
                         self.store.put_result(job.key, outcome.result)
-                        job.status = DONE
+                        self._finish(job, DONE)
                         self.stats.evaluated += 1
                     else:
-                        job.status = FAILED
-                        job.error = outcome.error
+                        self._finish(job, FAILED, outcome.error)
                         self.stats.evaluated += 1
                         self.stats.failed += 1
         finally:
@@ -237,8 +330,7 @@ class ExplorationService:
             with self._lock:
                 for job in batch:
                     if job.status == RUNNING:
-                        job.status = FAILED
-                        job.error = "batch evaluation aborted"
+                        self._finish(job, FAILED, "batch evaluation aborted")
                         self.stats.failed += 1
             for job in batch:
                 job.event.set()
@@ -253,30 +345,58 @@ class ExplorationService:
         warm re-run that serves the same keys from disk.
         """
         cell_list = tuple(cells)
-        keys = [self.submit(cell) for cell in cell_list]
-        self.flush()
-        outcomes = []
-        for cell, key in zip(cell_list, keys):
-            with self._lock:
-                job = self._jobs.get(key)
-            if job is not None:
-                job.event.wait()
-            result = self.store.get_result(key)
-            if result is not None:
-                outcomes.append(SweepCellResult(cell=cell, result=result))
-            else:
-                error = job.error if job is not None else "result missing"
-                outcomes.append(
-                    SweepCellResult(cell=cell, result=None, error=error)
-                )
-        return tuple(outcomes)
+        # Pin the whole batch: its results must all be live at once, so
+        # an eviction bound smaller than the batch goes soft until the
+        # outcomes are collected (gc() re-tightens it below).
+        keys = [cell_key(cell) for cell in cell_list]
+        for key in keys:
+            self.store.pin(key)
+        try:
+            jobs: list[_Job | None] = []
+            for cell, key in zip(cell_list, keys):
+                self.submit(cell, key=key)
+                # Hold the job reference now: the completed ring may
+                # age the stub out before we collect (batches larger
+                # than the ring), but the object itself keeps the
+                # status/error we need.
+                with self._lock:
+                    jobs.append(self._jobs.get(key) or self._completed.get(key))
+            self.flush()
+            outcomes = []
+            for cell, key, job in zip(cell_list, keys, jobs):
+                if job is not None:
+                    job.event.wait()
+                result = self.store.get_result(key)
+                if result is not None:
+                    outcomes.append(SweepCellResult(cell=cell, result=result))
+                else:
+                    error = (
+                        job.error
+                        if job is not None and job.error
+                        else "result missing"
+                    )
+                    outcomes.append(
+                        SweepCellResult(cell=cell, result=None, error=error)
+                    )
+            return tuple(outcomes)
+        finally:
+            for key in keys:
+                self.store.unpin(key)
+            self.store.gc()
 
     def service_stats(self) -> dict:
-        """Counters plus store occupancy, for the RPC ``stats`` method."""
+        """Counters plus queue/store occupancy, for the ``stats`` RPC."""
         with self._lock:
+            self._prune_completed()
             pending = len(self._pending)
+            in_flight = len(self._jobs)
+            completed = len(self._completed)
         return {
             **self.stats.as_dict(),
             "pending": pending,
+            "in_flight": in_flight,
+            "completed_retained": completed,
+            "completed_jobs_limit": self.completed_jobs_limit,
             "store_records": len(self.store),
+            "store": self.store.stats(),
         }

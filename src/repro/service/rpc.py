@@ -27,7 +27,18 @@ Methods
 ``batch``     params: ``{cells: [cell, ...]}`` -> evaluates all cells
               as one deduplicated batch, returns
               ``{outcomes: [{key, status[, error]}, ...]}``
-``stats``     -> service counters (submissions, hits, dedups, ...)
+``stats``     -> service counters (submissions, hits, dedups, queue
+              occupancy) plus the store's lifecycle counters under
+              ``"store"`` (live records/bytes, segment layout,
+              hits/misses/evictions, corrupt-line counts)
+``gc``        params: optional ``{max_bytes, max_entries}`` ->
+              evicts least-recently-used records down to the given
+              (or configured) bounds; returns the eviction report
+``compact``   -> rewrites live records into one fresh segment,
+              reclaiming tombstoned/stale bytes on disk.  Safe here
+              because the serve process is the directory's single
+              writer; do not also run ``repro cache compact`` on the
+              same directory while it is serving
 ``shutdown``  -> acknowledges and ends the loop
 
 A *cell* object names a registry app (bundled or ``synth/<seed>``) and
@@ -197,6 +208,28 @@ class JsonRpcFrontend:
     def _stats(self, _params: dict) -> dict:
         return self.service.service_stats()
 
+    def _gc(self, params: dict) -> dict:
+        bounds = {}
+        for field, target in (("max_bytes", "max_bytes"), ("max_entries", "max_records")):
+            value = params.get(field)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+                raise _RpcError(
+                    INVALID_PARAMS, f"'{field}' must be a positive integer"
+                )
+            bounds[target] = value
+        unknown = set(params) - {"max_bytes", "max_entries"}
+        if unknown:
+            raise _RpcError(
+                INVALID_PARAMS,
+                f"unknown gc field(s): {', '.join(sorted(unknown))}",
+            )
+        return self.service.store.gc(**bounds)
+
+    def _compact(self, _params: dict) -> dict:
+        return self.service.store.compact()
+
     def _shutdown(self, _params: dict) -> dict:
         self.running = False
         return {"ok": True}
@@ -207,6 +240,8 @@ class JsonRpcFrontend:
         "result": _result,
         "batch": _batch,
         "stats": _stats,
+        "gc": _gc,
+        "compact": _compact,
         "shutdown": _shutdown,
     }
 

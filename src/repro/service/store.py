@@ -1,19 +1,49 @@
-"""Content-addressed result store (JSON-lines + in-memory index).
+"""Content-addressed result store: a segmented JSON-lines log.
 
-One cache directory holds one ``results.jsonl`` file; every line is a
-self-contained record::
+One cache directory holds a **segmented log**: zero or more sealed
+segments (``segment-NNNNNN.jsonl``, replayed in numeric order) followed
+by the active segment (``results.jsonl``, the only file ever appended
+to).  Every line is a self-contained record::
 
     {"format": 1, "key": "<sha256>", "kind": "<record kind>",
      "payload": {...}}
 
 ``key`` is the request's content hash (:mod:`repro.service.keys`), so
 the store never needs to interpret the request — identical requests
-address identical lines.  Records are append-only: a re-``put`` of a
-known key is a no-op (content-addressed records cannot change meaning),
-and loading replays the file in order with last-key-wins, so an
-interrupted writer at worst loses its final line.  A truncated trailing
-line (killed process) is skipped with a warning rather than poisoning
-the whole store.
+address identical lines.  Data records are append-only: a re-``put``
+of a known key is a no-op (content-addressed records cannot change
+meaning), and loading replays the segments in order with
+last-key-wins, so an interrupted writer at worst loses its final
+line.  A truncated trailing line (killed process) is skipped with a
+warning — and *counted*, so ``repro cache verify`` and the ``stats``
+RPC surface corruption instead of dropping it invisibly.
+
+Three **control kinds** interleave with data records and drive the
+cache lifecycle (:meth:`ResultStore.put` rejects them):
+
+``touch``
+    Marks *key* as recently used.  Written on cache hits only when an
+    eviction limit is configured, so unbounded stores (the default)
+    never write during warm runs.  Replay order doubles as the
+    persisted LRU order.
+``tombstone``
+    Logical delete: *key* stops being visible; its bytes are
+    reclaimed at the next compaction.  Written by eviction/GC.
+``compaction``
+    First line of a segment produced by :meth:`ResultStore.compact`.
+    Replay resets the view built so far: the compacted segment is a
+    complete snapshot, so any older segment that survived a crash
+    mid-cleanup is superseded instead of resurrecting dead keys.
+
+**Eviction** (``max_bytes`` / ``max_records``) bounds the *live* index
+— least-recently-used keys are tombstoned until the store fits.
+**Compaction** (:meth:`ResultStore.compact`) bounds the *files*: live
+records are rewritten (in LRU order, oldest first) into one fresh
+sealed segment via temp-file + ``fsync`` + atomic rename, then the
+superseded segments are deleted.  A crash at any point (fault-injected
+in ``tests/service/test_lifecycle_crash.py``) reopens to the exact
+pre-compaction view.  The active segment is sealed automatically once
+it outgrows ``segment_max_bytes``.
 
 ``path=None`` gives a purely in-memory store with the same interface —
 the service uses it to deduplicate within one process when no cache
@@ -22,27 +52,58 @@ directory is configured.
 Exploration results go through the lossless state round-trip of
 :mod:`repro.analysis.export` (``result_to_state``/``result_from_state``),
 so a rebuilt :class:`~repro.core.mhla.MhlaResult` renders byte-identical
-report tables to the one that was stored.
+report tables to the one that was stored — before *and* after any
+number of evictions and compactions.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import re
 import sys
 import threading
+import time
+from collections import OrderedDict
+from typing import Callable
 
 from repro.analysis.export import result_from_state, result_to_state
 from repro.core.mhla import MhlaResult
+from repro.errors import ReproError, StoreError
+from repro.service.keys import is_content_key
 
 STORE_FORMAT_VERSION = 1
 """Bumped when the record layout changes incompatibly."""
 
 RESULTS_FILENAME = "results.jsonl"
-"""The one file a cache directory contains."""
+"""The active segment of a cache directory (the only appended file)."""
+
+SEGMENT_PATTERN = re.compile(r"^segment-(\d{6,})\.jsonl$")
+"""Sealed segments; the number gives the replay order."""
+
+COMPACT_TMP_FILENAME = "compact.tmp"
+"""Scratch file of an in-progress compaction (ignored by replay)."""
 
 KIND_RESULT = "mhla_result"
 KIND_FUZZ_VERDICT = "fuzz_verdict"
+
+KIND_TOUCH = "touch"
+KIND_TOMBSTONE = "tombstone"
+KIND_COMPACTION = "compaction"
+
+CONTROL_KINDS = frozenset((KIND_TOUCH, KIND_TOMBSTONE, KIND_COMPACTION))
+"""Lifecycle records; not data — :meth:`ResultStore.put` rejects them."""
+
+DEFAULT_SEGMENT_MAX_BYTES = 16 * 1024 * 1024
+"""Active-segment size that triggers sealing (16 MiB)."""
+
+_CORRUPT_DETAIL_CAP = 50
+"""Most corrupt-line locations kept for reporting (counts are exact)."""
+
+
+def _encode(record: dict) -> bytes:
+    return (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
 
 
 class ResultStore:
@@ -53,63 +114,298 @@ class ResultStore:
     path:
         Cache *directory* (created on first write).  ``None`` keeps the
         store purely in memory.
+    max_bytes:
+        Evict least-recently-used records once the live records exceed
+        this many encoded bytes (``None`` = unbounded).
+    max_records:
+        Evict least-recently-used records once more than this many keys
+        are live (``None`` = unbounded).
+    segment_max_bytes:
+        Seal the active segment once it grows past this size.
+    auto_compact_ratio:
+        When set, compact automatically after sealing a segment once
+        the files exceed this multiple of the live bytes (and at least
+        one ``segment_max_bytes``).  Only safe when this process is the
+        directory's **single writer** — ``repro serve`` enables it;
+        offline CLI runs that may share a directory do not.
     """
 
-    def __init__(self, path: str | pathlib.Path | None = None):
-        self._lock = threading.Lock()
+    def __init__(
+        self,
+        path: str | pathlib.Path | None = None,
+        max_bytes: int | None = None,
+        max_records: int | None = None,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        auto_compact_ratio: float | None = None,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise StoreError("max_bytes must be positive (or None)")
+        if max_records is not None and max_records <= 0:
+            raise StoreError("max_records must be positive (or None)")
+        if segment_max_bytes <= 0:
+            raise StoreError("segment_max_bytes must be positive")
+        if auto_compact_ratio is not None and auto_compact_ratio <= 0:
+            raise StoreError("auto_compact_ratio must be positive (or None)")
+        self._lock = threading.RLock()
         self._index: dict[str, dict] = {}
-        self._file = (
-            pathlib.Path(path) / RESULTS_FILENAME if path is not None else None
+        self._line_bytes: dict[str, int] = {}
+        # oldest-first LRU order; its keys always equal _index's keys
+        self._lru_order: OrderedDict[str, None] = OrderedDict()
+        self._live_bytes = 0
+        self._active_bytes = 0
+        self.max_bytes = max_bytes
+        self.max_records = max_records
+        self.segment_max_bytes = segment_max_bytes
+        self.auto_compact_ratio = auto_compact_ratio
+        self._sealed_since_check = False
+        self._pins: dict[str, int] = {}
+        #: Test hook: called with a fault-point name at every crash-safe
+        #: step of :meth:`compact`; raising simulates a crash there.
+        self.crash_hook: Callable[[str], None] | None = None
+        # lifetime counters (see stats())
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._touches_written = 0
+        self._corrupt_count = 0
+        self._unrecognised_count = 0
+        self._corrupt_detail: list[dict] = []
+        self._dir = pathlib.Path(path) if path is not None else None
+        self._file = self._dir / RESULTS_FILENAME if self._dir else None
+        if self._dir is not None:
+            self._load_directory()
+            # An existing log may exceed freshly configured bounds; a
+            # pure-hit workload would otherwise never trigger eviction.
+            self._enforce_limits()
+
+    def _load_directory(self) -> None:
+        """Replay every segment, retrying if a concurrent writer seals
+        or compacts the directory between listing and reading."""
+        for _attempt in range(3):
+            try:
+                for file in self._segment_files():
+                    self._load(file)
+                if self._file is not None and self._file.exists():
+                    self._active_bytes = self._file.stat().st_size
+                return
+            except FileNotFoundError:  # pragma: no cover - process race
+                self._index.clear()
+                self._line_bytes.clear()
+                self._lru_order.clear()
+                self._live_bytes = 0
+                self._active_bytes = 0
+                self._corrupt_count = 0
+                self._unrecognised_count = 0
+                self._corrupt_detail = []
+        raise StoreError(  # pragma: no cover - persistent process race
+            f"cache directory {self._dir} keeps changing underneath the "
+            "loader; is a compaction looping?"
         )
+
+    # ------------------------------------------------------------------
+    # segment discovery + replay
+    # ------------------------------------------------------------------
+
+    def _sealed_files(self) -> list[pathlib.Path]:
+        if self._dir is None or not self._dir.is_dir():
+            return []
+        sealed = []
+        for entry in self._dir.iterdir():
+            match = SEGMENT_PATTERN.match(entry.name)
+            if match:
+                sealed.append((int(match.group(1)), entry))
+        return [entry for _number, entry in sorted(sealed)]
+
+    def _segment_files(self) -> list[pathlib.Path]:
+        """Every replayable file, in replay order (sealed asc + active)."""
+        files = self._sealed_files()
         if self._file is not None and self._file.exists():
-            self._load(self._file)
+            files.append(self._file)
+        return files
+
+    def _next_segment_number(self) -> int:
+        numbers = [
+            int(SEGMENT_PATTERN.match(entry.name).group(1))
+            for entry in self._sealed_files()
+        ]
+        return max(numbers, default=0) + 1
+
+    @staticmethod
+    def _parse_line(line: str) -> tuple[dict | None, str | None]:
+        """One raw line -> (record, None) or (None, rejection reason)."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None, "corrupt"
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != STORE_FORMAT_VERSION
+            or not isinstance(record.get("key"), str)
+            or not isinstance(record.get("kind"), str)
+            or not isinstance(record.get("payload"), dict)
+        ):
+            return None, "unrecognised"
+        return record, None
+
+    def _note_damage(self, file: pathlib.Path, lineno: int, reason: str) -> None:
+        if reason == "corrupt":
+            self._corrupt_count += 1
+            label = "skipping corrupt cache line"
+        else:
+            self._unrecognised_count += 1
+            label = "skipping unrecognised record"
+        if len(self._corrupt_detail) < _CORRUPT_DETAIL_CAP:
+            self._corrupt_detail.append(
+                {"file": file.name, "line": lineno, "reason": reason}
+            )
+        print(f"warning: {file}:{lineno}: {label}", file=sys.stderr)
+
+    def _replay(self, record: dict, nbytes: int) -> None:
+        """Apply one parsed record to the in-memory view."""
+        key = record["key"]
+        kind = record["kind"]
+        if kind == KIND_COMPACTION:
+            # Snapshot boundary: everything replayed so far came from
+            # segments this one supersedes (crash mid-cleanup).
+            self._index.clear()
+            self._line_bytes.clear()
+            self._lru_order.clear()
+            self._live_bytes = 0
+            return
+        if kind == KIND_TOMBSTONE:
+            if key in self._index:
+                del self._index[key]
+                self._live_bytes -= self._line_bytes.pop(key)
+                self._lru_order.pop(key, None)
+            return
+        if kind == KIND_TOUCH:
+            if key in self._index:
+                self._lru_order.move_to_end(key)
+            return
+        if key in self._index:
+            self._live_bytes -= self._line_bytes[key]
+        self._index[key] = record
+        self._line_bytes[key] = nbytes
+        self._live_bytes += nbytes
+        self._lru_order[key] = None
+        self._lru_order.move_to_end(key)
 
     def _load(self, file: pathlib.Path) -> None:
-        for lineno, line in enumerate(
-            file.read_text().splitlines(), start=1
-        ):
+        for lineno, line in enumerate(file.read_text().splitlines(), start=1):
             if not line.strip():
                 continue
+            record, reason = self._parse_line(line)
+            if record is None:
+                self._note_damage(file, lineno, reason)
+                continue
+            self._replay(record, len(line.encode("utf-8")) + 1)
+
+    # ------------------------------------------------------------------
+    # appending + rolling
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict) -> int:
+        """Append one record to the active segment; returns its size."""
+        data = _encode(record)
+        self._append_data(data)
+        return len(data)
+
+    def _append_data(self, data: bytes) -> None:
+        if self._file is None:
+            return
+        self._file.parent.mkdir(parents=True, exist_ok=True)
+        # One os-level append of the complete payload: O_APPEND plus a
+        # single unbuffered write keeps records from interleaving even
+        # when several processes share the cache directory.
+        with self._file.open("ab", buffering=0) as handle:
+            handle.write(data)
+        self._active_bytes += len(data)
+        if self._active_bytes > self.segment_max_bytes:
+            self._seal_active()
+            self._sealed_since_check = True
+
+    def _seal_active(self) -> None:
+        """Rotate the active segment into a sealed one.
+
+        The segment number is *claimed* with an exclusive create before
+        the rename: two processes sealing the same directory can race
+        on :meth:`_next_segment_number`, and an ``os.replace`` straight
+        onto the computed name would silently overwrite the winner's
+        sealed records.  Losing the claim just moves to the next
+        number; losing the active file entirely means the other
+        process sealed it first, which is equally fine.
+        """
+        if self._file is None or not self._file.exists():
+            return
+        number = self._next_segment_number()
+        while True:
+            target = self._dir / f"segment-{number:06d}.jsonl"
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                print(
-                    f"warning: {file}:{lineno}: skipping corrupt cache line",
-                    file=sys.stderr,
+                os.close(
+                    os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
                 )
+            except FileExistsError:
+                number += 1
                 continue
-            if (
-                not isinstance(record, dict)
-                or record.get("format") != STORE_FORMAT_VERSION
-                or not isinstance(record.get("key"), str)
-                or not isinstance(record.get("kind"), str)
-                or not isinstance(record.get("payload"), dict)
-            ):
-                print(
-                    f"warning: {file}:{lineno}: skipping unrecognised record",
-                    file=sys.stderr,
-                )
-                continue
-            self._index[record["key"]] = record
+            try:
+                os.replace(self._file, target)
+            except FileNotFoundError:  # pragma: no cover - cross-process race
+                target.unlink(missing_ok=True)
+            break
+        self._active_bytes = 0
 
     # ------------------------------------------------------------------
     # generic records
     # ------------------------------------------------------------------
 
     def get(self, key: str, kind: str) -> dict | None:
-        """Payload stored under *key*, or None (kind mismatch = miss)."""
+        """Payload stored under *key*, or None (kind mismatch = miss).
+
+        Hits refresh the key's LRU position; when an eviction limit is
+        configured on a disk store, the refresh is persisted as a
+        ``touch`` record (coalesced: re-touching the most recently used
+        key writes nothing).
+        """
         with self._lock:
             record = self._index.get(key)
-        if record is None or record.get("kind") != kind:
-            return None
-        return record["payload"]
+            if record is None or record.get("kind") != kind:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._touch(key)
+            self._maybe_auto_compact()
+            return record["payload"]
+
+    def _touch(self, key: str) -> None:
+        if next(reversed(self._lru_order), None) == key:
+            return
+        self._lru_order.move_to_end(key)
+        if self._bounded and self._file is not None:
+            self._append(
+                {
+                    "format": STORE_FORMAT_VERSION,
+                    "key": key,
+                    "kind": KIND_TOUCH,
+                    "payload": {},
+                }
+            )
+            self._touches_written += 1
 
     def put(self, key: str, kind: str, payload: dict) -> bool:
         """Store *payload* under *key*; False if the key already exists.
 
         Existing keys are left untouched: records are content-addressed,
-        so a second writer by definition holds the same content.
+        so a second writer by definition holds the same content.  If the
+        new record pushes the store past a configured eviction limit,
+        least-recently-used keys are tombstoned until it fits again
+        (never the key just written).
         """
+        if not isinstance(key, str) or not key:
+            raise StoreError(f"record key must be a non-empty string, got {key!r}")
+        if kind in CONTROL_KINDS:
+            raise StoreError(
+                f"record kind {kind!r} is reserved for the store lifecycle"
+            )
         record = {
             "format": STORE_FORMAT_VERSION,
             "key": key,
@@ -119,17 +415,397 @@ class ResultStore:
         with self._lock:
             if key in self._index:
                 return False
+            nbytes = self._append(record)
             self._index[key] = record
-            if self._file is not None:
-                self._file.parent.mkdir(parents=True, exist_ok=True)
-                # One os-level append of the complete line: O_APPEND
-                # plus a single unbuffered write keeps records from
-                # interleaving even when several processes share the
-                # cache directory.
-                line = json.dumps(record, separators=(",", ":")) + "\n"
-                with self._file.open("ab", buffering=0) as handle:
-                    handle.write(line.encode("utf-8"))
+            self._line_bytes[key] = nbytes
+            self._live_bytes += nbytes
+            self._lru_order[key] = None
+            self._enforce_limits(protect=key)
+            self._maybe_auto_compact()
         return True
+
+    # ------------------------------------------------------------------
+    # eviction + GC
+    # ------------------------------------------------------------------
+
+    @property
+    def _bounded(self) -> bool:
+        return self.max_bytes is not None or self.max_records is not None
+
+    def _over_limit(
+        self, max_bytes: int | None, max_records: int | None
+    ) -> bool:
+        if max_records is not None and len(self._index) > max_records:
+            return True
+        if max_bytes is not None and self._live_bytes > max_bytes:
+            return True
+        return False
+
+    def pin(self, key: str) -> None:
+        """Shield *key* from eviction until :meth:`unpin` (refcounted).
+
+        The service pins every key of an in-flight batch: a batch that
+        needs N results simultaneously cannot be served under a bound
+        of fewer than N live records, so the bound goes soft for the
+        batch's duration and is re-tightened by :meth:`gc` afterwards.
+        """
+        with self._lock:
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, key: str) -> None:
+        """Release one :meth:`pin` of *key*."""
+        with self._lock:
+            count = self._pins.get(key, 0) - 1
+            if count <= 0:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count
+
+    def _select_victims(
+        self,
+        max_bytes: int | None,
+        max_records: int | None,
+        protect: str | None,
+    ) -> list[str]:
+        """LRU-ordered keys whose eviction brings the store in bounds.
+
+        Walks the LRU order from the cold end, so a steady-state put
+        at capacity pays O(1), and a deep GC pays O(evicted), never a
+        sort of the whole live set.
+        """
+        if not self._over_limit(max_bytes, max_records):
+            return []
+        victims = []
+        records = len(self._index)
+        nbytes = self._live_bytes
+        for key in self._lru_order:
+            over = (
+                max_records is not None and records > max_records
+            ) or (max_bytes is not None and nbytes > max_bytes)
+            if not over:
+                break
+            if key == protect or key in self._pins:
+                continue
+            victims.append(key)
+            records -= 1
+            nbytes -= self._line_bytes[key]
+        return victims
+
+    def _evict_keys(self, victims: list[str]) -> None:
+        if not victims:
+            return
+        if self._file is not None:
+            # one write for the whole tombstone batch, not one file
+            # open per victim
+            self._append_data(
+                b"".join(
+                    _encode(
+                        {
+                            "format": STORE_FORMAT_VERSION,
+                            "key": victim,
+                            "kind": KIND_TOMBSTONE,
+                            "payload": {},
+                        }
+                    )
+                    for victim in victims
+                )
+            )
+        for victim in victims:
+            del self._index[victim]
+            self._live_bytes -= self._line_bytes.pop(victim)
+            del self._lru_order[victim]
+        self._evictions += len(victims)
+
+    def _enforce_limits(self, protect: str | None = None) -> int:
+        victims = self._select_victims(
+            self.max_bytes, self.max_records, protect
+        )
+        self._evict_keys(victims)
+        return len(victims)
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_records: int | None = None,
+    ) -> dict:
+        """Evict least-recently-used records down to the given bounds.
+
+        Bounds default to the store's configured limits; explicit
+        arguments override them for this pass only (the ``repro cache
+        gc`` entry point).  Eviction is logical — tombstones are
+        appended and the index shrinks; run :meth:`compact` to reclaim
+        the bytes on disk.
+        """
+        with self._lock:
+            bytes_bound = max_bytes if max_bytes is not None else self.max_bytes
+            records_bound = (
+                max_records if max_records is not None else self.max_records
+            )
+            victims = self._select_victims(bytes_bound, records_bound, None)
+            self._evict_keys(victims)
+            self._maybe_auto_compact()
+            return {
+                "evicted": len(victims),
+                "live_records": len(self._index),
+                "live_bytes": self._live_bytes,
+            }
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _file_size(path: pathlib.Path) -> int:
+        """Size of *path*, 0 if a concurrent seal/compact removed it."""
+        try:
+            return path.stat().st_size
+        except FileNotFoundError:  # pragma: no cover - process race
+            return 0
+
+    def _maybe_auto_compact(self) -> None:
+        """Compact in place once dead bytes dominate (single-writer).
+
+        Checked only after a seal (the natural growth boundary), so
+        steady-state traffic pays nothing.  Keeps a bounded long-lived
+        service's *directory* bounded too: tombstones and touches from
+        eviction-heavy or hit-heavy workloads would otherwise pile up
+        in sealed segments until an operator intervened.
+        """
+        if (
+            self.auto_compact_ratio is None
+            or self._dir is None
+            or not self._sealed_since_check
+        ):
+            return
+        self._sealed_since_check = False
+        file_bytes = sum(
+            self._file_size(file) for file in self._segment_files()
+        )
+        if file_bytes <= self.segment_max_bytes:
+            return
+        if file_bytes > self.auto_compact_ratio * max(self._live_bytes, 1):
+            self.compact()
+
+    def _crash_point(self, name: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(name)
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def compact(self) -> dict:
+        """Rewrite live records into one fresh sealed segment.
+
+        Offline pass (no concurrent writers of the same directory):
+        live records are written — in LRU order, oldest first, behind a
+        ``compaction`` snapshot marker — to a temp file, fsynced,
+        atomically renamed to the next sealed segment, and only then
+        are the superseded segments deleted.  Tombstoned keys, stale
+        duplicates, touch records and damaged lines are all dropped;
+        the visible view is unchanged.  Crashing at any step leaves a
+        directory that reopens to the same view.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            if self._dir is None:
+                return {"compacted": False, "reason": "in-memory store"}
+            self._crash_point("compact:begin")
+            old_files = self._segment_files()
+            bytes_before = sum(self._file_size(file) for file in old_files)
+            live = list(self._lru_order)
+            tmp = self._dir / COMPACT_TMP_FILENAME
+            self._dir.mkdir(parents=True, exist_ok=True)
+            tmp.unlink(missing_ok=True)
+            target = self._dir / f"segment-{self._next_segment_number():06d}.jsonl"
+            with tmp.open("wb") as handle:
+                handle.write(
+                    _encode(
+                        {
+                            "format": STORE_FORMAT_VERSION,
+                            "key": "",
+                            "kind": KIND_COMPACTION,
+                            "payload": {"records": len(live)},
+                        }
+                    )
+                )
+                for position, key in enumerate(live):
+                    if position == len(live) // 2:
+                        self._crash_point("compact:mid-write")
+                    handle.write(_encode(self._index[key]))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._crash_point("compact:pre-rename")
+            os.replace(tmp, target)
+            self._fsync_dir()
+            self._crash_point("compact:post-rename")
+            for position, file in enumerate(old_files):
+                file.unlink(missing_ok=True)
+                if position == 0:
+                    self._crash_point("compact:mid-delete")
+            self._fsync_dir()
+            self._active_bytes = 0
+            # the damaged lines were dropped with their segments
+            self._corrupt_count = 0
+            self._unrecognised_count = 0
+            self._corrupt_detail = []
+            bytes_after = target.stat().st_size
+            return {
+                "compacted": True,
+                "segments_removed": len(old_files),
+                "records_written": len(live),
+                "bytes_before": bytes_before,
+                "bytes_after": bytes_after,
+                "bytes_reclaimed": bytes_before - bytes_after,
+                "duration_s": time.perf_counter() - started,
+            }
+
+    # ------------------------------------------------------------------
+    # introspection: stats + verify
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Occupancy, file layout, damage and traffic counters."""
+        with self._lock:
+            sealed = self._sealed_files()
+            file_bytes = sum(self._file_size(file) for file in sealed)
+            if self._file is not None and self._file.exists():
+                file_bytes += self._file_size(self._file)
+            by_kind: dict[str, int] = {}
+            for record in self._index.values():
+                by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+            return {
+                "backend": "disk" if self._dir is not None else "memory",
+                "path": str(self._dir) if self._dir is not None else None,
+                "sealed_segments": len(sealed),
+                "file_bytes": file_bytes,
+                "active_bytes": self._active_bytes,
+                "live_records": len(self._index),
+                "live_bytes": self._live_bytes,
+                "live_by_kind": dict(sorted(by_kind.items())),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "touches_written": self._touches_written,
+                "corrupt_lines": self._corrupt_count,
+                "unrecognised_lines": self._unrecognised_count,
+                "limits": {
+                    "max_bytes": self.max_bytes,
+                    "max_records": self.max_records,
+                    "segment_max_bytes": self.segment_max_bytes,
+                },
+            }
+
+    def verify(self, deep: bool = False) -> dict:
+        """Re-scan the directory and report every consistency problem.
+
+        Parses all segments from disk (independently of the in-memory
+        index), counting damaged lines with their locations, suspect
+        keys (not a content hash), and — with ``deep=True`` — payloads
+        of ``mhla_result`` records that no longer rebuild.  The replayed
+        view is cross-checked against the in-memory index; ``ok`` is
+        True only for a fully clean store.
+        """
+        with self._lock:
+            files = []
+            view: dict[str, dict] = {}
+            damage: list[dict] = []
+            suspect_keys = 0
+            for file in self._segment_files():
+                try:
+                    text = file.read_text()
+                except FileNotFoundError:  # pragma: no cover - process race
+                    continue
+                counts = {
+                    "file": file.name,
+                    "lines": 0,
+                    "records": 0,
+                    "touches": 0,
+                    "tombstones": 0,
+                    "compactions": 0,
+                    "corrupt": 0,
+                    "unrecognised": 0,
+                }
+                for lineno, line in enumerate(text.splitlines(), start=1):
+                    if not line.strip():
+                        continue
+                    counts["lines"] += 1
+                    record, reason = self._parse_line(line)
+                    if record is None:
+                        counts[reason] += 1
+                        if len(damage) < _CORRUPT_DETAIL_CAP:
+                            damage.append(
+                                {
+                                    "file": file.name,
+                                    "line": lineno,
+                                    "reason": reason,
+                                }
+                            )
+                        continue
+                    kind = record["kind"]
+                    if kind == KIND_COMPACTION:
+                        counts["compactions"] += 1
+                        view.clear()
+                    elif kind == KIND_TOMBSTONE:
+                        counts["tombstones"] += 1
+                        view.pop(record["key"], None)
+                    elif kind == KIND_TOUCH:
+                        counts["touches"] += 1
+                    else:
+                        counts["records"] += 1
+                        if not is_content_key(record["key"]):
+                            suspect_keys += 1
+                        view[record["key"]] = record
+                files.append(counts)
+            deep_checked = 0
+            deep_failures: list[dict] = []
+            if deep:
+                for key, record in view.items():
+                    if record["kind"] != KIND_RESULT:
+                        continue
+                    deep_checked += 1
+                    try:
+                        result_from_state(record["payload"])
+                    except ReproError as error:
+                        if len(deep_failures) < _CORRUPT_DETAIL_CAP:
+                            deep_failures.append(
+                                {"key": key, "error": str(error)}
+                            )
+            corrupt = sum(counts["corrupt"] for counts in files)
+            unrecognised = sum(counts["unrecognised"] for counts in files)
+            matches_memory = (
+                set(view) == set(self._index)
+                if self._dir is not None
+                else True
+            )
+            by_kind: dict[str, int] = {}
+            for record in view.values():
+                by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+            return {
+                "files": files,
+                "live_records": len(view),
+                "live_by_kind": dict(sorted(by_kind.items())),
+                "corrupt_lines": corrupt,
+                "unrecognised_lines": unrecognised,
+                "damage": damage,
+                "suspect_keys": suspect_keys,
+                "matches_memory": matches_memory,
+                "deep_checked": deep_checked,
+                "deep_failures": deep_failures,
+                "ok": (
+                    corrupt == 0
+                    and unrecognised == 0
+                    and suspect_keys == 0
+                    and matches_memory
+                    and not deep_failures
+                ),
+            }
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -141,8 +817,19 @@ class ResultStore:
 
     @property
     def path(self) -> pathlib.Path | None:
-        """The backing JSONL file (None for in-memory stores)."""
+        """The active segment file (None for in-memory stores)."""
         return self._file
+
+    @property
+    def directory(self) -> pathlib.Path | None:
+        """The cache directory (None for in-memory stores)."""
+        return self._dir
+
+    @property
+    def live_bytes(self) -> int:
+        """Encoded bytes of the live records (the eviction currency)."""
+        with self._lock:
+            return self._live_bytes
 
     # ------------------------------------------------------------------
     # exploration results

@@ -1,9 +1,16 @@
-"""Cold-vs-warm byte-identity of the ``--cache`` CLI paths."""
+"""Cold-vs-warm byte-identity of the ``--cache`` CLI paths, and the
+``repro cache`` maintenance group (golden outputs in ``tests/golden``)."""
+
+import hashlib
+import json
+import pathlib
 
 import pytest
 
 from repro.cli import main
 from repro.service import RESULTS_FILENAME
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
 
 
 def run_cli(capsys, argv):
@@ -83,6 +90,186 @@ class TestFuzzCache:
             capsys, base + ["--sim-tolerance", "0.99"]
         )
         assert "cached" not in out
+
+
+class TestLifecycleCLI:
+    def test_cold_warm_compact_warm_byte_identity(self, tmp_path, capsys):
+        # The acceptance-criteria flow: eviction+compaction must never
+        # perturb a single output byte of the cached sweep.
+        argv = ["sweep", "voice_coder", "--cache", str(tmp_path)]
+        cold_code, cold = run_cli(capsys, argv)
+        warm_code, warm = run_cli(capsys, argv)
+        compact_code, _ = run_cli(capsys, ["cache", "compact", str(tmp_path)])
+        compacted_code, compacted = run_cli(capsys, argv)
+        assert cold_code == warm_code == compact_code == compacted_code == 0
+        assert warm == cold
+        assert compacted == cold
+        # the compacted store really is the one serving: single segment
+        verify_code, out = run_cli(capsys, ["cache", "verify", str(tmp_path)])
+        assert verify_code == 0
+        assert "store is consistent" in out
+
+    def test_bounded_cache_stays_byte_identical(self, tmp_path, capsys):
+        # With a 3-entry bound an 8-cell sweep keeps evicting; every
+        # re-evaluation must reproduce the unbounded output exactly.
+        free = ["sweep", "voice_coder", "--cache", str(tmp_path / "free")]
+        bounded = [
+            "sweep", "voice_coder",
+            "--cache", str(tmp_path / "tight"),
+            "--cache-max-entries", "3",
+        ]
+        _code, unbounded_out = run_cli(capsys, free)
+        cold_code, cold = run_cli(capsys, bounded)
+        warm_code, warm = run_cli(capsys, bounded)
+        assert cold_code == warm_code == 0
+        assert cold == unbounded_out
+        assert warm == unbounded_out
+        stats_code, stats = run_cli(
+            capsys, ["cache", "stats", str(tmp_path / "tight")]
+        )
+        assert stats_code == 0
+        assert "live records:        3" in stats
+
+    def test_gc_cli_evicts_and_compacts(self, tmp_path, capsys):
+        run_cli(capsys, ["sweep", "voice_coder", "--cache", str(tmp_path)])
+        code, out = run_cli(
+            capsys,
+            ["cache", "gc", str(tmp_path), "--max-entries", "2", "--compact"],
+        )
+        assert code == 0
+        assert "evicted:             6" in out
+        assert "live records:        2" in out
+        code, stats = run_cli(capsys, ["cache", "stats", str(tmp_path)])
+        assert code == 0
+        assert "live records:        2" in stats
+
+    def test_gc_cli_requires_a_bound(self, tmp_path, capsys):
+        code, _out = run_cli(capsys, ["cache", "gc", str(tmp_path)])
+        assert code == 2
+
+    @pytest.mark.parametrize("sub", ["stats", "compact", "verify"])
+    def test_cache_commands_reject_missing_directory(
+        self, tmp_path, capsys, sub
+    ):
+        # A typo'd path must error, not report a healthy empty cache
+        # (or be created as a compaction side effect).
+        missing = tmp_path / "cahce"
+        code = main(["cache", sub, str(missing)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no such cache directory" in err
+        assert not missing.exists()
+
+    def test_cache_gc_rejects_missing_directory(self, tmp_path, capsys):
+        code = main(
+            ["cache", "gc", str(tmp_path / "nope"), "--max-entries", "1"]
+        )
+        assert code == 2
+        assert "no such cache directory" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["cache", "gc", "DIR", "--max-entries", "0"],
+            ["cache", "gc", "DIR", "--max-bytes", "-1"],
+            ["run", "voice_coder", "--cache", "DIR", "--cache-max-bytes", "0"],
+            ["sweep", "--cache", "DIR", "--cache-max-entries", "-5"],
+        ],
+    )
+    def test_non_positive_bounds_rejected_at_parse_time(
+        self, tmp_path, capsys, argv
+    ):
+        # Regression: `gc --max-bytes -1` used to tombstone the whole
+        # cache instead of failing; bounds now validate in argparse.
+        argv = [str(tmp_path) if part == "DIR" else part for part in argv]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+def build_golden_store(directory: pathlib.Path) -> None:
+    """A byte-deterministic fixture store with every record flavour."""
+
+    def record(key, kind, payload):
+        return json.dumps(
+            {"format": 1, "key": key, "kind": kind, "payload": payload},
+            separators=(",", ":"),
+        )
+
+    key1 = hashlib.sha256(b"golden-1").hexdigest()
+    key2 = hashlib.sha256(b"golden-2").hexdigest()
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / RESULTS_FILENAME).write_text(
+        "\n".join(
+            [
+                record(key1, "mhla_result", {"note": "placeholder"}),
+                record(key2, "fuzz_verdict", {"ok": True}),
+                record(key1, "touch", {}),
+                record(key2, "tombstone", {}),
+                record("not-a-sha256", "fuzz_verdict", {"ok": True}),
+                '{"format": 1, "key": "trunc',
+                '{"format": 99, "key": "x"}',
+            ]
+        )
+        + "\n"
+    )
+
+
+class TestCacheGolden:
+    """Golden outputs for ``repro cache stats`` / ``repro cache verify``."""
+
+    def test_stats_matches_golden(self, tmp_path, capsys):
+        build_golden_store(tmp_path)
+        code = main(["cache", "stats", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        golden = (GOLDEN_DIR / "cache_stats.txt").read_text()
+        assert out == golden, (
+            "repro cache stats drifted from tests/golden/cache_stats.txt; "
+            "regenerate via tests/service/test_cache_cli.regenerate()"
+        )
+
+    def test_verify_matches_golden(self, tmp_path, capsys):
+        build_golden_store(tmp_path)
+        code = main(["cache", "verify", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1  # the fixture is deliberately damaged
+        golden = (GOLDEN_DIR / "cache_verify.txt").read_text()
+        assert out == golden, (
+            "repro cache verify drifted from tests/golden/cache_verify.txt; "
+            "regenerate via tests/service/test_cache_cli.regenerate()"
+        )
+
+    def test_verify_clean_store_exits_zero(self, tmp_path, capsys):
+        run_cli(capsys, ["run", "voice_coder", "--l1-kib", "2",
+                         "--l2-kib", "16", "--cache", str(tmp_path)])
+        code, out = run_cli(capsys, ["cache", "verify", str(tmp_path), "--deep"])
+        assert code == 0
+        assert "deep-checked:        1" in out
+        assert "store is consistent" in out
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    import contextlib
+    import io
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = pathlib.Path(tmp) / "store"
+        build_golden_store(directory)
+        for name, argv in (
+            ("cache_stats.txt", ["cache", "stats", str(directory)]),
+            ("cache_verify.txt", ["cache", "verify", str(directory)]),
+        ):
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                main(argv)
+            (GOLDEN_DIR / name).write_text(buffer.getvalue())
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance helper
+    regenerate()
 
 
 @pytest.mark.stress

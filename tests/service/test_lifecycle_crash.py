@@ -1,0 +1,135 @@
+"""Crash-injection battery for compaction.
+
+Compaction promises: *killed at any point, the directory reopens to
+exactly the pre-compaction view, losing no live record*.  The store
+exposes a ``crash_hook`` called at every step of the crash-safe
+protocol; each test arms it at one fault point, lets compaction die
+there, and asserts a fresh :class:`ResultStore` over the directory
+sees the identical view — then proves the wounded directory can still
+be compacted cleanly afterwards.
+
+Fault points, in protocol order:
+
+``compact:begin``        nothing written yet
+``compact:mid-write``    temp file partially written (must be ignored)
+``compact:pre-rename``   temp file complete + fsynced, not yet visible
+``compact:post-rename``  new segment visible, old segments not deleted
+                         (both generations replay to one view)
+``compact:mid-delete``   some old segments deleted, some not
+"""
+
+import hashlib
+
+import pytest
+
+from repro.service import KIND_FUZZ_VERDICT, ResultStore
+from repro.service.store import COMPACT_TMP_FILENAME
+
+FAULT_POINTS = (
+    "compact:begin",
+    "compact:mid-write",
+    "compact:pre-rename",
+    "compact:post-rename",
+    "compact:mid-delete",
+)
+
+
+class SimulatedCrash(BaseException):
+    """Not an Exception: nothing in the store may swallow it."""
+
+
+def key_of(label: str) -> str:
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def populate(tmp_path) -> dict:
+    """A store with several segments, stale tombstones and touches."""
+    store = ResultStore(tmp_path, max_records=6, segment_max_bytes=256)
+    for index in range(10):
+        store.put(key_of(f"k{index}"), KIND_FUZZ_VERDICT, {"v": index})
+    # refresh two keys so touch records land in the log too
+    store.get(key_of("k6"), KIND_FUZZ_VERDICT)
+    store.get(key_of("k7"), KIND_FUZZ_VERDICT)
+    assert store.stats()["sealed_segments"] >= 2
+    assert store.stats()["evictions"] == 4
+    return view(store)
+
+
+def view(store: ResultStore) -> dict:
+    return {
+        key_of(f"k{index}"): store.get(key_of(f"k{index}"), KIND_FUZZ_VERDICT)
+        for index in range(10)
+        if key_of(f"k{index}") in store
+    }
+
+
+def arm(store: ResultStore, point: str) -> None:
+    def hook(name: str) -> None:
+        if name == point:
+            raise SimulatedCrash(name)
+
+    store.crash_hook = hook
+
+
+@pytest.mark.parametrize("point", FAULT_POINTS)
+def test_compaction_killed_at_fault_point_loses_nothing(tmp_path, point):
+    expected = populate(tmp_path)
+    assert len(expected) == 6
+
+    store = ResultStore(tmp_path)
+    arm(store, point)
+    with pytest.raises(SimulatedCrash):
+        store.compact()
+
+    # the process is gone; a fresh one reopens the directory
+    survivor = ResultStore(tmp_path)
+    assert view(survivor) == expected
+    assert survivor.verify()["ok"]
+
+    # the wounded directory still compacts cleanly
+    report = survivor.compact()
+    assert report["compacted"]
+    assert report["records_written"] == len(expected)
+    final = ResultStore(tmp_path)
+    assert view(final) == expected
+    assert final.stats()["sealed_segments"] == 1
+    assert not (tmp_path / COMPACT_TMP_FILENAME).exists()
+
+
+@pytest.mark.parametrize("point", FAULT_POINTS)
+def test_double_crash_then_recovery(tmp_path, point):
+    # Crashing the *recovery* compaction at the same point again must
+    # still be safe: the protocol is re-entrant, not one-shot.
+    expected = populate(tmp_path)
+    for _ in range(2):
+        store = ResultStore(tmp_path)
+        arm(store, point)
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        assert view(ResultStore(tmp_path)) == expected
+    final = ResultStore(tmp_path)
+    final.compact()
+    assert view(ResultStore(tmp_path)) == expected
+
+
+def test_stale_tmp_file_is_ignored_and_cleaned(tmp_path):
+    expected = populate(tmp_path)
+    (tmp_path / COMPACT_TMP_FILENAME).write_text('{"half": "a line')
+    store = ResultStore(tmp_path)  # replay ignores *.tmp
+    assert view(store) == expected
+    store.compact()
+    assert not (tmp_path / COMPACT_TMP_FILENAME).exists()
+    assert view(ResultStore(tmp_path)) == expected
+
+
+def test_crash_after_eviction_before_compaction(tmp_path):
+    # Tombstones alone (no compaction yet) must survive a restart: an
+    # evicted key stays dead even though its record bytes still exist.
+    store = ResultStore(tmp_path)
+    for index in range(4):
+        store.put(key_of(f"k{index}"), KIND_FUZZ_VERDICT, {"v": index})
+    store.gc(max_records=2)
+    dead = [key_of("k0"), key_of("k1")]
+    fresh = ResultStore(tmp_path)
+    assert all(key not in fresh for key in dead)
+    assert len(fresh) == 2

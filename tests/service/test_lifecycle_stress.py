@@ -1,0 +1,134 @@
+"""Soak battery: a long-lived service stays O(in-flight), not O(history).
+
+Excluded from tier-1 by ``pytest.ini`` (``-m "not stress"``); CI runs
+it with ``python -m pytest -m stress``.  Drives ``ExplorationService``
+through >= 10k submit/poll/result cycles over thousands of distinct
+request keys against a tightly bounded disk store, asserting at every
+step that the in-flight map, the completed-job ring, the store index
+and (modulo periodic compaction) the on-disk log all stay under their
+configured bounds — no monotonic growth anywhere.
+"""
+
+import pytest
+
+from repro.analysis.sweep import PlatformSpec, SweepCell, SweepCellResult
+from repro.core.assignment import Objective
+from repro.service import ExplorationService, ResultStore
+from repro.service.queue import DONE, PENDING
+from repro.units import kib
+
+pytestmark = pytest.mark.stress
+
+CYCLES = 10_000
+DISTINCT_KEYS = 512
+STORE_MAX_RECORDS = 64
+COMPLETED_LIMIT = 128
+COMPACT_EVERY = 1_000
+
+
+@pytest.fixture(scope="module")
+def one_result():
+    from repro.apps import build_app
+    from repro.core.mhla import Mhla
+    from repro.memory.presets import embedded_3layer
+
+    platform = embedded_3layer(l1_bytes=kib(2), l2_bytes=kib(16))
+    return Mhla(build_app("voice_coder"), platform).explore()
+
+
+class StubRunner:
+    """Instant evaluation: the soak exercises lifecycle, not search."""
+
+    def __init__(self, result):
+        self.result = result
+        self.calls = 0
+
+    def run(self, cells):
+        cells = tuple(cells)
+        self.calls += len(cells)
+        return tuple(
+            SweepCellResult(cell=cell, result=self.result) for cell in cells
+        )
+
+
+def make_cell(index: int) -> SweepCell:
+    return SweepCell(
+        app="voice_coder",
+        platform=PlatformSpec(
+            l1_bytes=kib(1) + (index % DISTINCT_KEYS) * 64,
+            l2_bytes=kib(16),
+        ),
+        objective=Objective.EDP,
+    )
+
+
+def test_soak_submit_poll_result_state_is_bounded(tmp_path, one_result):
+    store = ResultStore(tmp_path, max_records=STORE_MAX_RECORDS)
+    service = ExplorationService(
+        store=store,
+        runner=StubRunner(one_result),
+        completed_jobs_limit=COMPLETED_LIMIT,
+        completed_job_ttl=300.0,
+    )
+    peak_jobs = peak_completed = peak_store = 0
+    file_bytes_after_compact = []
+
+    for cycle in range(CYCLES):
+        key = service.submit(make_cell(cycle))
+        status = service.poll(key)
+        assert status in (PENDING, DONE)
+        if status == PENDING:
+            service.flush()
+        assert service.poll(key) == DONE
+        if cycle % 20 == 0:
+            assert service.result(key) is not None
+
+        peak_jobs = max(peak_jobs, len(service._jobs))
+        peak_completed = max(peak_completed, len(service._completed))
+        peak_store = max(peak_store, len(store))
+
+        if (cycle + 1) % COMPACT_EVERY == 0:
+            report = store.compact()
+            assert report["compacted"]
+            file_bytes_after_compact.append(report["bytes_after"])
+
+    # hard bounds held through the whole run
+    assert peak_jobs <= 1  # one in-flight submission at a time
+    assert peak_completed <= COMPLETED_LIMIT
+    assert peak_store <= STORE_MAX_RECORDS
+    assert len(store) <= STORE_MAX_RECORDS
+
+    # no monotonic growth: the compacted log keeps returning to the
+    # same bounded footprint instead of trending upward
+    assert len(file_bytes_after_compact) == CYCLES // COMPACT_EVERY
+    assert max(file_bytes_after_compact) <= 2 * min(file_bytes_after_compact)
+
+    stats = service.service_stats()
+    assert stats["submitted"] == CYCLES
+    assert stats["in_flight"] == 0
+    assert stats["completed_retained"] <= COMPLETED_LIMIT
+    assert stats["store"]["live_records"] <= STORE_MAX_RECORDS
+    # the bounded store forces steady re-evaluation of evicted keys,
+    # yet everything submitted was served
+    assert stats["cache_hits"] + stats["evaluated"] == CYCLES
+
+
+def test_soak_batched_run_state_is_bounded(tmp_path, one_result):
+    # Same bound-holding claim for the batch path (service.run), which
+    # is what `repro sweep --cache` exercises.
+    store = ResultStore(tmp_path, max_records=STORE_MAX_RECORDS)
+    service = ExplorationService(
+        store=store,
+        runner=StubRunner(one_result),
+        completed_jobs_limit=COMPLETED_LIMIT,
+    )
+    batches = 40
+    batch_size = 64
+    for batch in range(batches):
+        cells = [make_cell(batch * batch_size + i) for i in range(batch_size)]
+        outcomes = service.run(cells)
+        assert all(outcome.ok for outcome in outcomes)
+        assert len(service._jobs) == 0
+        assert len(service._completed) <= COMPLETED_LIMIT
+        assert len(store) <= STORE_MAX_RECORDS
+    assert service.stats.submitted == batches * batch_size

@@ -212,6 +212,55 @@ class TestLoop:
         responses = roundtrip(service, [rpc("result", 3, key=key)])
         assert responses[0]["result"]["result"]["app"] == "voice_coder"
 
+    def test_gc_method_evicts_and_stats_expose_store_counters(self, tmp_path):
+        from repro.service import ResultStore
+
+        service = ExplorationService(store=ResultStore(tmp_path))
+        cells = [
+            {**VOICE_CELL, "platform": {"l1_kib": 2 + index, "l2_kib": 16}}
+            for index in range(3)
+        ]
+        for index, cell in enumerate(cells):
+            key = roundtrip(service, [rpc("submit", index, **cell)])[0][
+                "result"
+            ]["key"]
+            roundtrip(service, [rpc("result", 10 + index, key=key)])
+        responses = roundtrip(
+            service,
+            [
+                rpc("gc", 20, max_entries=1),
+                rpc("stats", 21),
+                rpc("gc", 22, max_entries=-1),
+                rpc("gc", 23, bogus=1),
+            ],
+        )
+        assert responses[0]["result"]["evicted"] == 2
+        assert responses[0]["result"]["live_records"] == 1
+        store_stats = responses[1]["result"]["store"]
+        assert store_stats["evictions"] == 2
+        assert store_stats["live_records"] == 1
+        assert store_stats["corrupt_lines"] == 0
+        assert responses[1]["result"]["in_flight"] == 0
+        assert responses[2]["error"]["code"] == INVALID_PARAMS
+        assert responses[3]["error"]["code"] == INVALID_PARAMS
+
+    def test_compact_method_reclaims_disk_in_place(self, tmp_path):
+        from repro.service import ResultStore
+
+        service = ExplorationService(store=ResultStore(tmp_path))
+        key = roundtrip(service, [rpc("submit", 1, **VOICE_CELL)])[0][
+            "result"
+        ]["key"]
+        roundtrip(service, [rpc("result", 2, key=key)])
+        roundtrip(service, [rpc("gc", 3, max_entries=1)])
+        responses = roundtrip(
+            service, [rpc("compact", 4), rpc("result", 5, key=key)]
+        )
+        assert responses[0]["result"]["compacted"] is True
+        assert responses[0]["result"]["records_written"] == 1
+        # the live record still serves after in-place compaction
+        assert responses[1]["result"]["result"]["app"] == "voice_coder"
+
     def test_blank_lines_ignored(self):
         service = ExplorationService()
         responses = roundtrip(service, ["", "  ", json.dumps(rpc("stats", 1))])
