@@ -216,6 +216,7 @@ def _trace_state(trace: SearchTrace | None) -> dict | None:
         "steps": list(trace.steps),
         "initial_value": trace.initial_value,
         "final_value": trace.final_value,
+        "strategy": trace.strategy,
         "stats": (
             None
             if stats is None
@@ -236,10 +237,12 @@ def _trace_from_state(data: dict | None) -> SearchTrace | None:
     if data is None:
         return None
     stats = data["stats"]
+    strategy = data.get("strategy")  # absent in pre-portfolio states
     return SearchTrace(
         steps=tuple(str(step) for step in data["steps"]),
         initial_value=float(data["initial_value"]),
         final_value=float(data["final_value"]),
+        strategy=str(strategy) if strategy is not None else None,
         stats=(
             None
             if stats is None

@@ -76,19 +76,29 @@ def search_stats_table(results: Sequence[MhlaResult]) -> str:
     greedy engine records on its trace (moves scored, accepted moves,
     cleanup drops, evaluator cache hit rate, wall time).
     """
-    headers = ["app", "moves", "rounds", "applied", "drops", "cache hit", "time ms"]
+    headers = [
+        "app",
+        "assigner",
+        "moves",
+        "rounds",
+        "applied",
+        "drops",
+        "cache hit",
+        "time ms",
+    ]
     rows = []
     for result in results:
         trace = result.scenario("mhla").trace
         stats = trace.stats if trace is not None else None
         if stats is None:
-            rows.append([result.app_name, "-", "-", "-", "-", "-", "-"])
+            rows.append([result.app_name] + ["-"] * 7)
             continue
         lookups = stats.cache_hits + stats.cache_misses
         hit_rate = stats.cache_hits / lookups if lookups else 0.0
         rows.append(
             [
                 result.app_name,
+                trace.strategy or "-",
                 str(stats.moves_evaluated),
                 str(stats.rounds),
                 str(stats.moves_applied),

@@ -27,6 +27,7 @@ from repro.core.assignment import Objective
 from repro.core.mhla import Mhla, MhlaResult
 from repro.errors import EvaluationError, ValidationError
 from repro.memory.presets import Platform, embedded_2layer, embedded_3layer
+from repro.search.config import AssignerSpec
 from repro.units import fmt_bytes, fmt_cycles, fmt_energy_nj, fmt_percent, kib
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "PlatformSpec",
     "SweepCell",
     "SweepCellResult",
+    "cell_strategy",
     "full_grid",
     "grid_table",
     "synthetic_grid",
@@ -81,12 +83,19 @@ DEFAULT_PLATFORM_SPECS: tuple[PlatformSpec, ...] = (
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One grid point: an app on a platform under an objective."""
+    """One grid point: an app on a platform under an objective.
+
+    ``assigner`` is the step-1 search-engine recipe; the default keeps
+    the paper's greedy engine.  It is part of the cell's identity —
+    the service's cache keys include it, so a portfolio sweep never
+    shares memoized results with a greedy one.
+    """
 
     app: str
     platform: PlatformSpec
     objective: Objective
     sort_factor: str = "time_per_size"
+    assigner: AssignerSpec = AssignerSpec()
 
 
 @dataclass(frozen=True)
@@ -127,6 +136,7 @@ def evaluate_cell(cell: SweepCell) -> MhlaResult:
         platform,
         objective=cell.objective,
         sort_factor=cell.sort_factor,
+        assigner=cell.assigner,
     ).explore()
 
 
@@ -150,15 +160,19 @@ def full_grid(
     apps: Iterable[str] | None = None,
     platforms: Sequence[PlatformSpec] = DEFAULT_PLATFORM_SPECS,
     objectives: Sequence[Objective] = tuple(Objective),
+    assigner: AssignerSpec = AssignerSpec(),
 ) -> tuple[SweepCell, ...]:
     """The app x platform x objective grid in deterministic order.
 
     App-major, then platform, then objective — the order the serial
-    path iterates and the order results are returned in.
+    path iterates and the order results are returned in.  One
+    *assigner* recipe applies to every cell of the grid.
     """
     app_names = tuple(apps) if apps is not None else all_app_names()
     return tuple(
-        SweepCell(app=app, platform=platform, objective=objective)
+        SweepCell(
+            app=app, platform=platform, objective=objective, assigner=assigner
+        )
         for app in app_names
         for platform in platforms
         for objective in objectives
@@ -170,6 +184,7 @@ def synthetic_grid(
     seed: int = 0,
     platforms: Sequence[PlatformSpec] = DEFAULT_PLATFORM_SPECS,
     objectives: Sequence[Objective] = (Objective.EDP,),
+    assigner: AssignerSpec = AssignerSpec(),
 ) -> tuple[SweepCell, ...]:
     """A sweep grid over *count* generated applications.
 
@@ -185,6 +200,7 @@ def synthetic_grid(
         apps=synthetic_app_names(count, seed=seed),
         platforms=platforms,
         objectives=objectives,
+        assigner=assigner,
     )
 
 
@@ -226,17 +242,34 @@ class ParallelSweepRunner:
         )
 
 
+def cell_strategy(outcome: SweepCellResult) -> str:
+    """Which search strategy produced a cell's assignment.
+
+    The winning engine is attributed on the result's search trace
+    (e.g. ``portfolio:tabu``); a failed cell (or a result cached
+    before attribution existed) falls back to the requested assigner
+    name.
+    """
+    if outcome.result is not None:
+        trace = outcome.result.scenario("mhla").trace
+        if trace is not None and trace.strategy:
+            return trace.strategy
+    return outcome.cell.assigner.name
+
+
 def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
     """Fixed-width table of a grid sweep, one row per cell.
 
     Failed cells render with dashed metric columns; their error texts
     are listed after the table so a partial sweep never hides the
-    failures.
+    failures.  The ``assigner`` column attributes the strategy that
+    won each cell (``portfolio:<winner>`` for portfolio runs).
     """
     headers = [
         "app",
         "platform",
         "objective",
+        "assigner",
         "oob cyc",
         "te cyc",
         "total gain",
@@ -255,6 +288,7 @@ def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
                     outcome.cell.app,
                     outcome.cell.platform.name,
                     outcome.cell.objective.value,
+                    outcome.cell.assigner.name,
                 ]
                 + ["-"] * 6
             )
@@ -264,6 +298,7 @@ def grid_table(outcomes: Sequence[SweepCellResult]) -> str:
                 outcome.cell.app,
                 outcome.cell.platform.name,
                 outcome.cell.objective.value,
+                cell_strategy(outcome),
                 fmt_cycles(result.scenario("oob").cycles),
                 fmt_cycles(result.scenario("mhla_te").cycles),
                 fmt_percent(result.total_speedup_fraction),

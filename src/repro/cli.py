@@ -4,6 +4,9 @@ Sub-commands mirror the experiments:
 
 * ``repro list``                 — the nine applications
 * ``repro run APP``              — four scenarios for one application
+* ``repro search APP``           — race the metaheuristic assigner
+  portfolio against the greedy engine on one application
+  (``--assigner NAME --budget N --search-seed S``)
 * ``repro fig2``                 — Figure 2 (performance) for the suite
 * ``repro fig3``                 — Figure 3 (energy) for the suite
 * ``repro sweep APP``            — L1-size trade-off sweep (TAB-TRADEOFF)
@@ -38,6 +41,20 @@ skip evaluation entirely and print byte-identical reports.
 outgrows a bound, least-recently-used records are evicted (an evicted
 request is simply re-evaluated on its next appearance — results stay
 byte-identical either way).
+
+``repro run``/``sweep``/``serve`` also accept ``--assigner NAME``
+(with ``--budget N`` and ``--search-seed S``) to swap the step-1
+search engine: ``greedy`` (default), one of the metaheuristics
+(``annealing``/``tabu``/``beam``/``restart``/``exact``) or the
+``portfolio`` racing all of them; ``repro fuzz --assigner`` picks the
+engine the ``metaheuristic`` differential check verifies.  The
+assigner config is part of the cache key, so differently configured
+runs never share memoized results.
+
+Exit codes are uniform across sub-commands: ``2`` for user errors
+(bad arguments, invalid specs, missing cache directories), ``1`` for
+internal failures (a crash inside the flow, failed sweep cells,
+failing verification), ``0`` for success.
 """
 
 from __future__ import annotations
@@ -107,7 +124,19 @@ def _make_executor(args: argparse.Namespace, jobs: int | None = None):
     return ParallelSweepRunner(jobs=jobs or getattr(args, "jobs", 1))
 
 
+def _assigner_spec(args: argparse.Namespace):
+    """The :class:`AssignerSpec` described by --assigner/--budget/... flags."""
+    from repro.search import AssignerSpec
+
+    return AssignerSpec(
+        name=getattr(args, "assigner", "greedy"),
+        budget=getattr(args, "budget", None) or AssignerSpec().budget,
+        seed=getattr(args, "search_seed", 0),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    assigner = _assigner_spec(args)
     if args.cache is not None:
         cell = SweepCell(
             app=args.app,
@@ -115,6 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
             ),
             objective=Objective.EDP,
+            assigner=assigner,
         )
         result = _make_executor(args).run((cell,))[0].require()
     else:
@@ -122,7 +152,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         platform = embedded_3layer(
             l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
         )
-        result = Mhla(program, platform).explore()
+        result = Mhla(program, platform, assigner=assigner).explore()
     print(scenario_table([result]))
     print()
     print(f"MHLA speedup:        {result.mhla_speedup_fraction:.1%}")
@@ -173,6 +203,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     executor = _make_executor(args)
+    assigner = _assigner_spec(args)
     if args.synthetic is not None:
         if args.app is not None:
             print(
@@ -181,7 +212,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             return 2
         outcomes = executor.run(
-            synthetic_grid(args.synthetic, seed=args.seed)
+            synthetic_grid(args.synthetic, seed=args.seed, assigner=assigner)
         )
         print(
             f"Scenario grid — {args.synthetic} generated app(s) "
@@ -191,7 +222,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0 if all(outcome.ok for outcome in outcomes) else 1
     if args.app is None:
         # Grid mode: every app x platform x objective.
-        outcomes = executor.run(full_grid())
+        outcomes = executor.run(full_grid(assigner=assigner))
         print("Scenario grid — app x platform x objective:\n")
         print(grid_table(outcomes))
         return 0 if all(outcome.ok for outcome in outcomes) else 1
@@ -205,6 +236,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 l1_bytes=size, l2_bytes=default_l2_bytes(size)
             ),
             objective=Objective.EDP,
+            assigner=assigner,
         )
         for size in sizes
     )
@@ -224,6 +256,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     front = pareto_front(points, key=lambda p: (p.cycles, p.energy_nj, p.l1_bytes))
     labels = ", ".join(fmt_bytes(point.l1_bytes) for point in front)
     print(f"\nPareto-optimal L1 sizes (cycles, energy, size): {labels}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Race a search engine against the greedy baseline on one app."""
+    from repro.analysis.report import format_table
+    from repro.core.assignment import GreedyAssigner
+    from repro.core.context import AnalysisContext
+    from repro.core.incremental import IncrementalEvaluator
+    from repro.search import PortfolioRunner, build_assigner
+
+    program = build_app(args.app)
+    platform = embedded_3layer(
+        l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
+    )
+    objective = Objective(args.objective)
+    ctx = AnalysisContext(program, platform)
+    evaluator = IncrementalEvaluator(ctx)
+    import time as _time
+
+    started = _time.perf_counter()
+    _greedy_assignment, greedy_trace = GreedyAssigner(
+        ctx, objective=objective, evaluator=evaluator
+    ).run()
+    greedy_s = _time.perf_counter() - started
+    greedy_value = greedy_trace.final_value
+
+    spec = _assigner_spec(args)
+    engine = build_assigner(
+        ctx, objective=objective, spec=spec, evaluator=evaluator
+    )
+    started = _time.perf_counter()
+    assignment, trace = engine.run()
+    engine_s = _time.perf_counter() - started
+
+    def gain(value: float) -> str:
+        if greedy_value == 0:
+            return "-"
+        return f"{(greedy_value - value) / greedy_value:+.2%}"
+
+    rows = [
+        ["greedy", f"{greedy_value:.6g}", "+0.00%", "-",
+         f"{greedy_s * 1e3:.1f}", ""],
+    ]
+    if isinstance(engine, PortfolioRunner):
+        for outcome in engine.outcomes:
+            rows.append(
+                [
+                    outcome.strategy,
+                    f"{outcome.value:.6g}",
+                    gain(outcome.value),
+                    str(outcome.nodes),
+                    f"{outcome.wall_time_s * 1e3:.1f}",
+                    "winner" if outcome.winner else "",
+                ]
+            )
+    else:
+        nodes = getattr(engine, "budget", None)
+        rows.append(
+            [
+                spec.name,
+                f"{trace.final_value:.6g}",
+                gain(trace.final_value),
+                str(nodes.used) if nodes is not None else "-",
+                f"{engine_s * 1e3:.1f}",
+                "winner" if trace.final_value < greedy_value else "",
+            ]
+        )
+    print(
+        f"Assigner race — {args.app} on {platform.name}, "
+        f"objective {objective.value}, budget {spec.budget}, "
+        f"seed {spec.seed}:\n"
+    )
+    print(format_table(
+        ["strategy", "value", "vs greedy", "nodes", "time ms", ""], rows
+    ))
+    print()
+    print(
+        f"result: {trace.strategy} at {trace.final_value:.6g} "
+        f"({assignment.copy_count()} copies), "
+        f"{gain(trace.final_value)} vs greedy"
+    )
+    if trace.stats is not None:
+        print(trace.stats.summary())
     return 0
 
 
@@ -251,10 +367,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.verify import CHECK_NAMES, DifferentialHarness, fuzz
 
     checks = tuple(args.checks) if args.checks else CHECK_NAMES
+    assigner = _assigner_spec(args)
     harness = DifferentialHarness(
         checks=checks,
         sim_tolerance=args.sim_tolerance,
         te_sim_tolerance=args.te_sim_tolerance,
+        assigner=assigner,
     )
     skip_case = on_clean = None
     if args.cache is not None:
@@ -267,6 +385,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             "checks": sorted(checks),
             "sim_tolerance": args.sim_tolerance,
             "te_sim_tolerance": args.te_sim_tolerance,
+            "assigner": assigner.payload(),
         }
 
         def skip_case(spec):
@@ -322,7 +441,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=_make_store(args, auto_compact_ratio=SERVE_AUTO_COMPACT_RATIO),
         jobs=args.jobs,
     )
-    return serve(service, sys.stdin, sys.stdout)
+    return serve(
+        service, sys.stdin, sys.stdout, default_assigner=_assigner_spec(args)
+    )
 
 
 def _open_cache_dir(path_text: str):
@@ -483,6 +604,36 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--l1-kib", type=float, default=8.0, help="L1 size in KiB")
         p.add_argument("--l2-kib", type=float, default=64.0, help="L2 size in KiB")
 
+    def add_assigner_args(
+        p: argparse.ArgumentParser, default: str = "greedy"
+    ) -> None:
+        from repro.search import DEFAULT_BUDGET, ASSIGNER_NAMES
+
+        p.add_argument(
+            "--assigner",
+            choices=ASSIGNER_NAMES,
+            default=default,
+            help="step-1 search engine: the paper's greedy (default), a "
+            "metaheuristic, or the portfolio racing all of them "
+            f"(default: {default})",
+        )
+        p.add_argument(
+            "--budget",
+            type=_positive_int,
+            default=DEFAULT_BUDGET,
+            metavar="N",
+            help="metaheuristic node budget: candidate moves the engine "
+            f"may score (default: {DEFAULT_BUDGET}; ignored by greedy)",
+        )
+        p.add_argument(
+            "--search-seed",
+            type=int,
+            default=0,
+            metavar="S",
+            help="metaheuristic RNG seed; a fixed seed makes the search "
+            "byte-for-byte deterministic (default: 0)",
+        )
+
     def add_cache_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--cache",
@@ -511,8 +662,25 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="four scenarios for one application")
     run.add_argument("app", choices=all_app_names())
     add_platform_args(run)
+    add_assigner_args(run)
     add_cache_arg(run)
     run.set_defaults(func=_cmd_run)
+
+    search = sub.add_parser(
+        "search",
+        help="race a metaheuristic assigner (or the whole portfolio) "
+        "against the greedy engine on one application",
+    )
+    search.add_argument("app", choices=all_app_names())
+    add_platform_args(search)
+    search.add_argument(
+        "--objective",
+        choices=tuple(objective.value for objective in Objective),
+        default=Objective.EDP.value,
+        help="search objective (default: edp)",
+    )
+    add_assigner_args(search, default="portfolio")
+    search.set_defaults(func=_cmd_search)
 
     fig2 = sub.add_parser("fig2", help="Figure 2 (performance) for the suite")
     add_platform_args(fig2)
@@ -549,14 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="first case seed of the generated applications",
     )
+    add_assigner_args(sweep)
     add_cache_arg(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz_cmd = sub.add_parser(
         "fuzz",
         help="differential verification on generated cases: cross-check "
-        "the estimator, incremental engine, exhaustive oracle and "
-        "simulator; shrink failures to minimal reproducers",
+        "the estimator, incremental engine, exhaustive oracle, "
+        "metaheuristic assigners and simulator; shrink failures to "
+        "minimal reproducers",
     )
     fuzz_cmd.add_argument(
         "--seed", type=int, default=0, help="run seed (case 0 uses it verbatim)"
@@ -567,9 +737,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument(
         "--checks",
         nargs="+",
-        choices=("incremental", "oracle", "simulation", "te"),
+        choices=("incremental", "oracle", "metaheuristic", "simulation", "te"),
         default=None,
-        help="subset of checks to run (default: all four)",
+        help="subset of checks to run (default: all five)",
     )
     fuzz_cmd.add_argument(
         "--sim-tolerance",
@@ -593,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="fuzz-failures",
         help="directory for shrunk reproducer JSON files",
     )
+    add_assigner_args(fuzz_cmd, default="portfolio")
     add_cache_arg(fuzz_cmd)
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
@@ -601,6 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON-RPC exploration service over stdin/stdout "
         "(submit/poll/result/batch against a shared result cache)",
     )
+    add_assigner_args(serve_cmd)
     add_cache_arg(serve_cmd)
     serve_cmd.add_argument(
         "--jobs",
@@ -679,10 +851,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes are uniform: 2 for user errors (argparse already exits
+    2 for bad flags; :class:`ValidationError` covers bad specs, bad
+    case files and misconfigured requests), 1 for internal failures
+    (any other :class:`ReproError` escaping a sub-command), 0 for
+    success.
+    """
+    from repro.errors import ReproError, ValidationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

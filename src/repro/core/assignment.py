@@ -47,6 +47,7 @@ __all__ = [
     "Objective",
     "SearchStats",
     "SearchTrace",
+    "objective_from_totals",
     "objective_value",
 ]
 
@@ -68,10 +69,16 @@ def objective_value(report: CostReport, objective: Objective) -> float:
     return report.cycles * report.energy_nj
 
 
-def _objective_from_totals(
+def objective_from_totals(
     cycles: float, energy: float, objective: Objective
 ) -> float:
-    """Objective scalar from pre-folded totals (same math as above)."""
+    """Objective scalar from pre-folded totals (same math as above).
+
+    Shared by every search engine (greedy, exhaustive, the
+    metaheuristics in :mod:`repro.search`) so their objective values
+    are bit-comparable: all of them fold the same canonical-order
+    totals through this one function.
+    """
     if objective is Objective.CYCLES:
         return cycles
     if objective is Objective.ENERGY:
@@ -132,12 +139,18 @@ class SearchStats:
 
 @dataclass(frozen=True)
 class SearchTrace:
-    """Log of the accepted moves, for reports and debugging."""
+    """Log of the accepted moves, for reports and debugging.
+
+    ``strategy`` names the engine that produced the final assignment
+    ("greedy", "annealing", "portfolio:tabu", ...) so sweep reports can
+    attribute which search won each cell.
+    """
 
     steps: tuple[str, ...]
     initial_value: float
     final_value: float
     stats: SearchStats | None = None
+    strategy: str | None = None
 
 
 class GreedyAssigner:
@@ -251,6 +264,7 @@ class GreedyAssigner:
             initial_value=initial_value,
             final_value=value,
             stats=stats,
+            strategy="greedy",
         )
         return assignment, trace
 
@@ -262,7 +276,7 @@ class GreedyAssigner:
         self._moves_evaluated += 1
         if self.evaluator is not None:
             cycles, energy = self.evaluator.cycles_energy(assignment)
-            return _objective_from_totals(cycles, energy, self.objective)
+            return objective_from_totals(cycles, energy, self.objective)
         return objective_value(estimate_cost(self.ctx, assignment), self.objective)
 
     def _apply_to_ledger(self, move: _Move) -> None:
@@ -316,7 +330,7 @@ class GreedyAssigner:
             contribs[index] = contribution
         cycles, energy = self.evaluator.totals_of(contribs)
         self._moves_evaluated += 1
-        return _objective_from_totals(cycles, energy, self.objective)
+        return objective_from_totals(cycles, energy, self.objective)
 
     def _copy_moves_incremental(self, assignment: Assignment, base):
         evaluator = self.evaluator

@@ -121,6 +121,18 @@ class OccupancyLedger:
         for step in range(start, end + 1):
             steps[step] -= nbytes
 
+    def clone(self) -> "OccupancyLedger":
+        """Independent copy (beam search keeps one ledger per partial)."""
+        twin = object.__new__(OccupancyLedger)
+        twin._n_steps = self._n_steps
+        twin._bytes = {name: list(steps) for name, steps in self._bytes.items()}
+        twin._capacity = self._capacity
+        return twin
+
+    def state(self) -> dict[str, tuple[int, ...]]:
+        """Immutable snapshot of the tracked occupancy (for tests)."""
+        return {name: tuple(steps) for name, steps in self._bytes.items()}
+
     def fits(self) -> bool:
         """Whether every tracked layer currently respects its capacity."""
         return all(

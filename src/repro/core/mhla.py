@@ -20,6 +20,7 @@ from repro.core.scenarios import (
 )
 from repro.ir.program import Program
 from repro.memory.presets import Platform
+from repro.search.config import AssignerSpec
 from repro.units import improvement
 
 
@@ -105,6 +106,11 @@ class Mhla:
         performance and energy axes).
     sort_factor:
         TE greedy order; ``"time_per_size"`` is the paper's Figure 1.
+    assigner:
+        Step-1 search engine recipe (:class:`AssignerSpec`); the
+        default runs the paper's greedy engine byte-identically,
+        ``portfolio`` races the metaheuristic engines of
+        :mod:`repro.search`.
     """
 
     def __init__(
@@ -113,11 +119,13 @@ class Mhla:
         platform: Platform,
         objective: Objective = Objective.EDP,
         sort_factor: str = "time_per_size",
+        assigner: AssignerSpec | None = None,
     ):
         self.program = program
         self.platform = platform
         self.objective = objective
         self.sort_factor = sort_factor
+        self.assigner = assigner
         self.ctx = AnalysisContext(program, platform)
 
     def explore(self) -> MhlaResult:
@@ -127,6 +135,7 @@ class Mhla:
             self.platform,
             objective=self.objective,
             sort_factor=self.sort_factor,
+            assigner=self.assigner,
         )
         return MhlaResult(
             app_name=self.program.name,

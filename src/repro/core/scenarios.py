@@ -26,6 +26,7 @@ from repro.core.te import TeSchedule, TimeExtensionEngine
 from repro.errors import ValidationError
 from repro.ir.program import Program
 from repro.memory.presets import Platform
+from repro.search.config import AssignerSpec
 
 SCENARIO_ORDER = ("oob", "mhla", "mhla_te", "ideal")
 """Canonical plotting order (matches the paper's figures)."""
@@ -75,15 +76,20 @@ def run_mhla(
     ctx: AnalysisContext,
     objective: Objective = Objective.EDP,
     evaluator: IncrementalEvaluator | None = None,
+    assigner: AssignerSpec | None = None,
 ) -> ScenarioResult:
-    """Step 1 only: greedy selection + assignment, unhidden transfers.
+    """Step 1 only: selection + assignment search, unhidden transfers.
 
     Pass a shared *evaluator* to reuse the search's cached per-group
     contributions for the report (the folded report is bit-identical
-    to a fresh ``estimate_cost``).
+    to a fresh ``estimate_cost``).  *assigner* picks the search engine
+    (:mod:`repro.search.registry`); the default greedy spec runs the
+    historical :class:`GreedyAssigner` byte-identically.
     """
-    assignment, trace = GreedyAssigner(
-        ctx, objective=objective, evaluator=evaluator
+    from repro.search.registry import build_assigner
+
+    assignment, trace = build_assigner(
+        ctx, objective=objective, spec=assigner, evaluator=evaluator
     ).run()
     report = (
         evaluator.report(assignment)
@@ -150,12 +156,14 @@ def evaluate_scenarios(
     platform: Platform,
     objective: Objective = Objective.EDP,
     sort_factor: str = "time_per_size",
+    assigner: AssignerSpec | None = None,
 ) -> dict[str, ScenarioResult]:
     """Run all four scenarios for one application.
 
     The MHLA assignment is computed once and shared by ``mhla``,
     ``mhla_te`` and ``ideal`` so the scenarios differ only in transfer
-    scheduling, exactly as in the paper's figures.
+    scheduling, exactly as in the paper's figures.  *assigner* selects
+    the step-1 search engine (default: the paper's greedy).
     """
     ctx = AnalysisContext(program, platform)
     if not ctx.specs:
@@ -170,7 +178,9 @@ def evaluate_scenarios(
     evaluator = IncrementalEvaluator(ctx)
     results: dict[str, ScenarioResult] = {}
     results["oob"] = run_out_of_box(ctx, evaluator=evaluator)
-    results["mhla"] = run_mhla(ctx, objective=objective, evaluator=evaluator)
+    results["mhla"] = run_mhla(
+        ctx, objective=objective, evaluator=evaluator, assigner=assigner
+    )
     results["mhla_te"] = run_mhla_te(
         ctx, base=results["mhla"], sort_factor=sort_factor
     )

@@ -1,0 +1,161 @@
+"""Constructive beam search over per-group copy selections.
+
+Where annealing and tabu *perturb* a complete assignment, beam search
+*constructs* one: groups are decided in canonical order, and at each
+depth only the :data:`WIDTH` best partial assignments survive.  A
+partial is scored optimistically-exactly: chosen groups contribute
+their selected chains, undecided groups their chain under the current
+incumbent — so partial scores are comparable across the beam and the
+final leaf score is the exact objective.
+
+Array homes are inherited from the warm-start incumbent (the greedy
+engine already optimises homes well; the beam explores the
+exponentially larger copy-selection dimension).  Each partial carries
+its own :class:`~repro.core.incremental.OccupancyLedger` clone, so
+capacity feasibility prunes partials as they grow, not after.
+
+The whole construction is deterministic — the RNG is unused — which
+makes beam the portfolio's reproducible "systematic" member between
+the random walkers and the exact solver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.incremental import OccupancyLedger
+from repro.search.engine import Incumbent, SearchEngine
+from repro.search.state import SearchState
+
+__all__ = ["BeamSearch"]
+
+WIDTH = 8
+"""Partial assignments kept per depth."""
+
+MAX_OPTIONS_PER_GROUP = 64
+"""Cap on feasible options scored per (partial, group) — bounds the
+work on groups with combinatorially many chains; the beam's pruning
+still ranks everything that was scored."""
+
+
+@dataclass
+class _Partial:
+    """One beam entry: selections so far + its ledger + exact score."""
+
+    selections: tuple[tuple[str, tuple[tuple[str, str], ...]], ...]
+    ledger: OccupancyLedger
+    contribs: list
+    value: float
+
+
+class BeamSearch(SearchEngine):
+    """Width-limited constructive search (see module docstring)."""
+
+    name = "beam"
+
+    def _group_options(self, spec) -> list[tuple[tuple[str, str], ...]]:
+        """All monotone (uid, layer) chains of one group, incl. empty."""
+        hierarchy = self.ctx.platform.hierarchy
+        onchip = hierarchy.onchip_layers
+        candidates = sorted(spec.candidates, key=lambda c: c.level)
+        options: list[tuple[tuple[str, str], ...]] = [()]
+
+        def extend(start, chain, last_layer_index):
+            for position in range(start, len(candidates)):
+                candidate = candidates[position]
+                for layer in onchip:
+                    layer_index = hierarchy.index_of(layer)
+                    if layer_index <= last_layer_index:
+                        continue
+                    grown = chain + ((candidate.uid, layer.name),)
+                    options.append(grown)
+                    extend(position + 1, grown, layer_index)
+
+        extend(0, (), 0)
+        return options
+
+    def _explore(
+        self, state: SearchState, incumbent: Incumbent, rng: random.Random
+    ) -> list[str]:
+        del rng  # fully deterministic
+        evaluator = self.evaluator
+        budget = self.budget
+        base_assignment = incumbent.assignment
+        group_keys = list(self.ctx.specs)
+
+        # Root: incumbent homes, no copies anywhere.
+        empty = base_assignment
+        for group_key in group_keys:
+            for uid, _layer in tuple(empty.copies.get(group_key, ())):
+                empty = empty.without_copy(group_key, uid)
+        root = _Partial(
+            selections=(),
+            ledger=evaluator.ledger_for(empty),
+            contribs=list(evaluator.contributions(empty)),
+            value=0.0,
+        )
+        root.value = state.fold_value(root.contribs)
+        beam = [root]
+
+        for depth, group_key in enumerate(group_keys):
+            spec = self.ctx.specs[group_key]
+            home = base_assignment.array_home[spec.group.array_name]
+            index = evaluator.group_index(group_key)
+            nest = spec.group.nest_index
+            options = self._group_options(spec)
+            grown: list[_Partial] = []
+            for partial in beam:
+                scored = 0
+                for option in options:
+                    if budget.exhausted() or scored >= MAX_OPTIONS_PER_GROUP:
+                        break
+                    budget.charge()
+                    contribution = evaluator.contribution_or_none(
+                        group_key, home, option
+                    )
+                    if contribution is None:
+                        continue
+                    # Shared ledgers are never mutated: only clones
+                    # (non-empty options) take the option's claims.
+                    ledger = partial.ledger.clone() if option else partial.ledger
+                    fits = True
+                    for uid, layer_name in option:
+                        if not ledger.add(
+                            layer_name, nest, nest, evaluator.candidate_bytes(uid)
+                        ):
+                            fits = False
+                    if not fits:
+                        continue
+                    contribs = list(partial.contribs)
+                    contribs[index] = contribution
+                    scored += 1
+                    grown.append(
+                        _Partial(
+                            selections=partial.selections
+                            + ((group_key, option),),
+                            ledger=ledger,
+                            contribs=contribs,
+                            value=state.fold_value(contribs),
+                        )
+                    )
+                if budget.exhausted():
+                    break
+            incomplete = budget.exhausted() and depth + 1 < len(group_keys)
+            if not grown or incomplete:
+                return [f"{self.name}: budget exhausted before a full pass"]
+            # Stable sort: ties resolve by insertion order (deterministic).
+            grown.sort(key=lambda p: p.value)
+            beam = grown[:WIDTH]
+
+        events: list[str] = []
+        best = beam[0]
+        assignment = empty
+        for group_key, option in best.selections:
+            for uid, layer_name in option:
+                assignment = assignment.with_copy(group_key, uid, layer_name)
+        if incumbent.offer(assignment, best.value):
+            events.append(
+                f"{self.name}: width-{WIDTH} construction -> {best.value:.6g}"
+            )
+        return events

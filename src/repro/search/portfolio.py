@@ -1,0 +1,204 @@
+"""Strategy portfolio: race the engines, keep the best incumbent.
+
+No single metaheuristic dominates across workloads — exact solving
+wins small cases outright, annealing handles rugged landscapes, beam
+handles deep chain selection, tabu escapes plateaus, multi-start
+covers basins.  :class:`PortfolioRunner` runs all of them under one
+shared node budget (split evenly), over one shared
+:class:`~repro.core.incremental.IncrementalEvaluator` — so every
+contribution any member scores warms the cache for the rest — and
+returns the best assignment with **per-strategy attribution**: the
+returned trace's ``strategy`` is ``portfolio:<winner>``, and
+:attr:`PortfolioRunner.outcomes` records each member's value, nodes
+and wall time for reports and benchmarks.
+
+Members run sequentially in a fixed order with per-member derived
+seeds, which keeps a portfolio run byte-for-byte deterministic for a
+fixed ``(budget, seed)`` — the property the service cache and the
+differential harness rely on.  (Process-level parallelism belongs one
+layer up: a sweep already fans its cells across
+:class:`~repro.analysis.sweep.ParallelSweepRunner` workers, and each
+cell's portfolio stays deterministic inside its worker.)
+
+The greedy warm start is computed once and handed to every member, so
+the portfolio result can never be worse than
+:class:`~repro.core.assignment.GreedyAssigner` — the anytime floor the
+verification harness asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+
+from repro.core.assignment import GreedyAssigner, Objective, SearchTrace
+from repro.core.context import AnalysisContext, Assignment
+from repro.core.incremental import IncrementalEvaluator
+from repro.search.engine import SearchBudget, fold_search_stats
+
+__all__ = [
+    "DEFAULT_PORTFOLIO",
+    "PortfolioOutcome",
+    "PortfolioRunner",
+    "exact_probe_allowance",
+]
+
+DEFAULT_PORTFOLIO = ("exact", "beam", "annealing", "tabu", "restart")
+"""Member order: cheap certainty first, then the stochastic walkers."""
+
+_SEED_STRIDE = 7919
+"""Prime stride separating the members' RNG streams."""
+
+
+def exact_probe_allowance(total_budget: int) -> int:
+    """Branch-and-bound nodes the portfolio's exact member may visit.
+
+    A case is "small" — and the portfolio *guaranteed* to return the
+    exhaustive optimum — exactly when its copies+homes branch-and-bound
+    tree fits this many visited nodes.  The differential harness and
+    the quality benchmarks gate their optimum-match assertions on it,
+    so the guarantee they pin is the one the portfolio actually makes.
+    """
+    from repro.search.engine import EXACT_NODE_FACTOR
+
+    share = max(1, total_budget // len(DEFAULT_PORTFOLIO))
+    return share * EXACT_NODE_FACTOR
+
+
+@dataclass(frozen=True)
+class PortfolioOutcome:
+    """One member's result, for attribution tables."""
+
+    strategy: str
+    value: float
+    nodes: int
+    wall_time_s: float
+    improved_greedy: bool
+    winner: bool = False
+
+
+class PortfolioRunner:
+    """Race the strategy portfolio under a shared budget.
+
+    Parameters
+    ----------
+    ctx, objective:
+        As for every engine.
+    budget:
+        Total node budget, split evenly across members.
+    seed:
+        Base seed; member *i* runs with ``seed + i * stride``.
+    strategies:
+        Member names (defaults to :data:`DEFAULT_PORTFOLIO`); resolved
+        through :mod:`repro.search.registry`.
+    evaluator:
+        Optionally share a pre-warmed evaluator.
+    """
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        ctx: AnalysisContext,
+        objective: Objective = Objective.EDP,
+        budget: SearchBudget | None = None,
+        seed: int = 0,
+        strategies: tuple[str, ...] = DEFAULT_PORTFOLIO,
+        evaluator: IncrementalEvaluator | None = None,
+    ):
+        from repro.search.registry import strategy_class
+
+        self.ctx = ctx
+        self.objective = objective
+        self.budget = budget if budget is not None else SearchBudget()
+        self.seed = seed
+        self.strategies = tuple(strategies)
+        self._classes = [strategy_class(name) for name in self.strategies]
+        self.evaluator = evaluator or IncrementalEvaluator(ctx)
+        self.outcomes: tuple[PortfolioOutcome, ...] = ()
+
+    def run(self) -> tuple[Assignment, SearchTrace]:
+        """Run every member; return the best incumbent with attribution."""
+        started = time.perf_counter()
+        hits_before = self.evaluator.stats.hits
+        misses_before = self.evaluator.stats.misses
+        warm = GreedyAssigner(
+            self.ctx, objective=self.objective, evaluator=self.evaluator
+        ).run()
+        greedy_assignment, greedy_trace = warm
+        greedy_value = greedy_trace.final_value
+
+        share = max(1, self.budget.nodes // max(1, len(self._classes)))
+        best_assignment = greedy_assignment
+        best_value = greedy_value
+        best_name = "greedy"
+        best_events: tuple[str, ...] = ()
+        outcomes = []
+        nodes_used = 0
+        for position, (name, cls) in enumerate(
+            zip(self.strategies, self._classes)
+        ):
+            member_started = time.perf_counter()
+            # Members share the PORTFOLIO's deadline: each gets the
+            # wall time still remaining, not a fresh full allowance.
+            remaining_s = self.budget.remaining_time()
+            if remaining_s is not None and remaining_s <= 0:
+                break
+            member_budget = SearchBudget(nodes=share, wall_time_s=remaining_s)
+            engine = cls(
+                self.ctx,
+                objective=self.objective,
+                budget=member_budget,
+                seed=self.seed + position * _SEED_STRIDE,
+                evaluator=self.evaluator,
+                initial=warm,
+            )
+            assignment, trace = engine.run()
+            nodes_used += member_budget.used
+            improved = trace.final_value < greedy_value
+            outcomes.append(
+                PortfolioOutcome(
+                    strategy=name,
+                    value=trace.final_value,
+                    nodes=member_budget.used,
+                    wall_time_s=time.perf_counter() - member_started,
+                    improved_greedy=improved,
+                )
+            )
+            if trace.final_value < best_value:
+                best_value = trace.final_value
+                best_assignment = assignment
+                best_name = name
+                best_events = trace.steps[len(greedy_trace.steps):]
+        self.budget.charge(min(self.budget.remaining, nodes_used))
+        self.outcomes = tuple(
+            dataclasses.replace(outcome, winner=True)
+            if outcome.strategy == best_name
+            else outcome
+            for outcome in outcomes
+        )
+
+        steps = list(greedy_trace.steps)
+        steps.extend(best_events)
+        steps.append(
+            f"portfolio: {best_name} wins at {best_value:.6g} "
+            f"({nodes_used} nodes across {len(self.strategies)} strategies)"
+        )
+        stats = fold_search_stats(
+            greedy_trace.stats,
+            extra_nodes=nodes_used,
+            extra_applied=0,
+            evaluator=self.evaluator,
+            hits_before=hits_before,
+            misses_before=misses_before,
+            started=started,
+        )
+        trace = SearchTrace(
+            steps=tuple(steps),
+            initial_value=greedy_trace.initial_value,
+            final_value=best_value,
+            stats=stats,
+            strategy=f"portfolio:{best_name}",
+        )
+        return best_assignment, trace

@@ -1,0 +1,314 @@
+"""Mutable search state shared by all metaheuristic engines.
+
+The greedy engine rebuilds its view of the assignment every round; a
+metaheuristic walks a long random trajectory and needs O(delta)
+*apply* and *undo* on top of the O(delta) scoring PR 1's
+:class:`~repro.core.incremental.IncrementalEvaluator` already gives.
+:class:`SearchState` packages exactly that:
+
+* the current :class:`~repro.core.context.Assignment` (replaced, never
+  mutated, so snapshots are free — an incumbent is just a reference);
+* the canonical-order list of cached per-group contributions, so
+  scoring a trial move is "substitute one entry, fold the totals" —
+  bit-identical to scoring the trial assignment from scratch;
+* a live :class:`~repro.core.incremental.OccupancyLedger`, so capacity
+  feasibility of a move is a pure probe.
+
+Moves are the three reassignment primitives of the ``(group, home,
+copies)`` space — :class:`AddCopy`, :class:`DropCopy`,
+:class:`Rehome` — and every move has an exact :meth:`SearchState.inverse`,
+so engines can walk, backtrack and restart without ever re-deriving
+state from scratch.  Occupancy arithmetic is integer and contributions
+are cached by value, so apply followed by undo restores the ledger and
+the totals exactly (the hypothesis battery in
+``tests/search/test_move_properties.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.assignment import Objective, objective_from_totals
+from repro.core.context import AnalysisContext, Assignment
+from repro.core.incremental import IncrementalEvaluator, OccupancyLedger
+from repro.errors import ValidationError
+
+__all__ = ["AddCopy", "DropCopy", "Move", "Rehome", "SearchState"]
+
+
+@dataclass(frozen=True)
+class AddCopy:
+    """Select one copy candidate onto an on-chip layer."""
+
+    group_key: str
+    uid: str
+    layer_name: str
+
+    def describe(self) -> str:
+        return f"copy {self.uid} -> {self.layer_name}"
+
+
+@dataclass(frozen=True)
+class DropCopy:
+    """Deselect one currently selected copy."""
+
+    group_key: str
+    uid: str
+    layer_name: str
+
+    def describe(self) -> str:
+        return f"drop {self.uid} ({self.layer_name})"
+
+
+@dataclass(frozen=True)
+class Rehome:
+    """Move a whole array's home layer (on-chip or back off-chip)."""
+
+    array_name: str
+    old_layer: str
+    new_layer: str
+
+    def describe(self) -> str:
+        return f"home {self.array_name} -> {self.new_layer}"
+
+
+Move = AddCopy | DropCopy | Rehome
+
+
+class SearchState:
+    """One walkable point of the assignment space (see module docstring).
+
+    Parameters
+    ----------
+    ctx:
+        Shared analysis context.
+    objective:
+        Metric the engines minimise; :attr:`value` is its scalar for
+        the current assignment.
+    evaluator:
+        Optionally share a pre-warmed evaluator — the portfolio runs
+        every strategy over one evaluator so contribution caches warm
+        across strategies.
+    assignment:
+        Starting point (default: the out-of-the-box placement).
+    """
+
+    def __init__(
+        self,
+        ctx: AnalysisContext,
+        objective: Objective = Objective.EDP,
+        evaluator: IncrementalEvaluator | None = None,
+        assignment: Assignment | None = None,
+    ):
+        self.ctx = ctx
+        self.objective = objective
+        self.evaluator = evaluator or IncrementalEvaluator(ctx)
+        self.assignment = (
+            assignment if assignment is not None else ctx.out_of_box_assignment()
+        )
+        self.contribs = self.evaluator.contributions(self.assignment)
+        self.ledger: OccupancyLedger = self.evaluator.ledger_for(self.assignment)
+        self.value = self.fold_value(self.contribs)
+        hierarchy = ctx.platform.hierarchy
+        self._onchip = tuple(layer.name for layer in hierarchy.onchip_layers)
+        self._offchip = hierarchy.offchip.name
+        # Static add-move site table, in deterministic (ctx.specs x
+        # hierarchy) order, so seeded random proposals replay
+        # identically.  Drop/rehome sites depend on the current
+        # assignment and are enumerated on demand.
+        self.add_sites: tuple[AddCopy, ...] = tuple(
+            AddCopy(group_key, candidate.uid, layer_name)
+            for group_key, spec in ctx.specs.items()
+            for candidate in spec.candidates
+            for layer_name in self._onchip
+        )
+
+    # ------------------------------------------------------------------
+    # scoring (pure probes)
+    # ------------------------------------------------------------------
+
+    def fold_value(self, contribs) -> float:
+        """Objective of a canonical-order contribution list (exact fold)."""
+        cycles, energy = self.evaluator.totals_of(contribs)
+        return objective_from_totals(cycles, energy, self.objective)
+
+    def _substituted(self, substitutions) -> float:
+        contribs = list(self.contribs)
+        for index, contribution in substitutions:
+            contribs[index] = contribution
+        return self.fold_value(contribs)
+
+    def score(self, move: Move) -> float | None:
+        """Objective after *move*, or None when illegal/infeasible.
+
+        A pure probe: neither the assignment nor the ledger changes.
+        """
+        evaluator = self.evaluator
+        if isinstance(move, AddCopy):
+            existing = self.assignment.copies.get(move.group_key, ())
+            if any(uid == move.uid for uid, _layer in existing):
+                return None
+            home = self.evaluator.group_state(self.assignment, move.group_key)[0]
+            contribution = evaluator.contribution_or_none(
+                move.group_key, home, existing + ((move.uid, move.layer_name),)
+            )
+            if contribution is None:
+                return None
+            if not evaluator.fits_with_copy(
+                self.ledger, move.group_key, move.uid, move.layer_name
+            ):
+                return None
+            return self._substituted(
+                ((evaluator.group_index(move.group_key), contribution),)
+            )
+        if isinstance(move, DropCopy):
+            existing = self.assignment.copies.get(move.group_key, ())
+            if (move.uid, move.layer_name) not in existing:
+                return None
+            remaining = tuple(
+                pair for pair in existing if pair[0] != move.uid
+            )
+            home = self.evaluator.group_state(self.assignment, move.group_key)[0]
+            contribution = evaluator.contribution_or_none(
+                move.group_key, home, remaining
+            )
+            if contribution is None:  # pragma: no cover - subchains stay legal
+                return None
+            return self._substituted(
+                ((evaluator.group_index(move.group_key), contribution),)
+            )
+        if isinstance(move, Rehome):
+            if self.assignment.array_home.get(move.array_name) != move.old_layer:
+                return None
+            if move.new_layer == move.old_layer:
+                return None
+            substitutions = []
+            for group_key in evaluator.groups_of_array(move.array_name):
+                contribution = evaluator.contribution_or_none(
+                    group_key,
+                    move.new_layer,
+                    self.assignment.copies.get(group_key, ()),
+                )
+                if contribution is None:
+                    return None
+                substitutions.append(
+                    (evaluator.group_index(group_key), contribution)
+                )
+            if not evaluator.fits_with_home(
+                self.ledger, move.array_name, move.old_layer, move.new_layer
+            ):
+                return None
+            return self._substituted(substitutions)
+        raise ValidationError(f"unknown move type {type(move).__name__}")
+
+    # ------------------------------------------------------------------
+    # apply / undo
+    # ------------------------------------------------------------------
+
+    def apply(self, move: Move) -> None:
+        """Apply a *legal* move (score it first); O(changed groups).
+
+        Raises :class:`ValidationError` when the move is illegal or
+        infeasible — engines only apply moves whose :meth:`score`
+        returned a value, so a raise here is an engine bug.
+        """
+        value = self.score(move)
+        if value is None:
+            raise ValidationError(
+                f"cannot apply illegal/infeasible move {move.describe()}"
+            )
+        evaluator = self.evaluator
+        if isinstance(move, AddCopy):
+            self.assignment = self.assignment.with_copy(
+                move.group_key, move.uid, move.layer_name
+            )
+            evaluator.apply_copy(
+                self.ledger, move.group_key, move.uid, move.layer_name
+            )
+            touched = (move.group_key,)
+        elif isinstance(move, DropCopy):
+            self.assignment = self.assignment.without_copy(
+                move.group_key, move.uid
+            )
+            evaluator.remove_copy(
+                self.ledger, move.group_key, move.uid, move.layer_name
+            )
+            touched = (move.group_key,)
+        else:
+            self.assignment = self.assignment.with_home(
+                move.array_name, move.new_layer
+            )
+            evaluator.apply_home(
+                self.ledger, move.array_name, move.old_layer, move.new_layer
+            )
+            touched = evaluator.groups_of_array(move.array_name)
+        for group_key in touched:
+            home, selections = evaluator.group_state(self.assignment, group_key)
+            self.contribs[evaluator.group_index(group_key)] = (
+                evaluator.contribution_or_none(group_key, home, selections)
+            )
+        self.value = value
+
+    def inverse(self, move: Move) -> Move:
+        """The move that exactly undoes *move*."""
+        if isinstance(move, AddCopy):
+            return DropCopy(move.group_key, move.uid, move.layer_name)
+        if isinstance(move, DropCopy):
+            return AddCopy(move.group_key, move.uid, move.layer_name)
+        return Rehome(move.array_name, move.new_layer, move.old_layer)
+
+    def undo(self, move: Move) -> None:
+        """Undo a previously applied move (ledger/totals restore exactly)."""
+        self.apply(self.inverse(move))
+
+    # ------------------------------------------------------------------
+    # move proposal
+    # ------------------------------------------------------------------
+
+    def drop_sites(self) -> tuple[DropCopy, ...]:
+        """Every currently selected copy as a drop move (dynamic)."""
+        return tuple(
+            DropCopy(group_key, uid, layer_name)
+            for group_key, selections in self.assignment.copies.items()
+            for uid, layer_name in selections
+        )
+
+    def rehome_sites(self) -> tuple[Rehome, ...]:
+        """Every array-home change away from the current home (dynamic)."""
+        return tuple(
+            Rehome(array_name, current, layer_name)
+            for array_name, current in self.assignment.array_home.items()
+            for layer_name in (self._offchip,) + self._onchip
+            if layer_name != current
+        )
+
+    def propose(self, rng: random.Random) -> Move | None:
+        """One random candidate move (may score as illegal — that is fine).
+
+        Kinds are weighted toward copy additions (the productive
+        direction from sparse assignments); drops and rehomes keep the
+        walk reversible.  Returns None when the chosen kind has no
+        sites (e.g. nothing to drop yet).
+        """
+        roll = rng.random()
+        if roll < 0.55:
+            sites = self.add_sites
+        elif roll < 0.75:
+            sites = self.drop_sites()
+        else:
+            sites = self.rehome_sites()
+        if not sites:
+            return None
+        return sites[rng.randrange(len(sites))]
+
+    def neighborhood_sample(
+        self, rng: random.Random, size: int
+    ) -> list[Move]:
+        """*size* random proposals (duplicates possible, order seeded)."""
+        moves = []
+        for _ in range(size):
+            move = self.propose(rng)
+            if move is not None:
+                moves.append(move)
+        return moves

@@ -39,10 +39,16 @@ from repro.analysis.sweep import PlatformSpec, SweepCell
 from repro.apps import app_cache_payload
 from repro.errors import ValidationError
 from repro.memory.presets import PLATFORM_MODEL_VERSION
+from repro.search.config import AssignerSpec
 from repro.synth.spec import AppRefSpec, CaseSpec
 
-KEY_FORMAT_VERSION = 1
-"""Bumped when the key payload layout changes (invalidates all caches)."""
+KEY_FORMAT_VERSION = 2
+"""Bumped when the key payload layout changes (invalidates all caches).
+
+Version 2 folds the assigner recipe (:class:`AssignerSpec`) into the
+``search`` section: a portfolio sweep and a greedy sweep describe
+different computations and must never share a memoized result.
+"""
 
 _CONTENT_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 
@@ -127,14 +133,23 @@ def platform_payload(spec: PlatformSpec) -> dict:
 
 
 def cell_payload(cell: SweepCell) -> dict:
-    """Key payload of one sweep grid cell."""
+    """Key payload of one sweep grid cell.
+
+    The ``search`` section carries the TE sort factor and the assigner
+    recipe.  :meth:`AssignerSpec.payload` keeps the greedy default
+    budget-free, so greedy cells key identically whatever ``--budget``
+    was on the command line.
+    """
     return {
         "format": KEY_FORMAT_VERSION,
         "kind": "explore",
         "app": app_cache_payload(cell.app),
         "platform": platform_payload(cell.platform),
         "objective": cell.objective.value,
-        "search": {"sort_factor": cell.sort_factor},
+        "search": {
+            "sort_factor": cell.sort_factor,
+            "assigner": cell.assigner.payload(),
+        },
     }
 
 
@@ -143,7 +158,11 @@ def cell_key(cell: SweepCell) -> str:
     return content_key(cell_payload(cell))
 
 
-def case_payload(case: CaseSpec, sort_factor: str = "time_per_size") -> dict:
+def case_payload(
+    case: CaseSpec,
+    sort_factor: str = "time_per_size",
+    assigner: AssignerSpec | None = None,
+) -> dict:
     """Key payload of a full case spec (inline program or registry ref).
 
     The ``seed`` field is bookkeeping, not content — two specs that
@@ -166,13 +185,22 @@ def case_payload(case: CaseSpec, sort_factor: str = "time_per_size") -> dict:
             "model_version": PLATFORM_MODEL_VERSION,
         },
         "objective": case.objective,
-        "search": {"sort_factor": sort_factor},
+        "search": {
+            "sort_factor": sort_factor,
+            "assigner": (assigner or AssignerSpec()).payload(),
+        },
     }
 
 
-def case_key(case: CaseSpec, sort_factor: str = "time_per_size") -> str:
+def case_key(
+    case: CaseSpec,
+    sort_factor: str = "time_per_size",
+    assigner: AssignerSpec | None = None,
+) -> str:
     """Content key of a full case spec."""
-    return content_key(case_payload(case, sort_factor=sort_factor))
+    return content_key(
+        case_payload(case, sort_factor=sort_factor, assigner=assigner)
+    )
 
 
 def fuzz_verdict_payload(case: CaseSpec, harness_config: dict) -> dict:

@@ -45,7 +45,11 @@ A *cell* object names a registry app (bundled or ``synth/<seed>``) and
 an optional platform recipe: ``kind`` (``embedded_3layer`` default or
 ``embedded_2layer``), sizes as ``l1_kib``/``l2_kib`` (or exact
 ``l1_bytes``/``l2_bytes``), plus ``objective`` (``edp``/``cycles``/
-``energy``) and ``sort_factor``.
+``energy``), ``sort_factor``, and an optional ``assigner`` object
+``{"name", "budget", "seed"}`` choosing the step-1 search engine
+(``greedy`` default, or a metaheuristic / ``portfolio`` from
+:mod:`repro.search`); ``repro serve --assigner`` changes the default
+for cells that omit it.
 
 Errors use JSON-RPC error objects: ``-32700`` parse error, ``-32600``
 invalid request, ``-32601`` unknown method, ``-32602`` invalid params,
@@ -62,7 +66,9 @@ from typing import IO
 from repro.analysis.sweep import PlatformSpec, SweepCell
 from repro.analysis.export import result_to_dict, result_to_state
 from repro.core.assignment import Objective
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
+from repro.search.config import AssignerSpec
+from repro.search.registry import ASSIGNER_NAMES
 from repro.service.keys import cell_key
 from repro.service.queue import ExplorationService
 from repro.units import kib
@@ -83,17 +89,73 @@ class _RpcError(Exception):
         self.code = code
 
 
-_CELL_FIELDS = frozenset(("app", "platform", "objective", "sort_factor"))
+_CELL_FIELDS = frozenset(
+    ("app", "platform", "objective", "sort_factor", "assigner")
+)
 _PLATFORM_FIELDS = frozenset(
     ("kind", "l1_kib", "l2_kib", "l1_bytes", "l2_bytes", "label")
 )
+_ASSIGNER_FIELDS = frozenset(("name", "budget", "seed"))
 
 
-def cell_from_params(params: dict) -> SweepCell:
+def assigner_from_params(
+    params, default: AssignerSpec | None = None
+) -> AssignerSpec:
+    """Build an :class:`AssignerSpec` from a cell's ``assigner`` object.
+
+    Unknown fields and unknown strategy names are rejected so a typo
+    can never silently evaluate (and cache) the default engine.
+    """
+    if params is None:
+        return default if default is not None else AssignerSpec()
+    if not isinstance(params, dict):
+        raise _RpcError(INVALID_PARAMS, "'assigner' must be an object")
+    unknown = set(params) - _ASSIGNER_FIELDS
+    if unknown:
+        raise _RpcError(
+            INVALID_PARAMS,
+            f"unknown assigner field(s): {', '.join(sorted(unknown))}",
+        )
+    base = default if default is not None else AssignerSpec()
+    name = str(params.get("name", base.name))
+    if name not in ASSIGNER_NAMES:
+        raise _RpcError(
+            INVALID_PARAMS,
+            f"unknown assigner {name!r}; choose from "
+            f"{', '.join(ASSIGNER_NAMES)}",
+        )
+
+    def require_int(field: str, fallback: int) -> int:
+        # Strict: 2.9 silently truncating to budget=2 would evaluate
+        # (and cache) a different computation than the client asked for.
+        value = params.get(field, fallback)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise _RpcError(
+                INVALID_PARAMS, f"assigner {field!r} must be an integer"
+            )
+        return value
+
+    try:
+        return AssignerSpec(
+            name=name,
+            budget=require_int("budget", base.budget),
+            seed=require_int("seed", base.seed),
+        )
+    except ValidationError as error:
+        raise _RpcError(
+            INVALID_PARAMS, f"bad assigner params: {error}"
+        ) from None
+
+
+def cell_from_params(
+    params: dict, default_assigner: AssignerSpec | None = None
+) -> SweepCell:
     """Build a :class:`SweepCell` from a request's cell object.
 
     Unknown fields are rejected, not defaulted: a typo like ``l1kib``
     must not silently evaluate (and cache) the default platform.
+    *default_assigner* (``repro serve --assigner``) applies to cells
+    that do not spell out their own.
     """
     if not isinstance(params, dict):
         raise _RpcError(INVALID_PARAMS, "cell must be an object")
@@ -140,6 +202,9 @@ def cell_from_params(params: dict) -> SweepCell:
         platform=spec,
         objective=objective,
         sort_factor=str(params.get("sort_factor", "time_per_size")),
+        assigner=assigner_from_params(
+            params.get("assigner"), default=default_assigner
+        ),
     )
 
 
@@ -151,16 +216,28 @@ def _require_key(params: dict) -> str:
 
 
 class JsonRpcFrontend:
-    """Dispatches parsed requests against one exploration service."""
+    """Dispatches parsed requests against one exploration service.
 
-    def __init__(self, service: ExplorationService):
+    *default_assigner* (from ``repro serve --assigner``) applies to
+    every submitted cell that does not carry its own assigner object.
+    """
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        default_assigner: AssignerSpec | None = None,
+    ):
         self.service = service
+        self.default_assigner = default_assigner
         self.running = True
+
+    def _cell(self, params: dict) -> SweepCell:
+        return cell_from_params(params, default_assigner=self.default_assigner)
 
     # -- methods -------------------------------------------------------
 
     def _submit(self, params: dict) -> dict:
-        key = self.service.submit(cell_from_params(params))
+        key = self.service.submit(self._cell(params))
         return {"key": key, "status": self.service.poll(key)}
 
     def _poll(self, params: dict) -> dict:
@@ -192,7 +269,7 @@ class JsonRpcFrontend:
             params.get("cells"), list
         ):
             raise _RpcError(INVALID_PARAMS, "batch needs a 'cells' array")
-        cells = tuple(cell_from_params(cell) for cell in params["cells"])
+        cells = tuple(self._cell(cell) for cell in params["cells"])
         outcomes = self.service.run(cells)
         rows = []
         for outcome, cell in zip(outcomes, cells):
@@ -299,9 +376,10 @@ def serve(
     service: ExplorationService,
     stdin: IO[str],
     stdout: IO[str],
+    default_assigner: AssignerSpec | None = None,
 ) -> int:
     """Run the request loop until EOF or a ``shutdown`` request."""
-    frontend = JsonRpcFrontend(service)
+    frontend = JsonRpcFrontend(service, default_assigner=default_assigner)
     for line in stdin:
         response = frontend.handle_line(line)
         if response is None:

@@ -85,6 +85,18 @@ SEGMENT_PATTERN = re.compile(r"^segment-(\d{6,})\.jsonl$")
 COMPACT_TMP_FILENAME = "compact.tmp"
 """Scratch file of an in-progress compaction (ignored by replay)."""
 
+COMPACT_LOCK_FILENAME = "compact.lock"
+"""Exclusive-create lock held while a compaction rewrites the directory.
+
+Compaction is an offline, single-writer pass; the lock makes that
+assumption *enforced* instead of documented: a second compactor, or
+any process trying to append (``put``/eviction/touch) while another
+process's compaction is mid-rewrite, gets a clean :class:`StoreError`
+instead of racing the segment deletions.  The file holds the owning
+pid; a lock whose pid is no longer alive (a genuinely crashed
+compactor) is reclaimed when the directory is next opened.
+"""
+
 KIND_RESULT = "mhla_result"
 KIND_FUZZ_VERDICT = "fuzz_verdict"
 
@@ -170,9 +182,11 @@ class ResultStore:
         self._corrupt_count = 0
         self._unrecognised_count = 0
         self._corrupt_detail: list[dict] = []
+        self._holding_compact_lock = False
         self._dir = pathlib.Path(path) if path is not None else None
         self._file = self._dir / RESULTS_FILENAME if self._dir else None
         if self._dir is not None:
+            self._open_time_lock_reclaim()
             self._load_directory()
             # An existing log may exceed freshly configured bounds; a
             # pure-hit workload would otherwise never trigger eviction.
@@ -313,6 +327,7 @@ class ResultStore:
     def _append_data(self, data: bytes) -> None:
         if self._file is None:
             return
+        self._check_compact_lock()
         self._file.parent.mkdir(parents=True, exist_ok=True)
         # One os-level append of the complete payload: O_APPEND plus a
         # single unbuffered write keeps records from interleaving even
@@ -590,6 +605,143 @@ class ResultStore:
         if self.crash_hook is not None:
             self.crash_hook(name)
 
+    # -- compaction lock ------------------------------------------------
+
+    def _compact_lock_path(self) -> pathlib.Path:
+        return self._dir / COMPACT_LOCK_FILENAME
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OSError):  # pragma: no cover - priv pid
+            return True
+        return True
+
+    def _lock_owner(self) -> int | None:
+        """Pid recorded in the lock file, None when absent/unreadable."""
+        try:
+            return int(self._compact_lock_path().read_text().strip())
+        except FileNotFoundError:
+            raise
+        except (OSError, ValueError):
+            return None
+
+    def _check_compact_lock(self) -> None:
+        """Refuse to write while another process's compaction runs.
+
+        A lock whose recorded pid is dead is a leftover of a crashed
+        compactor: it does not block writers (and is *not* deleted
+        here — only the atomic rename-takeover in
+        :meth:`_reclaim_stale_compact_lock` ever removes a lock, so a
+        live compactor's fresh lock can never be unlinked by a racer
+        that read the file moments earlier).
+        """
+        if self._dir is None or self._holding_compact_lock:
+            return
+        try:
+            owner = self._lock_owner()
+        except FileNotFoundError:
+            return
+        if owner is not None and not self._pid_alive(owner):
+            return  # stale leftover; acquire-path takeover will clear it
+        raise StoreError(
+            f"cache directory {self._dir} is locked by an in-progress "
+            f"compaction (pid {owner}); retry once it finishes, or delete "
+            f"{COMPACT_LOCK_FILENAME} if that process is gone"
+        )
+
+    def _acquire_compact_lock(self) -> None:
+        path = self._compact_lock_path()
+        self._dir.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = None
+                try:
+                    owner = self._lock_owner()
+                except FileNotFoundError:  # lock freed between open and read
+                    continue
+                if (
+                    attempt == 0
+                    and owner is not None
+                    and not self._pid_alive(owner)
+                    and self._reclaim_stale_compact_lock()
+                ):
+                    continue  # stale lock taken over; retry the create
+                raise StoreError(
+                    f"another compaction already holds {path} (pid {owner}); "
+                    "offline compaction is single-writer"
+                ) from None
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            self._holding_compact_lock = True
+            return
+        raise StoreError(  # pragma: no cover - persistent create race
+            f"could not acquire {path}; another compactor keeps claiming it"
+        )
+
+    def _release_compact_lock(self) -> None:
+        self._holding_compact_lock = False
+        self._compact_lock_path().unlink(missing_ok=True)
+
+    def _reclaim_stale_compact_lock(self) -> bool:
+        """Atomically take over a dead compactor's lock; True on success.
+
+        Unlinking the lock by name would race a concurrent reclaimer:
+        between *reading* the dead pid and *unlinking*, another process
+        may have reclaimed the stale file and created its own live
+        lock, which a plain unlink would then silently destroy.
+        Instead the suspect file is **renamed** to a name unique to
+        this process — rename is atomic, so exactly one reclaimer wins
+        and the loser's rename raises — and only the renamed file
+        (which nothing else references) is inspected and deleted.  If
+        the renamed file unexpectedly names a live pid, it is restored.
+        """
+        if self._dir is None:
+            return False
+        path = self._compact_lock_path()
+        claim = self._dir / f"{COMPACT_LOCK_FILENAME}.reclaim-{os.getpid()}"
+        try:
+            os.rename(path, claim)
+        except OSError:
+            return False  # someone else reclaimed (or released) first
+        try:
+            owner = int(claim.read_text().strip())
+        except (OSError, ValueError):
+            owner = None
+        if owner is not None and self._pid_alive(owner):
+            # The file we grabbed belongs to a live compactor after
+            # all (we lost a read/decide race): put it back.
+            try:  # pragma: no cover - narrow double-race window
+                os.rename(claim, path)
+            except OSError:
+                claim.unlink(missing_ok=True)
+            return False
+        claim.unlink(missing_ok=True)
+        return True
+
+    def _open_time_lock_reclaim(self) -> None:
+        """Clear a crashed compactor's lock when (re)opening a directory.
+
+        A lock whose recorded pid is still alive is left alone — its
+        compaction may genuinely be running.  An unreadable pid is
+        treated as alive (conservative).
+        """
+        if self._dir is None:
+            return
+        try:
+            owner = self._lock_owner()
+        except FileNotFoundError:
+            return
+        if owner is not None and not self._pid_alive(owner):
+            self._reclaim_stale_compact_lock()
+
     def _fsync_dir(self) -> None:
         try:
             fd = os.open(self._dir, os.O_RDONLY)
@@ -616,55 +768,66 @@ class ResultStore:
         with self._lock:
             if self._dir is None:
                 return {"compacted": False, "reason": "in-memory store"}
-            self._crash_point("compact:begin")
-            old_files = self._segment_files()
-            bytes_before = sum(self._file_size(file) for file in old_files)
-            live = list(self._lru_order)
-            tmp = self._dir / COMPACT_TMP_FILENAME
-            self._dir.mkdir(parents=True, exist_ok=True)
-            tmp.unlink(missing_ok=True)
-            target = self._dir / f"segment-{self._next_segment_number():06d}.jsonl"
-            with tmp.open("wb") as handle:
-                handle.write(
-                    _encode(
-                        {
-                            "format": STORE_FORMAT_VERSION,
-                            "key": "",
-                            "kind": KIND_COMPACTION,
-                            "payload": {"records": len(live)},
-                        }
-                    )
+            self._acquire_compact_lock()
+            try:
+                return self._compact_locked(started)
+            finally:
+                # Released even on a simulated crash (the crash_hook
+                # raises); a real kill leaves the lock for the next
+                # open's stale-pid reclaim.
+                self._release_compact_lock()
+
+    def _compact_locked(self, started: float) -> dict:
+        """The compaction body; caller holds both locks."""
+        self._crash_point("compact:begin")
+        old_files = self._segment_files()
+        bytes_before = sum(self._file_size(file) for file in old_files)
+        live = list(self._lru_order)
+        tmp = self._dir / COMPACT_TMP_FILENAME
+        self._dir.mkdir(parents=True, exist_ok=True)
+        tmp.unlink(missing_ok=True)
+        target = self._dir / f"segment-{self._next_segment_number():06d}.jsonl"
+        with tmp.open("wb") as handle:
+            handle.write(
+                _encode(
+                    {
+                        "format": STORE_FORMAT_VERSION,
+                        "key": "",
+                        "kind": KIND_COMPACTION,
+                        "payload": {"records": len(live)},
+                    }
                 )
-                for position, key in enumerate(live):
-                    if position == len(live) // 2:
-                        self._crash_point("compact:mid-write")
-                    handle.write(_encode(self._index[key]))
-                handle.flush()
-                os.fsync(handle.fileno())
-            self._crash_point("compact:pre-rename")
-            os.replace(tmp, target)
-            self._fsync_dir()
-            self._crash_point("compact:post-rename")
-            for position, file in enumerate(old_files):
-                file.unlink(missing_ok=True)
-                if position == 0:
-                    self._crash_point("compact:mid-delete")
-            self._fsync_dir()
-            self._active_bytes = 0
-            # the damaged lines were dropped with their segments
-            self._corrupt_count = 0
-            self._unrecognised_count = 0
-            self._corrupt_detail = []
-            bytes_after = target.stat().st_size
-            return {
-                "compacted": True,
-                "segments_removed": len(old_files),
-                "records_written": len(live),
-                "bytes_before": bytes_before,
-                "bytes_after": bytes_after,
-                "bytes_reclaimed": bytes_before - bytes_after,
-                "duration_s": time.perf_counter() - started,
-            }
+            )
+            for position, key in enumerate(live):
+                if position == len(live) // 2:
+                    self._crash_point("compact:mid-write")
+                handle.write(_encode(self._index[key]))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._crash_point("compact:pre-rename")
+        os.replace(tmp, target)
+        self._fsync_dir()
+        self._crash_point("compact:post-rename")
+        for position, file in enumerate(old_files):
+            file.unlink(missing_ok=True)
+            if position == 0:
+                self._crash_point("compact:mid-delete")
+        self._fsync_dir()
+        self._active_bytes = 0
+        # the damaged lines were dropped with their segments
+        self._corrupt_count = 0
+        self._unrecognised_count = 0
+        self._corrupt_detail = []
+        bytes_after = target.stat().st_size
+        return {
+            "compacted": True,
+            "segments_removed": len(old_files),
+            "records_written": len(live),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "bytes_reclaimed": bytes_before - bytes_after,
+            "duration_s": time.perf_counter() - started,
+        }
 
     # ------------------------------------------------------------------
     # introspection: stats + verify

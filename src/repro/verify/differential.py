@@ -18,6 +18,14 @@ the synthetic ones from :mod:`repro.synth` — with four checks:
     branch-and-bound optimum must equal the full enumeration's optimum
     (same objective value), both optima must be legal and feasible, and
     the greedy result can never beat the oracle.
+``metaheuristic``
+    The configured :mod:`repro.search` engine (default: the strategy
+    portfolio) must return a legal, capacity-feasible assignment whose
+    objective is **never worse than greedy**, must replay
+    byte-for-byte when re-run with the same seed, can never beat the
+    exhaustive optimum, and — when the copies+homes space fits the
+    enumeration budget — the portfolio must **match** the exhaustive
+    optimum (its exact member completes on every such case).
 ``simulation``
     The simulator's measured cycles must agree with the analytical
     estimate within the documented contention gap (the estimator
@@ -57,7 +65,7 @@ from repro.synth import case_seed, generate_case
 from repro.synth.spec import CaseSpec
 from repro.verify.shrink import shrink_case
 
-CHECK_NAMES = ("incremental", "oracle", "simulation", "te")
+CHECK_NAMES = ("incremental", "oracle", "metaheuristic", "simulation", "te")
 """All differential checks, in execution order."""
 
 PASS, FAIL, SKIP = "pass", "fail", "skip"
@@ -132,7 +140,7 @@ class FuzzReport:
         # that ran and never passed.
         for check, row in self.counts.items():
             lines.append(
-                f"  {check:12s} pass={row.get(PASS, 0):4d} "
+                f"  {check:13s} pass={row.get(PASS, 0):4d} "
                 f"fail={row.get(FAIL, 0):3d} skip={row.get(SKIP, 0):3d}"
             )
         return "\n".join(lines)
@@ -154,6 +162,10 @@ class _CaseArtifacts:
         self.program, self.platform, self.objective = spec.build()
         self._ctx: AnalysisContext | None = None
         self._scenarios = None
+        #: Cross-check memo (e.g. the copies+homes branch-and-bound run
+        #: that both ``oracle`` and ``metaheuristic`` need) — the most
+        #: expensive per-case artefacts are computed once.
+        self.memo: dict = {}
 
     @property
     def ctx(self) -> AnalysisContext:
@@ -176,7 +188,7 @@ class DifferentialHarness:
     Parameters
     ----------
     checks:
-        Subset of :data:`CHECK_NAMES` to run (default: all four).
+        Subset of :data:`CHECK_NAMES` to run (default: all five).
     sim_tolerance:
         Allowed relative gap between estimated and simulated cycles for
         the ``mhla`` scenario — the documented contention gap (the
@@ -195,6 +207,11 @@ class DifferentialHarness:
         oracle runs; larger instances skip the ``oracle`` check.
     oracle_node_budget:
         Visited-node budget handed to the branch-and-bound engine.
+    assigner:
+        Engine the ``metaheuristic`` check verifies (default: the
+        strategy portfolio with a node budget whose exact member
+        always completes within ``oracle_node_budget`` on cases small
+        enough for the enumeration oracle).
     """
 
     def __init__(
@@ -204,7 +221,10 @@ class DifferentialHarness:
         te_sim_tolerance: float = 0.60,
         oracle_enumeration_budget: int = 20_000,
         oracle_node_budget: int = 400_000,
+        assigner=None,
     ):
+        from repro.search import AssignerSpec
+
         unknown = set(checks) - set(CHECK_NAMES)
         if unknown:
             raise ValidationError(
@@ -216,6 +236,11 @@ class DifferentialHarness:
         self.te_sim_tolerance = te_sim_tolerance
         self.oracle_enumeration_budget = oracle_enumeration_budget
         self.oracle_node_budget = oracle_node_budget
+        self.assigner = (
+            assigner
+            if assigner is not None
+            else AssignerSpec(name="portfolio", budget=2000, seed=0)
+        )
 
     # ------------------------------------------------------------------
     # case entry points
@@ -269,11 +294,46 @@ class DifferentialHarness:
             te_sim_tolerance=self.te_sim_tolerance,
             oracle_enumeration_budget=self.oracle_enumeration_budget,
             oracle_node_budget=self.oracle_node_budget,
+            assigner=self.assigner,
         )
         return not scoped.run_case(spec).ok
 
     # ------------------------------------------------------------------
-    # the four checks
+    # shared expensive artefacts (memoised per case)
+    # ------------------------------------------------------------------
+
+    def _bnb_oracle(self, artifacts: _CaseArtifacts, include_homes: bool):
+        """Branch-and-bound optimum of one move-space tier, or None.
+
+        ``None`` means the tree exceeded ``oracle_node_budget``.
+        Memoised on the artifacts: the copies+homes tier is the most
+        expensive thing the harness runs, and both the ``oracle`` and
+        ``metaheuristic`` checks need exactly the same result.
+        """
+        key = ("bnb", include_homes, self.oracle_node_budget)
+        if key not in artifacts.memo:
+            try:
+                artifacts.memo[key] = ExhaustiveAssigner(
+                    artifacts.ctx,
+                    objective=artifacts.objective,
+                    include_home_moves=include_homes,
+                    prune=True,
+                    max_states=self.oracle_node_budget,
+                ).run()
+            except AssignmentError:
+                artifacts.memo[key] = None
+        return artifacts.memo[key]
+
+    def _greedy_baseline(self, artifacts: _CaseArtifacts):
+        """Memoised greedy (assignment, trace) on the case's context."""
+        if "greedy" not in artifacts.memo:
+            artifacts.memo["greedy"] = GreedyAssigner(
+                artifacts.ctx, objective=artifacts.objective
+            ).run()
+        return artifacts.memo["greedy"]
+
+    # ------------------------------------------------------------------
+    # the five checks
     # ------------------------------------------------------------------
 
     def _check_incremental(self, artifacts: _CaseArtifacts) -> CheckResult:
@@ -348,15 +408,11 @@ class DifferentialHarness:
                     prune=False,
                     max_states=self.oracle_enumeration_budget,
                 ).run()
-                bnb_result = ExhaustiveAssigner(
-                    ctx,
-                    objective=objective,
-                    include_home_moves=include_homes,
-                    prune=True,
-                    max_states=self.oracle_node_budget,
-                ).run()
             except AssignmentError:
                 continue  # this tier's space is over budget
+            bnb_result = self._bnb_oracle(artifacts, include_homes)
+            if bnb_result is None:
+                continue  # BnB tree over the node budget
             ran_any = True
             tier = "copies+homes" if include_homes else "copies-only"
 
@@ -402,6 +458,84 @@ class DifferentialHarness:
                 "oracle", SKIP, "option space exceeds the enumeration budget"
             )
         return CheckResult("oracle", PASS)
+
+    def _check_metaheuristic(self, artifacts: _CaseArtifacts) -> CheckResult:
+        from repro.search import build_assigner
+
+        ctx, objective = artifacts.ctx, artifacts.objective
+        spec = self.assigner
+        _greedy_assignment, greedy_trace = self._greedy_baseline(artifacts)
+        greedy_value = greedy_trace.final_value
+
+        assignment, trace = build_assigner(
+            ctx, objective=objective, spec=spec
+        ).run()
+        replay_assignment, replay_trace = build_assigner(
+            ctx, objective=objective, spec=spec
+        ).run()
+
+        if (
+            replay_assignment.array_home != assignment.array_home
+            or replay_assignment.copies != assignment.copies
+            or replay_trace.final_value != trace.final_value
+            or replay_trace.steps != trace.steps
+        ):
+            return CheckResult(
+                "metaheuristic",
+                FAIL,
+                f"{spec.describe()} is not deterministic: replay produced "
+                f"value {replay_trace.final_value!r} vs "
+                f"{trace.final_value!r}",
+            )
+        if not self._legal_and_feasible(ctx, assignment):
+            return CheckResult(
+                "metaheuristic",
+                FAIL,
+                f"{spec.describe()} returned an illegal or infeasible "
+                "assignment",
+            )
+        if trace.final_value > greedy_value * (1.0 + _VALUE_SLACK):
+            return CheckResult(
+                "metaheuristic",
+                FAIL,
+                f"{spec.describe()} is worse than greedy: "
+                f"{trace.final_value!r} > {greedy_value!r} — the anytime "
+                "warm-start guarantee is broken",
+            )
+
+        # Oracle tier: when the copies+homes branch-and-bound completes
+        # within budget, nothing may beat the optimum — and on cases
+        # the portfolio's exact member can itself finish (its node
+        # allowance covers the tree), the portfolio must MATCH it.
+        from repro.search import exact_probe_allowance
+
+        oracle = self._bnb_oracle(artifacts, include_homes=True)
+        if oracle is None:
+            return CheckResult("metaheuristic", PASS)
+        floor = oracle.value * (1.0 - _VALUE_SLACK)
+        if trace.final_value < floor:
+            return CheckResult(
+                "metaheuristic",
+                FAIL,
+                f"{spec.describe()} value {trace.final_value!r} beats the "
+                f"exhaustive optimum {oracle.value!r} — the oracle or the "
+                "engine scoring is broken",
+            )
+        gap = abs(trace.final_value - oracle.value)
+        small_case = oracle.evaluated <= exact_probe_allowance(spec.budget)
+        if (
+            spec.name == "portfolio"
+            and small_case
+            and gap > _VALUE_SLACK * max(1.0, abs(oracle.value))
+        ):
+            return CheckResult(
+                "metaheuristic",
+                FAIL,
+                f"portfolio missed the exhaustive optimum on a small case "
+                f"({oracle.evaluated} nodes): {trace.final_value!r} != "
+                f"{oracle.value!r} (winner {trace.strategy})",
+            )
+        return CheckResult("metaheuristic", PASS)
 
     def _check_simulation(self, artifacts: _CaseArtifacts) -> CheckResult:
         if artifacts.platform.dma is None:

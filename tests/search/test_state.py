@@ -1,0 +1,154 @@
+"""Unit tests for the mutable search state (moves, scoring, apply/undo)."""
+
+import random
+
+import pytest
+
+from repro.core.assignment import GreedyAssigner, Objective
+from repro.core.context import AnalysisContext
+from repro.core.costs import estimate_cost
+from repro.errors import ValidationError
+from repro.memory.presets import embedded_3layer
+from repro.search import AddCopy, DropCopy, Rehome, SearchState
+from tests.conftest import make_two_nest_program, make_window_program
+
+
+@pytest.fixture
+def state():
+    ctx = AnalysisContext(make_two_nest_program(), embedded_3layer())
+    return SearchState(ctx)
+
+
+def _canonical_copies(assignment):
+    return {
+        group: tuple(sorted(selections))
+        for group, selections in assignment.copies.items()
+    }
+
+
+class TestScoring:
+    def test_initial_value_matches_estimator(self, state):
+        report = estimate_cost(state.ctx, state.assignment)
+        assert state.value == report.cycles * report.energy_nj
+
+    def test_add_copy_score_matches_estimator(self, state):
+        for move in state.add_sites:
+            value = state.score(move)
+            if value is None:
+                continue
+            trial = state.assignment.with_copy(
+                move.group_key, move.uid, move.layer_name
+            )
+            report = estimate_cost(state.ctx, trial)
+            assert value == report.cycles * report.energy_nj
+            return
+        pytest.fail("no scoreable add move found")
+
+    def test_duplicate_copy_scores_none(self, state):
+        move = next(m for m in state.add_sites if state.score(m) is not None)
+        state.apply(move)
+        assert state.score(move) is None
+
+    def test_drop_of_unselected_scores_none(self, state):
+        move = state.add_sites[0]
+        assert (
+            state.score(DropCopy(move.group_key, move.uid, move.layer_name))
+            is None
+        )
+
+    def test_rehome_with_stale_old_layer_scores_none(self, state):
+        array = next(iter(state.ctx.program.arrays))
+        assert state.score(Rehome(array, "not-the-home", "L1")) is None
+
+    def test_unknown_move_type_raises(self, state):
+        with pytest.raises(ValidationError):
+            state.score("not a move")
+
+    def test_apply_illegal_move_raises(self, state):
+        move = state.add_sites[0]
+        state.apply(move)
+        with pytest.raises(ValidationError):
+            state.apply(move)  # duplicate now
+
+
+class TestApplyUndo:
+    def test_add_then_undo_restores_everything(self, state):
+        before_homes = dict(state.assignment.array_home)
+        before_copies = _canonical_copies(state.assignment)
+        before_value = state.value
+        before_ledger = state.ledger.state()
+        move = next(m for m in state.add_sites if state.score(m) is not None)
+        state.apply(move)
+        assert state.value != before_value
+        state.undo(move)
+        assert dict(state.assignment.array_home) == before_homes
+        assert _canonical_copies(state.assignment) == before_copies
+        assert state.value == before_value
+        assert state.ledger.state() == before_ledger
+
+    def test_rehome_then_undo_restores_everything(self, state):
+        move = next(
+            (m for m in state.rehome_sites() if state.score(m) is not None),
+            None,
+        )
+        if move is None:
+            pytest.skip("no legal rehome on this program")
+        before_homes = dict(state.assignment.array_home)
+        before_value = state.value
+        before_ledger = state.ledger.state()
+        state.apply(move)
+        assert state.assignment.array_home[move.array_name] == move.new_layer
+        state.undo(move)
+        assert dict(state.assignment.array_home) == before_homes
+        assert state.value == before_value
+        assert state.ledger.state() == before_ledger
+
+    def test_value_tracks_estimator_through_a_walk(self):
+        ctx = AnalysisContext(make_window_program(), embedded_3layer())
+        state = SearchState(ctx)
+        rng = random.Random(7)
+        applied = 0
+        for _ in range(60):
+            move = state.propose(rng)
+            if move is None or state.score(move) is None:
+                continue
+            state.apply(move)
+            applied += 1
+            report = estimate_cost(ctx, state.assignment)
+            assert state.value == report.cycles * report.energy_nj
+            assert ctx.fits(state.assignment)
+        assert applied > 0
+
+    def test_ledger_matches_fresh_build_after_walk(self, state):
+        rng = random.Random(3)
+        for _ in range(40):
+            move = state.propose(rng)
+            if move is not None and state.score(move) is not None:
+                state.apply(move)
+        fresh = state.evaluator.ledger_for(state.assignment)
+        assert state.ledger.state() == fresh.state()
+
+
+class TestProposal:
+    def test_proposals_are_deterministic_per_seed(self, state):
+        first = [state.propose(random.Random(11)) for _ in range(20)]
+        second = [state.propose(random.Random(11)) for _ in range(20)]
+        assert first == second
+
+    def test_objective_variants_fold_consistently(self):
+        ctx = AnalysisContext(make_two_nest_program(), embedded_3layer())
+        for objective in Objective:
+            state = SearchState(ctx, objective=objective)
+            report = estimate_cost(ctx, state.assignment)
+            if objective is Objective.CYCLES:
+                assert state.value == report.cycles
+            elif objective is Objective.ENERGY:
+                assert state.value == report.energy_nj
+            else:
+                assert state.value == report.cycles * report.energy_nj
+
+    def test_state_from_greedy_assignment(self):
+        ctx = AnalysisContext(make_two_nest_program(), embedded_3layer())
+        assignment, trace = GreedyAssigner(ctx).run()
+        state = SearchState(ctx, assignment=assignment)
+        assert state.value == trace.final_value

@@ -283,3 +283,32 @@ class TestFullGridCache:
         assert cold_code == warm_code == 0
         assert warm == cold
         assert cold.count("qsdpcm") == 6
+
+
+class TestAssignerCache:
+    def test_portfolio_run_warm_is_byte_identical(self, tmp_path, capsys):
+        argv = [
+            "run", "voice_coder", "--l1-kib", "2", "--l2-kib", "16",
+            "--assigner", "portfolio", "--budget", "300",
+            "--cache", str(tmp_path),
+        ]
+        cold_code, cold = run_cli(capsys, argv)
+        warm_code, warm = run_cli(capsys, argv)
+        assert cold_code == warm_code == 0
+        assert warm == cold
+
+    def test_assigner_configs_do_not_collide(self, tmp_path, capsys):
+        base = ["run", "voice_coder", "--l1-kib", "2", "--l2-kib", "16",
+                "--cache", str(tmp_path)]
+        _code, greedy = run_cli(capsys, base)
+        _code, tabu = run_cli(
+            capsys, base + ["--assigner", "tabu", "--budget", "300"]
+        )
+        # two records: greedy and tabu keyed apart in one store
+        from repro.service import KIND_RESULT, ResultStore
+
+        store = ResultStore(tmp_path)
+        kinds = [
+            record["kind"] for record in store._index.values()
+        ]
+        assert kinds.count(KIND_RESULT) == 2

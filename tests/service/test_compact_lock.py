@@ -1,0 +1,117 @@
+"""Compaction lock file: concurrent writers fail cleanly, stale locks heal.
+
+Offline compaction rewrites and deletes segments; a concurrent writer
+racing that pass could append to a segment that is about to be
+unlinked.  The lock file turns that documented single-writer
+assumption into an enforced one: while ``compact.lock`` exists (and
+its recorded pid is alive), a second compactor and any appending
+writer get a clean :class:`StoreError`.
+"""
+
+import subprocess
+
+import pytest
+
+from repro.errors import StoreError
+from repro.service.store import COMPACT_LOCK_FILENAME, ResultStore
+
+
+def _store_with_records(path, count=3):
+    store = ResultStore(path)
+    for index in range(count):
+        store.put(f"{index:064x}", "test_kind", {"value": index})
+    return store
+
+
+def _plant_live_lock(path):
+    """A lock held by a provably alive process: this one."""
+    import os
+
+    (path / COMPACT_LOCK_FILENAME).write_text(str(os.getpid()))
+
+
+def _dead_pid() -> int:
+    """Pid of a process that has already exited."""
+    child = subprocess.Popen(["sleep", "0"])
+    child.wait()
+    return child.pid
+
+
+class TestConcurrentWriterRejection:
+    def test_second_compactor_gets_store_error(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        _plant_live_lock(tmp_path)
+        with pytest.raises(StoreError, match="another compaction"):
+            store.compact()
+
+    def test_writer_gets_store_error_during_foreign_compaction(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        _plant_live_lock(tmp_path)
+        with pytest.raises(StoreError, match="locked by an in-progress"):
+            store.put("f" * 64, "test_kind", {"value": 99})
+
+    def test_gc_eviction_blocked_too(self, tmp_path):
+        store = _store_with_records(tmp_path, count=5)
+        _plant_live_lock(tmp_path)
+        with pytest.raises(StoreError, match="locked"):
+            store.gc(max_records=1)
+
+    def test_reads_still_served_while_locked(self, tmp_path):
+        # An unbounded store never writes on hits, so reads keep working
+        # through someone else's compaction.
+        store = _store_with_records(tmp_path)
+        _plant_live_lock(tmp_path)
+        assert store.get("0" * 63 + "0", "test_kind") == {"value": 0}
+
+    def test_unlock_restores_writes(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        _plant_live_lock(tmp_path)
+        (tmp_path / COMPACT_LOCK_FILENAME).unlink()
+        assert store.put("e" * 64, "test_kind", {"value": 1})
+        report = store.compact()
+        assert report["compacted"] is True
+
+
+class TestLockLifecycle:
+    def test_compact_releases_its_lock(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        store.compact()
+        assert not (tmp_path / COMPACT_LOCK_FILENAME).exists()
+        # and the store can keep writing afterwards
+        assert store.put("d" * 64, "test_kind", {"value": 2})
+
+    def test_simulated_crash_still_releases(self, tmp_path):
+        # crash_hook raises mid-compaction: the exception propagates but
+        # the finally releases the lock (a real kill is the stale case).
+        store = _store_with_records(tmp_path)
+
+        def crash(point):
+            if point == "compact:mid-write":
+                raise RuntimeError("injected crash")
+
+        store.crash_hook = crash
+        with pytest.raises(RuntimeError):
+            store.compact()
+        assert not (tmp_path / COMPACT_LOCK_FILENAME).exists()
+
+    def test_stale_lock_reclaimed_on_open(self, tmp_path):
+        _store_with_records(tmp_path)
+        (tmp_path / COMPACT_LOCK_FILENAME).write_text(str(_dead_pid()))
+        reopened = ResultStore(tmp_path)
+        assert not (tmp_path / COMPACT_LOCK_FILENAME).exists()
+        assert reopened.put("c" * 64, "test_kind", {"value": 3})
+        assert reopened.compact()["compacted"] is True
+
+    def test_live_lock_survives_open(self, tmp_path):
+        _store_with_records(tmp_path)
+        _plant_live_lock(tmp_path)
+        reopened = ResultStore(tmp_path)  # reading is fine
+        assert (tmp_path / COMPACT_LOCK_FILENAME).exists()
+        with pytest.raises(StoreError):
+            reopened.put("b" * 64, "test_kind", {"value": 4})
+
+    def test_unparsable_lock_treated_as_live(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        (tmp_path / COMPACT_LOCK_FILENAME).write_text("not-a-pid")
+        with pytest.raises(StoreError):
+            store.compact()

@@ -137,7 +137,7 @@ class TestCellKeys:
             objective=Objective.EDP,
         )
         assert cell_key(cell) == (
-            "4dc04913ab783bc00544d58cfa7d80c75bfe643d96ba8abbbcb40757874db608"
+            "062aa676c24e7c6f45ce422385f272850b21fc777dbf5bee570af8984ba2111e"
         )
 
 
@@ -176,3 +176,39 @@ class TestCaseKeys:
         assert rebuilt.program == AppRefSpec(name="qsdpcm")
         assert case_key(rebuilt) == case_key(ref_case)
         assert case_key(rebuilt) != case_key(case)
+
+
+class TestAssignerKeys:
+    def test_assigner_config_keys_apart(self):
+        from repro.search import AssignerSpec
+
+        cell = SweepCell(
+            app="voice_coder", platform=PlatformSpec(), objective=Objective.EDP
+        )
+        portfolio = replace(
+            cell, assigner=AssignerSpec("portfolio", budget=2000, seed=0)
+        )
+        rebudgeted = replace(
+            cell, assigner=AssignerSpec("portfolio", budget=4000, seed=0)
+        )
+        reseeded = replace(
+            cell, assigner=AssignerSpec("portfolio", budget=2000, seed=1)
+        )
+        keys = {
+            cell_key(cell),
+            cell_key(portfolio),
+            cell_key(rebudgeted),
+            cell_key(reseeded),
+        }
+        assert len(keys) == 4
+
+    def test_greedy_key_ignores_budget_and_seed(self):
+        from repro.search import AssignerSpec
+
+        cell = SweepCell(
+            app="voice_coder", platform=PlatformSpec(), objective=Objective.EDP
+        )
+        tweaked = replace(
+            cell, assigner=AssignerSpec("greedy", budget=999, seed=42)
+        )
+        assert cell_key(tweaked) == cell_key(cell)

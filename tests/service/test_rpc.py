@@ -272,3 +272,71 @@ class TestLoop:
             [rpc("shutdown", 1), rpc("stats", 2)],
         )
         assert len(frontend_responses) == 1
+
+
+class TestAssignerParams:
+    def test_default_is_greedy(self):
+        cell = cell_from_params({"app": "qsdpcm"})
+        assert cell.assigner.name == "greedy"
+
+    def test_explicit_assigner_parsed(self):
+        cell = cell_from_params(
+            {
+                "app": "qsdpcm",
+                "assigner": {"name": "portfolio", "budget": 500, "seed": 7},
+            }
+        )
+        assert cell.assigner.name == "portfolio"
+        assert cell.assigner.budget == 500
+        assert cell.assigner.seed == 7
+
+    def test_serve_default_applies_to_bare_cells(self):
+        from repro.search import AssignerSpec
+
+        default = AssignerSpec(name="tabu", budget=123, seed=4)
+        cell = cell_from_params({"app": "qsdpcm"}, default_assigner=default)
+        assert cell.assigner == default
+        # a cell that names its own assigner keeps it (fields it omits
+        # fall back to the serve default)
+        cell = cell_from_params(
+            {"app": "qsdpcm", "assigner": {"name": "beam"}},
+            default_assigner=default,
+        )
+        assert cell.assigner.name == "beam"
+        assert cell.assigner.budget == 123
+
+    def test_unknown_assigner_name_rejected(self):
+        from repro.service.rpc import _RpcError
+
+        with pytest.raises(_RpcError) as excinfo:
+            cell_from_params(
+                {"app": "qsdpcm", "assigner": {"name": "magic"}}
+            )
+        assert excinfo.value.code == INVALID_PARAMS
+
+    def test_unknown_assigner_field_rejected(self):
+        from repro.service.rpc import _RpcError
+
+        with pytest.raises(_RpcError) as excinfo:
+            cell_from_params(
+                {"app": "qsdpcm", "assigner": {"name": "tabu", "bugdet": 5}}
+            )
+        assert excinfo.value.code == INVALID_PARAMS
+
+    def test_bad_budget_rejected(self):
+        from repro.service.rpc import _RpcError
+
+        with pytest.raises(_RpcError) as excinfo:
+            cell_from_params(
+                {"app": "qsdpcm", "assigner": {"name": "tabu", "budget": 0}}
+            )
+        assert excinfo.value.code == INVALID_PARAMS
+
+    def test_assigner_changes_submit_key(self):
+        service = ExplorationService(store=ResultStore())
+        greedy = rpc("submit", 1, **VOICE_CELL)
+        tabu_cell = dict(VOICE_CELL, assigner={"name": "tabu", "budget": 200})
+        tabu = rpc("submit", 2, **tabu_cell)
+        responses = roundtrip(service, [greedy, tabu])
+        keys = [response["result"]["key"] for response in responses]
+        assert keys[0] != keys[1]

@@ -161,3 +161,88 @@ class TestSubcommands:
         assert "program voice_coder" in out
         assert "copy candidates" in out
         assert "nest entry" in out
+
+
+class TestAssignerFlags:
+    def test_assigner_parsed_with_defaults(self):
+        args = build_parser().parse_args(["run", "voice_coder"])
+        assert args.assigner == "greedy"
+        assert args.budget > 0
+        assert args.search_seed == 0
+
+    def test_search_defaults_to_portfolio(self):
+        args = build_parser().parse_args(["search", "voice_coder"])
+        assert args.assigner == "portfolio"
+        assert args.objective == "edp"
+
+    def test_unknown_assigner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "voice_coder", "--assigner", "magic"])
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "voice_coder", "--budget", "0"])
+
+    def test_search_command_races_portfolio(self, capsys):
+        assert main(["search", "voice_coder", "--budget", "300"]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("greedy", "exact", "beam", "annealing", "tabu", "restart"):
+            assert strategy in out
+        assert "vs greedy" in out
+        assert "result: portfolio" in out
+
+    def test_search_single_strategy(self, capsys):
+        assert main(
+            ["search", "voice_coder", "--assigner", "tabu", "--budget", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tabu" in out
+        assert "annealing" not in out
+
+    def test_run_with_portfolio_assigner(self, capsys):
+        assert main(
+            ["run", "voice_coder", "--assigner", "portfolio", "--budget", "200"]
+        ) == 0
+        assert "MHLA speedup" in capsys.readouterr().out
+
+    def test_sweep_attributes_assigner_column(self, capsys):
+        assert main(
+            ["sweep", "--synthetic", "1", "--assigner", "tabu", "--budget", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "assigner" in out
+        assert "tabu" in out
+
+
+class TestExitCodes:
+    """User errors exit 2; internal failures exit 1 (uniform contract)."""
+
+    def test_validation_error_exits_2(self, capsys):
+        assert main(["fuzz", "--cases", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "at least one case" in err
+
+    def test_internal_error_exits_1(self, capsys, monkeypatch):
+        from repro.errors import SimulationError
+
+        class Exploding:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def explore(self):
+                raise SimulationError("internal inconsistency")
+
+        monkeypatch.setattr("repro.cli.Mhla", Exploding)
+        assert main(["run", "voice_coder"]) == 1
+        err = capsys.readouterr().err
+        assert "SimulationError" in err
+
+    def test_missing_cache_dir_exits_2(self, capsys):
+        assert main(["cache", "stats", "/no/such/dir"]) == 2
+        assert "no such cache directory" in capsys.readouterr().err
+
+    def test_bad_arguments_exit_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "voice_coder", "--budget", "-5"])
+        assert excinfo.value.code == 2
