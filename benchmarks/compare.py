@@ -1,0 +1,141 @@
+"""Diff two ``BENCH_*.json`` snapshots and flag perf regressions.
+
+The committed snapshots under ``benchmarks/out/`` are the perf
+trajectory of the repo; this tool turns a before/after pair into a
+review-ready table and a CI-usable exit code::
+
+    python benchmarks/compare.py old/BENCH_search.json \
+        benchmarks/out/BENCH_search.json \
+        --metric qsdpcm.incremental_ms \
+        --metric sweep_grid.warm_pool2_ms \
+        --metric frontier_scoring.batched_ms
+
+Metrics are dot-paths into the JSON (``section.counter``).  A *named*
+metric that grew by more than the tolerance (default 25%) is a
+regression and the process exits nonzero; every other shared numeric
+leaf is reported informationally but never fails the run, because most
+counters (speedups, cache hits, node counts) are not
+smaller-is-better.  Named metrics must therefore be wall-clock-style
+values where growth is bad.
+
+Missing named metrics fail too — a metric that silently disappears
+from the snapshot is exactly the blind spot this guard exists for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def flatten(record: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON object as ``a.b.c`` paths."""
+    flat: dict[str, float] = {}
+    for key, value in record.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten(value, f"{path}."))
+        elif isinstance(value, bool):
+            continue  # flags are identity-compared nowhere; skip
+        elif isinstance(value, (int, float)):
+            flat[path] = float(value)
+    return flat
+
+
+def compare(
+    old: dict,
+    new: dict,
+    metrics: list[str],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[str], list[str]]:
+    """(report lines, failure lines) for *new* against *old*.
+
+    *metrics* are the guarded dot-paths: growth beyond *tolerance*
+    (relative, against the old value) is a failure, as is absence from
+    either snapshot.
+    """
+    old_flat, new_flat = flatten(old), flatten(new)
+    lines: list[str] = []
+    failures: list[str] = []
+
+    for metric in metrics:
+        if metric not in old_flat or metric not in new_flat:
+            side = "old" if metric not in old_flat else "new"
+            failures.append(f"{metric}: missing from {side} snapshot")
+            continue
+        before, after = old_flat[metric], new_flat[metric]
+        ratio = after / before if before else float("inf")
+        delta = f"{(ratio - 1):+.1%}" if before else "n/a"
+        verdict = "ok"
+        if before and ratio > 1 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{metric}: {before:g} -> {after:g} ({delta}, "
+                f"tolerance +{tolerance:.0%})"
+            )
+        lines.append(
+            f"  [{verdict:>10}] {metric}: {before:g} -> {after:g} ({delta})"
+        )
+
+    guarded = set(metrics)
+    for path in sorted(old_flat.keys() & new_flat.keys() - guarded):
+        if path in guarded:
+            continue
+        before, after = old_flat[path], new_flat[path]
+        delta = f"{(after / before - 1):+.1%}" if before else "n/a"
+        lines.append(f"  [      info] {path}: {before:g} -> {after:g} ({delta})")
+    for path in sorted(old_flat.keys() - new_flat.keys()):
+        lines.append(f"  [      info] {path}: dropped from new snapshot")
+    for path in sorted(new_flat.keys() - old_flat.keys()):
+        lines.append(f"  [      info] {path}: new in this snapshot")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json snapshots for regressions."
+    )
+    parser.add_argument("old", type=pathlib.Path, help="baseline snapshot")
+    parser.add_argument("new", type=pathlib.Path, help="candidate snapshot")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="DOTPATH",
+        help="guarded metric (dot-path, smaller-is-better); repeatable",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help="allowed relative growth of guarded metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    lines, failures = compare(old, new, args.metric, args.tolerance)
+    print(f"compare {args.old} -> {args.new}")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions in guarded metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

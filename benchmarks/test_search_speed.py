@@ -16,16 +16,24 @@ trajectory is tracked across PRs:
   evaluator cache hits/misses/hit-rate, accepted rounds;
 * the exhaustive block records branch-and-bound nodes vs the full
   enumeration's state count on a small program;
-* the sweep block records serial vs parallel wall time of a small
-  scenario grid (correctness asserted, timing recorded only).
+* the sweep block races the 9-cell grid serial vs cold-pool vs
+  warm-pool ``--jobs 2`` (byte-identity asserted; the warm pool must
+  not lose to serial even on a single-core runner, because the
+  persistent workers cache analysis contexts across same-app cells);
+* the frontier block scores a large synthetic neighborhood through
+  ``score_frontier`` vs the per-move loop (bit-identity asserted,
+  >= 2x moves/s required).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import random
 import time
 
 from benchmarks.conftest import OUT_DIR, write_artifact
+from repro.analysis.pool import get_pool
 from repro.analysis.report import format_table
 from repro.analysis.sweep import ParallelSweepRunner, PlatformSpec, full_grid
 from repro.apps import build_app
@@ -52,6 +60,113 @@ def _best_of(fn, repeats: int) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - started)
     return best, result
+
+
+FRONTIER_NESTS = 40
+FRONTIER_ARRAYS_PER_NEST = 3
+FRONTIER_MOVES = 512
+FRONTIER_REQUIRED_SPEEDUP = 2.0
+
+
+def _large_frontier_state():
+    """A ~160-group synthetic case for the frontier-throughput bench.
+
+    The bundled kernels top out around a dozen reference groups, where
+    per-move scoring is dominated by evaluator lookups both paths
+    share; the batched scorer's O(groups) savings only show on a large
+    frontier.  Built directly from :class:`ProgramSpec` (the random
+    generators deliberately emit small programs), deterministic by
+    construction.
+    """
+    from repro.search.state import SearchState
+    from repro.synth.spec import (
+        AccessSpec,
+        ArraySpec,
+        DimSpec,
+        HierarchySpec,
+        LayerSpec,
+        LoopSpec,
+        NestSpec,
+        ProgramSpec,
+        derive_shapes,
+    )
+
+    arrays = []
+    nests = []
+    for n in range(FRONTIER_NESTS):
+        loops = (
+            LoopSpec(name=f"i{n}", trips=32, work=2),
+            LoopSpec(name=f"j{n}", trips=16, work=1),
+        )
+        accesses = []
+        for a in range(FRONTIER_ARRAYS_PER_NEST):
+            name = f"A{n}_{a}"
+            arrays.append(ArraySpec(name=name, shape=(1,), kind="input"))
+            accesses.append(
+                AccessSpec(
+                    array=name,
+                    kind="read",
+                    depth=2,
+                    dims=(
+                        DimSpec(terms=((f"i{n}", 1),), extent=1),
+                        DimSpec(terms=((f"j{n}", 1),), extent=2),
+                    ),
+                )
+            )
+        out = f"O{n}"
+        arrays.append(ArraySpec(name=out, shape=(1,), kind="output"))
+        accesses.append(
+            AccessSpec(
+                array=out,
+                kind="write",
+                depth=1,
+                dims=(DimSpec(terms=((f"i{n}", 1),), extent=1),),
+            )
+        )
+        nests.append(NestSpec(loops=loops, accesses=tuple(accesses)))
+    spec = ProgramSpec(
+        name="frontier_bench",
+        arrays=derive_shapes(tuple(arrays), tuple(nests)),
+        nests=tuple(nests),
+    )
+    platform = HierarchySpec(
+        name="bench_l1l2",
+        onchip=(LayerSpec("L2", 16384), LayerSpec("L1", 2048)),
+    ).build()
+    ctx = AnalysisContext(spec.build(), platform)
+    return SearchState(ctx, objective=Objective.EDP)
+
+
+def _frontier_scoring_record() -> dict:
+    """Batched vs per-move neighborhood scoring on the large case."""
+    state = _large_frontier_state()
+    moves = state.neighborhood_sample(random.Random(0), FRONTIER_MOVES)
+    state.score_frontier(moves)  # warm the contribution caches once
+
+    per_move_s, per_move = _best_of(
+        lambda: [state.score(move) for move in moves], repeats=5
+    )
+    batched_s, batched = _best_of(
+        lambda: state.score_frontier(moves), repeats=5
+    )
+    # bit identity is a precondition of comparing the two paths at all
+    assert batched == per_move
+    speedup = per_move_s / batched_s
+    assert speedup >= FRONTIER_REQUIRED_SPEEDUP, (
+        f"frontier scoring {speedup:.2f}x below the "
+        f"{FRONTIER_REQUIRED_SPEEDUP}x target "
+        f"({len(moves)} moves, {len(state.contribs)} groups)"
+    )
+    return {
+        "groups": len(state.contribs),
+        "moves": len(moves),
+        "per_move_ms": per_move_s * 1e3,
+        "batched_ms": batched_s * 1e3,
+        "per_move_moves_per_s": len(moves) / per_move_s,
+        "batched_moves_per_s": len(moves) / batched_s,
+        "speedup": speedup,
+        "uses_numpy": state.frontier().uses_numpy,
+    }
 
 
 def test_greedy_search_speedup(benchmark):
@@ -137,26 +252,53 @@ def test_greedy_search_speedup(benchmark):
     }
     assert bnb.evaluated < 10_000  # orders of magnitude below the product
 
-    # Parallel sweep: serial == parallel, wall times recorded.
+    # Parallel sweep over the persistent pool: cold start, warm pool
+    # and serial timed separately.  9 cells (3 apps x 3 objectives on
+    # one platform) so contiguous batches carry runs of same-app cells
+    # into the workers' context cache — that cache, not parallelism,
+    # is why the warm pool must win (or at least not lose) even on a
+    # single-core runner.
     grid = full_grid(
-        apps=("motion_estimation", "wavelet"),
+        apps=("qsdpcm", "jpeg_dct", "mpeg4_mc"),
         platforms=(PlatformSpec(label="default"),),
-        objectives=(Objective.EDP,),
+        objectives=tuple(Objective),
     )
-    serial_s, serial = _best_of(lambda: ParallelSweepRunner(jobs=1).run(grid), 1)
-    parallel_s, parallel = _best_of(
-        lambda: ParallelSweepRunner(jobs=2).run(grid), 1
-    )
-    for left, right in zip(serial, parallel):
+    assert len(grid) >= 8
+    serial_s, serial = _best_of(lambda: ParallelSweepRunner(jobs=1).run(grid), 3)
+    runner = ParallelSweepRunner(jobs=2)
+    get_pool().shutdown()  # pin a true cold start whatever ran before
+    cold_s, parallel = _best_of(lambda: runner.run(grid), 1)
+    warm_s, warm = _best_of(lambda: runner.run(grid), 3)
+    for left, right, rewarm in zip(serial, parallel, warm):
+        for name in ("oob", "mhla", "mhla_te", "ideal"):
+            assert (
+                left.result.scenario(name).cycles
+                == right.result.scenario(name).cycles
+                == rewarm.result.scenario(name).cycles
+            )
         assert (
-            left.result.scenario("mhla_te").cycles
-            == right.result.scenario("mhla_te").cycles
+            left.result.scenario("mhla").assignment.copies
+            == right.result.scenario("mhla").assignment.copies
+            == rewarm.result.scenario("mhla").assignment.copies
         )
     record["sweep_grid"] = {
         "cells": len(grid),
         "serial_ms": serial_s * 1e3,
-        "parallel2_ms": parallel_s * 1e3,
+        "cold_pool2_ms": cold_s * 1e3,
+        "warm_pool2_ms": warm_s * 1e3,
+        "warm_vs_serial": warm_s / serial_s,
+        "pool": dataclasses.asdict(get_pool().stats()),
     }
+    # Regression guard with scheduling-noise headroom (a loaded
+    # single-core runner jitters this ratio by >15%); the committed
+    # snapshot tracks the real (sub-1.0) ratio, and the old
+    # spawn-per-sweep behaviour this guards against measured ~4x.
+    assert warm_s <= serial_s * 1.35, (
+        f"warm persistent-pool sweep {warm_s * 1e3:.1f}ms vs serial "
+        f"{serial_s * 1e3:.1f}ms — pool reuse stopped paying for itself"
+    )
+
+    record["frontier_scoring"] = _frontier_scoring_record()
 
     (OUT_DIR / "BENCH_search.json").parent.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_search.json").write_text(

@@ -4,22 +4,36 @@ The exploration tool is routinely run over *many* scenarios at once —
 every bundled application on several platform configurations under
 each objective.  The cells are embarrassingly parallel (each is one
 independent :class:`~repro.core.mhla.Mhla` exploration), so
-:class:`ParallelSweepRunner` fans them across a
-:mod:`multiprocessing` pool.
+:class:`ParallelSweepRunner` fans them across the process-wide
+persistent worker pool (:mod:`repro.analysis.pool`) in contiguous
+batches — the pool is created once per process and reused by every
+later sweep, so a long-lived service or fuzz loop pays the worker
+spawn cost exactly once instead of per sweep.
+
+Workers keep a small keyed cache of built ``(program, platform,
+AnalysisContext)`` triples: grid cells arrive app-major, so a
+contiguous batch is a run of cells sharing an (app, platform) pair and
+the expensive analysis precomputation happens once per run instead of
+once per cell.  The context is *pure* precomputation — each cell still
+gets a fresh :class:`~repro.core.incremental.IncrementalEvaluator`, so
+cached-context results (including the trace's cache-hit/miss counters)
+are byte-identical to cold ones.
 
 Determinism: cells are picklable *recipes* (app name + platform
 parameters + objective), workers rebuild the program/platform from the
-recipe, and results come back in exactly the submitted cell order
-(``pool.map`` preserves order), so a parallel run produces output
-identical to the serial path.  ``jobs <= 1`` short-circuits to an
-in-process loop with no pool at all.
+recipe, and results come back in exactly the submitted cell order,
+so a parallel run produces output identical to the serial path.
+``jobs <= 1`` short-circuits to an in-process loop with no pool at
+all — that loop is the stateless reference the parallel path must
+match byte for byte.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+from repro.analysis.pool import get_pool
 
 from repro.analysis.report import format_table
 from repro.apps import all_app_names, build_app
@@ -143,15 +157,74 @@ def evaluate_cell(cell: SweepCell) -> MhlaResult:
 def _evaluate_cell_guarded(
     cell: SweepCell,
 ) -> tuple[MhlaResult | None, str | None]:
-    """Pool worker wrapper: never raises, returns (result, error text).
+    """Serial-path cell wrapper: never raises, returns (result, error).
 
-    Exceptions must not escape the worker: one bad cell would abort
-    ``pool.map`` and throw away every other cell's work (and, before
-    this wrapper existed, did so with an exception whose cell identity
-    was lost).  The error crosses the process boundary as plain text.
+    Exceptions must not escape: one bad cell would abort the sweep and
+    throw away every other cell's work (and, before this wrapper
+    existed, did so with an exception whose cell identity was lost).
+    This stateless build-everything-per-cell loop is the reference the
+    warm pooled worker must match byte for byte.
     """
     try:
         return evaluate_cell(cell), None
+    except Exception as error:  # noqa: BLE001 — worker boundary
+        return None, f"{type(error).__name__}: {error}"
+
+
+_CTX_CACHE: dict[tuple, tuple] = {}
+_CTX_CACHE_LIMIT = 16
+"""Worker-resident (app, platform-recipe) -> (program, platform, ctx)
+cache.  Bounded LRU: a synthetic sweep can reference thousands of
+generated apps and must not grow worker memory without bound."""
+
+
+def _cached_context(cell: SweepCell):
+    """The built (program, platform, ctx) triple for a cell's recipe.
+
+    Lives in the worker process across batches (module globals survive
+    between pool tasks), so consecutive cells of one app pay for one
+    analysis build.  Only pure precomputation is cached — never an
+    evaluator, whose cache counters are part of the result.
+    """
+    from repro.core.context import AnalysisContext
+
+    key = (
+        cell.app,
+        cell.platform.kind,
+        cell.platform.l1_bytes,
+        cell.platform.l2_bytes,
+    )
+    cached = _CTX_CACHE.pop(key, None)
+    if cached is None:
+        program = build_app(cell.app)
+        platform = cell.platform.build()
+        cached = (program, platform, AnalysisContext(program, platform))
+        while len(_CTX_CACHE) >= _CTX_CACHE_LIMIT:
+            _CTX_CACHE.pop(next(iter(_CTX_CACHE)))
+    _CTX_CACHE[key] = cached  # (re)insert at LRU tail
+    return cached
+
+
+def _evaluate_cell_warm(
+    cell: SweepCell,
+) -> tuple[MhlaResult | None, str | None]:
+    """Pooled worker body: context-cached, never raises.
+
+    Byte-identical results to :func:`_evaluate_cell_guarded` — the
+    cached context is pure precomputation and the evaluator is rebuilt
+    per cell inside :meth:`~repro.core.mhla.Mhla.explore`.
+    """
+    try:
+        program, platform, ctx = _cached_context(cell)
+        result = Mhla(
+            program,
+            platform,
+            objective=cell.objective,
+            sort_factor=cell.sort_factor,
+            assigner=cell.assigner,
+            ctx=ctx,
+        ).explore()
+        return result, None
     except Exception as error:  # noqa: BLE001 — worker boundary
         return None, f"{type(error).__name__}: {error}"
 
@@ -205,14 +278,17 @@ def synthetic_grid(
 
 
 class ParallelSweepRunner:
-    """Evaluate sweep cells across a multiprocessing pool.
+    """Evaluate sweep cells across the persistent worker pool.
 
     Parameters
     ----------
     jobs:
         Worker process count.  ``None``, 0 or 1 run serially in
-        process; larger values cap at the number of cells.  Results
-        are always returned in cell order, so the output is identical
+        process; larger values cap at the number of cells and dispatch
+        contiguous batches through the process-wide
+        :class:`~repro.analysis.pool.PersistentPool` (created on the
+        first parallel sweep, reused by every later one).  Results are
+        always returned in cell order, so the output is identical
         regardless of *jobs*.
     """
 
@@ -234,8 +310,9 @@ class ParallelSweepRunner:
         if jobs <= 1:
             outcomes = [_evaluate_cell_guarded(cell) for cell in cell_list]
         else:
-            with multiprocessing.Pool(processes=jobs) as pool:
-                outcomes = pool.map(_evaluate_cell_guarded, cell_list, chunksize=1)
+            outcomes = get_pool().map_batched(
+                _evaluate_cell_warm, cell_list, jobs
+            )
         return tuple(
             SweepCellResult(cell=cell, result=result, error=error)
             for cell, (result, error) in zip(cell_list, outcomes)

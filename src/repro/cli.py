@@ -6,7 +6,9 @@ Sub-commands mirror the experiments:
 * ``repro run APP``              — four scenarios for one application
 * ``repro search APP``           — race the metaheuristic assigner
   portfolio against the greedy engine on one application
-  (``--assigner NAME --budget N --search-seed S``)
+  (``--assigner NAME --budget N --search-seed S``; ``--jobs N`` races
+  portfolio members across worker processes with byte-identical
+  winner and attribution)
 * ``repro fig2``                 — Figure 2 (performance) for the suite
 * ``repro fig3``                 — Figure 3 (energy) for the suite
 * ``repro sweep APP``            — L1-size trade-off sweep (TAB-TRADEOFF)
@@ -30,8 +32,10 @@ Sub-commands mirror the experiments:
   rebuilds each stored result)
 
 Both sweep forms accept ``--jobs N`` to fan the independent
-explorations across a multiprocessing pool; results are returned in
-deterministic order, so the output is identical to a serial run.
+explorations across the process-wide persistent worker pool (created
+on the first parallel sweep, reused by every later one in the same
+process); results are returned in deterministic order, so the output
+is identical to a serial run.
 
 ``repro run``, ``repro sweep``, ``repro fuzz`` and ``repro serve``
 accept ``--cache DIR``: exploration results (and clean fuzz verdicts)
@@ -43,8 +47,9 @@ request is simply re-evaluated on its next appearance — results stay
 byte-identical either way).
 
 ``repro run``/``sweep``/``serve`` also accept ``--assigner NAME``
-(with ``--budget N`` and ``--search-seed S``) to swap the step-1
-search engine: ``greedy`` (default), one of the metaheuristics
+(with ``--budget N``, ``--search-seed S`` and ``--budget-seconds T``,
+a wall-clock cut-off composing with the node budget) to swap the
+step-1 search engine: ``greedy`` (default), one of the metaheuristics
 (``annealing``/``tabu``/``beam``/``restart``/``exact``) or the
 ``portfolio`` racing all of them; ``repro fuzz --assigner`` picks the
 engine the ``metaheuristic`` differential check verifies.  The
@@ -132,6 +137,7 @@ def _assigner_spec(args: argparse.Namespace):
         name=getattr(args, "assigner", "greedy"),
         budget=getattr(args, "budget", None) or AssignerSpec().budget,
         seed=getattr(args, "search_seed", 0),
+        budget_seconds=getattr(args, "budget_seconds", None),
     )
 
 
@@ -268,9 +274,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from repro.search import PortfolioRunner, build_assigner
 
     program = build_app(args.app)
-    platform = embedded_3layer(
+    # Built through the picklable recipe so a parallel portfolio race
+    # hands workers exactly the platform this process analyses.
+    platform_spec = PlatformSpec(
         l1_bytes=kib(args.l1_kib), l2_bytes=kib(args.l2_kib)
     )
+    platform = platform_spec.build()
     objective = Objective(args.objective)
     ctx = AnalysisContext(program, platform)
     evaluator = IncrementalEvaluator(ctx)
@@ -285,7 +294,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
     spec = _assigner_spec(args)
     engine = build_assigner(
-        ctx, objective=objective, spec=spec, evaluator=evaluator
+        ctx,
+        objective=objective,
+        spec=spec,
+        evaluator=evaluator,
+        jobs=getattr(args, "jobs", 1),
+        race_recipe=(args.app, platform_spec),
     )
     started = _time.perf_counter()
     assignment, trace = engine.run()
@@ -588,6 +602,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type for durations: zero/negative cut-offs fail at
+    parse time instead of aborting the search before its first node."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -632,6 +658,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="S",
             help="metaheuristic RNG seed; a fixed seed makes the search "
             "byte-for-byte deterministic (default: 0)",
+        )
+        p.add_argument(
+            "--budget-seconds",
+            type=_positive_float,
+            default=None,
+            metavar="T",
+            help="wall-clock cut-off in seconds, composing with --budget "
+            "(whichever trips first stops the search; results stay "
+            "anytime-valid but machine-dependent; ignored by greedy)",
         )
 
     def add_cache_arg(p: argparse.ArgumentParser) -> None:
@@ -680,6 +715,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="search objective (default: edp)",
     )
     add_assigner_args(search, default="portfolio")
+    search.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes racing the portfolio members (1 = "
+        "sequential; winner and attribution are byte-identical "
+        "regardless)",
+    )
     search.set_defaults(func=_cmd_search)
 
     fig2 = sub.add_parser("fig2", help="Figure 2 (performance) for the suite")

@@ -1,0 +1,216 @@
+"""Struct-of-arrays frontier scoring over cached group contributions.
+
+Every metaheuristic scores a *frontier* — a tabu neighborhood, a beam
+expansion, a descent sample — of moves against one base assignment.
+The per-move path (:meth:`~repro.search.state.SearchState.score`)
+copies the whole contribution list and folds every term of every group
+for each candidate, so scoring ``m`` moves over ``n`` groups costs
+``O(m * n)`` Python-level list copies plus a full term fold each.
+
+:class:`FrontierScorer` flattens the contribution list once into
+parallel per-accumulator arrays — the same struct-of-arrays shape the
+MATCH/ZigZag-style models use for per-level transfer-cost vectors —
+and scores each move by *replaying only the suffix* of the fold:
+
+* ``terms[a]``   — every group's terms of accumulator *a*, flattened
+  in canonical group order (the exact order
+  :func:`~repro.core.costs.fold_objective_totals` adds them);
+* ``offsets[a]`` — group boundaries into ``terms[a]``;
+* ``prefix[a]``  — the running fold value *before* each group, so a
+  move that first touches group *g* starts from ``prefix[a][g]`` and
+  replays substituted + untouched terms from there.
+
+Floating-point addition is not associative, so the suffix **replays**
+rather than subtracts: every value this module produces is the result
+of the same left-to-right IEEE-754 addition sequence the reference
+fold performs, hence bit-identical to it.  The inner folds run through
+``sum(iterable, start)`` — CPython's float fast path accumulates a C
+double strictly left to right, the same operation chain as an explicit
+Python loop at a fraction of the interpreter cost.
+
+An optional numpy fast path (gated: the package must import, and the
+flattened arrays must be large enough to amortise buffer setup)
+replays suffixes with ``numpy.add.accumulate``, which is defined
+sequentially (``out[i] = out[i-1] + in[i]``) and therefore also
+bit-identical — unlike ``numpy.sum``/``add.reduce``, whose pairwise
+summation must never be used here.
+"""
+
+from __future__ import annotations
+
+try:  # gated dependency: the pure-stdlib path is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
+__all__ = ["ACCUMULATOR_FIELDS", "FrontierScorer", "NUMPY_MIN_TERMS"]
+
+ACCUMULATOR_FIELDS = (
+    "cpu_access_cycles_terms",
+    "stall_terms",
+    "copy_cpu_terms",
+    "cpu_access_energy_terms",
+    "transfer_energy_terms",
+)
+"""The five float accumulators of the cost model, in
+:func:`~repro.core.costs.fold_objective_totals` order."""
+
+NUMPY_MIN_TERMS = 1024
+"""Total flattened terms below which buffer setup outweighs the numpy
+accumulate — small cases stay on the ``sum()`` path."""
+
+
+def _replay(accumulator: float, terms) -> float:
+    """Left-to-right fold of *terms* onto *accumulator* (C-speed).
+
+    ``sum(iterable, start)`` adds strictly sequentially in CPython's
+    float fast path — the identical IEEE-754 operation chain as
+    ``for t in terms: accumulator += t``.
+    """
+    return sum(terms, accumulator)
+
+
+class FrontierScorer:
+    """Batched substituted-totals evaluation for one contribution list.
+
+    Built from a base contribution list (canonical group order); stays
+    valid until any contribution of the base list changes.  A move is
+    described by its *substitutions* — ``(group_index, contribution)``
+    pairs — and :meth:`substituted_totals` returns the ``(cycles,
+    energy)`` the full reference fold would produce for the
+    substituted list, bit for bit.
+
+    Parameters
+    ----------
+    contribs:
+        Base :class:`~repro.core.costs.GroupContribution` list in
+        canonical order.
+    compute_cycles:
+        The assignment-independent compute-cycle total folded into the
+        cycles result (``IncrementalEvaluator.compute_cycles``).
+    use_numpy:
+        Force the numpy suffix replay on/off; ``None`` auto-selects
+        (numpy importable and >= :data:`NUMPY_MIN_TERMS` flat terms).
+    """
+
+    __slots__ = (
+        "compute_cycles",
+        "groups",
+        "uses_numpy",
+        "_terms",
+        "_offsets",
+        "_prefix",
+        "_np_terms",
+    )
+
+    def __init__(self, contribs, compute_cycles: float, use_numpy=None):
+        self.compute_cycles = compute_cycles
+        self.groups = len(contribs)
+        terms: list[list[float]] = []
+        offsets: list[list[int]] = []
+        prefix: list[list[float]] = []
+        for field in ACCUMULATOR_FIELDS:
+            flat: list[float] = []
+            bounds = [0] * (self.groups + 1)
+            running = [0.0] * (self.groups + 1)
+            accumulator = 0.0
+            for index, contribution in enumerate(contribs):
+                running[index] = accumulator
+                group_terms = getattr(contribution, field)
+                flat.extend(group_terms)
+                bounds[index + 1] = len(flat)
+                accumulator = _replay(accumulator, group_terms)
+            running[self.groups] = accumulator
+            terms.append(flat)
+            offsets.append(bounds)
+            prefix.append(running)
+        self._terms = terms
+        self._offsets = offsets
+        self._prefix = prefix
+        if use_numpy is None:
+            total = sum(len(flat) for flat in terms)
+            use_numpy = _np is not None and total >= NUMPY_MIN_TERMS
+        if use_numpy and _np is None:
+            raise RuntimeError("numpy fast path requested but numpy is absent")
+        self.uses_numpy = bool(use_numpy)
+        self._np_terms = (
+            [_np.asarray(flat, dtype=_np.float64) for flat in terms]
+            if self.uses_numpy
+            else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def base_totals(self) -> tuple[float, float]:
+        """(cycles, energy) of the unsubstituted base list."""
+        full = [prefix[self.groups] for prefix in self._prefix]
+        cycles = self.compute_cycles + full[0] + full[1] + full[2]
+        energy = full[3] + full[4]
+        return cycles, energy
+
+    def _fold_suffix_numpy(self, accumulator: float, tail) -> float:
+        """Sequential numpy replay (``add.accumulate``, never ``sum``)."""
+        buffer = _np.empty(tail.size + 1, dtype=_np.float64)
+        buffer[0] = accumulator
+        buffer[1:] = tail
+        _np.add.accumulate(buffer, out=buffer)
+        return float(buffer[-1])
+
+    def _substituted_accumulator(self, which: int, substitutions) -> float:
+        """One accumulator's fold with *substitutions* swapped in.
+
+        Starts from the prefix value before the first touched group,
+        then replays: substituted groups contribute their new terms,
+        every other group from the first touched one onward replays its
+        original terms — the exact addition sequence of a full fold.
+        """
+        offsets = self._offsets[which]
+        first = substitutions[0][0]
+        accumulator = self._prefix[which][first]
+        cursor = first
+        if self.uses_numpy:
+            flat = self._np_terms[which]
+            for index, contribution in substitutions:
+                if index > cursor:
+                    gap = flat[offsets[cursor]:offsets[index]]
+                    if gap.size:
+                        accumulator = self._fold_suffix_numpy(accumulator, gap)
+                accumulator = _replay(
+                    accumulator, getattr(contribution, ACCUMULATOR_FIELDS[which])
+                )
+                cursor = index + 1
+            tail = flat[offsets[cursor]:]
+            if tail.size:
+                accumulator = self._fold_suffix_numpy(accumulator, tail)
+            return accumulator
+        flat = self._terms[which]
+        for index, contribution in substitutions:
+            if index > cursor:
+                accumulator = _replay(
+                    accumulator, flat[offsets[cursor]:offsets[index]]
+                )
+            accumulator = _replay(
+                accumulator, getattr(contribution, ACCUMULATOR_FIELDS[which])
+            )
+            cursor = index + 1
+        return _replay(accumulator, flat[offsets[cursor]:])
+
+    def substituted_totals(self, substitutions) -> tuple[float, float]:
+        """(cycles, energy) with *substitutions* applied to the base.
+
+        *substitutions* is a sequence of ``(group_index,
+        GroupContribution)`` pairs with distinct indices; order is
+        normalised here.  Bit-identical to rebuilding the substituted
+        list and folding it from scratch.
+        """
+        ordered = sorted(substitutions, key=lambda pair: pair[0])
+        if not ordered:
+            return self.base_totals()
+        cpu_access = self._substituted_accumulator(0, ordered)
+        stall = self._substituted_accumulator(1, ordered)
+        copy_cpu = self._substituted_accumulator(2, ordered)
+        cpu_energy = self._substituted_accumulator(3, ordered)
+        transfer_energy = self._substituted_accumulator(4, ordered)
+        cycles = self.compute_cycles + cpu_access + stall + copy_cpu
+        energy = cpu_energy + transfer_energy
+        return cycles, energy

@@ -111,6 +111,11 @@ class Mhla:
         default runs the paper's greedy engine byte-identically,
         ``portfolio`` races the metaheuristic engines of
         :mod:`repro.search`.
+    ctx:
+        Optionally reuse a prebuilt :class:`AnalysisContext` for this
+        (program, platform) — sweep workers cache contexts across
+        cells; the context is pure precomputation, so a cached one is
+        indistinguishable from a fresh build.
     """
 
     def __init__(
@@ -120,13 +125,14 @@ class Mhla:
         objective: Objective = Objective.EDP,
         sort_factor: str = "time_per_size",
         assigner: AssignerSpec | None = None,
+        ctx: AnalysisContext | None = None,
     ):
         self.program = program
         self.platform = platform
         self.objective = objective
         self.sort_factor = sort_factor
         self.assigner = assigner
-        self.ctx = AnalysisContext(program, platform)
+        self.ctx = ctx if ctx is not None else AnalysisContext(program, platform)
 
     def explore(self) -> MhlaResult:
         """Run all four scenarios and package the result."""
@@ -136,6 +142,7 @@ class Mhla:
             objective=self.objective,
             sort_factor=self.sort_factor,
             assigner=self.assigner,
+            ctx=self.ctx,
         )
         return MhlaResult(
             app_name=self.program.name,

@@ -157,15 +157,20 @@ def evaluate_scenarios(
     objective: Objective = Objective.EDP,
     sort_factor: str = "time_per_size",
     assigner: AssignerSpec | None = None,
+    ctx: AnalysisContext | None = None,
 ) -> dict[str, ScenarioResult]:
     """Run all four scenarios for one application.
 
     The MHLA assignment is computed once and shared by ``mhla``,
     ``mhla_te`` and ``ideal`` so the scenarios differ only in transfer
     scheduling, exactly as in the paper's figures.  *assigner* selects
-    the step-1 search engine (default: the paper's greedy).
+    the step-1 search engine (default: the paper's greedy).  Pass a
+    prebuilt *ctx* for ``(program, platform)`` to skip the analysis
+    rebuild — the context is pure precomputation, so results are
+    identical either way.
     """
-    ctx = AnalysisContext(program, platform)
+    if ctx is None:
+        ctx = AnalysisContext(program, platform)
     if not ctx.specs:
         # Previously this fell through and produced four "reports" that
         # were nothing but compute cycles — 0% improvements that looked

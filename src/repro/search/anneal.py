@@ -70,12 +70,16 @@ class AnnealingSearch(SearchEngine):
         """Start temperature from the median sampled uphill delta."""
         budget = self.budget
         uphill = []
+        # Proposals first (RNG order unchanged), then one batched
+        # scoring pass — no move is applied during calibration, so the
+        # whole sample shares a single frontier.
+        moves = []
         for _ in range(min(CALIBRATION_SAMPLES, budget.remaining)):
             move = state.propose(rng)
             budget.charge()
-            if move is None:
-                continue
-            trial = state.score(move)
+            if move is not None:
+                moves.append(move)
+        for trial in state.score_frontier(moves):
             if trial is None:
                 continue
             delta = self._relative_delta(state, trial)

@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.assignment import objective_from_totals
+from repro.core.frontier import FrontierScorer
 from repro.core.incremental import OccupancyLedger
 from repro.search.engine import Incumbent, SearchEngine
 from repro.search.state import SearchState
@@ -46,6 +48,23 @@ class _Partial:
     selections: tuple[tuple[str, tuple[tuple[str, str], ...]], ...]
     ledger: OccupancyLedger
     contribs: list
+    value: float
+
+
+@dataclass
+class _Expansion:
+    """One scored (partial x option) candidate, pre-materialisation.
+
+    The width x branch expansion is scored through the parent partial's
+    :class:`FrontierScorer` (one flattening amortised over every option
+    of that parent); the full contribution list is only copied for the
+    WIDTH survivors that actually enter the next beam.
+    """
+
+    parent: _Partial
+    option: tuple[tuple[str, str], ...]
+    ledger: OccupancyLedger
+    contribution: object
     value: float
 
 
@@ -104,8 +123,13 @@ class BeamSearch(SearchEngine):
             index = evaluator.group_index(group_key)
             nest = spec.group.nest_index
             options = self._group_options(spec)
-            grown: list[_Partial] = []
+            grown: list[_Expansion] = []
             for partial in beam:
+                # One flattened scorer per parent partial, shared by
+                # all of its options (each substitutes the same index).
+                scorer = FrontierScorer(
+                    partial.contribs, evaluator.compute_cycles
+                )
                 scored = 0
                 for option in options:
                     if budget.exhausted() or scored >= MAX_OPTIONS_PER_GROUP:
@@ -127,16 +151,19 @@ class BeamSearch(SearchEngine):
                             fits = False
                     if not fits:
                         continue
-                    contribs = list(partial.contribs)
-                    contribs[index] = contribution
                     scored += 1
+                    cycles, energy = scorer.substituted_totals(
+                        ((index, contribution),)
+                    )
                     grown.append(
-                        _Partial(
-                            selections=partial.selections
-                            + ((group_key, option),),
+                        _Expansion(
+                            parent=partial,
+                            option=option,
                             ledger=ledger,
-                            contribs=contribs,
-                            value=state.fold_value(contribs),
+                            contribution=contribution,
+                            value=objective_from_totals(
+                                cycles, energy, self.objective
+                            ),
                         )
                     )
                 if budget.exhausted():
@@ -145,8 +172,20 @@ class BeamSearch(SearchEngine):
             if not grown or incomplete:
                 return [f"{self.name}: budget exhausted before a full pass"]
             # Stable sort: ties resolve by insertion order (deterministic).
-            grown.sort(key=lambda p: p.value)
-            beam = grown[:WIDTH]
+            grown.sort(key=lambda e: e.value)
+            beam = []
+            for expansion in grown[:WIDTH]:
+                contribs = list(expansion.parent.contribs)
+                contribs[index] = expansion.contribution
+                beam.append(
+                    _Partial(
+                        selections=expansion.parent.selections
+                        + ((group_key, expansion.option),),
+                        ledger=expansion.ledger,
+                        contribs=contribs,
+                        value=expansion.value,
+                    )
+                )
 
         events: list[str] = []
         best = beam[0]

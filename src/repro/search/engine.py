@@ -283,8 +283,10 @@ class SearchEngine:
             sample_size = min(neighborhood, budget.remaining)
             best_move = None
             best_value = state.value
-            for move in state.neighborhood_sample(rng, sample_size):
-                trial = state.score(move)
+            sample = state.neighborhood_sample(rng, sample_size)
+            # Batched frontier pass; selection identical to the per-move
+            # loop (strict <, first-seen wins ties).
+            for move, trial in zip(sample, state.score_frontier(sample)):
                 if trial is not None and trial < best_value:
                     best_value = trial
                     best_move = move

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.core.assignment import Objective, objective_from_totals
 from repro.core.context import AnalysisContext, Assignment
+from repro.core.frontier import FrontierScorer
 from repro.core.incremental import IncrementalEvaluator, OccupancyLedger
 from repro.errors import ValidationError
 
@@ -110,6 +111,7 @@ class SearchState:
         self.contribs = self.evaluator.contributions(self.assignment)
         self.ledger: OccupancyLedger = self.evaluator.ledger_for(self.assignment)
         self.value = self.fold_value(self.contribs)
+        self._frontier: FrontierScorer | None = None
         hierarchy = ctx.platform.hierarchy
         self._onchip = tuple(layer.name for layer in hierarchy.onchip_layers)
         self._offchip = hierarchy.offchip.name
@@ -139,10 +141,17 @@ class SearchState:
             contribs[index] = contribution
         return self.fold_value(contribs)
 
-    def score(self, move: Move) -> float | None:
-        """Objective after *move*, or None when illegal/infeasible.
+    def _move_substitutions(self, move: Move):
+        """Legality + feasibility checks of one move, as substitutions.
 
-        A pure probe: neither the assignment nor the ledger changes.
+        Returns the ``(group_index, contribution)`` substitution list a
+        legal, feasible *move* induces, or ``None`` when the move is
+        illegal/infeasible.  Single point of truth for move semantics:
+        both the per-move reference path (:meth:`score`) and the
+        batched path (:meth:`score_frontier`) consume it, so they can
+        never disagree on which moves are admissible — and because it
+        performs the identical evaluator lookups in the identical
+        order, cache hit/miss counters match between the paths too.
         """
         evaluator = self.evaluator
         if isinstance(move, AddCopy):
@@ -159,9 +168,7 @@ class SearchState:
                 self.ledger, move.group_key, move.uid, move.layer_name
             ):
                 return None
-            return self._substituted(
-                ((evaluator.group_index(move.group_key), contribution),)
-            )
+            return ((evaluator.group_index(move.group_key), contribution),)
         if isinstance(move, DropCopy):
             existing = self.assignment.copies.get(move.group_key, ())
             if (move.uid, move.layer_name) not in existing:
@@ -175,9 +182,7 @@ class SearchState:
             )
             if contribution is None:  # pragma: no cover - subchains stay legal
                 return None
-            return self._substituted(
-                ((evaluator.group_index(move.group_key), contribution),)
-            )
+            return ((evaluator.group_index(move.group_key), contribution),)
         if isinstance(move, Rehome):
             if self.assignment.array_home.get(move.array_name) != move.old_layer:
                 return None
@@ -199,8 +204,56 @@ class SearchState:
                 self.ledger, move.array_name, move.old_layer, move.new_layer
             ):
                 return None
-            return self._substituted(substitutions)
+            return tuple(substitutions)
         raise ValidationError(f"unknown move type {type(move).__name__}")
+
+    def score(self, move: Move) -> float | None:
+        """Objective after *move*, or None when illegal/infeasible.
+
+        A pure probe: neither the assignment nor the ledger changes.
+        This is the per-move reference path — it substitutes into a
+        copy of the full contribution list and folds it whole; the
+        batched :meth:`score_frontier` must stay bit-identical to it.
+        """
+        substitutions = self._move_substitutions(move)
+        if substitutions is None:
+            return None
+        return self._substituted(substitutions)
+
+    def frontier(self) -> FrontierScorer:
+        """The struct-of-arrays scorer of the *current* contributions.
+
+        Built lazily and invalidated by :meth:`apply`, so engines that
+        score whole neighborhoods between applies amortise one
+        flattening pass over every candidate move.
+        """
+        if self._frontier is None:
+            self._frontier = FrontierScorer(
+                self.contribs, self.evaluator.compute_cycles
+            )
+        return self._frontier
+
+    def score_frontier(self, moves) -> list[float | None]:
+        """Score a whole frontier of moves in one batched pass.
+
+        Returns one entry per move, aligned with *moves*: the objective
+        after the move, or ``None`` when illegal/infeasible — each
+        entry bit-identical to :meth:`score` of that move.  Instead of
+        copying and re-folding the full contribution list per move, all
+        candidates share one flattened :class:`FrontierScorer` and each
+        replays only the fold suffix its substitutions disturb.
+        """
+        scorer = self.frontier()
+        objective = self.objective
+        values: list[float | None] = []
+        for move in moves:
+            substitutions = self._move_substitutions(move)
+            if substitutions is None:
+                values.append(None)
+                continue
+            cycles, energy = scorer.substituted_totals(substitutions)
+            values.append(objective_from_totals(cycles, energy, objective))
+        return values
 
     # ------------------------------------------------------------------
     # apply / undo
@@ -249,6 +302,7 @@ class SearchState:
                 evaluator.contribution_or_none(group_key, home, selections)
             )
         self.value = value
+        self._frontier = None  # contributions changed; scorer is stale
 
     def inverse(self, move: Move) -> Move:
         """The move that exactly undoes *move*."""

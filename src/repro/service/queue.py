@@ -385,7 +385,16 @@ class ExplorationService:
             self.store.gc()
 
     def service_stats(self) -> dict:
-        """Counters plus queue/store occupancy, for the ``stats`` RPC."""
+        """Counters plus queue/store occupancy, for the ``stats`` RPC.
+
+        ``pool`` reports the process-wide persistent worker pool: a
+        healthy long-lived service shows ``cold_starts`` stuck at 1
+        (or 0 while serial) however many sweeps it has flushed.
+        """
+        from dataclasses import asdict
+
+        from repro.analysis.pool import get_pool
+
         with self._lock:
             self._prune_completed()
             pending = len(self._pending)
@@ -399,4 +408,5 @@ class ExplorationService:
             "completed_jobs_limit": self.completed_jobs_limit,
             "store_records": len(self.store),
             "store": self.store.stats(),
+            "pool": asdict(get_pool().stats()),
         }

@@ -1,0 +1,119 @@
+"""Hypothesis battery: batched frontier scoring is bit-identical.
+
+The batched path (:meth:`SearchState.score_frontier` over a
+:class:`~repro.core.frontier.FrontierScorer`) replays fold *suffixes*
+instead of refolding the whole contribution list per move.  Floating
+point is not associative, so "mathematically equal" is not enough —
+these properties pin **bit identity** (``==`` on floats, no tolerance)
+between the batched path and the per-move reference
+(:meth:`SearchState.score`) across arbitrary generated cases, seeded
+walks with applies in between, and both suffix-replay backends (pure
+``sum()`` and numpy ``add.accumulate``) when numpy is importable.
+
+Deadlines are disabled for the same reason as the move-property
+battery: an example builds a whole analysis context.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import AnalysisContext
+from repro.core.frontier import FrontierScorer, _np
+from repro.search import SearchState
+from repro.synth import generate_case
+
+CASE_SEEDS = st.integers(min_value=0, max_value=5_000)
+WALK_SEEDS = st.integers(min_value=0, max_value=1_000_000)
+
+
+def _state_for(case_seed: int) -> SearchState:
+    program, platform, objective = generate_case(case_seed).build()
+    ctx = AnalysisContext(program, platform)
+    return SearchState(ctx, objective=objective)
+
+
+def _sample(state: SearchState, rng: random.Random, size: int):
+    return state.neighborhood_sample(rng, size)
+
+
+class TestFrontierBitIdentity:
+    @given(case=CASE_SEEDS, walk=WALK_SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_score_frontier_matches_per_move_score(self, case, walk):
+        state = _state_for(case)
+        rng = random.Random(walk)
+        moves = _sample(state, rng, 32)
+        batched = state.score_frontier(moves)
+        reference = [state.score(move) for move in moves]
+        assert batched == reference  # bitwise: == on floats, None aligned
+
+    @given(case=CASE_SEEDS, walk=WALK_SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_identity_survives_applies_along_a_walk(self, case, walk):
+        state = _state_for(case)
+        rng = random.Random(walk)
+        for _ in range(8):
+            moves = _sample(state, rng, 12)
+            assert state.score_frontier(moves) == [
+                state.score(move) for move in moves
+            ]
+            for move in moves:  # apply the first legal candidate
+                if state.score(move) is not None:
+                    state.apply(move)  # invalidates the cached scorer
+                    break
+
+    @given(case=CASE_SEEDS, walk=WALK_SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_base_totals_match_reference_fold(self, case, walk):
+        state = _state_for(case)
+        rng = random.Random(walk)
+        for _ in range(5):
+            move = state.propose(rng)
+            if move is not None and state.score(move) is not None:
+                state.apply(move)
+        scorer = state.frontier()
+        assert scorer.base_totals() == state.evaluator.totals_of(
+            state.contribs
+        )
+
+    @given(case=CASE_SEEDS, walk=WALK_SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_numpy_and_pure_backends_agree_bitwise(self, case, walk):
+        if _np is None:
+            pytest.skip("numpy not importable in this environment")
+        state = _state_for(case)
+        rng = random.Random(walk)
+        moves = _sample(state, rng, 24)
+        pure = FrontierScorer(
+            state.contribs, state.evaluator.compute_cycles, use_numpy=False
+        )
+        fast = FrontierScorer(
+            state.contribs, state.evaluator.compute_cycles, use_numpy=True
+        )
+        for move in moves:
+            substitutions = state._move_substitutions(move)
+            if substitutions is None:
+                continue
+            assert pure.substituted_totals(
+                substitutions
+            ) == fast.substituted_totals(substitutions)
+
+    def test_forced_numpy_without_numpy_raises(self, monkeypatch):
+        import repro.core.frontier as frontier_mod
+
+        state = _state_for(0)
+        monkeypatch.setattr(frontier_mod, "_np", None)
+        with pytest.raises(RuntimeError):
+            FrontierScorer(
+                state.contribs,
+                state.evaluator.compute_cycles,
+                use_numpy=True,
+            )
+
+    def test_empty_substitutions_return_base_totals(self):
+        state = _state_for(1)
+        scorer = state.frontier()
+        assert scorer.substituted_totals(()) == scorer.base_totals()

@@ -1,0 +1,85 @@
+"""Parallel portfolio racing reduces byte-identically to sequential.
+
+A member's search decisions depend only on (context recipe, budget,
+derived seed) — never on what another member warmed into the shared
+evaluator — so racing members across worker processes must return the
+same winner, member values, node counts, trace steps and assignment
+as the sequential loop.  Only wall-clock times and the trace's cache
+hit/miss counters are excluded: sequential members share one
+progressively warmed evaluator, isolated workers cannot.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.sweep import PlatformSpec
+from repro.apps import build_app
+from repro.core.assignment import Objective
+from repro.core.context import AnalysisContext
+from repro.search import PortfolioRunner, SearchBudget
+
+APP = "motion_estimation"
+BUDGET = 400
+SEED = 11
+
+
+def _race(jobs: int, recipe=None, platform_spec=None):
+    platform_spec = platform_spec or PlatformSpec()
+    ctx = AnalysisContext(build_app(APP), platform_spec.build())
+    runner = PortfolioRunner(
+        ctx,
+        objective=Objective.EDP,
+        budget=SearchBudget(nodes=BUDGET),
+        seed=SEED,
+        jobs=jobs,
+        race_recipe=recipe,
+    )
+    assignment, trace = runner.run()
+    return runner, assignment, trace
+
+
+def _outcome_identity(runner):
+    """Member outcomes minus the machine-dependent wall time."""
+    return tuple(
+        dataclasses.replace(outcome, wall_time_s=0.0)
+        for outcome in runner.outcomes
+    )
+
+
+class TestParallelRace:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return _race(jobs=1)
+
+    def test_winner_values_steps_and_assignment_match(self, sequential):
+        s_runner, s_assignment, s_trace = sequential
+        p_runner, p_assignment, p_trace = _race(
+            jobs=2, recipe=(APP, PlatformSpec())
+        )
+        assert p_trace.strategy == s_trace.strategy
+        assert p_trace.final_value == s_trace.final_value
+        assert p_trace.initial_value == s_trace.initial_value
+        assert p_trace.steps == s_trace.steps
+        assert _outcome_identity(p_runner) == _outcome_identity(s_runner)
+        assert p_assignment.copies == s_assignment.copies
+        assert p_assignment.array_home == s_assignment.array_home
+
+    def test_without_recipe_stays_sequential(self, sequential):
+        s_runner, _, s_trace = sequential
+        runner, _, trace = _race(jobs=4, recipe=None)
+        assert trace.steps == s_trace.steps
+        assert _outcome_identity(runner) == _outcome_identity(s_runner)
+
+    def test_worker_failure_falls_back_in_parent(self, sequential):
+        s_runner, s_assignment, s_trace = sequential
+        # The recipe's platform kind does not exist, so every worker
+        # fails; each member must still race via the in-parent fallback
+        # (on the real ctx) and reduce to the sequential result.
+        runner, assignment, trace = _race(
+            jobs=2, recipe=(APP, PlatformSpec(kind="quantum"))
+        )
+        assert trace.steps == s_trace.steps
+        assert trace.final_value == s_trace.final_value
+        assert _outcome_identity(runner) == _outcome_identity(s_runner)
+        assert assignment.copies == s_assignment.copies

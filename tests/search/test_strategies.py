@@ -180,6 +180,10 @@ class TestRegistry:
             AssignerSpec(name="")
         with pytest.raises(ValidationError):
             AssignerSpec(budget=0)
+        with pytest.raises(ValidationError):
+            AssignerSpec(name="tabu", budget_seconds=0.0)
+        with pytest.raises(ValidationError):
+            AssignerSpec(name="tabu", budget_seconds=-1.5)
 
     def test_greedy_payload_is_budget_free(self):
         assert AssignerSpec("greedy", budget=5).payload() == {"name": "greedy"}
@@ -188,3 +192,22 @@ class TestRegistry:
             "budget": 5,
             "seed": 2,
         }
+
+    def test_budget_seconds_keys_only_when_set(self):
+        # untimed specs keep their historical cache keys...
+        assert "budget_seconds" not in AssignerSpec("tabu").payload()
+        # ...and a wall-clock cut makes a distinct one
+        timed = AssignerSpec("tabu", budget_seconds=1.5)
+        assert timed.payload()["budget_seconds"] == 1.5
+        assert "1.5s" in timed.describe()
+
+    def test_budget_seconds_reaches_the_engine_budget(self):
+        ctx = AnalysisContext(make_two_nest_program(), embedded_3layer())
+        engine = build_assigner(
+            ctx, spec=AssignerSpec("tabu", budget=60, budget_seconds=30.0)
+        )
+        assert engine.budget.wall_time_s == 30.0
+        assert engine.budget.nodes == 60
+        # generous cut-off: the node budget still bounds the run
+        _assignment, trace = engine.run()
+        assert trace.stats.moves_evaluated <= 60 + trace.stats.rounds * 60

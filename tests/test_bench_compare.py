@@ -1,0 +1,125 @@
+"""Smoke tests for the snapshot regression differ (benchmarks/compare.py)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.compare import compare, flatten, main
+
+OLD = {
+    "qsdpcm": {"incremental_ms": 10.0, "speedup": 25.0},
+    "sweep_grid": {"warm_pool2_ms": 80.0, "pool": {"cold_starts": 1}},
+    "frontier_scoring": {"batched_ms": 3.0, "uses_numpy": False},
+}
+
+
+def _write(tmp_path, name, record):
+    path = tmp_path / name
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves_become_dot_paths(self):
+        flat = flatten(OLD)
+        assert flat["qsdpcm.incremental_ms"] == 10.0
+        assert flat["sweep_grid.pool.cold_starts"] == 1.0
+
+    def test_booleans_and_strings_are_skipped(self):
+        flat = flatten({"a": True, "b": "fast", "c": 1})
+        assert flat == {"c": 1.0}
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        lines, failures = compare(OLD, OLD, ["qsdpcm.incremental_ms"])
+        assert not failures
+        assert any("incremental_ms" in line for line in lines)
+
+    def test_growth_beyond_tolerance_fails(self):
+        new = json.loads(json.dumps(OLD))
+        new["qsdpcm"]["incremental_ms"] = 13.0  # +30% > 25%
+        _, failures = compare(OLD, new, ["qsdpcm.incremental_ms"])
+        assert len(failures) == 1
+        assert "+30.0%" in failures[0]
+
+    def test_growth_within_tolerance_passes(self):
+        new = json.loads(json.dumps(OLD))
+        new["qsdpcm"]["incremental_ms"] = 12.0  # +20% <= 25%
+        _, failures = compare(OLD, new, ["qsdpcm.incremental_ms"])
+        assert not failures
+
+    def test_unguarded_growth_is_informational_only(self):
+        new = json.loads(json.dumps(OLD))
+        new["qsdpcm"]["speedup"] = 100.0  # 4x growth, not guarded
+        lines, failures = compare(OLD, new, ["qsdpcm.incremental_ms"])
+        assert not failures
+        assert any("speedup" in line and "info" in line for line in lines)
+
+    def test_missing_guarded_metric_fails(self):
+        _, failures = compare(OLD, OLD, ["frontier_scoring.no_such_counter"])
+        assert failures
+        assert "missing" in failures[0]
+
+    def test_custom_tolerance(self):
+        new = json.loads(json.dumps(OLD))
+        new["qsdpcm"]["incremental_ms"] = 12.0  # +20%
+        _, failures = compare(
+            OLD, new, ["qsdpcm.incremental_ms"], tolerance=0.1
+        )
+        assert failures
+
+
+class TestMain:
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "old.json", OLD)
+        code = main([path, path, "--metric", "qsdpcm.incremental_ms"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        new = json.loads(json.dumps(OLD))
+        new["sweep_grid"]["warm_pool2_ms"] = 200.0
+        code = main(
+            [
+                _write(tmp_path, "old.json", OLD),
+                _write(tmp_path, "new.json", new),
+                "--metric",
+                "sweep_grid.warm_pool2_ms",
+            ]
+        )
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_unreadable_snapshot_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main([missing, missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_committed_search_snapshot_self_compares(self, capsys):
+        """The real committed snapshot round-trips through the guard."""
+        snapshot = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "out"
+            / "BENCH_search.json"
+        )
+        if not snapshot.exists():
+            pytest.skip("no committed BENCH_search.json")
+        code = main(
+            [
+                str(snapshot),
+                str(snapshot),
+                "--metric",
+                "qsdpcm.incremental_ms",
+                "--metric",
+                "sweep_grid.warm_pool2_ms",
+                "--metric",
+                "frontier_scoring.batched_ms",
+            ]
+        )
+        assert code == 0
