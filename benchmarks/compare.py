@@ -20,6 +20,14 @@ values where growth is bad.
 
 Missing named metrics fail too — a metric that silently disappears
 from the snapshot is exactly the blind spot this guard exists for.
+
+When no ``--metric`` is passed, the guard set comes from
+:data:`DEFAULT_METRICS`, keyed by the candidate snapshot's basename —
+so ``python benchmarks/compare.py old/BENCH_serve.json
+benchmarks/out/BENCH_serve.json`` gates the latency floors without
+anyone having to remember the dot-paths.  An unknown basename with no
+explicit metrics still prints the informational diff but guards
+nothing (exit 0).
 """
 
 from __future__ import annotations
@@ -30,6 +38,24 @@ import pathlib
 import sys
 
 DEFAULT_TOLERANCE = 0.25
+
+DEFAULT_METRICS: dict[str, list[str]] = {
+    # wall-clock-style metrics only: growth must mean "got slower"
+    "BENCH_search.json": [
+        "qsdpcm.incremental_ms",
+        "sweep_grid.warm_pool2_ms",
+        "frontier_scoring.batched_ms",
+    ],
+    "BENCH_service.json": ["warm_s"],
+    "BENCH_serve.json": ["latency.p50_ms", "latency.p95_ms"],
+}
+"""Guarded dot-paths per snapshot basename, used when no ``--metric``
+is given on the command line."""
+
+
+def default_metrics_for(path: pathlib.Path) -> list[str]:
+    """The registry's guard set for *path* (empty for unknown names)."""
+    return list(DEFAULT_METRICS.get(path.name, []))
 
 
 def flatten(record: dict, prefix: str = "") -> dict[str, float]:
@@ -106,7 +132,10 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         default=[],
         metavar="DOTPATH",
-        help="guarded metric (dot-path, smaller-is-better); repeatable",
+        help=(
+            "guarded metric (dot-path, smaller-is-better); repeatable. "
+            "Defaults to the registry entry for the snapshot's basename"
+        ),
     )
     parser.add_argument(
         "--tolerance",
@@ -124,8 +153,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    lines, failures = compare(old, new, args.metric, args.tolerance)
+    metrics = args.metric or default_metrics_for(args.new)
+    lines, failures = compare(old, new, metrics, args.tolerance)
     print(f"compare {args.old} -> {args.new}")
+    if not args.metric and metrics:
+        print(f"  (guarding registry defaults for {args.new.name}: "
+              f"{', '.join(metrics)})")
     for line in lines:
         print(line)
     if failures:

@@ -1,0 +1,195 @@
+"""PERF-SERVE — socket-transport throughput of the exploration server.
+
+``repro serve --listen`` turns the memoized exploration service into a
+shared network daemon; its value is only real if serving a warm cache
+over the socket is cheap.  This benchmark evaluates the 9-cell sweep
+grid once, then hammers the server with several concurrent tenants
+re-reading the grid and records requests/s and p50/p95 request latency
+into ``benchmarks/out/BENCH_serve.json`` (guarded by
+``benchmarks/compare.py``).  The warm phase must be 100% cache hits —
+zero evaluations — or the numbers measure the evaluator, not the
+transport.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import OUT_DIR, write_artifact
+from repro.service import (
+    ExplorationServer,
+    ExplorationService,
+    ResultStore,
+    ServiceClient,
+)
+from repro.service.keys import cell_key
+from repro.service.rpc import cell_from_params
+
+CLIENTS = 4
+ROUNDS = 15  # warm re-reads of the grid per client
+WALL_BUDGET_S = 120.0
+
+GRID = [
+    {"app": app, "objective": objective}
+    for app in ("qsdpcm", "jpeg_dct", "mpeg4_mc")
+    for objective in ("edp", "cycles", "energy")
+]
+
+
+def _warm_tenant(address, keys, latencies_ms):
+    with ServiceClient(address, timeout=60.0) as client:
+        for _round in range(ROUNDS):
+            for key in keys:
+                started = time.perf_counter()
+                response = client.call("result", {"key": key})
+                latencies_ms.append((time.perf_counter() - started) * 1e3)
+                assert response["status"] == "done"
+
+
+def test_serve_throughput_warm_grid(tmp_path):
+    service = ExplorationService(store=ResultStore(tmp_path / "cache"))
+    server = ExplorationServer(service, listen=("127.0.0.1", 0))
+    server.start()
+    try:
+        # cold fill: one tenant evaluates the whole grid over the socket
+        started = time.perf_counter()
+        with ServiceClient(server.address, timeout=300.0) as client:
+            batch = client.call("batch", {"cells": GRID})
+        cold_s = time.perf_counter() - started
+        assert [row["status"] for row in batch["outcomes"]] == ["done"] * len(GRID)
+        evaluated_cold = service.stats.evaluated
+        assert evaluated_cold == len(GRID)
+
+        # warm phase: concurrent tenants re-read the grid
+        keys = [cell_key(cell_from_params(cell)) for cell in GRID]
+        per_client: list[list[float]] = [[] for _ in range(CLIENTS)]
+        threads = [
+            threading.Thread(
+                target=_warm_tenant,
+                args=(server.address, keys, per_client[index]),
+            )
+            for index in range(CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=WALL_BUDGET_S)
+        warm_s = time.perf_counter() - started
+        assert all(not thread.is_alive() for thread in threads)
+
+        latencies = sorted(value for bucket in per_client for value in bucket)
+        requests = CLIENTS * ROUNDS * len(GRID)
+        assert len(latencies) == requests
+        assert warm_s < WALL_BUDGET_S
+
+        # the whole warm phase must be served from the cache
+        assert service.stats.evaluated == evaluated_cold, (
+            "warm reads re-evaluated cells; the bench measured the "
+            "evaluator instead of the socket transport"
+        )
+        warm_hit_rate = 1.0
+        server_stats = server.stats()
+        assert server_stats["rejected_busy"] == 0
+
+        record = {
+            "grid_cells": len(GRID),
+            "clients": CLIENTS,
+            "rounds": ROUNDS,
+            "requests": requests,
+            "cold_fill_s": cold_s,
+            "warm_wall_s": warm_s,
+            "requests_per_s": requests / warm_s,
+            "latency": {
+                "p50_ms": statistics.median(latencies),
+                "p95_ms": latencies[int(0.95 * (len(latencies) - 1))],
+                "max_ms": latencies[-1],
+            },
+            "warm_hit_rate": warm_hit_rate,
+            "server": {
+                "connections_total": server_stats["connections_total"],
+                "requests_total": server_stats["requests_total"],
+                "rejected_busy": server_stats["rejected_busy"],
+            },
+        }
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / "BENCH_serve.json").write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
+        write_artifact(
+            "PERF-SERVE.txt",
+            (
+                f"cold fill ({len(GRID)} cells over TCP):   {cold_s:.3f}s\n"
+                f"warm phase ({CLIENTS} tenants x {ROUNDS} rounds, "
+                f"{requests} requests): {warm_s:.3f}s\n"
+                f"throughput: {requests / warm_s:,.0f} req/s, "
+                f"p50 {record['latency']['p50_ms']:.2f}ms, "
+                f"p95 {record['latency']['p95_ms']:.2f}ms, "
+                f"warm hit rate {warm_hit_rate:.0%}"
+            ),
+        )
+    finally:
+        assert server.drain(timeout=30.0)
+
+
+CLIENT_SOAK_SCRIPT = """
+import sys
+
+sys.path.insert(0, sys.argv[1])
+from repro.service import ServiceClient
+
+host, port, key = sys.argv[2], int(sys.argv[3]), sys.argv[4]
+with ServiceClient((host, port), timeout=60.0) as client:
+    for _ in range(100):
+        response = client.call("result", {"key": key})
+        assert response["status"] == "done"
+print("soak-ok")
+"""
+
+
+@pytest.mark.stress
+def test_serve_soak_multiprocess_clients(tmp_path):
+    """Real client *processes* (not threads) sharing one server."""
+    import pathlib
+
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    service = ExplorationService(store=ResultStore(tmp_path / "cache"))
+    server = ExplorationServer(service, listen=("127.0.0.1", 0))
+    server.start()
+    try:
+        cell = GRID[0]
+        with ServiceClient(server.address, timeout=300.0) as client:
+            submitted = client.call("submit", cell)
+            assert client.call("result", {"key": submitted["key"]})
+        host, port = server.address
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    CLIENT_SOAK_SCRIPT,
+                    src,
+                    host,
+                    str(port),
+                    submitted["key"],
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(4)
+        ]
+        for proc in procs:
+            stdout, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr
+            assert "soak-ok" in stdout
+        assert service.stats.evaluated == 1  # everything else was a hit
+    finally:
+        assert server.drain(timeout=30.0)

@@ -38,6 +38,8 @@ import multiprocessing
 import threading
 from dataclasses import dataclass
 
+from repro.errors import EvaluationError
+
 __all__ = ["BATCHES_PER_WORKER", "PersistentPool", "PoolStats", "get_pool"]
 
 BATCHES_PER_WORKER = 2
@@ -157,34 +159,61 @@ class PersistentPool:
         batches = self._slice(items, workers)
         pool = self._ensure(workers)
         handles = []
+        dispatch_error: Exception | None = None
         try:
             for batch in batches:
                 handles.append(pool.apply_async(_run_batch, (func, batch)))
-        except Exception:  # pool already torn down: run everything here
+        except Exception as error:  # pool already torn down: run here
             self._discard(pool)
             handles = None
+            dispatch_error = error
         results: list = []
         fallbacks = 0
         if handles is None:
             for batch in batches:
                 fallbacks += 1
-                results.extend(func(item) for item in batch)
+                results.extend(self._run_fallback(func, batch, dispatch_error))
         else:
             for batch, handle in zip(batches, handles):
                 try:
                     results.extend(handle.get())
-                except Exception:
+                except Exception as worker_error:
                     # The batch died with its worker (or the pool did);
                     # in-parent replay keeps the result complete and
                     # ordered, and drops the pool for a fresh start.
                     self._discard(pool)
                     fallbacks += 1
-                    results.extend(func(item) for item in batch)
+                    results.extend(
+                        self._run_fallback(func, batch, worker_error)
+                    )
         with self._lock:
             self._dispatches += 1
             self._batches += len(batches)
             self._tasks += len(items)
             self._fallbacks += fallbacks
+        return results
+
+    @staticmethod
+    def _run_fallback(func, batch, pool_error: Exception | None) -> list:
+        """In-parent replay of one batch whose pool dispatch failed.
+
+        A fallback that *also* fails must not bury the pool-side error
+        that forced it — that error is usually the real diagnosis (a
+        worker OOM-kill, an unpicklable result) and the in-parent one
+        just its shadow.  The raised error names both and chains the
+        original, so ``SweepCellResult.error`` reports the real cause.
+        """
+        results = []
+        for item in batch:
+            try:
+                results.append(func(item))
+            except Exception as fallback_error:
+                raise EvaluationError(
+                    "worker pool dispatch failed "
+                    f"({type(pool_error).__name__}: {pool_error}); "
+                    "in-parent fallback then failed: "
+                    f"{type(fallback_error).__name__}: {fallback_error}"
+                ) from pool_error
         return results
 
     # ------------------------------------------------------------------

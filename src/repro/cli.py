@@ -19,8 +19,13 @@ Sub-commands mirror the experiments:
 * ``repro fuzz``                 — differential verification on
   generated cases (cross-checks estimator, incremental engine,
   exhaustive oracle and simulator; failures shrink to reproducers)
-* ``repro serve``                — stdin/stdout JSON-RPC exploration
-  service (submit/poll/result/batch against a shared result cache)
+* ``repro serve``                — JSON-RPC exploration service
+  (submit/poll/result/batch against a shared result cache) over
+  stdin/stdout, or to many concurrent network tenants via
+  ``--listen HOST:PORT`` / ``--socket PATH`` (bounded admission with
+  backpressure errors; graceful drain on SIGINT/SIGTERM)
+* ``repro call``                 — one-shot JSON-RPC request against a
+  running socket server (``--connect HOST:PORT`` / ``--socket PATH``)
 * ``repro cache stats DIR``      — cache occupancy, segment layout and
   damage counters
 * ``repro cache compact DIR``    — crash-safe offline compaction
@@ -449,15 +454,76 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
     from repro.service import ExplorationService, serve
 
+    if args.listen is not None and args.socket is not None:
+        raise ValidationError("pass --listen or --socket, not both")
     service = ExplorationService(
         store=_make_store(args, auto_compact_ratio=SERVE_AUTO_COMPACT_RATIO),
         jobs=args.jobs,
     )
-    return serve(
-        service, sys.stdin, sys.stdout, default_assigner=_assigner_spec(args)
+    assigner = _assigner_spec(args)
+    if args.listen is None and args.socket is None:
+        return serve(service, sys.stdin, sys.stdout, default_assigner=assigner)
+
+    from repro.service import (
+        ExplorationServer,
+        parse_listen_address,
+        serve_until_signalled,
     )
+    from repro.service.server import DEFAULT_MAX_PENDING
+
+    server = ExplorationServer(
+        service,
+        listen=(
+            parse_listen_address(args.listen)
+            if args.listen is not None
+            else None
+        ),
+        socket_path=args.socket,
+        default_assigner=assigner,
+        max_pending=(
+            args.max_pending
+            if args.max_pending is not None
+            else DEFAULT_MAX_PENDING
+        ),
+    )
+    address = server.address
+    if isinstance(address, tuple):
+        address = f"{address[0]}:{address[1]}"
+    # announced on stdout so scripts can discover an ephemeral port
+    print(f"listening on {address}", flush=True)
+    return serve_until_signalled(server)
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """One-shot request against a running socket server."""
+    import json
+
+    from repro.errors import ValidationError
+    from repro.service import ServiceClient, parse_listen_address
+
+    if (args.connect is None) == (args.socket is None):
+        raise ValidationError("pass exactly one of --connect or --socket")
+    if args.params is not None:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"--params is not JSON: {error}") from None
+        if not isinstance(params, dict):
+            raise ValidationError("--params must be a JSON object")
+    else:
+        params = None
+    address = (
+        parse_listen_address(args.connect)
+        if args.connect is not None
+        else args.socket
+    )
+    with ServiceClient(address, timeout=args.timeout) as client:
+        response = client.request(args.method, params)
+    print(json.dumps(response, separators=(",", ":")))
+    return 0 if "error" not in response else 1
 
 
 def _open_cache_dir(path_text: str):
@@ -812,8 +878,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_cmd = sub.add_parser(
         "serve",
-        help="JSON-RPC exploration service over stdin/stdout "
-        "(submit/poll/result/batch against a shared result cache)",
+        help="JSON-RPC exploration service over stdin/stdout, a TCP "
+        "socket (--listen) or a unix socket (--socket)",
     )
     add_assigner_args(serve_cmd)
     add_cache_arg(serve_cmd)
@@ -823,7 +889,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for batch evaluation",
     )
+    serve_cmd.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the same protocol over TCP to many concurrent "
+        "clients (port 0 picks an ephemeral port, announced on stdout)",
+    )
+    serve_cmd.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve over a unix domain socket at PATH instead of TCP",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="socket mode: cap on requests in flight across all "
+        "connections; excess requests get a busy error (default: 64)",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    call = sub.add_parser(
+        "call",
+        help="one-shot JSON-RPC request against a running socket server",
+    )
+    call.add_argument("method", help="RPC method name (e.g. stats, submit)")
+    call.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help="request params as a JSON object",
+    )
+    call.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP server address (from `repro serve --listen`)",
+    )
+    call.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="unix socket path (from `repro serve --socket`)",
+    )
+    call.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=60.0,
+        metavar="T",
+        help="seconds to wait for the response (default: 60)",
+    )
+    call.set_defaults(func=_cmd_call)
 
     cache = sub.add_parser(
         "cache",

@@ -28,6 +28,12 @@ Layers
   optional TTL instead of accumulating forever.
 * :mod:`repro.service.rpc`   — the ``repro serve`` stdin/stdout
   JSON-RPC loop for driving one service from many clients.
+* :mod:`repro.service.server` — :class:`ExplorationServer`, the same
+  protocol served to many networked tenants over TCP or a Unix
+  socket, with bounded admission (backpressure errors) and graceful
+  drain on SIGINT/SIGTERM.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the matching
+  line-protocol client (used by ``repro call`` and the tests).
 
 The CLI exposes the cache through ``--cache DIR`` (plus
 ``--cache-max-bytes``/``--cache-max-entries`` eviction bounds) on
@@ -46,8 +52,14 @@ from repro.service.keys import (
     fuzz_verdict_key,
     is_content_key,
 )
+from repro.service.client import RemoteRpcError, ServiceClient
 from repro.service.queue import ExplorationService, ServiceStats
 from repro.service.rpc import serve
+from repro.service.server import (
+    ExplorationServer,
+    parse_listen_address,
+    serve_until_signalled,
+)
 from repro.service.store import (
     CONTROL_KINDS,
     DEFAULT_SEGMENT_MAX_BYTES,
@@ -63,6 +75,7 @@ from repro.service.store import (
 __all__ = [
     "CONTROL_KINDS",
     "DEFAULT_SEGMENT_MAX_BYTES",
+    "ExplorationServer",
     "ExplorationService",
     "KEY_FORMAT_VERSION",
     "KIND_COMPACTION",
@@ -71,7 +84,9 @@ __all__ = [
     "KIND_TOMBSTONE",
     "KIND_TOUCH",
     "RESULTS_FILENAME",
+    "RemoteRpcError",
     "ResultStore",
+    "ServiceClient",
     "ServiceStats",
     "canonical_json",
     "canonical_payload",
@@ -80,5 +95,7 @@ __all__ = [
     "content_key",
     "fuzz_verdict_key",
     "is_content_key",
+    "parse_listen_address",
     "serve",
+    "serve_until_signalled",
 ]

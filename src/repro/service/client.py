@@ -1,0 +1,139 @@
+"""Minimal line-delimited JSON-RPC client for the socket server.
+
+Used by ``repro call`` and the test-suite; scripts in other languages
+can speak the protocol with nothing more than a socket and a JSON
+encoder (one request object per line, one response per line).
+
+:class:`ServiceClient` connects to a TCP ``(host, port)`` pair or a
+Unix socket path, assigns request ids, and correlates responses.  An
+error response raises :class:`RemoteRpcError` carrying the JSON-RPC
+code, so callers can tell backpressure (``SERVER_BUSY``) from request
+bugs without string matching.  :meth:`ServiceClient.send_line` skips
+all interpretation and returns the raw response line — the
+byte-identity tests compare those against the stdio transport.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+
+from repro.errors import ServiceError
+
+__all__ = ["RemoteRpcError", "ServiceClient"]
+
+
+class RemoteRpcError(ServiceError):
+    """An error response from the server, with its JSON-RPC code."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """One connection to an :class:`~repro.service.server.ExplorationServer`.
+
+    *address* is ``(host, port)`` for TCP or a path for a Unix domain
+    socket.  The connection opens lazily on the first call and closes
+    via :meth:`close` (or the context manager).  Not thread-safe: use
+    one client per thread (connections are cheap; the server treats
+    each as its own tenant).
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] | str | pathlib.Path,
+        timeout: float | None = 60.0,
+    ):
+        self.address = address
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        if isinstance(self.address, tuple):
+            sock = socket.create_connection(
+                self.address, timeout=self.timeout
+            )
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(str(self.address))
+            except OSError:
+                sock.close()
+                raise
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def send_line(self, line: str) -> str:
+        """One raw request line -> the raw response line (no parsing)."""
+        self.connect()
+        payload = line.rstrip("\n") + "\n"
+        self._sock.sendall(payload.encode("utf-8"))
+        response = self._reader.readline()
+        if not response:
+            raise ServiceError(
+                f"server at {self.address!r} closed the connection"
+            )
+        return response.decode("utf-8").rstrip("\n")
+
+    def request(self, method: str, params: dict | None = None) -> dict:
+        """One method call -> the full response object (result or error)."""
+        self._next_id += 1
+        request = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
+        if params is not None:
+            request["params"] = params
+        raw = self.send_line(json.dumps(request, separators=(",", ":")))
+        try:
+            response = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                f"unparsable response from {self.address!r}: {error}"
+            ) from None
+        if not isinstance(response, dict):
+            raise ServiceError(
+                f"malformed response from {self.address!r}: {raw!r}"
+            )
+        return response
+
+    def call(self, method: str, params: dict | None = None):
+        """One method call -> its ``result``; error responses raise.
+
+        Backpressure and drain rejections surface as
+        :class:`RemoteRpcError` with the matching code
+        (:data:`~repro.service.rpc.SERVER_BUSY` /
+        :data:`~repro.service.rpc.SERVER_DRAINING`).
+        """
+        response = self.request(method, params)
+        error = response.get("error")
+        if error is not None:
+            raise RemoteRpcError(
+                int(error.get("code", 0)),
+                str(error.get("message", "unknown server error")),
+            )
+        return response.get("result")

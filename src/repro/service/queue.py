@@ -312,6 +312,7 @@ class ExplorationService:
                 job.status = RUNNING
         if not batch:
             return 0
+        abort_reason = "batch evaluation aborted"
         try:
             outcomes = self.runner.run(tuple(job.cell for job in batch))
             with self._lock:
@@ -324,13 +325,21 @@ class ExplorationService:
                         self._finish(job, FAILED, outcome.error)
                         self.stats.evaluated += 1
                         self.stats.failed += 1
+        except Exception as error:
+            # name the real cause: "aborted" alone sends whoever reads
+            # the job's error text hunting through server logs
+            abort_reason = (
+                "batch evaluation aborted: "
+                f"{type(error).__name__}: {error}"
+            )
+            raise
         finally:
             # Waiters must never hang: anything the batch left in
             # RUNNING (runner/store raised) fails loudly instead.
             with self._lock:
                 for job in batch:
                     if job.status == RUNNING:
-                        self._finish(job, FAILED, "batch evaluation aborted")
+                        self._finish(job, FAILED, abort_reason)
                         self.stats.failed += 1
             for job in batch:
                 job.event.set()

@@ -54,15 +54,19 @@ for cells that omit it.
 
 Errors use JSON-RPC error objects: ``-32700`` parse error, ``-32600``
 invalid request, ``-32601`` unknown method, ``-32602`` invalid params,
-``-32000`` evaluation/service failures.  Every error names the request
-id it answers (``null`` for unparsable lines), so clients can pipeline
-requests without losing correlation.
+``-32000`` evaluation/service failures.  The socket server
+(:mod:`repro.service.server`) adds ``-32001`` (admission queue full —
+back off and retry) and ``-32002`` (server draining).  Every error
+names the request id it answers (``null`` for unparsable lines), so
+clients can pipeline requests without losing correlation.
 """
 
 from __future__ import annotations
 
+import io
 import json
-from typing import IO
+import os
+from typing import IO, Callable
 
 from repro.analysis.sweep import PlatformSpec, SweepCell
 from repro.analysis.export import result_to_dict, result_to_state
@@ -80,6 +84,19 @@ METHOD_NOT_FOUND = -32601
 INVALID_PARAMS = -32602
 INTERNAL_ERROR = -32603
 SERVICE_ERROR = -32000
+SERVER_BUSY = -32001
+"""Backpressure: the socket server's admission queue is full; retry."""
+SERVER_DRAINING = -32002
+"""The socket server is shutting down and accepts no new work."""
+
+
+def encode_response(response: dict) -> str:
+    """The canonical wire encoding of one response object.
+
+    Shared by the stdio loop and the socket server, so a request
+    answered over either transport yields byte-identical lines.
+    """
+    return json.dumps(response, separators=(",", ":"))
 
 
 class _RpcError(Exception):
@@ -236,15 +253,22 @@ class JsonRpcFrontend:
 
     *default_assigner* (from ``repro serve --assigner``) applies to
     every submitted cell that does not carry its own assigner object.
+    *server_stats*, when given, is merged into ``stats`` responses
+    under ``"server"`` — the socket server injects its connection and
+    admission counters through it.  The base ``stats`` payload is
+    unchanged when unset, keeping stdio responses byte-identical to a
+    server whose callback returns nothing.
     """
 
     def __init__(
         self,
         service: ExplorationService,
         default_assigner: AssignerSpec | None = None,
+        server_stats: Callable[[], dict] | None = None,
     ):
         self.service = service
         self.default_assigner = default_assigner
+        self.server_stats = server_stats
         self.running = True
 
     def _cell(self, params: dict) -> SweepCell:
@@ -299,7 +323,10 @@ class JsonRpcFrontend:
         return {"outcomes": rows}
 
     def _stats(self, _params: dict) -> dict:
-        return self.service.service_stats()
+        stats = self.service.service_stats()
+        if self.server_stats is not None:
+            stats["server"] = self.server_stats()
+        return stats
 
     def _gc(self, params: dict) -> dict:
         bounds = {}
@@ -388,21 +415,67 @@ class JsonRpcFrontend:
             }
 
 
+def _silence_stream(stream: IO[str]) -> None:
+    """Point a broken-pipe stream at /dev/null.
+
+    Once the reader is gone every later write — including the
+    interpreter's implicit exit-time flush of ``sys.stdout`` — would
+    raise ``BrokenPipeError`` again; redirecting the underlying fd
+    makes the remaining teardown silent.  Streams without a real fd
+    (tests pass ``StringIO``) are left alone.
+    """
+    try:
+        fd = stream.fileno()
+    except (OSError, ValueError, AttributeError, io.UnsupportedOperation):
+        return
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, fd)
+        os.close(devnull)
+    except OSError:  # pragma: no cover - devnull unavailable
+        pass
+
+
 def serve(
     service: ExplorationService,
     stdin: IO[str],
     stdout: IO[str],
     default_assigner: AssignerSpec | None = None,
 ) -> int:
-    """Run the request loop until EOF or a ``shutdown`` request."""
+    """Run the request loop until EOF or a ``shutdown`` request.
+
+    The loop ends cleanly rather than with a traceback when the reader
+    disappears mid-response (``BrokenPipeError`` -> exit code 1, an
+    abnormal end: responses were lost) or the operator interrupts
+    (``KeyboardInterrupt`` -> exit code 0, a clean drain).  Either way
+    the persistent worker pool is shut down so no orphaned worker
+    processes outlive the service.
+    """
+    from repro.analysis.pool import get_pool
+
     frontend = JsonRpcFrontend(service, default_assigner=default_assigner)
-    for line in stdin:
-        response = frontend.handle_line(line)
-        if response is None:
-            continue
-        stdout.write(json.dumps(response, separators=(",", ":")))
-        stdout.write("\n")
-        stdout.flush()
-        if not frontend.running:
-            break
-    return 0
+    exit_code = 0
+    try:
+        for line in stdin:
+            response = frontend.handle_line(line)
+            if response is None:
+                continue
+            stdout.write(encode_response(response))
+            stdout.write("\n")
+            stdout.flush()
+            if not frontend.running:
+                break
+    except BrokenPipeError:
+        # the reader died mid-response; at least one answer was lost
+        _silence_stream(stdout)
+        exit_code = 1
+    except KeyboardInterrupt:
+        # operator stop between requests: a clean drain, not a failure
+        exit_code = 0
+    finally:
+        try:
+            stdout.flush()
+        except (BrokenPipeError, OSError, ValueError):
+            _silence_stream(stdout)
+        get_pool().shutdown()
+    return exit_code

@@ -1,0 +1,361 @@
+"""Socket front end: one exploration service, many networked tenants.
+
+:class:`ExplorationServer` wraps the same :class:`JsonRpcFrontend`
+``repro serve`` runs over stdio, behind a threading stream server —
+TCP (``--listen HOST:PORT``) or a Unix domain socket (``--socket
+PATH``).  The wire protocol is identical to the stdio mode: one
+JSON-RPC request object per line, one response object per line, in
+request order per connection, encoded by the same
+:func:`~repro.service.rpc.encode_response` — so a request answered
+over a socket is byte-identical to the stdio answer.
+
+Multi-tenancy model:
+
+* every **connection** gets its own :class:`JsonRpcFrontend` over the
+  one shared :class:`ExplorationService`, so the result cache and
+  in-flight deduplication span all tenants while a client's
+  ``shutdown`` request ends only *its* connection (a multi-tenant
+  server must not be killable by one tenant; stop the server itself
+  with SIGINT/SIGTERM or :meth:`ExplorationServer.drain`);
+* a **bounded admission queue** (``max_pending``) caps requests in
+  flight across all connections.  A request arriving past the cap is
+  answered immediately with error ``-32001`` (``SERVER_BUSY``) instead
+  of queueing unboundedly — clients back off and retry;
+* **graceful drain**: SIGINT/SIGTERM (or :meth:`drain`) stops
+  accepting connections, answers new requests on live connections with
+  ``-32002`` (draining), waits for in-flight requests to finish, then
+  closes the listener and shuts the persistent worker pool down.
+
+The ``stats`` RPC gains a ``"server"`` section (connections, requests,
+busy/draining rejections, in-flight gauge) on top of the service,
+store and pool counters.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import signal
+import socket
+import socketserver
+import threading
+
+from repro.errors import ServiceError, ValidationError
+from repro.search.config import AssignerSpec
+from repro.service.queue import ExplorationService
+from repro.service.rpc import (
+    SERVER_BUSY,
+    SERVER_DRAINING,
+    JsonRpcFrontend,
+    encode_response,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PENDING",
+    "ExplorationServer",
+    "parse_listen_address",
+    "serve_until_signalled",
+]
+
+DEFAULT_MAX_PENDING = 64
+"""Default cap on requests in flight across all connections."""
+
+
+def parse_listen_address(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` -> a bind address (port 0 = ephemeral).
+
+    Raises :class:`ValidationError` on malformed input so the CLI
+    reports it as a user error (exit 2), not a crash.
+    """
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise ValidationError(
+            f"--listen needs HOST:PORT, got {text!r} "
+            "(use 127.0.0.1:0 for an ephemeral port)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValidationError(
+            f"--listen port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValidationError(f"--listen port out of range: {port}")
+    return host, port
+
+
+def _request_id(line: str):
+    """Best-effort request id for out-of-band rejections."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return request.get("id") if isinstance(request, dict) else None
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a private frontend over the shared service."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via server
+        self.server.exploration._handle_connection(self.rfile, self.wfile)
+
+
+class _ThreadingTcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+
+    class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+
+else:  # pragma: no cover - non-posix
+    _ThreadingUnixServer = None
+
+
+class ExplorationServer:
+    """Line-delimited JSON-RPC socket server over one shared service.
+
+    Parameters
+    ----------
+    service:
+        The shared :class:`ExplorationService` (cache + dedup + pool).
+    listen:
+        ``(host, port)`` to bind a TCP listener (port 0 picks an
+        ephemeral port; see :attr:`address` for the bound one).
+    socket_path:
+        Path for a Unix domain socket listener instead of TCP.
+        Exactly one of *listen*/*socket_path* must be given.
+    default_assigner:
+        Applied to submitted cells without their own assigner object.
+    max_pending:
+        Admission cap: requests in flight across all connections
+        beyond this are answered with ``SERVER_BUSY``.
+    """
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        listen: tuple[str, int] | None = None,
+        socket_path: str | pathlib.Path | None = None,
+        default_assigner: AssignerSpec | None = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        if (listen is None) == (socket_path is None):
+            raise ServiceError(
+                "pass exactly one of listen=(host, port) or socket_path"
+            )
+        if max_pending <= 0:
+            raise ServiceError("max_pending must be positive")
+        self.service = service
+        self.default_assigner = default_assigner
+        self.max_pending = max_pending
+        self._admission = threading.BoundedSemaphore(max_pending)
+        self._draining = threading.Event()
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._in_flight = 0
+        self._connections_total = 0
+        self._connections_active = 0
+        self._requests_total = 0
+        self._rejected_busy = 0
+        self._rejected_draining = 0
+        self._serving = threading.Event()
+        self._socket_path = (
+            pathlib.Path(socket_path) if socket_path is not None else None
+        )
+        if self._socket_path is not None:
+            if _ThreadingUnixServer is None:  # pragma: no cover - non-posix
+                raise ServiceError(
+                    "unix domain sockets are not available on this platform"
+                )
+            self._claim_socket_path(self._socket_path)
+            self._server = _ThreadingUnixServer(
+                str(self._socket_path), _Handler
+            )
+        else:
+            self._server = _ThreadingTcpServer(listen, _Handler)
+        # the handler reaches back through the socketserver instance
+        self._server.exploration = self
+
+    @staticmethod
+    def _claim_socket_path(path: pathlib.Path) -> None:
+        """Remove a *stale* socket file; refuse to steal a live one."""
+        if not path.exists():
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(0.2)
+            probe.connect(str(path))
+        except OSError:
+            path.unlink(missing_ok=True)  # dead leftover; reuse the name
+        else:
+            raise ServiceError(
+                f"socket path {path} already has a live server attached"
+            )
+        finally:
+            probe.close()
+
+    # ------------------------------------------------------------------
+    # connection + request handling
+    # ------------------------------------------------------------------
+
+    def _handle_connection(self, rfile, wfile) -> None:
+        frontend = JsonRpcFrontend(
+            self.service,
+            default_assigner=self.default_assigner,
+            server_stats=self.stats,
+        )
+        with self._state_lock:
+            self._connections_total += 1
+            self._connections_active += 1
+        try:
+            for raw in rfile:
+                response = self._handle_request(
+                    frontend, raw.decode("utf-8", errors="replace")
+                )
+                if response is None:
+                    continue
+                wfile.write((encode_response(response) + "\n").encode("utf-8"))
+                wfile.flush()
+                if not frontend.running:
+                    break
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the tenant went away; its in-flight work is cached
+        finally:
+            with self._state_lock:
+                self._connections_active -= 1
+
+    def _handle_request(
+        self, frontend: JsonRpcFrontend, line: str
+    ) -> dict | None:
+        if not line.strip():
+            return None
+        if self._draining.is_set():
+            with self._state_lock:
+                self._rejected_draining += 1
+            return self._reject(
+                line,
+                SERVER_DRAINING,
+                "server is draining and accepts no new requests",
+            )
+        if not self._admission.acquire(blocking=False):
+            with self._state_lock:
+                self._rejected_busy += 1
+            return self._reject(
+                line,
+                SERVER_BUSY,
+                f"server busy: {self.max_pending} request(s) already in "
+                "flight; back off and retry",
+            )
+        with self._state_lock:
+            self._in_flight += 1
+            self._requests_total += 1
+        try:
+            return frontend.handle_line(line)
+        finally:
+            self._admission.release()
+            with self._idle:
+                self._in_flight -= 1
+                self._idle.notify_all()
+
+    @staticmethod
+    def _reject(line: str, code: int, message: str) -> dict:
+        return {
+            "jsonrpc": "2.0",
+            "id": _request_id(line),
+            "error": {"code": code, "message": message},
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound address: ``(host, port)`` for TCP, path for Unix."""
+        if self._socket_path is not None:
+            return str(self._socket_path)
+        return self._server.server_address
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`drain` (blocking)."""
+        self._serving.set()
+        self._server.serve_forever(poll_interval=0.05)
+
+    def start(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a background thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="mhla-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful stop: reject new work, let in-flight work finish.
+
+        Returns True when the server went idle within *timeout*
+        (False means in-flight requests were abandoned to their daemon
+        threads).  Idempotent.  Also shuts the persistent worker pool
+        down, so no worker processes outlive the server.
+        """
+        from repro.analysis.pool import get_pool
+
+        self._draining.set()
+        if self._serving.is_set():
+            self._server.shutdown()  # stops serve_forever + accepting
+            self._serving.clear()
+        with self._idle:
+            drained = self._idle.wait_for(
+                lambda: self._in_flight == 0, timeout
+            )
+        self._server.server_close()
+        if self._socket_path is not None:
+            self._socket_path.unlink(missing_ok=True)
+        get_pool().shutdown()
+        return drained
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Connection/admission counters (the ``stats`` RPC's server part)."""
+        with self._state_lock:
+            return {
+                "connections_total": self._connections_total,
+                "connections_active": self._connections_active,
+                "requests_total": self._requests_total,
+                "in_flight": self._in_flight,
+                "rejected_busy": self._rejected_busy,
+                "rejected_draining": self._rejected_draining,
+                "max_pending": self.max_pending,
+                "draining": self._draining.is_set(),
+            }
+
+
+def serve_until_signalled(server: ExplorationServer) -> int:
+    """Run *server* until SIGINT/SIGTERM, then drain; the CLI body.
+
+    The server loop runs on a background thread while the main thread
+    waits for a signal — calling ``shutdown()`` from inside a signal
+    handler on the serving thread would deadlock, so the handler only
+    sets an event.
+    """
+    stop = threading.Event()
+
+    def request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, request_stop)
+    server.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.drain()
+    return 0

@@ -45,6 +45,23 @@ in ``tests/service/test_lifecycle_crash.py``) reopens to the exact
 pre-compaction view.  The active segment is sealed automatically once
 it outgrows ``segment_max_bytes``.
 
+**Multiple writers** may share one cache directory (several CLI runs,
+several ``repro serve`` processes).  Appends are safe by construction
+(single ``O_APPEND`` writes), and the store keeps its in-memory view
+current by *syncing* against the directory: every file keeps a replay
+progress offset, and a cheap directory-mtime / active-size signature
+check detects sibling activity.  New records appended by siblings are
+tail-replayed in file order; a sealed-segment set that changed
+underneath (a sibling sealed or compacted) triggers a full reload, so
+:meth:`ResultStore.get` never serves from an index a compaction made
+stale.  Eviction bounds are enforced *cross-process*: before selecting
+victims the store acquires ``evict.lock`` (same pid-stamped,
+stale-reclaimed protocol as ``compact.lock``) and re-syncs, so N
+writers against one ``max_bytes`` directory converge within the bound
+instead of each enforcing it against a private view.  Pins remain
+per-process: a sibling may evict a key another process pinned, which
+costs a re-evaluation, never a wrong result.
+
 ``path=None`` gives a purely in-memory store with the same interface —
 the service uses it to deduplicate within one process when no cache
 directory is configured.
@@ -84,6 +101,25 @@ SEGMENT_PATTERN = re.compile(r"^segment-(\d{6,})\.jsonl$")
 
 COMPACT_TMP_FILENAME = "compact.tmp"
 """Scratch file of an in-progress compaction (ignored by replay)."""
+
+EVICT_LOCK_FILENAME = "evict.lock"
+"""Exclusive-create lock held while eviction bounds are enforced.
+
+Bound enforcement against a shared directory is read-modify-write:
+sync the view, select LRU victims, append their tombstones.  Two
+writers doing that concurrently against private views is exactly the
+per-process eviction hole — each sees only its own records and the
+union blows past the bound.  The lock serialises the decision; the
+sync *inside* the lock folds every sibling's records into the view the
+victims are selected from.  The protocol is the same pid-stamped,
+stale-reclaimed one as ``compact.lock``.  Acquisition is bounded
+(:data:`EVICT_LOCK_TIMEOUT_S`): a timeout degrades to unlocked
+enforcement against the synced view, which can at worst over-evict —
+never exceed the bound.
+"""
+
+EVICT_LOCK_TIMEOUT_S = 10.0
+"""Longest a writer waits for ``evict.lock`` before enforcing unlocked."""
 
 COMPACT_LOCK_FILENAME = "compact.lock"
 """Exclusive-create lock held while a compaction rewrites the directory.
@@ -183,6 +219,14 @@ class ResultStore:
         self._unrecognised_count = 0
         self._corrupt_detail: list[dict] = []
         self._holding_compact_lock = False
+        # cross-process sync state: how far each file has been replayed
+        # plus the last directory-mtime signature we synced against
+        self._seg_progress: dict[str, int] = {}
+        self._dir_mtime: int | None = None
+        self._syncs = 0
+        self._reloads = 0
+        self._load_races = 0
+        self._evict_lock_timeouts = 0
         self._dir = pathlib.Path(path) if path is not None else None
         self._file = self._dir / RESULTS_FILENAME if self._dir else None
         if self._dir is not None:
@@ -192,29 +236,49 @@ class ResultStore:
             # pure-hit workload would otherwise never trigger eviction.
             self._enforce_limits()
 
+    def _reset_view(self) -> None:
+        self._index.clear()
+        self._line_bytes.clear()
+        self._lru_order.clear()
+        self._live_bytes = 0
+        self._active_bytes = 0
+        self._seg_progress = {}
+
     def _load_directory(self) -> None:
         """Replay every segment, retrying if a concurrent writer seals
-        or compacts the directory between listing and reading."""
-        for _attempt in range(3):
+        or compacts the directory between listing and reading.
+
+        The final attempt tolerates files vanishing mid-scan (counted
+        in ``load_races``) instead of raising: a read-only open — e.g.
+        ``repro cache stats``/``verify`` — on a directory another
+        process is actively sealing or compacting must still succeed;
+        the next :meth:`_sync` picks up whatever settled.
+        """
+        for attempt in range(5):
+            tolerant = attempt == 4
+            self._reset_view()
+            self._corrupt_count = 0
+            self._unrecognised_count = 0
+            self._corrupt_detail = []
+            # read before scanning: if the directory changes while we
+            # load, the stale signature forces the next sync to look
+            mtime = self._dir_mtime_now()
             try:
                 for file in self._segment_files():
-                    self._load(file)
-                if self._file is not None and self._file.exists():
-                    self._active_bytes = self._file.stat().st_size
-                return
-            except FileNotFoundError:  # pragma: no cover - process race
-                self._index.clear()
-                self._line_bytes.clear()
-                self._lru_order.clear()
-                self._live_bytes = 0
-                self._active_bytes = 0
-                self._corrupt_count = 0
-                self._unrecognised_count = 0
-                self._corrupt_detail = []
-        raise StoreError(  # pragma: no cover - persistent process race
-            f"cache directory {self._dir} keeps changing underneath the "
-            "loader; is a compaction looping?"
-        )
+                    try:
+                        self._seg_progress[file.name] = self._replay_file(file)
+                    except FileNotFoundError:
+                        if not tolerant:
+                            raise
+                        self._load_races += 1
+            except FileNotFoundError:
+                self._load_races += 1
+                continue
+            self._active_bytes = self._seg_progress.get(RESULTS_FILENAME, 0)
+            # a tolerant pass may have skipped files: a None signature
+            # forces the next operation to sync against the directory
+            self._dir_mtime = None if tolerant else mtime
+            return
 
     # ------------------------------------------------------------------
     # segment discovery + replay
@@ -304,15 +368,137 @@ class ResultStore:
         self._lru_order[key] = None
         self._lru_order.move_to_end(key)
 
-    def _load(self, file: pathlib.Path) -> None:
-        for lineno, line in enumerate(file.read_text().splitlines(), start=1):
-            if not line.strip():
-                continue
-            record, reason = self._parse_line(line)
-            if record is None:
-                self._note_damage(file, lineno, reason)
-                continue
-            self._replay(record, len(line.encode("utf-8")) + 1)
+    def _replay_file(
+        self, file: pathlib.Path, start: int = 0, at_open: bool = True
+    ) -> int:
+        """Replay records of *file* from byte offset *start*; returns
+        the offset consumed (the file's replay progress).
+
+        A trailing line without a newline is a torn write: at open time
+        (*at_open*) the writer is assumed dead and the fragment is
+        consumed like any other line (parseable -> replayed, otherwise
+        counted corrupt); during an incremental sync it is assumed to
+        be a *live* sibling mid-append and left unconsumed, so the
+        completed record replays on a later sync.
+        """
+        with file.open("rb") as handle:
+            if start:
+                handle.seek(start)
+            data = handle.read()
+        end = len(data)
+        if end <= 0:
+            return start
+        # line numbers (damage reports only) are relative to the whole
+        # file; the prefix line count is computed lazily because the
+        # hot path — tail-syncing a clean file — must not re-read it
+        prefix_lines: int | None = 0 if start == 0 else None
+        tail_lines = 0
+        offset = 0
+        while offset < end:
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                if not at_open:
+                    break
+                raw, next_offset = data[offset:end], end
+            else:
+                raw, next_offset = data[offset:newline], newline + 1
+            tail_lines += 1
+            line = raw.decode("utf-8", errors="replace")
+            if line.strip():
+                record, reason = self._parse_line(line)
+                if record is None:
+                    if prefix_lines is None:
+                        prefix_lines = self._count_lines_before(file, start)
+                    self._note_damage(file, prefix_lines + tail_lines, reason)
+                else:
+                    self._replay(record, len(raw) + 1)
+            offset = next_offset
+        return start + offset
+
+    @staticmethod
+    def _count_lines_before(file: pathlib.Path, start: int) -> int:
+        try:
+            return file.read_bytes()[:start].count(b"\n")
+        except OSError:  # pragma: no cover - concurrent removal
+            return 0
+
+    # ------------------------------------------------------------------
+    # cross-process synchronisation
+    # ------------------------------------------------------------------
+
+    def _dir_mtime_now(self) -> int | None:
+        if self._dir is None:
+            return None
+        try:
+            return self._dir.stat().st_mtime_ns
+        except OSError:
+            return None
+
+    def _full_reload(self) -> None:
+        """Discard and rebuild the in-memory view from the directory."""
+        self._reloads += 1
+        self._load_directory()
+
+    def _sync(self, check_active: bool = True) -> bool:
+        """Fold records other processes wrote into the in-memory view.
+
+        Caller holds ``self._lock``.  Cheap when nothing happened: the
+        directory mtime (touched by create/seal/compact events, not by
+        appends) short-circuits, and *check_active* adds one stat of
+        the active segment to also catch sibling appends.  When the
+        sealed-segment set changed underneath us — a sibling sealed the
+        active file or compacted the directory — the whole view is
+        reloaded (tail offsets are meaningless across a rewrite);
+        otherwise only the appended tails are replayed, in file order,
+        which is exactly the order a fresh loader would see.
+
+        Returns True when the view changed.
+        """
+        if self._dir is None:
+            return False
+        mtime = self._dir_mtime_now()
+        if mtime is not None and mtime == self._dir_mtime:
+            if not check_active:
+                return False
+            # _active_bytes = replay progress + our own (already
+            # indexed) appends: a file exactly that size holds no
+            # sibling bytes, so progress can jump over our own tail
+            # without re-reading it
+            if self._file_size(self._file) == self._active_bytes:
+                self._seg_progress[RESULTS_FILENAME] = self._active_bytes
+                return False
+        self._syncs += 1
+        sealed = self._sealed_files()
+        if {file.name for file in sealed} != (
+            set(self._seg_progress) - {RESULTS_FILENAME}
+        ):
+            self._full_reload()
+            return True
+        changed = False
+        files = list(sealed)
+        if self._file is not None:
+            files.append(self._file)
+        for file in files:
+            progress = self._seg_progress.get(file.name, 0)
+            size = self._file_size(file)
+            if size < progress:
+                # truncated or replaced underneath us
+                self._full_reload()
+                return True
+            if size > progress:
+                try:
+                    consumed = self._replay_file(
+                        file, start=progress, at_open=False
+                    )
+                except FileNotFoundError:
+                    self._full_reload()
+                    return True
+                if consumed != progress:
+                    self._seg_progress[file.name] = consumed
+                    changed = True
+        self._active_bytes = self._seg_progress.get(RESULTS_FILENAME, 0)
+        self._dir_mtime = mtime
+        return changed
 
     # ------------------------------------------------------------------
     # appending + rolling
@@ -362,12 +548,22 @@ class ResultStore:
             except FileExistsError:
                 number += 1
                 continue
+            self._crash_point("seal:claimed")
             try:
                 os.replace(self._file, target)
             except FileNotFoundError:  # pragma: no cover - cross-process race
                 target.unlink(missing_ok=True)
+            else:
+                # the active file's replay progress carries over to its
+                # sealed name, so our own seal does not force a reload
+                self._seg_progress[target.name] = self._seg_progress.pop(
+                    RESULTS_FILENAME, 0
+                )
+            self._crash_point("seal:renamed")
             break
         self._active_bytes = 0
+        # _dir_mtime is deliberately left stale: the next sync re-scans
+        # the directory, catching anything a sibling did concurrently
 
     # ------------------------------------------------------------------
     # generic records
@@ -380,9 +576,19 @@ class ResultStore:
         configured on a disk store, the refresh is persisted as a
         ``touch`` record (coalesced: re-touching the most recently used
         key writes nothing).
+
+        Disk stores first check the directory for sibling activity: a
+        compaction or seal underneath reloads the view instead of
+        serving from a stale index, and a miss retries after folding in
+        sibling appends (a record another process just wrote is a hit,
+        not a redundant re-evaluation).
         """
         with self._lock:
+            if self._dir is not None:
+                self._sync(check_active=False)
             record = self._index.get(key)
+            if record is None and self._dir is not None and self._sync():
+                record = self._index.get(key)
             if record is None or record.get("kind") != kind:
                 self._misses += 1
                 return None
@@ -531,12 +737,45 @@ class ResultStore:
             del self._lru_order[victim]
         self._evictions += len(victims)
 
+    def _evict_to(
+        self,
+        max_bytes: int | None,
+        max_records: int | None,
+        protect: str | None,
+    ) -> int:
+        """Evict down to the given bounds, coordinating across processes.
+
+        For disk stores the victim selection runs under ``evict.lock``
+        against a freshly synced view: every sibling's records are in
+        the view the bound is checked against, and no sibling selects
+        victims concurrently.  A lock timeout (live sibling holding it
+        unusually long) degrades to unlocked enforcement — still
+        against the synced view, so the bound holds; at worst two
+        writers tombstone the same victims.
+        """
+        if max_bytes is None and max_records is None:
+            return 0
+        if self._dir is None:
+            victims = self._select_victims(max_bytes, max_records, protect)
+            self._evict_keys(victims)
+            return len(victims)
+        # cheap when nothing happened; folds sibling appends into the
+        # view the bound is checked against
+        self._sync()
+        if not self._over_limit(max_bytes, max_records):
+            return 0
+        locked = self._acquire_evict_lock()
+        try:
+            self._sync()
+            victims = self._select_victims(max_bytes, max_records, protect)
+            self._evict_keys(victims)
+            return len(victims)
+        finally:
+            if locked:
+                self._release_evict_lock()
+
     def _enforce_limits(self, protect: str | None = None) -> int:
-        victims = self._select_victims(
-            self.max_bytes, self.max_records, protect
-        )
-        self._evict_keys(victims)
-        return len(victims)
+        return self._evict_to(self.max_bytes, self.max_records, protect)
 
     def gc(
         self,
@@ -556,11 +795,10 @@ class ResultStore:
             records_bound = (
                 max_records if max_records is not None else self.max_records
             )
-            victims = self._select_victims(bytes_bound, records_bound, None)
-            self._evict_keys(victims)
+            evicted = self._evict_to(bytes_bound, records_bound, None)
             self._maybe_auto_compact()
             return {
-                "evicted": len(victims),
+                "evicted": evicted,
                 "live_records": len(self._index),
                 "live_bytes": self._live_bytes,
             }
@@ -599,7 +837,11 @@ class ResultStore:
         if file_bytes <= self.segment_max_bytes:
             return
         if file_bytes > self.auto_compact_ratio * max(self._live_bytes, 1):
-            self.compact()
+            try:
+                self.compact()
+            except StoreError:
+                # a sibling holds compact.lock; it is compacting for us
+                pass
 
     def _crash_point(self, name: str) -> None:
         if self.crash_hook is not None:
@@ -620,14 +862,23 @@ class ResultStore:
             return True
         return True
 
-    def _lock_owner(self) -> int | None:
-        """Pid recorded in the lock file, None when absent/unreadable."""
+    @staticmethod
+    def _read_lock_owner(path: pathlib.Path) -> int | None:
+        """Pid recorded in a lock file, None when unreadable.
+
+        Raises :class:`FileNotFoundError` when the lock is absent, so
+        callers can distinguish "free" from "held by unknown pid".
+        """
         try:
-            return int(self._compact_lock_path().read_text().strip())
+            return int(path.read_text().strip())
         except FileNotFoundError:
             raise
         except (OSError, ValueError):
             return None
+
+    def _lock_owner(self) -> int | None:
+        """Pid recorded in the compact lock, None when absent/unreadable."""
+        return self._read_lock_owner(self._compact_lock_path())
 
     def _check_compact_lock(self) -> None:
         """Refuse to write while another process's compaction runs.
@@ -691,7 +942,11 @@ class ResultStore:
         self._compact_lock_path().unlink(missing_ok=True)
 
     def _reclaim_stale_compact_lock(self) -> bool:
-        """Atomically take over a dead compactor's lock; True on success.
+        """Atomically take over a dead compactor's lock; True on success."""
+        return self._reclaim_stale_lock(self._compact_lock_path())
+
+    def _reclaim_stale_lock(self, path: pathlib.Path) -> bool:
+        """Atomically take over a dead owner's lock file; True on success.
 
         Unlinking the lock by name would race a concurrent reclaimer:
         between *reading* the dead pid and *unlinking*, another process
@@ -705,8 +960,7 @@ class ResultStore:
         """
         if self._dir is None:
             return False
-        path = self._compact_lock_path()
-        claim = self._dir / f"{COMPACT_LOCK_FILENAME}.reclaim-{os.getpid()}"
+        claim = self._dir / f"{path.name}.reclaim-{os.getpid()}"
         try:
             os.rename(path, claim)
         except OSError:
@@ -741,6 +995,52 @@ class ResultStore:
             return
         if owner is not None and not self._pid_alive(owner):
             self._reclaim_stale_compact_lock()
+
+    # -- eviction lock --------------------------------------------------
+
+    def _evict_lock_path(self) -> pathlib.Path:
+        return self._dir / EVICT_LOCK_FILENAME
+
+    def _acquire_evict_lock(
+        self, timeout_s: float = EVICT_LOCK_TIMEOUT_S
+    ) -> bool:
+        """Take ``evict.lock``, waiting up to *timeout_s*; False on timeout.
+
+        Unlike the compact lock (held for a whole offline rewrite and
+        therefore contended loudly), eviction decisions are short, so
+        contention is waited out with exponential backoff.  A holder
+        whose pid died is reclaimed through the same atomic-rename
+        takeover as the compact lock.
+        """
+        path = self._evict_lock_path()
+        self._dir.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + timeout_s
+        delay = 0.001
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    owner = self._read_lock_owner(path)
+                except FileNotFoundError:
+                    continue  # freed between open and read; retry now
+                if owner is not None and not self._pid_alive(owner):
+                    self._reclaim_stale_lock(path)
+                    continue
+                if time.monotonic() >= deadline:
+                    self._evict_lock_timeouts += 1
+                    return False
+                time.sleep(delay)
+                delay = min(delay * 2, 0.05)
+                continue
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            return True
+
+    def _release_evict_lock(self) -> None:
+        self._evict_lock_path().unlink(missing_ok=True)
 
     def _fsync_dir(self) -> None:
         try:
@@ -780,6 +1080,10 @@ class ResultStore:
     def _compact_locked(self, started: float) -> dict:
         """The compaction body; caller holds both locks."""
         self._crash_point("compact:begin")
+        # Fold in anything siblings appended since our last sync: the
+        # snapshot supersedes every current file, so a record missing
+        # from the view here would be *deleted* with its segment.
+        self._sync()
         old_files = self._segment_files()
         bytes_before = sum(self._file_size(file) for file in old_files)
         live = list(self._lru_order)
@@ -819,6 +1123,9 @@ class ResultStore:
         self._unrecognised_count = 0
         self._corrupt_detail = []
         bytes_after = target.stat().st_size
+        # the snapshot segment is the only file now, fully replayed by
+        # construction; _dir_mtime stays stale so the next sync re-scans
+        self._seg_progress = {target.name: bytes_after}
         return {
             "compacted": True,
             "segments_removed": len(old_files),
@@ -858,6 +1165,10 @@ class ResultStore:
                 "touches_written": self._touches_written,
                 "corrupt_lines": self._corrupt_count,
                 "unrecognised_lines": self._unrecognised_count,
+                "syncs": self._syncs,
+                "reloads": self._reloads,
+                "load_races": self._load_races,
+                "evict_lock_timeouts": self._evict_lock_timeouts,
                 "limits": {
                     "max_bytes": self.max_bytes,
                     "max_records": self.max_records,
@@ -874,16 +1185,40 @@ class ResultStore:
         of ``mhla_result`` records that no longer rebuild.  The replayed
         view is cross-checked against the in-memory index; ``ok`` is
         True only for a fully clean store.
+
+        A directory another process is actively writing is *reported*,
+        never an error: files that vanish mid-scan (a concurrent seal's
+        rename or a compaction's cleanup) are counted in
+        ``vanished_files``, in-flight artifacts (``compact.tmp``, lock
+        holders, empty just-claimed segment placeholders) land under
+        ``in_progress``, and ``directory_changed`` marks a scan whose
+        start and end signatures differ.  An unstable scan cannot fail
+        ``ok`` on a memory mismatch — the mismatch is expected mid-write
+        — but real damage (corrupt lines, suspect keys) still does.
         """
         with self._lock:
+            if self._dir is not None:
+                self._sync()
+            signature_before = (
+                self._dir_mtime_now(),
+                self._file_size(self._file) if self._file is not None else 0,
+            )
             files = []
             view: dict[str, dict] = {}
             damage: list[dict] = []
             suspect_keys = 0
+            vanished_files = 0
+            seal_placeholders = 0
             for file in self._segment_files():
                 try:
                     text = file.read_text()
-                except FileNotFoundError:  # pragma: no cover - process race
+                except FileNotFoundError:
+                    vanished_files += 1
+                    continue
+                if not text and file.name != RESULTS_FILENAME:
+                    # empty sealed segment: a sibling's just-claimed
+                    # seal target, about to receive the active file
+                    seal_placeholders += 1
                     continue
                 counts = {
                     "file": file.name,
@@ -947,6 +1282,17 @@ class ResultStore:
                 if self._dir is not None
                 else True
             )
+            signature_after = (
+                self._dir_mtime_now(),
+                self._file_size(self._file) if self._file is not None else 0,
+            )
+            directory_changed = (
+                self._dir is not None and signature_before != signature_after
+            )
+            in_progress = self._in_progress_artifacts(seal_placeholders)
+            # a scan raced by a live writer legitimately diverges from
+            # this process's view; only a *stable* mismatch is damage
+            unstable = directory_changed or vanished_files > 0
             by_kind: dict[str, int] = {}
             for record in view.values():
                 by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
@@ -959,20 +1305,43 @@ class ResultStore:
                 "damage": damage,
                 "suspect_keys": suspect_keys,
                 "matches_memory": matches_memory,
+                "vanished_files": vanished_files,
+                "directory_changed": directory_changed,
+                "in_progress": in_progress,
                 "deep_checked": deep_checked,
                 "deep_failures": deep_failures,
                 "ok": (
                     corrupt == 0
                     and unrecognised == 0
                     and suspect_keys == 0
-                    and matches_memory
+                    and (matches_memory or unstable)
                     and not deep_failures
                 ),
             }
 
+    def _in_progress_artifacts(self, seal_placeholders: int) -> dict:
+        """Evidence of concurrent writer activity, for ``verify()``."""
+        artifacts: dict = {"seal_placeholders": seal_placeholders}
+        if self._dir is None:
+            return artifacts
+        artifacts["compact_tmp"] = (self._dir / COMPACT_TMP_FILENAME).exists()
+        for label, name in (
+            ("compact_lock_pid", COMPACT_LOCK_FILENAME),
+            ("evict_lock_pid", EVICT_LOCK_FILENAME),
+        ):
+            try:
+                artifacts[label] = self._read_lock_owner(self._dir / name)
+            except FileNotFoundError:
+                artifacts[label] = None
+        return artifacts
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._index
+            if key in self._index:
+                return True
+            if self._dir is not None and self._sync():
+                return key in self._index
+            return False
 
     def __len__(self) -> int:
         with self._lock:

@@ -143,3 +143,79 @@ class TestWarmPoolSweepIdentity:
             assert [o.ok for o in outcomes] == [True, False, True]
             assert "ValidationError" in outcomes[1].error
             assert "quantum" in outcomes[1].error
+
+def _boom(value):
+    raise RuntimeError(f"boom on {value}")
+
+
+class _FailingHandle:
+    """An apply_async handle whose worker died with an exception."""
+
+    def __init__(self, error):
+        self._error = error
+
+    def get(self):
+        raise self._error
+
+
+class _DoomedPool:
+    """Stands in for a multiprocessing pool that fails on contact.
+
+    ``mode="worker"`` hands out handles that raise on ``get()`` (a
+    worker-side death); ``mode="dispatch"`` raises from
+    ``apply_async`` itself (the pool was already torn down).  Using a
+    fake keeps the fallback paths deterministic — a real terminated
+    pool can leave ``get()`` blocking forever.
+    """
+
+    def __init__(self, mode):
+        self.mode = mode
+
+    def apply_async(self, func, args):
+        if self.mode == "dispatch":
+            raise ValueError("Pool not running")
+        return _FailingHandle(RuntimeError("worker died mid-batch"))
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+def _doomed(pool: PersistentPool, mode: str) -> PersistentPool:
+    pool._ensure = lambda workers: _DoomedPool(mode)
+    return pool
+
+
+class TestFallbackErrorChaining:
+    """A failing in-parent fallback must surface the pool-side error
+    that forced it, not bury it under its own shadow."""
+
+    @pytest.mark.parametrize("mode", ["worker", "dispatch"])
+    def test_pool_failure_recovered_by_parent_fallback(self, mode):
+        pool = _doomed(PersistentPool(), mode)
+        results = pool.map_batched(_square, [1, 2, 3, 4], jobs=2)
+        assert results == [1, 4, 9, 16]
+        assert pool.stats().fallbacks >= 1
+
+    @pytest.mark.parametrize("mode", ["worker", "dispatch"])
+    def test_fallback_failure_names_both_errors_and_chains_cause(self, mode):
+        from repro.errors import EvaluationError
+
+        pool = _doomed(PersistentPool(), mode)
+        with pytest.raises(EvaluationError) as excinfo:
+            pool.map_batched(_boom, [1, 2, 3, 4], jobs=2)
+        message = str(excinfo.value)
+        # the pool-side diagnosis leads, the fallback's failure follows
+        expected_cause = (
+            "RuntimeError: worker died mid-batch"
+            if mode == "worker"
+            else "ValueError: Pool not running"
+        )
+        assert expected_cause in message
+        assert "in-parent fallback then failed: RuntimeError: boom on" in message
+        # and the original is chained for full tracebacks
+        assert type(excinfo.value.__cause__) is (
+            RuntimeError if mode == "worker" else ValueError
+        )

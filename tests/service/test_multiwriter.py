@@ -1,0 +1,261 @@
+"""Two writers, one cache directory: the cross-process eviction hole.
+
+Before eviction took ``evict.lock`` (and synced inside it), each
+bounded writer enforced ``--cache-max-bytes``/``--cache-max-entries``
+against its *private* view of the directory, so N writers could
+together blow past the bound by a factor of N.  These tests drive two
+:class:`ResultStore` instances (and, in the stress tier, two real
+processes) against one bounded directory and assert the union stays
+within bounds, records survive byte-identically, and readers tolerate
+a sibling mid-seal or mid-compaction.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.service.keys import canonical_json
+from repro.service.store import (
+    COMPACT_LOCK_FILENAME,
+    EVICT_LOCK_FILENAME,
+    KIND_FUZZ_VERDICT,
+    ResultStore,
+)
+
+
+def key_of(index: int) -> str:
+    return format(index, "064x")
+
+
+def payload_of(index: int) -> dict:
+    return {"n": index, "nested": {"verdict": "ok", "pad": "x" * 64}}
+
+
+def dead_pid() -> int:
+    """A pid guaranteed not to be running (a just-exited child's)."""
+    proc = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return int(proc.stdout)
+
+
+class TestSharedBoundEnforcement:
+    def test_two_writers_stay_within_max_records(self, tmp_path):
+        bound = 40
+        a = ResultStore(tmp_path, max_records=bound)
+        b = ResultStore(tmp_path, max_records=bound)
+        for index in range(100):
+            assert a.put(key_of(2 * index), KIND_FUZZ_VERDICT, payload_of(2 * index))
+            assert b.put(
+                key_of(2 * index + 1), KIND_FUZZ_VERDICT, payload_of(2 * index + 1)
+            )
+        # the union view — what a fresh process loads — honours the bound
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) <= bound
+        assert fresh.verify()["ok"]
+        # no lock file left behind by either writer
+        assert not (tmp_path / EVICT_LOCK_FILENAME).exists()
+
+    def test_two_writers_stay_within_max_bytes(self, tmp_path):
+        bound = 8192
+        a = ResultStore(tmp_path, max_bytes=bound)
+        b = ResultStore(tmp_path, max_bytes=bound)
+        for index in range(60):
+            a.put(key_of(2 * index), KIND_FUZZ_VERDICT, payload_of(2 * index))
+            b.put(
+                key_of(2 * index + 1), KIND_FUZZ_VERDICT, payload_of(2 * index + 1)
+            )
+        fresh = ResultStore(tmp_path)
+        assert fresh.stats()["live_bytes"] <= bound
+        assert fresh.verify()["ok"]
+
+    def test_surviving_records_reread_byte_identically(self, tmp_path):
+        a = ResultStore(tmp_path, max_records=10)
+        b = ResultStore(tmp_path, max_records=10)
+        for index in range(30):
+            (a if index % 2 == 0 else b).put(
+                key_of(index), KIND_FUZZ_VERDICT, payload_of(index)
+            )
+        fresh = ResultStore(tmp_path)
+        survivors = 0
+        for index in range(30):
+            payload = fresh.get(key_of(index), KIND_FUZZ_VERDICT)
+            if payload is None:
+                continue
+            survivors += 1
+            assert canonical_json(payload) == canonical_json(payload_of(index))
+        assert 0 < survivors <= 10
+
+    def test_evict_lock_timeout_still_enforces_the_bound(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path, max_records=5)
+        monkeypatch.setattr(
+            store, "_acquire_evict_lock", lambda *a, **k: False
+        )
+        for index in range(20):
+            store.put(key_of(index), KIND_FUZZ_VERDICT, payload_of(index))
+        # unlocked degradation may over-evict, but never over-retain
+        assert len(store) <= 5
+        assert len(ResultStore(tmp_path)) <= 5
+
+    def test_stale_evict_lock_is_reclaimed(self, tmp_path):
+        (tmp_path / EVICT_LOCK_FILENAME).write_text(str(dead_pid()))
+        store = ResultStore(tmp_path, max_records=5)
+        for index in range(20):
+            store.put(key_of(index), KIND_FUZZ_VERDICT, payload_of(index))
+        assert len(store) <= 5
+        assert store.stats()["evict_lock_timeouts"] == 0
+        assert not (tmp_path / EVICT_LOCK_FILENAME).exists()
+
+
+class TestCrossInstanceVisibility:
+    def test_sibling_records_visible_without_reopen(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        a.put(key_of(1), KIND_FUZZ_VERDICT, payload_of(1))
+        # b opened before the put; get() syncs the directory on a miss
+        assert key_of(1) in b
+        assert b.get(key_of(1), KIND_FUZZ_VERDICT) == payload_of(1)
+
+    def test_get_survives_sibling_compaction(self, tmp_path):
+        a = ResultStore(tmp_path, segment_max_bytes=256)
+        for index in range(20):
+            a.put(key_of(index), KIND_FUZZ_VERDICT, payload_of(index))
+        b = ResultStore(tmp_path)
+        assert b.get(key_of(3), KIND_FUZZ_VERDICT) == payload_of(3)
+        # a compacts the directory out from under b's feet
+        report = a.compact()
+        assert report["compacted"]
+        for index in range(20):
+            assert b.get(key_of(index), KIND_FUZZ_VERDICT) == payload_of(index)
+        assert b.stats()["reloads"] >= 1
+        assert b.verify()["ok"]
+
+
+class TestVerifyToleratesConcurrentWriters:
+    def _crashed_mid_seal(self, tmp_path, crash_at: str) -> None:
+        """Leave the directory exactly as a writer killed mid-seal would."""
+
+        class SimulatedCrash(Exception):
+            pass
+
+        def hook(name):
+            if name == crash_at:
+                raise SimulatedCrash(name)
+
+        writer = ResultStore(tmp_path, segment_max_bytes=128)
+        writer.crash_hook = hook
+        with pytest.raises(SimulatedCrash):
+            for index in range(50):
+                writer.put(key_of(index), KIND_FUZZ_VERDICT, payload_of(index))
+
+    def test_verify_tolerates_claimed_but_unfilled_segment(self, tmp_path):
+        # crash between claiming segment-N and renaming the active file:
+        # the directory holds an empty placeholder segment
+        self._crashed_mid_seal(tmp_path, "seal:claimed")
+        reader = ResultStore(tmp_path)
+        report = reader.verify()
+        assert report["ok"]
+        assert report["in_progress"]["seal_placeholders"] >= 1
+        assert report["corrupt_lines"] == 0
+
+    def test_verify_clean_after_completed_seal_rename(self, tmp_path):
+        self._crashed_mid_seal(tmp_path, "seal:renamed")
+        reader = ResultStore(tmp_path)
+        report = reader.verify()
+        assert report["ok"]
+        assert report["corrupt_lines"] == 0
+
+    def test_verify_counts_vanishing_files_instead_of_raising(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path)
+        store.put(key_of(1), KIND_FUZZ_VERDICT, payload_of(1))
+        reader = ResultStore(tmp_path)
+        real_segments = type(reader)._segment_files
+
+        def racing_segments(self):
+            # a sibling's compaction deletes a segment between listing
+            # and reading: verify must count it, not crash
+            return [tmp_path / "segment-000099.jsonl"] + real_segments(self)
+
+        monkeypatch.setattr(type(reader), "_segment_files", racing_segments)
+        report = reader.verify()
+        assert report["ok"]
+        assert report["vanished_files"] == 1
+
+    def test_verify_reports_live_lock_holders(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(key_of(1), KIND_FUZZ_VERDICT, payload_of(1))
+        (tmp_path / COMPACT_LOCK_FILENAME).write_text(str(os.getpid()))
+        (tmp_path / EVICT_LOCK_FILENAME).write_text(str(os.getpid()))
+        try:
+            report = store.verify()
+            assert report["in_progress"]["compact_lock_pid"] == os.getpid()
+            assert report["in_progress"]["evict_lock_pid"] == os.getpid()
+        finally:
+            (tmp_path / COMPACT_LOCK_FILENAME).unlink()
+            (tmp_path / EVICT_LOCK_FILENAME).unlink()
+
+
+WRITER_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    sys.path.insert(0, sys.argv[1])
+    from repro.service.store import KIND_FUZZ_VERDICT, ResultStore
+
+    directory, offset = sys.argv[2], int(sys.argv[3])
+    store = ResultStore(directory, max_records=50)
+    for index in range(200):
+        key = format(offset + 2 * index, "064x")
+        store.put(
+            key,
+            KIND_FUZZ_VERDICT,
+            {"n": index, "writer": offset, "pad": "x" * 64},
+        )
+    print("within-bound:", len(store) <= 50)
+    """
+)
+
+
+@pytest.mark.stress
+class TestMultiProcessSoak:
+    def test_two_processes_share_one_bounded_directory(self, tmp_path):
+        src = str(
+            __import__("pathlib").Path(__file__).resolve().parents[2] / "src"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER_SCRIPT, src, str(tmp_path), str(offset)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for offset in (0, 1)
+        ]
+        for proc in procs:
+            stdout, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr
+            assert "within-bound: True" in stdout
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) <= 50
+        report = fresh.verify(deep=False)
+        assert report["ok"], report
+        # every survivor parses back with its writer's payload intact
+        live = 0
+        for index in range(400):
+            payload = fresh.get(format(index, "064x"), KIND_FUZZ_VERDICT)
+            if payload is None:
+                continue
+            live += 1
+            assert payload["writer"] == index % 2
+            assert payload["pad"] == "x" * 64
+        assert 0 < live <= 50

@@ -367,3 +367,77 @@ class TestAssignerParams:
         responses = roundtrip(service, [greedy, tabu])
         keys = [response["result"]["key"] for response in responses]
         assert keys[0] != keys[1]
+
+
+class TestLoopTermination:
+    """The serve loop must end with a deliberate exit code, never a
+    traceback, when its transport or operator goes away (satellite of
+    the socket-server PR: stdio hardening)."""
+
+    def test_broken_pipe_mid_response_exits_1(self):
+        class BrokenStdout(io.StringIO):
+            def write(self, text):
+                raise BrokenPipeError
+
+        service = ExplorationService()
+        code = serve(
+            service,
+            io.StringIO(json.dumps(rpc("stats")) + "\n"),
+            BrokenStdout(),
+        )
+        assert code == 1
+
+    def test_keyboard_interrupt_exits_0(self):
+        class InterruptedStdin:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise KeyboardInterrupt
+
+        code = serve(ExplorationService(), InterruptedStdin(), io.StringIO())
+        assert code == 0
+
+    def test_reader_death_mid_pipeline_is_a_clean_exit(self):
+        # Regression: kill the response reader while `repro serve` is
+        # mid-pipeline.  The process must exit with code 1 (responses
+        # were lost) and stderr must stay traceback-free.
+        import os
+        import pathlib
+        import subprocess
+        import sys
+        import threading
+
+        src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": src},
+        )
+        request = (json.dumps(rpc("stats")) + "\n").encode("utf-8")
+
+        def flood():
+            try:
+                for _ in range(3000):
+                    proc.stdin.write(request)
+                proc.stdin.flush()
+            except (BrokenPipeError, OSError):
+                pass  # the server exited first; that is the point
+
+        writer = threading.Thread(target=flood)
+        writer.start()
+        # read one response to prove the loop is alive, then vanish
+        assert proc.stdout.readline().startswith(b'{"jsonrpc"')
+        proc.stdout.close()
+        code = proc.wait(timeout=60)
+        writer.join(timeout=60)
+        stderr = proc.stderr.read().decode("utf-8", errors="replace")
+        proc.stderr.close()
+        try:
+            proc.stdin.close()
+        except (BrokenPipeError, OSError):
+            pass  # close flushes buffered requests nobody will read
+        assert code == 1, stderr
+        assert "Traceback" not in stderr

@@ -123,3 +123,62 @@ class TestMain:
             ]
         )
         assert code == 0
+
+
+class TestDefaultMetricsRegistry:
+    def test_known_basenames_have_guard_sets(self):
+        from benchmarks.compare import DEFAULT_METRICS, default_metrics_for
+
+        for name in ("BENCH_search.json", "BENCH_service.json", "BENCH_serve.json"):
+            assert DEFAULT_METRICS[name], name
+            assert default_metrics_for(pathlib.Path("x") / name) == DEFAULT_METRICS[name]
+
+    def test_unknown_basename_guards_nothing(self):
+        from benchmarks.compare import default_metrics_for
+
+        assert default_metrics_for(pathlib.Path("whatever.json")) == []
+
+    def test_main_applies_registry_defaults(self, tmp_path, capsys):
+        old = {"latency": {"p50_ms": 1.0, "p95_ms": 2.0}, "requests_per_s": 1000.0}
+        new = {"latency": {"p50_ms": 2.0, "p95_ms": 2.0}, "requests_per_s": 1000.0}
+        (tmp_path / "old").mkdir()
+        (tmp_path / "new").mkdir()
+        code = main(
+            [
+                _write(tmp_path / "old", "BENCH_serve.json", old),
+                _write(tmp_path / "new", "BENCH_serve.json", new),
+            ]
+        )
+        # p50 doubled: the registry default catches it with no --metric
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "registry defaults" in captured.out
+        assert "latency.p50_ms" in captured.err
+
+    def test_explicit_metric_overrides_registry(self, tmp_path, capsys):
+        old = {"latency": {"p50_ms": 1.0, "p95_ms": 2.0}}
+        new = {"latency": {"p50_ms": 5.0, "p95_ms": 2.0}}
+        (tmp_path / "old").mkdir()
+        (tmp_path / "new").mkdir()
+        code = main(
+            [
+                _write(tmp_path / "old", "BENCH_serve.json", old),
+                _write(tmp_path / "new", "BENCH_serve.json", new),
+                "--metric",
+                "latency.p95_ms",
+            ]
+        )
+        assert code == 0  # only the named metric is guarded
+        capsys.readouterr()
+
+    def test_committed_serve_snapshot_self_compares(self, capsys):
+        snapshot = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "out"
+            / "BENCH_serve.json"
+        )
+        if not snapshot.exists():
+            pytest.skip("no committed BENCH_serve.json")
+        assert main([str(snapshot), str(snapshot)]) == 0
+        assert "registry defaults" in capsys.readouterr().out
