@@ -48,6 +48,9 @@ DEFAULT_METRICS: dict[str, list[str]] = {
     ],
     "BENCH_service.json": ["warm_s"],
     "BENCH_serve.json": ["latency.p50_ms", "latency.p95_ms"],
+    # duplicate_evaluations has a zero baseline: ANY growth is the
+    # fleet-dedup hole reopening, caught by the zero-baseline rule
+    "BENCH_fleet.json": ["duplicate_evaluations", "wall_s"],
 }
 """Guarded dot-paths per snapshot basename, used when no ``--metric``
 is given on the command line."""
@@ -102,6 +105,15 @@ def compare(
             failures.append(
                 f"{metric}: {before:g} -> {after:g} ({delta}, "
                 f"tolerance +{tolerance:.0%})"
+            )
+        elif not before and after > 0:
+            # a zero baseline means "this must never happen" (e.g.
+            # duplicate evaluations); relative tolerance is meaningless
+            # there, so any growth at all fails
+            verdict = "REGRESSION"
+            failures.append(
+                f"{metric}: {before:g} -> {after:g} "
+                "(grew from a zero baseline)"
             )
         lines.append(
             f"  [{verdict:>10}] {metric}: {before:g} -> {after:g} ({delta})"

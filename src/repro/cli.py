@@ -113,12 +113,13 @@ def _make_store(
     Auto-compaction is only passed by ``repro serve`` — the one
     deployment where this process provably owns the directory.
     """
-    from repro.service import ResultStore
+    from repro.service import DEFAULT_CLAIM_TTL_S, ResultStore
 
     return ResultStore(
         args.cache,
         max_bytes=getattr(args, "cache_max_bytes", None),
         max_records=getattr(args, "cache_max_entries", None),
+        claim_ttl_s=getattr(args, "claim_ttl", None) or DEFAULT_CLAIM_TTL_S,
         auto_compact_ratio=auto_compact_ratio,
     )
 
@@ -520,7 +521,9 @@ def _cmd_call(args: argparse.Namespace) -> int:
         if args.connect is not None
         else args.socket
     )
-    with ServiceClient(address, timeout=args.timeout) as client:
+    with ServiceClient(
+        address, timeout=args.timeout, retry_busy=args.retry_busy
+    ) as client:
         response = client.request(args.method, params)
     print(json.dumps(response, separators=(",", ":")))
     return 0 if "error" not in response else 1
@@ -560,6 +563,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     print(f"{'live records:':21s}{stats['live_records']}")
     print(f"{'live bytes:':21s}{stats['live_bytes']}")
     _print_kind_counts(stats["live_by_kind"])
+    print(f"{'live claims:':21s}{stats['live_claims']}")
     print(f"{'corrupt lines:':21s}{stats['corrupt_lines']}")
     print(f"{'unrecognised lines:':21s}{stats['unrecognised_lines']}")
     print(
@@ -593,6 +597,7 @@ def _cmd_cache_gc(args: argparse.Namespace) -> int:
         return 2
     report = store.gc(max_bytes=args.max_bytes, max_records=args.max_entries)
     print(f"{'evicted:':21s}{report['evicted']}")
+    print(f"{'claims pruned:':21s}{report['claims_pruned']}")
     print(f"{'live records:':21s}{report['live_records']}")
     print(f"{'live bytes:':21s}{report['live_bytes']}")
     if args.compact:
@@ -612,11 +617,14 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
             f"{counts['records']} record(s), {counts['touches']} touch(es), "
             f"{counts['tombstones']} tombstone(s), "
             f"{counts['compactions']} compaction(s), "
+            f"{counts['claims']} claim(s), "
+            f"{counts['releases']} release(s), "
             f"{counts['corrupt']} corrupt, "
             f"{counts['unrecognised']} unrecognised"
         )
     print(f"{'live records:':21s}{report['live_records']}")
     _print_kind_counts(report["live_by_kind"])
+    print(f"{'live claims:':21s}{report['live_claims']}")
     print(f"{'suspect keys:':21s}{report['suspect_keys']}")
     damaged = report["corrupt_lines"] + report["unrecognised_lines"]
     print(f"{'damaged lines:':21s}{damaged}")
@@ -665,6 +673,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type for retry counts: 0 (fail fast) is legitimate."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
     return value
 
 
@@ -758,6 +777,18 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="evict least-recently-used cache records once more than "
             "N keys are live (default: unbounded)",
+        )
+        from repro.service.store import DEFAULT_CLAIM_TTL_S
+
+        p.add_argument(
+            "--claim-ttl",
+            type=_positive_float,
+            default=None,
+            metavar="T",
+            help="lease duration (seconds) of in-flight claims written "
+            "to a shared cache directory; siblings take an expired "
+            "claim over instead of waiting forever (default: "
+            f"{DEFAULT_CLAIM_TTL_S:g})",
         )
 
     run = sub.add_parser("run", help="four scenarios for one application")
@@ -941,6 +972,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         metavar="T",
         help="seconds to wait for the response (default: 60)",
+    )
+    call.add_argument(
+        "--retry-busy",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="retry up to N times (capped jittered backoff) when the "
+        "server answers busy (-32001) under admission control "
+        "(default: 0, fail fast)",
     )
     call.set_defaults(func=_cmd_call)
 

@@ -25,7 +25,9 @@ Layers
   cache hits served without workers, batches fanned across
   :class:`~repro.analysis.sweep.ParallelSweepRunner`.  Service memory
   is bounded: finished jobs live in a capped ring buffer with an
-  optional TTL instead of accumulating forever.
+  optional TTL instead of accumulating forever.  Over a shared cache
+  directory, leased ``claim`` records extend the dedup fleet-wide:
+  N server processes evaluate each unique cell exactly once.
 * :mod:`repro.service.rpc`   — the ``repro serve`` stdin/stdout
   JSON-RPC loop for driving one service from many clients.
 * :mod:`repro.service.server` — :class:`ExplorationServer`, the same
@@ -61,10 +63,16 @@ from repro.service.server import (
     serve_until_signalled,
 )
 from repro.service.store import (
+    CLAIM_DONE,
+    CLAIM_WON,
+    CLAIM_YIELDED,
     CONTROL_KINDS,
+    DEFAULT_CLAIM_TTL_S,
     DEFAULT_SEGMENT_MAX_BYTES,
+    KIND_CLAIM,
     KIND_COMPACTION,
     KIND_FUZZ_VERDICT,
+    KIND_RELEASE,
     KIND_RESULT,
     KIND_TOMBSTONE,
     KIND_TOUCH,
@@ -73,13 +81,19 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "CLAIM_DONE",
+    "CLAIM_WON",
+    "CLAIM_YIELDED",
     "CONTROL_KINDS",
+    "DEFAULT_CLAIM_TTL_S",
     "DEFAULT_SEGMENT_MAX_BYTES",
     "ExplorationServer",
     "ExplorationService",
     "KEY_FORMAT_VERSION",
+    "KIND_CLAIM",
     "KIND_COMPACTION",
     "KIND_FUZZ_VERDICT",
+    "KIND_RELEASE",
     "KIND_RESULT",
     "KIND_TOMBSTONE",
     "KIND_TOUCH",

@@ -17,11 +17,19 @@ from __future__ import annotations
 
 import json
 import pathlib
+import random
 import socket
+import time
 
 from repro.errors import ServiceError
 
 __all__ = ["RemoteRpcError", "ServiceClient"]
+
+_BUSY_BACKOFF_BASE_S = 0.05
+"""First retry delay after a ``SERVER_BUSY`` response."""
+
+_BUSY_BACKOFF_CAP_S = 2.0
+"""Upper bound on any single busy-retry delay."""
 
 
 class RemoteRpcError(ServiceError):
@@ -40,15 +48,26 @@ class ServiceClient:
     via :meth:`close` (or the context manager).  Not thread-safe: use
     one client per thread (connections are cheap; the server treats
     each as its own tenant).
+
+    *retry_busy* makes :meth:`request` / :meth:`call` retry up to that
+    many times when the server answers ``SERVER_BUSY`` (admission-
+    control backpressure, code ``-32001``), sleeping a capped, jittered
+    exponential backoff between attempts.  The default of 0 preserves
+    the raw fail-fast behaviour; drain rejections (``-32002``) are
+    never retried — a draining server will not come back.
     """
 
     def __init__(
         self,
         address: tuple[str, int] | str | pathlib.Path,
         timeout: float | None = 60.0,
+        retry_busy: int = 0,
     ):
+        if retry_busy < 0:
+            raise ServiceError("retry_busy must be >= 0")
         self.address = address
         self.timeout = timeout
+        self.retry_busy = retry_busy
         self._sock: socket.socket | None = None
         self._reader = None
         self._next_id = 0
@@ -58,18 +77,26 @@ class ServiceClient:
     def connect(self) -> None:
         if self._sock is not None:
             return
-        if isinstance(self.address, tuple):
-            sock = socket.create_connection(
-                self.address, timeout=self.timeout
-            )
-        else:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            try:
-                sock.connect(str(self.address))
-            except OSError:
-                sock.close()
-                raise
+        try:
+            if isinstance(self.address, tuple):
+                sock = socket.create_connection(
+                    self.address, timeout=self.timeout
+                )
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                try:
+                    sock.connect(str(self.address))
+                except OSError:
+                    sock.close()
+                    raise
+        except OSError as error:
+            # a refused/unreachable server is an operational condition,
+            # not a bug: surface it as the uniform service error the
+            # CLI turns into "error: ..." + exit 1, never a traceback
+            raise ServiceError(
+                f"cannot connect to server at {self.address!r}: {error}"
+            ) from None
         self._sock = sock
         self._reader = sock.makefile("rb")
 
@@ -94,8 +121,13 @@ class ServiceClient:
         """One raw request line -> the raw response line (no parsing)."""
         self.connect()
         payload = line.rstrip("\n") + "\n"
-        self._sock.sendall(payload.encode("utf-8"))
-        response = self._reader.readline()
+        try:
+            self._sock.sendall(payload.encode("utf-8"))
+            response = self._reader.readline()
+        except OSError as error:
+            raise ServiceError(
+                f"lost connection to server at {self.address!r}: {error}"
+            ) from None
         if not response:
             raise ServiceError(
                 f"server at {self.address!r} closed the connection"
@@ -103,7 +135,29 @@ class ServiceClient:
         return response.decode("utf-8").rstrip("\n")
 
     def request(self, method: str, params: dict | None = None) -> dict:
-        """One method call -> the full response object (result or error)."""
+        """One method call -> the full response object (result or error).
+
+        ``SERVER_BUSY`` error responses are retried up to
+        ``retry_busy`` times before being returned as-is.
+        """
+        for attempt in range(self.retry_busy + 1):
+            response = self._request_once(method, params)
+            if not self._is_busy(response) or attempt == self.retry_busy:
+                return response
+            # capped exponential backoff with full jitter: N clients
+            # rejected together must not retry together
+            cap = min(_BUSY_BACKOFF_BASE_S * 2**attempt, _BUSY_BACKOFF_CAP_S)
+            time.sleep(random.uniform(0, cap))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _is_busy(response: dict) -> bool:
+        from repro.service.rpc import SERVER_BUSY
+
+        error = response.get("error")
+        return isinstance(error, dict) and error.get("code") == SERVER_BUSY
+
+    def _request_once(self, method: str, params: dict | None = None) -> dict:
         self._next_id += 1
         request = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
         if params is not None:

@@ -10,7 +10,13 @@
   made before the batch runs share one pending job, and a submission
   for a key another thread is currently evaluating waits for that
   evaluation instead of repeating it.  Every unique cell is evaluated
-  at most once per store lifetime;
+  at most once per store lifetime — and with a shared cache directory,
+  at most once per *fleet*: :meth:`ExplorationService.flush` leases
+  each key through the store's ``claim`` records before evaluating, so
+  a key a sibling ``repro serve`` process is already computing is
+  awaited (poll with backoff), not recomputed, and a crashed sibling's
+  lease expires and is taken over (see
+  :meth:`~repro.service.store.ResultStore.try_claim`);
 * **batch** — pending jobs accumulate until :meth:`flush` (called
   implicitly by :meth:`result` and :meth:`run`) fans the whole batch
   across the runner's pool in one go, amortising pool start-up over
@@ -46,7 +52,11 @@ from repro.analysis.sweep import ParallelSweepRunner, SweepCell, SweepCellResult
 from repro.core.mhla import MhlaResult
 from repro.errors import ServiceError
 from repro.service.keys import cell_key
-from repro.service.store import ResultStore
+from repro.service.store import (
+    CLAIM_DONE,
+    CLAIM_WON,
+    ResultStore,
+)
 
 #: Job/request states reported by :meth:`ExplorationService.poll`.
 PENDING = "pending"      # queued, not yet handed to the runner
@@ -57,6 +67,12 @@ UNKNOWN = "unknown"      # never submitted (or aged out of history)
 
 DEFAULT_COMPLETED_JOBS_LIMIT = 1024
 """Finished job stubs retained for poll/result reporting."""
+
+_POLL_INITIAL_S = 0.02
+"""First sleep while waiting on a sibling server's in-flight claim."""
+
+_POLL_MAX_S = 0.25
+"""Backoff cap for the sibling-claim poll loop."""
 
 
 class _Job:
@@ -83,6 +99,9 @@ class ServiceStats:
     evaluated: int = 0
     failed: int = 0
     jobs_expired: int = 0
+    claims_won: int = 0
+    claims_yielded: int = 0
+    claims_reclaimed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -97,6 +116,9 @@ class ServiceStats:
             "evaluated": self.evaluated,
             "failed": self.failed,
             "jobs_expired": self.jobs_expired,
+            "claims_won": self.claims_won,
+            "claims_yielded": self.claims_yielded,
+            "claims_reclaimed": self.claims_reclaimed,
             "hit_rate": self.hit_rate,
         }
 
@@ -300,6 +322,16 @@ class ExplorationService:
 
         Concurrent flushes are safe: each grabs only jobs still pending
         under the lock, so a job is handed to the runner exactly once.
+
+        With a shared cache directory the batch is first partitioned by
+        :meth:`~repro.service.store.ResultStore.try_claim`: keys whose
+        lease we win are evaluated here; keys a live sibling server
+        already leased are *not* re-evaluated — they are polled with
+        backoff until the sibling's result lands.  A sibling that
+        crashes or gives up lets its lease expire (or releases it), at
+        which point the poller takes the lease over and evaluates the
+        key itself, so every job resolves: exactly-once fleet-wide in
+        the steady state, at-least-once under crashes, never zero.
         """
         with self._lock:
             batch = [
@@ -312,6 +344,42 @@ class ExplorationService:
                 job.status = RUNNING
         if not batch:
             return 0
+        local: list[_Job] = []
+        waiting: list[_Job] = []
+        claims: dict[str, str] = {}
+        for job in batch:
+            status, claim_id = self.store.try_claim(job.key)
+            if status == CLAIM_DONE:
+                # a sibling finished it between submit and now
+                with self._lock:
+                    self._finish(job, DONE)
+                job.event.set()
+            elif status == CLAIM_WON:
+                claims[job.key] = claim_id
+                local.append(job)
+                with self._lock:
+                    self.stats.claims_won += 1
+            else:
+                waiting.append(job)
+                with self._lock:
+                    self.stats.claims_yielded += 1
+        try:
+            if local:
+                self._evaluate(local, claims)
+        finally:
+            # even when the local batch aborts, jobs leased to siblings
+            # must still resolve — their waiters are blocked on us
+            if waiting:
+                self._await_siblings(waiting)
+        return len(batch)
+
+    def _evaluate(self, batch: list[_Job], claims: dict[str, str]) -> None:
+        """Run one claimed batch through the runner and store results.
+
+        A successful ``put`` retires the key's claim by itself; failed
+        or aborted jobs release theirs explicitly so sibling servers
+        can retry immediately instead of waiting out the lease.
+        """
         abort_reason = "batch evaluation aborted"
         try:
             outcomes = self.runner.run(tuple(job.cell for job in batch))
@@ -322,6 +390,7 @@ class ExplorationService:
                         self._finish(job, DONE)
                         self.stats.evaluated += 1
                     else:
+                        self._release_claim(job.key, claims)
                         self._finish(job, FAILED, outcome.error)
                         self.stats.evaluated += 1
                         self.stats.failed += 1
@@ -339,11 +408,65 @@ class ExplorationService:
             with self._lock:
                 for job in batch:
                     if job.status == RUNNING:
+                        self._release_claim(job.key, claims)
                         self._finish(job, FAILED, abort_reason)
                         self.stats.failed += 1
             for job in batch:
                 job.event.set()
-        return len(batch)
+
+    def _release_claim(self, key: str, claims: dict[str, str]) -> None:
+        claim_id = claims.pop(key, None)
+        if claim_id is not None:
+            self.store.release_claim(key, claim_id)
+
+    def _await_siblings(self, waiting: list[_Job]) -> None:
+        """Resolve jobs whose keys are leased to sibling servers.
+
+        Pure polling — no lock held between rounds: the sibling's
+        result arrives through the shared directory, not through this
+        process.  Each round every unresolved key is checked; the sleep
+        backs off from 20 ms to 250 ms, so a fast sibling costs almost
+        no latency and a slow one costs at most 4 polls/s.
+        """
+        delay = _POLL_INITIAL_S
+        pending = list(waiting)
+        while pending:
+            pending = [job for job in pending if not self._check_sibling(job)]
+            if not pending:
+                return
+            time.sleep(delay)
+            delay = min(delay * 2, _POLL_MAX_S)
+
+    def _check_sibling(self, job: _Job) -> bool:
+        """One poll of a sibling-leased job; True when it resolved.
+
+        Resolution is either the sibling's result landing in the store,
+        or its lease lapsing (crash, failure, explicit release) — then
+        this server takes the lease over and evaluates the key itself,
+        so a died-mid-evaluation sibling never strands the job.
+        """
+        if job.key in self.store:
+            with self._lock:
+                self._finish(job, DONE)
+            job.event.set()
+            return True
+        status, claim_id = self.store.try_claim(job.key)
+        if status == CLAIM_DONE:
+            with self._lock:
+                self._finish(job, DONE)
+            job.event.set()
+            return True
+        if status == CLAIM_WON:
+            with self._lock:
+                self.stats.claims_reclaimed += 1
+            try:
+                self._evaluate([job], {job.key: claim_id})
+            except Exception:
+                # the job was already failed (and its event set) by
+                # _evaluate's cleanup; keep resolving the others
+                pass
+            return True
+        return False
 
     def run(self, cells: Iterable[SweepCell]) -> tuple[SweepCellResult, ...]:
         """Drop-in for :meth:`ParallelSweepRunner.run`, cache-backed.

@@ -28,9 +28,11 @@ Methods
               as one deduplicated batch, returns
               ``{outcomes: [{key, status[, error]}, ...]}``
 ``stats``     -> service counters (submissions, hits, dedups, queue
-              occupancy) plus the store's lifecycle counters under
-              ``"store"`` (live records/bytes, segment layout,
-              hits/misses/evictions, corrupt-line counts)
+              occupancy, fleet claim traffic under
+              ``claims_won``/``claims_yielded``/``claims_reclaimed``)
+              plus the store's lifecycle counters under ``"store"``
+              (live records/bytes, segment layout, hits/misses/
+              evictions, live claims, corrupt-line counts)
 ``gc``        params: optional ``{max_bytes, max_entries}`` ->
               evicts least-recently-used records down to the given
               (or configured) bounds; returns the eviction report

@@ -18,7 +18,7 @@ line.  A truncated trailing line (killed process) is skipped with a
 warning — and *counted*, so ``repro cache verify`` and the ``stats``
 RPC surface corruption instead of dropping it invisibly.
 
-Three **control kinds** interleave with data records and drive the
+Five **control kinds** interleave with data records and drive the
 cache lifecycle (:meth:`ResultStore.put` rejects them):
 
 ``touch``
@@ -34,6 +34,25 @@ cache lifecycle (:meth:`ResultStore.put` rejects them):
     Replay resets the view built so far: the compacted segment is a
     complete snapshot, so any older segment that survived a crash
     mid-cleanup is superseded instead of resurrecting dead keys.
+``claim``
+    A leased in-flight marker: *key* is being evaluated by the writer
+    identified in the payload (claim id, pid, server id, lease
+    deadline).  Claims are what make N ``repro serve`` processes over
+    one directory evaluate each unique cell exactly once fleet-wide:
+    before evaluating, a writer appends a claim via
+    :meth:`ResultStore.try_claim`; a sibling that sees a live claim
+    waits for the result instead of duplicating the work.  Replay is
+    **first-wins**: a claim for a key that already carries an active
+    claim is ignored, so two racers appending concurrently agree on
+    the winner by file order alone.  A claim written *after* the
+    incumbent's lease deadline supersedes it (crash -> lease expiry ->
+    takeover), and the eventual data record for the key retires the
+    claim implicitly.
+``release``
+    Explicitly retires a claim (matched by claim id) before its lease
+    expires: written when an evaluation fails (so siblings retry
+    immediately instead of waiting out the TTL) and when a claim whose
+    recorded pid is dead is reclaimed by a sibling on the same host.
 
 **Eviction** (``max_bytes`` / ``max_records``) bounds the *live* index
 — least-recently-used keys are tombstoned until the store fits.
@@ -79,6 +98,7 @@ import json
 import os
 import pathlib
 import re
+import socket
 import sys
 import threading
 import time
@@ -139,9 +159,30 @@ KIND_FUZZ_VERDICT = "fuzz_verdict"
 KIND_TOUCH = "touch"
 KIND_TOMBSTONE = "tombstone"
 KIND_COMPACTION = "compaction"
+KIND_CLAIM = "claim"
+KIND_RELEASE = "release"
 
-CONTROL_KINDS = frozenset((KIND_TOUCH, KIND_TOMBSTONE, KIND_COMPACTION))
+CONTROL_KINDS = frozenset(
+    (KIND_TOUCH, KIND_TOMBSTONE, KIND_COMPACTION, KIND_CLAIM, KIND_RELEASE)
+)
 """Lifecycle records; not data — :meth:`ResultStore.put` rejects them."""
+
+DEFAULT_CLAIM_TTL_S = 60.0
+"""Default lease duration of an in-flight claim.
+
+Long enough that no single cell evaluation outlives its lease on a
+loaded machine (a expired lease means a sibling may duplicate the
+work — never a wrong result, results are content-addressed), short
+enough that a crashed server's claims are taken over promptly.  Tune
+per deployment with ``--claim-ttl``.
+"""
+
+CLAIM_DONE = "done"
+"""The key's result is already in the store; nothing to evaluate."""
+CLAIM_WON = "won"
+"""This store holds the claim; the caller must evaluate (and put)."""
+CLAIM_YIELDED = "yielded"
+"""A live sibling holds the claim; wait for its result instead."""
 
 DEFAULT_SEGMENT_MAX_BYTES = 16 * 1024 * 1024
 """Active-segment size that triggers sealing (16 MiB)."""
@@ -170,6 +211,13 @@ class ResultStore:
         are live (``None`` = unbounded).
     segment_max_bytes:
         Seal the active segment once it grows past this size.
+    claim_ttl_s:
+        Lease duration of in-flight claims taken by :meth:`try_claim`
+        when the caller does not pass an explicit TTL.
+    server_id:
+        Human-readable owner label stamped into claim records (for
+        ``repro cache verify`` and debugging).  Defaults to
+        ``<hostname>:<pid>``.
     auto_compact_ratio:
         When set, compact automatically after sealing a segment once
         the files exceed this multiple of the live bytes (and at least
@@ -184,6 +232,8 @@ class ResultStore:
         max_bytes: int | None = None,
         max_records: int | None = None,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
+        server_id: str | None = None,
         auto_compact_ratio: float | None = None,
     ):
         if max_bytes is not None and max_bytes <= 0:
@@ -192,6 +242,8 @@ class ResultStore:
             raise StoreError("max_records must be positive (or None)")
         if segment_max_bytes <= 0:
             raise StoreError("segment_max_bytes must be positive")
+        if claim_ttl_s <= 0:
+            raise StoreError("claim_ttl_s must be positive")
         if auto_compact_ratio is not None and auto_compact_ratio <= 0:
             raise StoreError("auto_compact_ratio must be positive (or None)")
         self._lock = threading.RLock()
@@ -204,7 +256,20 @@ class ResultStore:
         self.max_bytes = max_bytes
         self.max_records = max_records
         self.segment_max_bytes = segment_max_bytes
+        self.claim_ttl_s = claim_ttl_s
+        self.server_id = (
+            server_id
+            if server_id is not None
+            else f"{socket.gethostname()}:{os.getpid()}"
+        )
         self.auto_compact_ratio = auto_compact_ratio
+        # in-flight claims by key (latest winning claim payload); keys
+        # never overlap _index — a data record retires its claim
+        self._claims: dict[str, dict] = {}
+        self._claim_counter = 0
+        self._claims_written = 0
+        self._releases_written = 0
+        self._claims_reclaimed = 0
         self._sealed_since_check = False
         self._pins: dict[str, int] = {}
         #: Test hook: called with a fault-point name at every crash-safe
@@ -240,6 +305,7 @@ class ResultStore:
         self._index.clear()
         self._line_bytes.clear()
         self._lru_order.clear()
+        self._claims.clear()
         self._live_bytes = 0
         self._active_bytes = 0
         self._seg_progress = {}
@@ -348,6 +414,7 @@ class ResultStore:
             self._index.clear()
             self._line_bytes.clear()
             self._lru_order.clear()
+            self._claims.clear()
             self._live_bytes = 0
             return
         if kind == KIND_TOMBSTONE:
@@ -360,6 +427,15 @@ class ResultStore:
             if key in self._index:
                 self._lru_order.move_to_end(key)
             return
+        if kind == KIND_CLAIM:
+            self._replay_claim(key, record.get("payload", {}))
+            return
+        if kind == KIND_RELEASE:
+            current = self._claims.get(key)
+            claim_id = record.get("payload", {}).get("claim_id")
+            if current is not None and current.get("claim_id") == claim_id:
+                del self._claims[key]
+            return
         if key in self._index:
             self._live_bytes -= self._line_bytes[key]
         self._index[key] = record
@@ -367,6 +443,35 @@ class ResultStore:
         self._live_bytes += nbytes
         self._lru_order[key] = None
         self._lru_order.move_to_end(key)
+        # the data record IS the claim's result: the lease is retired
+        self._claims.pop(key, None)
+
+    def _replay_claim(self, key: str, payload: dict) -> None:
+        """First-wins claim resolution, deterministic by file order.
+
+        Every process replays the same total append order (single
+        ``O_APPEND`` writes), so "the first claim whose lease had not
+        expired when the next one was written" names one winner for
+        every reader, however late it replays.  Wall-clock *replay*
+        time deliberately plays no part — only record contents do.
+        """
+        if key in self._index:
+            return  # result already landed; the claim is stale noise
+        if not isinstance(payload.get("claim_id"), str):
+            return  # malformed claim: never let it block the key
+        current = self._claims.get(key)
+        if current is None or self._claim_expired_by(
+            current, payload.get("claimed_at", 0.0)
+        ):
+            self._claims[key] = payload
+
+    @staticmethod
+    def _claim_expired_by(claim: dict, timestamp) -> bool:
+        """True when *claim*'s lease had expired at *timestamp*."""
+        try:
+            return float(claim.get("expires_at", 0.0)) <= float(timestamp)
+        except (TypeError, ValueError):
+            return True
 
     def _replay_file(
         self, file: pathlib.Path, start: int = 0, at_open: bool = True
@@ -641,9 +746,187 @@ class ResultStore:
             self._line_bytes[key] = nbytes
             self._live_bytes += nbytes
             self._lru_order[key] = None
+            self._claims.pop(key, None)
             self._enforce_limits(protect=key)
             self._maybe_auto_compact()
         return True
+
+    # ------------------------------------------------------------------
+    # in-flight claims
+    # ------------------------------------------------------------------
+
+    def _claim_payload(self, ttl_s: float, now: float) -> dict:
+        self._claim_counter += 1
+        return {
+            "claim_id": f"{self.server_id}:{self._claim_counter}",
+            "pid": os.getpid(),
+            "server": self.server_id,
+            "claimed_at": now,
+            "expires_at": now + ttl_s,
+        }
+
+    def _write_claim(self, key: str, payload: dict) -> None:
+        self._append(
+            {
+                "format": STORE_FORMAT_VERSION,
+                "key": key,
+                "kind": KIND_CLAIM,
+                "payload": payload,
+            }
+        )
+        self._claims_written += 1
+
+    def _write_release(
+        self, key: str, claim_id: str, reclaimed: bool = False
+    ) -> None:
+        self._append(
+            {
+                "format": STORE_FORMAT_VERSION,
+                "key": key,
+                "kind": KIND_RELEASE,
+                "payload": {"claim_id": claim_id, "reclaimed": reclaimed},
+            }
+        )
+        self._releases_written += 1
+
+    def _claim_usurpable(self, claim: dict, now: float) -> bool:
+        """True when *claim* may be taken over right *now*.
+
+        Two independent paths: the lease ran out (crashed-then-silent
+        holder), or the holder is a same-host process that is
+        verifiably dead (fast path — no need to wait out the TTL).
+        """
+        if self._claim_expired_by(claim, now):
+            return True
+        pid = claim.get("pid")
+        server = claim.get("server", "")
+        local = isinstance(server, str) and server.startswith(
+            f"{socket.gethostname()}:"
+        )
+        return (
+            local
+            and isinstance(pid, int)
+            and pid != os.getpid()
+            and not self._pid_alive(pid)
+        )
+
+    def try_claim(self, key: str, ttl_s: float | None = None) -> tuple[str, str | None]:
+        """Try to lease *key* for evaluation; returns ``(status, claim_id)``.
+
+        Statuses:
+
+        - :data:`CLAIM_DONE` — a result for *key* is already stored;
+          ``claim_id`` is None and nothing needs evaluating.
+        - :data:`CLAIM_WON` — this store now holds the lease;
+          ``claim_id`` names it and the caller must evaluate the key
+          (the ``put`` of the result retires the lease) or
+          :meth:`release_claim` it on failure.
+        - :data:`CLAIM_YIELDED` — a live sibling holds an unexpired
+          lease; ``claim_id`` is the *sibling's*, and the caller should
+          poll :meth:`get` / :meth:`claim_info` instead of evaluating.
+
+        The race between two writers claiming simultaneously is settled
+        by file order: both append, both re-sync, and both replay the
+        same total order — exactly one sees its own ``claim_id`` win.
+        Dead-pid and TTL-expired incumbents are usurped by appending a
+        ``release`` for the stale lease before our own claim, keeping
+        replay deterministic for every reader.
+        """
+        if ttl_s is None:
+            ttl_s = self.claim_ttl_s
+        if ttl_s <= 0:
+            raise StoreError("claim ttl must be positive")
+        with self._lock:
+            if self._dir is not None:
+                self._sync()
+            if key in self._index:
+                return CLAIM_DONE, None
+            now = time.time()
+            current = self._claims.get(key)
+            if current is not None:
+                if not self._claim_usurpable(current, now):
+                    return CLAIM_YIELDED, current.get("claim_id")
+                if not self._claim_expired_by(current, now):
+                    # dead-pid fast path: retire the corpse's lease in
+                    # the log so every replayer agrees it is gone
+                    self._write_release(
+                        key, current.get("claim_id", ""), reclaimed=True
+                    )
+                    self._claims.pop(key, None)
+                self._claims_reclaimed += 1
+            payload = self._claim_payload(ttl_s, now)
+            if self._file is None:
+                # memory-only store: single process, we trivially win
+                self._claims[key] = payload
+                self._claims_written += 1
+                return CLAIM_WON, payload["claim_id"]
+            self._write_claim(key, payload)
+            # fold in everything appended since our last replay point —
+            # our own record included — and let first-wins ordering
+            # name the winner.  The _sync fast path deliberately skips
+            # our own tail, so the active tail is replayed explicitly.
+            self._sync(check_active=False)
+            self._replay_active_tail()
+            if key in self._index:
+                return CLAIM_DONE, None
+            winner = self._claims.get(key)
+            if winner is not None and winner.get("claim_id") == payload["claim_id"]:
+                return CLAIM_WON, payload["claim_id"]
+            if winner is None:
+                # our claim was superseded and then retired before we
+                # looked — treat as yielded; the result will land soon
+                return CLAIM_YIELDED, None
+            return CLAIM_YIELDED, winner.get("claim_id")
+
+    def release_claim(self, key: str, claim_id: str) -> bool:
+        """Retire a lease we hold without storing a result.
+
+        Used when evaluation fails or is abandoned, so siblings can
+        re-claim the key immediately instead of waiting out the TTL.
+        Returns False when the lease is no longer ours (already retired
+        by a result, superseded after expiry, or never won).
+        """
+        with self._lock:
+            current = self._claims.get(key)
+            if current is None or current.get("claim_id") != claim_id:
+                return False
+            del self._claims[key]
+            if self._file is not None:
+                self._write_release(key, claim_id)
+            return True
+
+    def _replay_active_tail(self) -> None:
+        """Replay unconsumed bytes of the active segment, own appends
+        included (which the :meth:`_sync` fast path skips over).
+
+        Re-replaying our own records is idempotent; what matters is
+        that sibling records interleaved with ours are applied in true
+        file order, which is the order every other process sees too.
+        """
+        if self._file is None:
+            return
+        progress = self._seg_progress.get(RESULTS_FILENAME, 0)
+        try:
+            consumed = self._replay_file(
+                self._file, start=progress, at_open=False
+            )
+        except FileNotFoundError:  # pragma: no cover - sealed underneath us
+            return
+        self._seg_progress[RESULTS_FILENAME] = consumed
+        self._active_bytes = max(self._active_bytes, consumed)
+
+    def claim_info(self, key: str) -> dict | None:
+        """The live claim payload for *key*, or None; syncs first."""
+        with self._lock:
+            if self._dir is not None:
+                self._sync()
+            claim = self._claims.get(key)
+            return dict(claim) if claim is not None else None
+
+    def live_claims(self) -> int:
+        """Number of keys currently under an in-flight claim."""
+        with self._lock:
+            return len(self._claims)
 
     # ------------------------------------------------------------------
     # eviction + GC
@@ -796,9 +1079,21 @@ class ResultStore:
                 max_records if max_records is not None else self.max_records
             )
             evicted = self._evict_to(bytes_bound, records_bound, None)
+            # expired leases are dead weight in the view: prune them
+            # here (the log keeps the records; replay-time supersede
+            # handles them for every other reader)
+            now = time.time()
+            expired = [
+                key
+                for key, claim in self._claims.items()
+                if self._claim_expired_by(claim, now)
+            ]
+            for key in expired:
+                del self._claims[key]
             self._maybe_auto_compact()
             return {
                 "evicted": evicted,
+                "claims_pruned": len(expired),
                 "live_records": len(self._index),
                 "live_bytes": self._live_bytes,
             }
@@ -1106,6 +1401,29 @@ class ResultStore:
                 if position == len(live) // 2:
                     self._crash_point("compact:mid-write")
                 handle.write(_encode(self._index[key]))
+            # in-flight leases survive compaction: a sibling mid-
+            # evaluation must still find its claim after the rewrite.
+            # Expired leases are the one thing compaction may drop —
+            # they are usurpable anyway, so no reader's behaviour
+            # changes.
+            now = time.time()
+            carried_claims = {
+                key: claim
+                for key, claim in self._claims.items()
+                if key not in self._index
+                and not self._claim_expired_by(claim, now)
+            }
+            for key, claim in carried_claims.items():
+                handle.write(
+                    _encode(
+                        {
+                            "format": STORE_FORMAT_VERSION,
+                            "key": key,
+                            "kind": KIND_CLAIM,
+                            "payload": claim,
+                        }
+                    )
+                )
             handle.flush()
             os.fsync(handle.fileno())
         self._crash_point("compact:pre-rename")
@@ -1126,10 +1444,12 @@ class ResultStore:
         # the snapshot segment is the only file now, fully replayed by
         # construction; _dir_mtime stays stale so the next sync re-scans
         self._seg_progress = {target.name: bytes_after}
+        self._claims = carried_claims
         return {
             "compacted": True,
             "segments_removed": len(old_files),
             "records_written": len(live),
+            "claims_carried": len(carried_claims),
             "bytes_before": bytes_before,
             "bytes_after": bytes_after,
             "bytes_reclaimed": bytes_before - bytes_after,
@@ -1163,6 +1483,10 @@ class ResultStore:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "touches_written": self._touches_written,
+                "live_claims": len(self._claims),
+                "claims_written": self._claims_written,
+                "releases_written": self._releases_written,
+                "claims_reclaimed": self._claims_reclaimed,
                 "corrupt_lines": self._corrupt_count,
                 "unrecognised_lines": self._unrecognised_count,
                 "syncs": self._syncs,
@@ -1205,6 +1529,7 @@ class ResultStore:
             )
             files = []
             view: dict[str, dict] = {}
+            claims_view: dict[str, dict] = {}
             damage: list[dict] = []
             suspect_keys = 0
             vanished_files = 0
@@ -1227,6 +1552,8 @@ class ResultStore:
                     "touches": 0,
                     "tombstones": 0,
                     "compactions": 0,
+                    "claims": 0,
+                    "releases": 0,
                     "corrupt": 0,
                     "unrecognised": 0,
                 }
@@ -1250,16 +1577,42 @@ class ResultStore:
                     if kind == KIND_COMPACTION:
                         counts["compactions"] += 1
                         view.clear()
+                        claims_view.clear()
                     elif kind == KIND_TOMBSTONE:
                         counts["tombstones"] += 1
                         view.pop(record["key"], None)
                     elif kind == KIND_TOUCH:
                         counts["touches"] += 1
+                    elif kind == KIND_CLAIM:
+                        counts["claims"] += 1
+                        # mirror _replay_claim: first unexpired claim
+                        # wins, a stored result makes the claim noise
+                        key = record["key"]
+                        payload = record.get("payload", {})
+                        if key not in view and isinstance(
+                            payload.get("claim_id"), str
+                        ):
+                            current = claims_view.get(key)
+                            if current is None or self._claim_expired_by(
+                                current, payload.get("claimed_at", 0.0)
+                            ):
+                                claims_view[key] = payload
+                    elif kind == KIND_RELEASE:
+                        counts["releases"] += 1
+                        key = record["key"]
+                        current = claims_view.get(key)
+                        claim_id = record.get("payload", {}).get("claim_id")
+                        if (
+                            current is not None
+                            and current.get("claim_id") == claim_id
+                        ):
+                            del claims_view[key]
                     else:
                         counts["records"] += 1
                         if not is_content_key(record["key"]):
                             suspect_keys += 1
                         view[record["key"]] = record
+                        claims_view.pop(record["key"], None)
                 files.append(counts)
             deep_checked = 0
             deep_failures: list[dict] = []
@@ -1296,9 +1649,19 @@ class ResultStore:
             by_kind: dict[str, int] = {}
             for record in view.values():
                 by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+            # gc() prunes expired leases from memory without logging,
+            # so claims agreement is informational only: it must never
+            # make `ok` depend on wall-clock time
+            claims_match_memory = (
+                set(claims_view) == set(self._claims)
+                if self._dir is not None
+                else True
+            )
             return {
                 "files": files,
                 "live_records": len(view),
+                "live_claims": len(claims_view),
+                "claims_match_memory": claims_match_memory,
                 "live_by_kind": dict(sorted(by_kind.items())),
                 "corrupt_lines": corrupt,
                 "unrecognised_lines": unrecognised,

@@ -13,12 +13,19 @@ a sibling mid-seal or mid-compaction.
 import os
 import subprocess
 import sys
+import tempfile
 import textwrap
+import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.service.keys import canonical_json
 from repro.service.store import (
+    CLAIM_DONE,
+    CLAIM_WON,
+    CLAIM_YIELDED,
     COMPACT_LOCK_FILENAME,
     EVICT_LOCK_FILENAME,
     KIND_FUZZ_VERDICT,
@@ -203,6 +210,254 @@ class TestVerifyToleratesConcurrentWriters:
         finally:
             (tmp_path / COMPACT_LOCK_FILENAME).unlink()
             (tmp_path / EVICT_LOCK_FILENAME).unlink()
+
+
+CLAIMER_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    sys.path.insert(0, sys.argv[1])
+    from repro.service.store import ResultStore
+
+    # claim the key and exit WITHOUT releasing or storing a result —
+    # exactly a server killed between its claim and its put
+    store = ResultStore(sys.argv[2])
+    status, claim_id = store.try_claim(sys.argv[3], ttl_s=float(sys.argv[4]))
+    print(status)
+    """
+)
+
+
+def claim_in_dead_process(directory, key: str, ttl_s: float = 60.0) -> None:
+    """A real sibling process claims *key*, then dies unreaped-free."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            CLAIMER_SCRIPT,
+            str(__import__("pathlib").Path(__file__).resolve().parents[2] / "src"),
+            str(directory),
+            key,
+            str(ttl_s),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert proc.stdout.strip() == CLAIM_WON, proc.stderr
+
+
+class TestClaimLeases:
+    def test_loser_yields_to_live_winner(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        b = ResultStore(tmp_path, server_id="b:2")
+        status_a, claim_a = a.try_claim(key_of(1))
+        assert status_a == CLAIM_WON
+        status_b, claim_b = b.try_claim(key_of(1))
+        assert status_b == CLAIM_YIELDED
+        assert claim_b == claim_a
+        assert b.claim_info(key_of(1))["server"] == "a:1"
+
+    def test_result_retires_the_claim(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        b = ResultStore(tmp_path, server_id="b:2")
+        a.try_claim(key_of(2))
+        a.put(key_of(2), KIND_FUZZ_VERDICT, payload_of(2))
+        status, claim_id = b.try_claim(key_of(2))
+        assert status == CLAIM_DONE
+        assert claim_id is None
+        assert b.get(key_of(2), KIND_FUZZ_VERDICT) == payload_of(2)
+        assert b.claim_info(key_of(2)) is None
+
+    def test_release_lets_a_sibling_claim_immediately(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        b = ResultStore(tmp_path, server_id="b:2")
+        status, claim_id = a.try_claim(key_of(3))
+        assert status == CLAIM_WON
+        assert a.release_claim(key_of(3), claim_id)
+        status_b, _ = b.try_claim(key_of(3))
+        assert status_b == CLAIM_WON
+
+    def test_release_rejects_a_foreign_claim_id(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        a.try_claim(key_of(4))
+        assert not a.release_claim(key_of(4), "not-my-claim:1")
+        # the claim still stands
+        b = ResultStore(tmp_path, server_id="b:2")
+        status, _ = b.try_claim(key_of(4))
+        assert status == CLAIM_YIELDED
+
+    def test_ttl_expiry_enables_takeover(self, tmp_path):
+        # same pid on both stores, so only the lease clock can free it
+        a = ResultStore(tmp_path, server_id="a:1")
+        b = ResultStore(tmp_path, server_id="b:2")
+        status, stale = a.try_claim(key_of(5), ttl_s=0.05)
+        assert status == CLAIM_WON
+        status_b, _ = b.try_claim(key_of(5))
+        assert status_b == CLAIM_YIELDED
+        time.sleep(0.08)
+        status_b, fresh = b.try_claim(key_of(5))
+        assert status_b == CLAIM_WON
+        assert fresh != stale
+        assert b.stats()["claims_reclaimed"] == 1
+
+    def test_dead_pid_claim_reclaimed_without_waiting_out_ttl(self, tmp_path):
+        # killed between claim and result, long TTL: the dead pid is
+        # the fast path — no sibling should wait the full lease out
+        claim_in_dead_process(tmp_path, key_of(6), ttl_s=3600.0)
+        survivor = ResultStore(tmp_path, server_id="b:2")
+        status, _ = survivor.try_claim(key_of(6))
+        assert status == CLAIM_WON
+        assert survivor.stats()["claims_reclaimed"] == 1
+        # the takeover is logged, so every replayer agrees
+        assert survivor.stats()["releases_written"] >= 1
+
+    def test_double_crash_still_converges(self, tmp_path):
+        # first claimer dies; second claims (short lease) and "dies"
+        # silently too; a third claimer wins through lease expiry
+        claim_in_dead_process(tmp_path, key_of(7), ttl_s=3600.0)
+        second = ResultStore(tmp_path, server_id="b:2")
+        status, _ = second.try_claim(key_of(7), ttl_s=0.05)
+        assert status == CLAIM_WON
+        del second  # stops answering; same pid, so only TTL frees it
+        time.sleep(0.08)
+        third = ResultStore(tmp_path, server_id="c:3")
+        status, _ = third.try_claim(key_of(7))
+        assert status == CLAIM_WON
+        third.put(key_of(7), KIND_FUZZ_VERDICT, payload_of(7))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(key_of(7), KIND_FUZZ_VERDICT) == payload_of(7)
+        assert fresh.verify()["ok"]
+
+    def test_compaction_mid_lease_keeps_the_claim_visible(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        b = ResultStore(tmp_path, server_id="b:2")
+        for index in range(20, 30):
+            a.put(key_of(index), KIND_FUZZ_VERDICT, payload_of(index))
+        status, claim_id = a.try_claim(key_of(8))
+        assert status == CLAIM_WON
+        report = b.compact()
+        assert report["compacted"]
+        assert report["claims_carried"] == 1
+        # a fresh reader of the compacted directory still yields
+        fresh = ResultStore(tmp_path, server_id="c:3")
+        status_fresh, claim_fresh = fresh.try_claim(key_of(8))
+        assert status_fresh == CLAIM_YIELDED
+        assert claim_fresh == claim_id
+        assert fresh.verify()["ok"]
+
+    def test_expired_claims_are_dropped_by_compaction(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        a.put(key_of(31), KIND_FUZZ_VERDICT, payload_of(31))
+        a.try_claim(key_of(9), ttl_s=0.05)
+        time.sleep(0.08)
+        report = a.compact()
+        assert report["claims_carried"] == 0
+        fresh = ResultStore(tmp_path)
+        assert fresh.verify()["live_claims"] == 0
+
+    def test_gc_prunes_expired_claims(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        a.try_claim(key_of(10), ttl_s=0.05)
+        a.try_claim(key_of(11), ttl_s=3600.0)
+        time.sleep(0.08)
+        report = a.gc()
+        assert report["claims_pruned"] == 1
+        assert a.stats()["live_claims"] == 1
+
+    def test_claims_replay_deterministically_across_reopen(self, tmp_path):
+        a = ResultStore(tmp_path, server_id="a:1")
+        status, claim_id = a.try_claim(key_of(12))
+        assert status == CLAIM_WON
+        reopened = ResultStore(tmp_path, server_id="d:4")
+        info = reopened.claim_info(key_of(12))
+        assert info is not None
+        assert info["claim_id"] == claim_id
+        report = reopened.verify()
+        assert report["ok"]
+        assert report["live_claims"] == 1
+        assert report["claims_match_memory"]
+
+    def test_memory_store_claims_work_single_process(self):
+        store = ResultStore(None)
+        status, claim_id = store.try_claim(key_of(13))
+        assert status == CLAIM_WON
+        status_again, _ = store.try_claim(key_of(13))
+        assert status_again == CLAIM_YIELDED
+        store.put(key_of(13), KIND_FUZZ_VERDICT, payload_of(13))
+        status_done, _ = store.try_claim(key_of(13))
+        assert status_done == CLAIM_DONE
+
+
+class TestClaimInterleavingProperties:
+    """Hypothesis: no claim/release/result interleaving breaks
+    exactly-once, and replay of the resulting log is deterministic."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.sampled_from(["claim", "release", "result"]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_interleavings_never_violate_exactly_once(self, ops):
+        with tempfile.TemporaryDirectory() as directory:
+            stores = [
+                ResultStore(directory, server_id=f"s{index}:{os.getpid()}")
+                for index in (0, 1)
+            ]
+            key = key_of(99)
+            held: dict[int, str] = {}  # store index -> live claim id
+            done = False
+            for index, op in ops:
+                store = stores[index]
+                other = 1 - index
+                if op == "claim":
+                    status, claim_id = store.try_claim(key)
+                    if done:
+                        assert status == CLAIM_DONE
+                    elif index in held:
+                        # we already hold it: still in flight, yield
+                        assert status == CLAIM_YIELDED
+                        assert claim_id == held[index]
+                    elif other in held:
+                        assert status == CLAIM_YIELDED
+                        assert claim_id == held[other]
+                    else:
+                        assert status == CLAIM_WON
+                        held[index] = claim_id
+                elif op == "release":
+                    claim_id = held.pop(index, None)
+                    if claim_id is not None:
+                        assert store.release_claim(key, claim_id)
+                else:  # result: only the holder may evaluate + put
+                    if index in held:
+                        # exactly-once: the first put must win, and
+                        # there can never have been an earlier one
+                        assert not done
+                        assert store.put(
+                            key, KIND_FUZZ_VERDICT, payload_of(0)
+                        )
+                        held.pop(index)
+                        done = True
+            # replay determinism: a fresh loader agrees on the final
+            # claim/result state of the log
+            fresh = ResultStore(directory, server_id=f"f:{os.getpid()}")
+            if done:
+                assert fresh.get(key, KIND_FUZZ_VERDICT) == payload_of(0)
+                assert fresh.try_claim(key)[0] == CLAIM_DONE
+            elif held:
+                (holder_claim,) = held.values()
+                status, claim_id = fresh.try_claim(key)
+                assert status == CLAIM_YIELDED
+                assert claim_id == holder_claim
+            else:
+                assert fresh.try_claim(key)[0] == CLAIM_WON
+            assert fresh.verify()["ok"]
 
 
 WRITER_SCRIPT = textwrap.dedent(

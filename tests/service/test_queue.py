@@ -162,3 +162,89 @@ class TestRun:
         assert warm_runner.evaluated == []
         assert warm.stats.cache_hits == 1
         assert warm.service_stats()["hit_rate"] == 1.0
+
+
+class TestFleetClaims:
+    """Two services over one shared directory split work via claims."""
+
+    def _grid(self):
+        return tuple(
+            SweepCell(
+                app=app,
+                platform=PlatformSpec(l1_bytes=kib(2), l2_bytes=kib(16)),
+                objective=Objective.EDP,
+            )
+            for app in ("voice_coder", "qsdpcm", "jpeg_dct", "mpeg4_mc")
+        )
+
+    def test_concurrent_services_evaluate_each_cell_once(
+        self, tmp_path, make_counting_runner
+    ):
+        import threading
+
+        cells = self._grid()
+        runners = [make_counting_runner(), make_counting_runner()]
+        services = [
+            ExplorationService(store=ResultStore(tmp_path), runner=runner)
+            for runner in runners
+        ]
+        outcomes = [None, None]
+
+        def run(index):
+            outcomes[index] = services[index].run(cells)
+
+        threads = [
+            threading.Thread(target=run, args=(index,))
+            for index in range(len(services))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert all(not thread.is_alive() for thread in threads)
+
+        for batch in outcomes:
+            assert batch is not None
+            assert all(outcome.ok for outcome in batch)
+
+        evaluated = sum(len(runner.evaluated) for runner in runners)
+        assert evaluated == len(cells), (
+            f"two services evaluated {evaluated} cells for "
+            f"{len(cells)} unique keys"
+        )
+        won = sum(service.stats.claims_won for service in services)
+        yielded = sum(service.stats.claims_yielded for service in services)
+        assert won == evaluated
+        # a sibling yields only when the two flushes actually overlap;
+        # every yield must still have resolved to a stored result
+        assert yielded <= len(services[0].store) * (len(services) - 1)
+        for service in services:
+            assert service.service_stats()["claims_won"] == (
+                service.stats.claims_won
+            )
+
+    def test_second_service_yields_to_held_claim(self, tmp_path, cell):
+        """A live sibling claim parks the job; the result releases it."""
+        holder = ResultStore(tmp_path)
+        status, claim_id = holder.try_claim(cell_key(cell))
+        assert status == "won"
+
+        service = ExplorationService(store=ResultStore(tmp_path))
+
+        import threading
+
+        def finish():
+            # simulate the claim holder finishing mid-poll
+            outcome = ParallelSweepRunner().run((cell,))[0]
+            assert holder.put_result(cell_key(cell), outcome.result)
+
+        timer = threading.Timer(0.1, finish)
+        timer.start()
+        try:
+            outcomes = service.run((cell,))
+        finally:
+            timer.cancel()
+        assert outcomes[0].ok
+        assert service.stats.claims_yielded == 1
+        assert service.stats.claims_won == 0
+        assert service.runner is not None

@@ -174,9 +174,12 @@ class TestLoop:
         key = submit[0]["result"]["key"]
         roundtrip(service, [rpc("result", 2, key=key)])
 
-        # corrupt the stored payload (parses as JSON, bad field type)
-        record = json_mod.loads(
-            (tmp_path / "results.jsonl").read_text().splitlines()[0]
+        # corrupt the stored payload (parses as JSON, bad field type);
+        # the data record is preceded by its in-flight claim record
+        record = next(
+            parsed
+            for line in (tmp_path / "results.jsonl").read_text().splitlines()
+            if (parsed := json_mod.loads(line))["kind"] == "mhla_result"
         )
         record["payload"]["scenarios"]["oob"]["report"]["cycles"] = "oops"
         (tmp_path / "results.jsonl").write_text(

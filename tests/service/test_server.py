@@ -277,8 +277,9 @@ class TestDrain:
                 row["status"] for row in slow_response["batch"]["outcomes"]
             ]
             assert statuses == ["done"]
-            # the listener is closed: no new connections
-            with pytest.raises(OSError):
+            # the listener is closed: no new connections (the refused
+            # socket surfaces as the uniform ServiceError, exit code 1)
+            with pytest.raises(ServiceError, match="cannot connect"):
                 ServiceClient(server.address, timeout=1.0).connect()
         finally:
             gate.release.set()

@@ -73,6 +73,20 @@ class TestCompare:
         )
         assert failures
 
+    def test_zero_baseline_growth_fails(self):
+        # 0 -> anything is a regression: relative tolerance would let
+        # a "must never happen" counter (duplicate evaluations) slip
+        old = {"duplicate_evaluations": 0}
+        new = {"duplicate_evaluations": 3}
+        _, failures = compare(old, new, ["duplicate_evaluations"])
+        assert len(failures) == 1
+        assert "zero baseline" in failures[0]
+
+    def test_zero_baseline_staying_zero_passes(self):
+        old = {"duplicate_evaluations": 0}
+        _, failures = compare(old, old, ["duplicate_evaluations"])
+        assert not failures
+
 
 class TestMain:
     def test_self_compare_exits_zero(self, tmp_path, capsys):
@@ -129,9 +143,20 @@ class TestDefaultMetricsRegistry:
     def test_known_basenames_have_guard_sets(self):
         from benchmarks.compare import DEFAULT_METRICS, default_metrics_for
 
-        for name in ("BENCH_search.json", "BENCH_service.json", "BENCH_serve.json"):
+        for name in (
+            "BENCH_search.json",
+            "BENCH_service.json",
+            "BENCH_serve.json",
+            "BENCH_fleet.json",
+        ):
             assert DEFAULT_METRICS[name], name
             assert default_metrics_for(pathlib.Path("x") / name) == DEFAULT_METRICS[name]
+
+    def test_fleet_registry_guards_duplicates_and_latency(self):
+        from benchmarks.compare import DEFAULT_METRICS
+
+        assert "duplicate_evaluations" in DEFAULT_METRICS["BENCH_fleet.json"]
+        assert "wall_s" in DEFAULT_METRICS["BENCH_fleet.json"]
 
     def test_unknown_basename_guards_nothing(self):
         from benchmarks.compare import default_metrics_for
@@ -182,3 +207,16 @@ class TestDefaultMetricsRegistry:
             pytest.skip("no committed BENCH_serve.json")
         assert main([str(snapshot), str(snapshot)]) == 0
         assert "registry defaults" in capsys.readouterr().out
+
+    def test_committed_fleet_snapshot_self_compares(self, capsys):
+        snapshot = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "out"
+            / "BENCH_fleet.json"
+        )
+        if not snapshot.exists():
+            pytest.skip("no committed BENCH_fleet.json")
+        assert main([str(snapshot), str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate_evaluations" in out

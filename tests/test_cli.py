@@ -283,3 +283,86 @@ class TestExitCodes:
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "voice_coder", "--budget", "-5"])
         assert excinfo.value.code == 2
+
+
+class TestCallFlags:
+    """`repro call` parsing + the uniform no-traceback error contract."""
+
+    def test_retry_busy_parsed(self):
+        args = build_parser().parse_args(
+            ["call", "--connect", "127.0.0.1:7878", "stats", "--retry-busy", "3"]
+        )
+        assert args.retry_busy == 3
+
+    def test_retry_busy_defaults_to_zero(self):
+        args = build_parser().parse_args(
+            ["call", "--connect", "127.0.0.1:7878", "stats"]
+        )
+        assert args.retry_busy == 0
+
+    def test_retry_busy_zero_is_valid(self):
+        args = build_parser().parse_args(
+            ["call", "--connect", "127.0.0.1:7878", "stats", "--retry-busy", "0"]
+        )
+        assert args.retry_busy == 0
+
+    def test_negative_retry_busy_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                [
+                    "call",
+                    "--connect",
+                    "127.0.0.1:7878",
+                    "stats",
+                    "--retry-busy",
+                    "-1",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_unreachable_server_exits_1_without_traceback(self, capsys):
+        # nothing listens on this ephemeral-range port; the client's
+        # wrapped ServiceError must become "error: ..." + exit 1, never
+        # a raw OSError traceback
+        code = main(
+            ["call", "--connect", "127.0.0.1:1", "stats", "--timeout", "2"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "cannot connect" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_connect_and_socket_are_exclusive(self, capsys):
+        assert (
+            main(["call", "--connect", "h:1", "--socket", "s.sock", "stats"])
+            == 2
+        )
+        assert "exactly one of" in capsys.readouterr().err
+
+
+class TestClaimTtlFlag:
+    """`--claim-ttl` rides along on every cache-taking command."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--socket", "s.sock", "--cache", "d", "--claim-ttl", "15"],
+            ["run", "voice_coder", "--cache", "d", "--claim-ttl", "15"],
+            ["sweep", "--cache", "d", "--claim-ttl", "15"],
+            ["fuzz", "--cache", "d", "--claim-ttl", "15"],
+        ],
+    )
+    def test_claim_ttl_parsed(self, argv):
+        assert build_parser().parse_args(argv).claim_ttl == 15.0
+
+    def test_claim_ttl_defaults_to_none(self):
+        args = build_parser().parse_args(["sweep", "--cache", "d"])
+        assert args.claim_ttl is None
+
+    def test_non_positive_claim_ttl_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["sweep", "--cache", "d", "--claim-ttl", "0"]
+            )
+        assert excinfo.value.code == 2
