@@ -47,7 +47,14 @@ DEFAULT_METRICS: dict[str, list[str]] = {
         "frontier_scoring.batched_ms",
     ],
     "BENCH_service.json": ["warm_s"],
-    "BENCH_serve.json": ["latency.p50_ms", "latency.p95_ms"],
+    # hol_blocking_ratio is noise-floored to a deterministic 1.0 by
+    # the bench; growth means head-of-line blocking returned to the
+    # multiplexed transport (a fast request waited on a slow one)
+    "BENCH_serve.json": [
+        "latency.p50_ms",
+        "latency.p95_ms",
+        "multiplexed.hol_blocking_ratio",
+    ],
     # duplicate_evaluations has a zero baseline: ANY growth is the
     # fleet-dedup hole reopening, caught by the zero-baseline rule
     "BENCH_fleet.json": ["duplicate_evaluations", "wall_s"],

@@ -469,13 +469,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return serve(service, sys.stdin, sys.stdout, default_assigner=assigner)
 
     from repro.service import (
+        AsyncExplorationServer,
         ExplorationServer,
         parse_listen_address,
         serve_until_signalled,
     )
     from repro.service.server import DEFAULT_MAX_PENDING
 
-    server = ExplorationServer(
+    server_cls = (
+        ExplorationServer if args.transport == "threads"
+        else AsyncExplorationServer
+    )
+    server = server_cls(
         service,
         listen=(
             parse_listen_address(args.listen)
@@ -941,6 +946,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket mode: cap on requests in flight across all "
         "connections; excess requests get a busy error (default: 64)",
     )
+    serve_cmd.add_argument(
+        "--transport",
+        choices=("async", "threads"),
+        default="async",
+        help="socket mode: multiplexed event-loop transport (async, "
+        "the default: one loop for all connections, responses out of "
+        "order so slow requests never block fast ones) or the "
+        "thread-per-connection serialized reference (threads)",
+    )
     serve_cmd.set_defaults(func=_cmd_serve)
 
     call = sub.add_parser(
@@ -979,7 +993,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="retry up to N times (capped jittered backoff) when the "
-        "server answers busy (-32001) under admission control "
+        "server answers busy (-32001) under admission control or "
+        "refuses the connection while still starting up "
         "(default: 0, fail fast)",
     )
     call.set_defaults(func=_cmd_call)

@@ -30,12 +30,17 @@ Layers
   N server processes evaluate each unique cell exactly once.
 * :mod:`repro.service.rpc`   — the ``repro serve`` stdin/stdout
   JSON-RPC loop for driving one service from many clients.
-* :mod:`repro.service.server` — :class:`ExplorationServer`, the same
-  protocol served to many networked tenants over TCP or a Unix
-  socket, with bounded admission (backpressure errors) and graceful
-  drain on SIGINT/SIGTERM.
+* :mod:`repro.service.server` — the same protocol served to many
+  networked tenants over TCP or a Unix socket, with bounded admission
+  (backpressure errors) and graceful drain on SIGINT/SIGTERM.
+  :class:`AsyncExplorationServer` (default) multiplexes every
+  connection over one event loop and answers out of order, so a slow
+  request never head-of-line-blocks a fast one;
+  :class:`ExplorationServer` is the thread-per-connection serialized
+  reference (``--transport threads``).
 * :mod:`repro.service.client` — :class:`ServiceClient`, the matching
-  line-protocol client (used by ``repro call`` and the tests).
+  line-protocol client (used by ``repro call`` and the tests), with
+  bounded response reads and id-correlated pipelining.
 
 The CLI exposes the cache through ``--cache DIR`` (plus
 ``--cache-max-bytes``/``--cache-max-entries`` eviction bounds) on
@@ -54,10 +59,16 @@ from repro.service.keys import (
     fuzz_verdict_key,
     is_content_key,
 )
-from repro.service.client import RemoteRpcError, ServiceClient
+from repro.service.client import (
+    DEFAULT_READ_TIMEOUT_S,
+    RemoteRpcError,
+    ServiceClient,
+    ServiceConnectionRefused,
+)
 from repro.service.queue import ExplorationService, ServiceStats
 from repro.service.rpc import serve
 from repro.service.server import (
+    AsyncExplorationServer,
     ExplorationServer,
     parse_listen_address,
     serve_until_signalled,
@@ -81,11 +92,13 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "AsyncExplorationServer",
     "CLAIM_DONE",
     "CLAIM_WON",
     "CLAIM_YIELDED",
     "CONTROL_KINDS",
     "DEFAULT_CLAIM_TTL_S",
+    "DEFAULT_READ_TIMEOUT_S",
     "DEFAULT_SEGMENT_MAX_BYTES",
     "ExplorationServer",
     "ExplorationService",
@@ -101,6 +114,7 @@ __all__ = [
     "RemoteRpcError",
     "ResultStore",
     "ServiceClient",
+    "ServiceConnectionRefused",
     "ServiceStats",
     "canonical_json",
     "canonical_payload",

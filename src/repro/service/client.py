@@ -11,6 +11,15 @@ code, so callers can tell backpressure (``SERVER_BUSY``) from request
 bugs without string matching.  :meth:`ServiceClient.send_line` skips
 all interpretation and returns the raw response line — the
 byte-identity tests compare those against the stdio transport.
+
+Against the multiplexed async transport the client can also
+**pipeline**: :meth:`ServiceClient.pipeline` writes a whole batch of
+requests before reading anything back, then matches responses to
+requests by JSON-RPC ``id`` — the server answers out of order (a slow
+``submit`` no longer delays a fast ``stats``), and the id correlation
+restores request order on the client side.  The same method works
+against the serialized transports too; responses simply arrive in
+request order there.
 """
 
 from __future__ import annotations
@@ -23,13 +32,26 @@ import time
 
 from repro.errors import ServiceError
 
-__all__ = ["RemoteRpcError", "ServiceClient"]
+__all__ = [
+    "DEFAULT_READ_TIMEOUT_S",
+    "RemoteRpcError",
+    "ServiceClient",
+    "ServiceConnectionRefused",
+]
 
 _BUSY_BACKOFF_BASE_S = 0.05
 """First retry delay after a ``SERVER_BUSY`` response."""
 
 _BUSY_BACKOFF_CAP_S = 2.0
 """Upper bound on any single busy-retry delay."""
+
+DEFAULT_READ_TIMEOUT_S = 300.0
+"""Default cap on waiting for one response line.
+
+Generous — a cold ``batch`` over a big grid legitimately takes
+minutes — but finite: a server that died without closing the socket
+(frozen process, dropped network) must surface as a
+:class:`ServiceError`, not hang the client forever."""
 
 
 class RemoteRpcError(ServiceError):
@@ -40,8 +62,18 @@ class RemoteRpcError(ServiceError):
         self.code = code
 
 
+class ServiceConnectionRefused(ServiceError):
+    """No server is accepting on the address (yet).
+
+    Distinguished from other connection failures because it is the
+    retryable one: during fleet startup, orchestration scripts race
+    ``repro call`` against the server's bind, and ``--retry-busy``
+    retries this exactly like a ``SERVER_BUSY`` response.
+    """
+
+
 class ServiceClient:
-    """One connection to an :class:`~repro.service.server.ExplorationServer`.
+    """One connection to an exploration server (either transport).
 
     *address* is ``(host, port)`` for TCP or a path for a Unix domain
     socket.  The connection opens lazily on the first call and closes
@@ -49,12 +81,20 @@ class ServiceClient:
     one client per thread (connections are cheap; the server treats
     each as its own tenant).
 
+    *timeout* bounds connection establishment; *read_timeout* bounds
+    the wait for each response line (default
+    :data:`DEFAULT_READ_TIMEOUT_S`) so a server that dies without
+    closing the socket raises :class:`ServiceError` instead of
+    blocking the client indefinitely.  Pass ``None`` to wait forever.
+
     *retry_busy* makes :meth:`request` / :meth:`call` retry up to that
     many times when the server answers ``SERVER_BUSY`` (admission-
-    control backpressure, code ``-32001``), sleeping a capped, jittered
-    exponential backoff between attempts.  The default of 0 preserves
-    the raw fail-fast behaviour; drain rejections (``-32002``) are
-    never retried — a draining server will not come back.
+    control backpressure, code ``-32001``) **or** refuses the
+    connection outright (server still starting), sleeping a capped,
+    jittered exponential backoff between attempts.  The default of 0
+    preserves the raw fail-fast behaviour; drain rejections
+    (``-32002``) are never retried — a draining server will not come
+    back.
     """
 
     def __init__(
@@ -62,11 +102,13 @@ class ServiceClient:
         address: tuple[str, int] | str | pathlib.Path,
         timeout: float | None = 60.0,
         retry_busy: int = 0,
+        read_timeout: float | None = DEFAULT_READ_TIMEOUT_S,
     ):
         if retry_busy < 0:
             raise ServiceError("retry_busy must be >= 0")
         self.address = address
         self.timeout = timeout
+        self.read_timeout = read_timeout
         self.retry_busy = retry_busy
         self._sock: socket.socket | None = None
         self._reader = None
@@ -90,6 +132,12 @@ class ServiceClient:
                 except OSError:
                     sock.close()
                     raise
+        except (ConnectionRefusedError, FileNotFoundError) as error:
+            # nothing is accepting (yet): the retryable failure mode —
+            # a starting server will bind this address shortly
+            raise ServiceConnectionRefused(
+                f"cannot connect to server at {self.address!r}: {error}"
+            ) from None
         except OSError as error:
             # a refused/unreachable server is an operational condition,
             # not a bug: surface it as the uniform service error the
@@ -97,6 +145,9 @@ class ServiceClient:
             raise ServiceError(
                 f"cannot connect to server at {self.address!r}: {error}"
             ) from None
+        # connection is up: from here on the socket timeout bounds
+        # response reads, not the (usually much shorter) connect
+        sock.settimeout(self.read_timeout)
         self._sock = sock
         self._reader = sock.makefile("rb")
 
@@ -116,14 +167,28 @@ class ServiceClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # wire primitives
+    # ------------------------------------------------------------------
 
-    def send_line(self, line: str) -> str:
-        """One raw request line -> the raw response line (no parsing)."""
-        self.connect()
+    def _send_raw(self, line: str) -> None:
         payload = line.rstrip("\n") + "\n"
         try:
             self._sock.sendall(payload.encode("utf-8"))
+        except OSError as error:
+            raise ServiceError(
+                f"lost connection to server at {self.address!r}: {error}"
+            ) from None
+
+    def _read_raw(self) -> str:
+        try:
             response = self._reader.readline()
+        except socket.timeout:
+            # the server died (or hung) without closing the socket:
+            # fail loudly instead of blocking the caller forever
+            raise ServiceError(
+                f"no response from server at {self.address!r} within "
+                f"{self.read_timeout}s (dead or hung server?)"
+            ) from None
         except OSError as error:
             raise ServiceError(
                 f"lost connection to server at {self.address!r}: {error}"
@@ -134,35 +199,30 @@ class ServiceClient:
             )
         return response.decode("utf-8").rstrip("\n")
 
-    def request(self, method: str, params: dict | None = None) -> dict:
-        """One method call -> the full response object (result or error).
+    def send_line(self, line: str) -> str:
+        """One raw request line -> the raw response line (no parsing)."""
+        self.connect()
+        self._send_raw(line)
+        return self._read_raw()
 
-        ``SERVER_BUSY`` error responses are retried up to
-        ``retry_busy`` times before being returned as-is.
+    def send_request(self, method: str, params: dict | None = None) -> int:
+        """Write one request without waiting; returns its JSON-RPC id.
+
+        Pair with :meth:`read_response` (or use :meth:`pipeline`) to
+        collect the answers — against the async transport they arrive
+        in *completion* order, not send order.
         """
-        for attempt in range(self.retry_busy + 1):
-            response = self._request_once(method, params)
-            if not self._is_busy(response) or attempt == self.retry_busy:
-                return response
-            # capped exponential backoff with full jitter: N clients
-            # rejected together must not retry together
-            cap = min(_BUSY_BACKOFF_BASE_S * 2**attempt, _BUSY_BACKOFF_CAP_S)
-            time.sleep(random.uniform(0, cap))
-        raise AssertionError("unreachable")  # pragma: no cover
-
-    @staticmethod
-    def _is_busy(response: dict) -> bool:
-        from repro.service.rpc import SERVER_BUSY
-
-        error = response.get("error")
-        return isinstance(error, dict) and error.get("code") == SERVER_BUSY
-
-    def _request_once(self, method: str, params: dict | None = None) -> dict:
+        self.connect()
         self._next_id += 1
         request = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
         if params is not None:
             request["params"] = params
-        raw = self.send_line(json.dumps(request, separators=(",", ":")))
+        self._send_raw(json.dumps(request, separators=(",", ":")))
+        return self._next_id
+
+    def read_response(self) -> dict:
+        """The next response object off the wire, whichever id it answers."""
+        raw = self._read_raw()
         try:
             response = json.loads(raw)
         except json.JSONDecodeError as error:
@@ -174,6 +234,73 @@ class ServiceClient:
                 f"malformed response from {self.address!r}: {raw!r}"
             )
         return response
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+
+    def pipeline(
+        self, calls: "list[tuple[str, dict | None]]"
+    ) -> list[dict]:
+        """Send every call before reading anything; answers in call order.
+
+        Writes the whole batch, then reads exactly ``len(calls)``
+        response lines and matches them to requests by id — so against
+        the multiplexed transport a slow call early in the batch does
+        not delay the results of fast calls behind it, and the caller
+        still gets responses aligned with its request list.
+        """
+        ids = [self.send_request(method, params) for method, params in calls]
+        by_id: dict = {}
+        for _ in ids:
+            response = self.read_response()
+            by_id[response.get("id")] = response
+        missing = [rid for rid in ids if rid not in by_id]
+        if missing:
+            raise ServiceError(
+                f"server at {self.address!r} answered unknown request "
+                f"id(s); missing responses for {missing}"
+            )
+        return [by_id[rid] for rid in ids]
+
+    def request(self, method: str, params: dict | None = None) -> dict:
+        """One method call -> the full response object (result or error).
+
+        ``SERVER_BUSY`` responses and refused connections are retried
+        up to ``retry_busy`` times before being returned/raised as-is.
+        """
+        for attempt in range(self.retry_busy + 1):
+            last = attempt == self.retry_busy
+            try:
+                response = self._request_once(method, params)
+            except ServiceConnectionRefused:
+                if last:
+                    raise
+                self.close()  # retry reconnects from scratch
+                self._backoff(attempt)
+                continue
+            if not self._is_busy(response) or last:
+                return response
+            self._backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _backoff(attempt: int) -> None:
+        # capped exponential backoff with full jitter: N clients
+        # rejected together must not retry together
+        cap = min(_BUSY_BACKOFF_BASE_S * 2**attempt, _BUSY_BACKOFF_CAP_S)
+        time.sleep(random.uniform(0, cap))
+
+    @staticmethod
+    def _is_busy(response: dict) -> bool:
+        from repro.service.rpc import SERVER_BUSY
+
+        error = response.get("error")
+        return isinstance(error, dict) and error.get("code") == SERVER_BUSY
+
+    def _request_once(self, method: str, params: dict | None = None) -> dict:
+        self.send_request(method, params)
+        return self.read_response()
 
     def call(self, method: str, params: dict | None = None):
         """One method call -> its ``result``; error responses raise.

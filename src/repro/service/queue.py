@@ -164,6 +164,7 @@ class ExplorationService:
         self._completed: OrderedDict[str, _Job] = OrderedDict()
         self._pending: list[str] = []
         self._background_flush: threading.Thread | None = None
+        self._sibling_wakeup = threading.Event()
 
     # ------------------------------------------------------------------
     # bounded completed-job history (all helpers run under self._lock)
@@ -419,14 +420,30 @@ class ExplorationService:
         if claim_id is not None:
             self.store.release_claim(key, claim_id)
 
+    def wake_sibling_waiters(self) -> None:
+        """Wake sleeping sibling-claim pollers for one early re-check.
+
+        A draining server calls this so a poller asleep in its 250 ms
+        backoff re-checks (and, if the sibling's result just landed,
+        resolves) immediately instead of riding out the full sleep.
+        The event is pulsed — set then cleared — so later waits resume
+        the normal backoff cadence.
+        """
+        self._sibling_wakeup.set()
+        self._sibling_wakeup.clear()
+
     def _await_siblings(self, waiting: list[_Job]) -> None:
         """Resolve jobs whose keys are leased to sibling servers.
 
         Pure polling — no lock held between rounds: the sibling's
         result arrives through the shared directory, not through this
-        process.  Each round every unresolved key is checked; the sleep
+        process.  Each round every unresolved key is checked; the wait
         backs off from 20 ms to 250 ms, so a fast sibling costs almost
-        no latency and a slow one costs at most 4 polls/s.
+        no latency and a slow one costs at most 4 polls/s.  The wait
+        is an interruptible event wait, never a bare ``time.sleep``:
+        it only ever runs on a worker/executor thread (the async
+        transport's event loop is never in here), and
+        :meth:`wake_sibling_waiters` can cut it short during drain.
         """
         delay = _POLL_INITIAL_S
         pending = list(waiting)
@@ -434,7 +451,7 @@ class ExplorationService:
             pending = [job for job in pending if not self._check_sibling(job)]
             if not pending:
                 return
-            time.sleep(delay)
+            self._sibling_wakeup.wait(delay)
             delay = min(delay * 2, _POLL_MAX_S)
 
     def _check_sibling(self, job: _Job) -> bool:

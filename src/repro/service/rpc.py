@@ -353,7 +353,9 @@ class JsonRpcFrontend:
         return self.service.store.compact()
 
     def _shutdown(self, _params: dict) -> dict:
-        self.running = False
+        # No state change here: dispatch() reports the shutdown to its
+        # caller, and only handle_line() mutates `running`.  A handler
+        # that wrote to the frontend would break dispatch reentrancy.
         return {"ok": True}
 
     _METHODS = {
@@ -369,10 +371,20 @@ class JsonRpcFrontend:
 
     # -- dispatch ------------------------------------------------------
 
-    def handle_line(self, line: str) -> dict | None:
-        """One request line -> one response object (None for blanks)."""
+    def dispatch(self, line: str) -> tuple[dict | None, bool]:
+        """One request line -> ``(response, shutdown_requested)``.
+
+        **Reentrant**: no per-request state is read from or written to
+        the frontend, so one frontend may dispatch many lines
+        concurrently — the async transport runs pipelined requests
+        from a single connection in parallel executor threads.  A
+        successful ``shutdown`` is *reported* through the second tuple
+        element instead of mutating :attr:`running`; serialized
+        callers that want the mutating behaviour use
+        :meth:`handle_line`.
+        """
         if not line.strip():
-            return None
+            return None, False
         request_id = None
         try:
             try:
@@ -391,19 +403,22 @@ class JsonRpcFrontend:
             if not isinstance(params, dict):
                 raise _RpcError(INVALID_PARAMS, "params must be an object")
             result = self._METHODS[method](self, params)
-            return {"jsonrpc": "2.0", "id": request_id, "result": result}
+            return (
+                {"jsonrpc": "2.0", "id": request_id, "result": result},
+                method == "shutdown",
+            )
         except _RpcError as error:
             return {
                 "jsonrpc": "2.0",
                 "id": request_id,
                 "error": {"code": error.code, "message": str(error)},
-            }
+            }, False
         except ReproError as error:
             return {
                 "jsonrpc": "2.0",
                 "id": request_id,
                 "error": {"code": SERVICE_ERROR, "message": str(error)},
-            }
+            }, False
         except Exception as error:  # noqa: BLE001 — protocol boundary
             # One bad request (e.g. a corrupt store record) must not
             # kill the loop for every other pipelined client.
@@ -414,7 +429,19 @@ class JsonRpcFrontend:
                     "code": INTERNAL_ERROR,
                     "message": f"internal error: {type(error).__name__}: {error}",
                 },
-            }
+            }, False
+
+    def handle_line(self, line: str) -> dict | None:
+        """One request line -> one response object (None for blanks).
+
+        The serialized form of :meth:`dispatch`: a successful
+        ``shutdown`` flips :attr:`running` so line-at-a-time loops
+        (stdio, the threading server) know to stop reading.
+        """
+        response, shutdown = self.dispatch(line)
+        if shutdown:
+            self.running = False
+        return response
 
 
 def _silence_stream(stream: IO[str]) -> None:

@@ -1,44 +1,68 @@
-"""Socket front end: one exploration service, many networked tenants.
+"""Socket front ends: one exploration service, many networked tenants.
 
-:class:`ExplorationServer` wraps the same :class:`JsonRpcFrontend`
-``repro serve`` runs over stdio, behind a threading stream server —
-TCP (``--listen HOST:PORT``) or a Unix domain socket (``--socket
-PATH``).  The wire protocol is identical to the stdio mode: one
-JSON-RPC request object per line, one response object per line, in
-request order per connection, encoded by the same
-:func:`~repro.service.rpc.encode_response` — so a request answered
-over a socket is byte-identical to the stdio answer.
+Two transports serve the same line-delimited JSON-RPC protocol
+``repro serve`` runs over stdio — one request object per line, one
+response object per line, encoded by the same
+:func:`~repro.service.rpc.encode_response`, so a request answered over
+a socket is byte-identical to the stdio answer:
 
-Multi-tenancy model:
+* :class:`AsyncExplorationServer` (the default) — a **multiplexed
+  event-loop transport**: one asyncio loop accepts and frames every
+  connection, each request is dispatched to a bounded thread executor
+  over the shared service, and responses are written back **as they
+  complete — out of order within a connection**.  A slow ``submit``
+  pipelined ahead of a fast ``stats`` no longer head-of-line-blocks
+  it, and thousands of mostly-idle connections cost file descriptors,
+  not threads.
+* :class:`ExplorationServer` (``--transport threads``) — the
+  thread-per-connection reference implementation: requests on one
+  connection are answered strictly in request order, at the cost of
+  one thread per connection and head-of-line blocking behind slow
+  requests.
+
+Multi-tenancy model (both transports):
 
 * every **connection** gets its own :class:`JsonRpcFrontend` over the
   one shared :class:`ExplorationService`, so the result cache and
   in-flight deduplication span all tenants while a client's
   ``shutdown`` request ends only *its* connection (a multi-tenant
   server must not be killable by one tenant; stop the server itself
-  with SIGINT/SIGTERM or :meth:`ExplorationServer.drain`);
-* a **bounded admission queue** (``max_pending``) caps requests in
-  flight across all connections.  A request arriving past the cap is
-  answered immediately with error ``-32001`` (``SERVER_BUSY``) instead
-  of queueing unboundedly — clients back off and retry;
-* **graceful drain**: SIGINT/SIGTERM (or :meth:`drain`) stops
-  accepting connections, answers new requests on live connections with
+  with SIGINT/SIGTERM or :meth:`~ExplorationServer.drain`);
+* a **bounded admission queue** (``max_pending``) caps *requests in
+  flight* across all connections — not connections, which may idle in
+  the thousands.  A request arriving past the cap is answered
+  immediately with error ``-32001`` (``SERVER_BUSY``) instead of
+  queueing unboundedly — clients back off and retry;
+* **graceful drain**: SIGINT/SIGTERM (or ``drain()``) stops accepting
+  connections, answers new requests on live connections with
   ``-32002`` (draining), waits for in-flight requests to finish, then
   closes the listener and shuts the persistent worker pool down.
 
-The ``stats`` RPC gains a ``"server"`` section (connections, requests,
-busy/draining rejections, in-flight gauge) on top of the service,
-store and pool counters.
+The ``stats`` RPC gains a ``"server"`` section (transport name,
+connections, requests, busy/draining rejections, in-flight gauge) on
+top of the service, store and pool counters.
+
+Unix-socket path claiming is serialized through an O_EXCL pid-stamped
+``<path>.lock`` file (the ``evict.lock`` pattern from
+:mod:`repro.service.store`): two servers starting simultaneously on
+the same dead socket path cannot both conclude it is stale and race
+the unlink/bind — one wins the lock, reclaims and binds; the other
+then probes a *live* socket and refuses.
 """
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
+import contextlib
 import json
+import os
 import pathlib
 import signal
 import socket
 import socketserver
 import threading
+import time
 
 from repro.errors import ServiceError, ValidationError
 from repro.search.config import AssignerSpec
@@ -51,7 +75,9 @@ from repro.service.rpc import (
 )
 
 __all__ = [
+    "DEFAULT_EXECUTOR_WORKERS",
     "DEFAULT_MAX_PENDING",
+    "AsyncExplorationServer",
     "ExplorationServer",
     "parse_listen_address",
     "serve_until_signalled",
@@ -59,6 +85,22 @@ __all__ = [
 
 DEFAULT_MAX_PENDING = 64
 """Default cap on requests in flight across all connections."""
+
+DEFAULT_EXECUTOR_WORKERS = min(32, (os.cpu_count() or 4) + 4)
+"""Dispatch threads behind the async transport's event loop."""
+
+_ACCEPT_BACKLOG = 1024
+"""Listen backlog for connection storms (kernel-capped at somaxconn)."""
+
+_READLINE_LIMIT = 16 * 1024 * 1024
+"""Per-line framing cap for the async reader.  Batch requests carry
+whole grids of cells in one line; 16 MiB keeps any realistic batch
+frameable while still bounding a garbage client's memory use."""
+
+_SOCKET_LOCK_TIMEOUT_S = 5.0
+"""Longest a starting server waits for a sibling's ``<path>.lock``."""
+
+_DRAINING_MESSAGE = "server is draining and accepts no new requests"
 
 
 def parse_listen_address(text: str) -> tuple[str, int]:
@@ -93,6 +135,157 @@ def _request_id(line: str):
     return request.get("id") if isinstance(request, dict) else None
 
 
+def _reject(line: str, code: int, message: str) -> dict:
+    return {
+        "jsonrpc": "2.0",
+        "id": _request_id(line),
+        "error": {"code": code, "message": message},
+    }
+
+
+def _busy_message(max_pending: int) -> str:
+    return (
+        f"server busy: {max_pending} request(s) already in "
+        "flight; back off and retry"
+    )
+
+
+def _is_shutdown_request(line: str) -> bool:
+    """Would this line, dispatched, succeed as a ``shutdown``?
+
+    The async reader stops reading a connection at the first
+    successful ``shutdown`` — exactly where the serialized transports
+    stop — while the request itself still flows through the normal
+    dispatch path for a byte-identical acknowledgement.  The substring
+    probe keeps the double-parse off the hot path.
+    """
+    if '"shutdown"' not in line:
+        return False
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError:
+        return False
+    if not isinstance(request, dict) or request.get("method") != "shutdown":
+        return False
+    return isinstance(request.get("params", {}), dict)
+
+
+# ----------------------------------------------------------------------
+# unix socket path claiming
+# ----------------------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - priv pid
+        return True
+    return True
+
+
+def _read_lock_owner(path: pathlib.Path) -> int | None:
+    try:
+        return int(path.read_text().strip())
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError):
+        return None
+
+
+def _reclaim_dead_lock(path: pathlib.Path) -> bool:
+    """Atomically take over a dead claimer's lock file; True on success.
+
+    Same rename-takeover protocol as the store's ``evict.lock``:
+    unlinking by name would race a concurrent reclaimer that already
+    replaced the stale file with its own live lock, so the suspect
+    file is renamed to a per-pid name first (atomic, single winner)
+    and only the renamed file is inspected and deleted.
+    """
+    claim = path.with_name(f"{path.name}.reclaim-{os.getpid()}")
+    try:
+        os.rename(path, claim)
+    except OSError:
+        return False  # someone else reclaimed (or released) first
+    try:
+        owner = int(claim.read_text().strip())
+    except (OSError, ValueError):
+        owner = None
+    if owner is not None and _pid_alive(owner):
+        # we lost a read/decide race against a live claimer: restore
+        try:  # pragma: no cover - narrow double-race window
+            os.rename(claim, path)
+        except OSError:
+            claim.unlink(missing_ok=True)
+        return False
+    claim.unlink(missing_ok=True)
+    return True
+
+
+@contextlib.contextmanager
+def _socket_path_lock(path: pathlib.Path):
+    """Serialize stale-socket reclaim + bind on *path* across processes.
+
+    O_EXCL pid-stamped ``<path>.lock``, held from the liveness probe
+    through the bind: without it, two servers starting simultaneously
+    on the same dead socket path can both probe it stale and race the
+    unlink/bind.  A lock whose recorded pid is dead (crashed claimer)
+    is taken over; a live claimer is waited on briefly, then refused.
+    """
+    lock_path = path.with_name(path.name + ".lock")
+    deadline = time.monotonic() + _SOCKET_LOCK_TIMEOUT_S
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                owner = _read_lock_owner(lock_path)
+            except FileNotFoundError:
+                continue  # freed between open and read; retry the create
+            if owner is not None and not _pid_alive(owner):
+                _reclaim_dead_lock(lock_path)
+                continue
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"socket path {path} is being claimed by another "
+                    f"server (pid {owner}); retry once it finishes, or "
+                    f"delete {lock_path} if that process is gone"
+                ) from None
+            time.sleep(0.05)
+    try:
+        os.write(fd, str(os.getpid()).encode("ascii"))
+    finally:
+        os.close(fd)
+    try:
+        yield
+    finally:
+        lock_path.unlink(missing_ok=True)
+
+
+def _probe_socket_path(path: pathlib.Path) -> None:
+    """Remove a *stale* socket file; refuse to steal a live one.
+
+    Callers hold :func:`_socket_path_lock`, so probe + unlink + the
+    subsequent bind are atomic against sibling servers.
+    """
+    if not path.exists():
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.2)
+        probe.connect(str(path))
+    except OSError:
+        path.unlink(missing_ok=True)  # dead leftover; reuse the name
+    else:
+        raise ServiceError(
+            f"socket path {path} already has a live server attached"
+        )
+    finally:
+        probe.close()
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: a private frontend over the shared service."""
 
@@ -103,19 +296,30 @@ class _Handler(socketserver.StreamRequestHandler):
 class _ThreadingTcpServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # socketserver's default backlog of 5 puts a connection storm into
+    # kernel SYN-retransmit backoff (seconds per connect); match the
+    # async transport's accept backlog instead
+    request_queue_size = _ACCEPT_BACKLOG
 
 
 if hasattr(socketserver, "ThreadingUnixStreamServer"):
 
     class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
         daemon_threads = True
+        request_queue_size = _ACCEPT_BACKLOG
 
 else:  # pragma: no cover - non-posix
     _ThreadingUnixServer = None
 
 
 class ExplorationServer:
-    """Line-delimited JSON-RPC socket server over one shared service.
+    """Thread-per-connection JSON-RPC server over one shared service.
+
+    The serialized reference transport (``repro serve --transport
+    threads``): responses on a connection come back strictly in
+    request order, so a slow request head-of-line-blocks every
+    pipelined request behind it, and every connection costs a thread.
+    :class:`AsyncExplorationServer` is the multiplexed default.
 
     Parameters
     ----------
@@ -170,32 +374,15 @@ class ExplorationServer:
                 raise ServiceError(
                     "unix domain sockets are not available on this platform"
                 )
-            self._claim_socket_path(self._socket_path)
-            self._server = _ThreadingUnixServer(
-                str(self._socket_path), _Handler
-            )
+            with _socket_path_lock(self._socket_path):
+                _probe_socket_path(self._socket_path)
+                self._server = _ThreadingUnixServer(
+                    str(self._socket_path), _Handler
+                )
         else:
             self._server = _ThreadingTcpServer(listen, _Handler)
         # the handler reaches back through the socketserver instance
         self._server.exploration = self
-
-    @staticmethod
-    def _claim_socket_path(path: pathlib.Path) -> None:
-        """Remove a *stale* socket file; refuse to steal a live one."""
-        if not path.exists():
-            return
-        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        try:
-            probe.settimeout(0.2)
-            probe.connect(str(path))
-        except OSError:
-            path.unlink(missing_ok=True)  # dead leftover; reuse the name
-        else:
-            raise ServiceError(
-                f"socket path {path} already has a live server attached"
-            )
-        finally:
-            probe.close()
 
     # ------------------------------------------------------------------
     # connection + request handling
@@ -235,20 +422,11 @@ class ExplorationServer:
         if self._draining.is_set():
             with self._state_lock:
                 self._rejected_draining += 1
-            return self._reject(
-                line,
-                SERVER_DRAINING,
-                "server is draining and accepts no new requests",
-            )
+            return _reject(line, SERVER_DRAINING, _DRAINING_MESSAGE)
         if not self._admission.acquire(blocking=False):
             with self._state_lock:
                 self._rejected_busy += 1
-            return self._reject(
-                line,
-                SERVER_BUSY,
-                f"server busy: {self.max_pending} request(s) already in "
-                "flight; back off and retry",
-            )
+            return _reject(line, SERVER_BUSY, _busy_message(self.max_pending))
         with self._state_lock:
             self._in_flight += 1
             self._requests_total += 1
@@ -259,14 +437,6 @@ class ExplorationServer:
             with self._idle:
                 self._in_flight -= 1
                 self._idle.notify_all()
-
-    @staticmethod
-    def _reject(line: str, code: int, message: str) -> dict:
-        return {
-            "jsonrpc": "2.0",
-            "id": _request_id(line),
-            "error": {"code": code, "message": message},
-        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -303,6 +473,7 @@ class ExplorationServer:
         from repro.analysis.pool import get_pool
 
         self._draining.set()
+        self.service.wake_sibling_waiters()
         if self._serving.is_set():
             self._server.shutdown()  # stops serve_forever + accepting
             self._serving.clear()
@@ -324,6 +495,7 @@ class ExplorationServer:
         """Connection/admission counters (the ``stats`` RPC's server part)."""
         with self._state_lock:
             return {
+                "transport": "threads",
                 "connections_total": self._connections_total,
                 "connections_active": self._connections_active,
                 "requests_total": self._requests_total,
@@ -335,13 +507,371 @@ class ExplorationServer:
             }
 
 
-def serve_until_signalled(server: ExplorationServer) -> int:
+class AsyncExplorationServer:
+    """Multiplexed event-loop JSON-RPC server over one shared service.
+
+    One asyncio loop (on its own thread) accepts and frames every
+    connection; each admitted request line is handed to a bounded
+    :class:`~concurrent.futures.ThreadPoolExecutor` running the
+    reentrant :meth:`JsonRpcFrontend.dispatch`, and the response is
+    written back the moment it completes — **out of order within a
+    connection**, correlated by JSON-RPC ``id``.  A slow ``submit``
+    pipelined ahead of a fast ``stats`` on the same socket therefore
+    no longer blocks it, and idle connections cost a file descriptor
+    each, not a thread.
+
+    Contract-compatible with :class:`ExplorationServer`: byte-identical
+    response encoding, per-connection ``shutdown`` (reading stops at
+    the first successful shutdown; every in-flight response, including
+    the acknowledgement, is still written before the connection
+    closes), ``-32001`` admission over *in-flight requests*, and
+    ``-32002`` graceful drain.
+
+    Parameters
+    ----------
+    service, listen, socket_path, default_assigner, max_pending:
+        As for :class:`ExplorationServer`.
+    executor_workers:
+        Dispatch threads.  Bounds evaluation concurrency; requests
+        beyond it queue (still counted in flight, so ``max_pending``
+        caps the queue, not the sky).
+    """
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        listen: tuple[str, int] | None = None,
+        socket_path: str | pathlib.Path | None = None,
+        default_assigner: AssignerSpec | None = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        executor_workers: int | None = None,
+    ):
+        if (listen is None) == (socket_path is None):
+            raise ServiceError(
+                "pass exactly one of listen=(host, port) or socket_path"
+            )
+        if max_pending <= 0:
+            raise ServiceError("max_pending must be positive")
+        workers = (
+            executor_workers
+            if executor_workers is not None
+            else DEFAULT_EXECUTOR_WORKERS
+        )
+        if workers <= 0:
+            raise ServiceError("executor_workers must be positive")
+        self.service = service
+        self.default_assigner = default_assigner
+        self.max_pending = max_pending
+        self.executor_workers = workers
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="mhla-rpc"
+        )
+        self._state_lock = threading.Lock()
+        self._in_flight = 0
+        self._connections_total = 0
+        self._connections_active = 0
+        self._requests_total = 0
+        self._rejected_busy = 0
+        self._rejected_draining = 0
+        self._draining = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_started = False
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._aserver: asyncio.AbstractServer | None = None
+        self._idle_async: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._connection_tasks: set = set()
+        self._writers: set = set()
+        self._socket_path = (
+            pathlib.Path(socket_path) if socket_path is not None else None
+        )
+        # Bind synchronously in the constructor — before the loop even
+        # exists — so `address` (an ephemeral port, announced on
+        # stdout by the CLI) is known immediately, and a live socket
+        # path is refused at construction like the threading server.
+        if self._socket_path is not None:
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-posix
+                raise ServiceError(
+                    "unix domain sockets are not available on this platform"
+                )
+            with _socket_path_lock(self._socket_path):
+                _probe_socket_path(self._socket_path)
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    sock.bind(str(self._socket_path))
+                except OSError:
+                    sock.close()
+                    raise
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                sock.bind(listen)
+            except OSError:
+                sock.close()
+                raise
+        sock.listen(_ACCEPT_BACKLOG)
+        sock.setblocking(False)
+        self._listen_sock = sock
+        # cache now: drain closes the socket, but the address should
+        # stay readable afterwards (error messages, tests, logs)
+        self._bound_address = (
+            str(self._socket_path)
+            if self._socket_path is not None
+            else sock.getsockname()
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound address: ``(host, port)`` for TCP, path for Unix."""
+        return self._bound_address
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`drain` (blocking)."""
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+            leftovers = [
+                task for task in asyncio.all_tasks(loop) if not task.done()
+            ]
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True)
+                )
+        finally:
+            loop.close()
+
+    def start(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a background thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="mhla-aserver", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+        self._started.wait()
+        return thread
+
+    async def _main(self) -> None:
+        self._idle_async = asyncio.Event()
+        self._idle_async.set()
+        self._stopped = asyncio.Event()
+        self._aserver = await asyncio.start_server(
+            self._serve_connection,
+            sock=self._listen_sock,
+            limit=_READLINE_LIMIT,
+        )
+        self._started.set()
+        await self._stopped.wait()
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Graceful stop: reject new work, let in-flight work finish.
+
+        Returns True when all in-flight requests completed within
+        *timeout* (False means stragglers were abandoned to the
+        executor).  Idempotent; also shuts the persistent worker pool
+        down so no worker processes outlive the server.
+        """
+        from repro.analysis.pool import get_pool
+
+        with self._drain_lock:
+            first = not self._drain_started
+            self._drain_started = True
+        self._draining.set()
+        # sibling-claim pollers may be napping in their 250 ms backoff
+        # on executor threads; cut the naps short so in-flight work
+        # resolves promptly instead of riding out the sleep
+        self.service.wake_sibling_waiters()
+        if not first:
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+            return True
+        drained = True
+        if self._loop is not None and self._started.is_set():
+            future = asyncio.run_coroutine_threadsafe(
+                self._drain_async(timeout), self._loop
+            )
+            try:
+                drained = future.result(
+                    None if timeout is None else timeout + 10.0
+                )
+            except (
+                concurrent.futures.TimeoutError,
+                concurrent.futures.CancelledError,
+                RuntimeError,
+            ):  # pragma: no cover - loop died mid-drain
+                drained = False
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+        else:
+            self._listen_sock.close()
+        self._executor.shutdown(wait=False)
+        if self._socket_path is not None:
+            self._socket_path.unlink(missing_ok=True)
+        get_pool().shutdown()
+        return drained
+
+    async def _drain_async(self, timeout: float | None) -> bool:
+        self._aserver.close()
+        await self._aserver.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle_async.wait(), timeout)
+            drained = True
+        except asyncio.TimeoutError:
+            drained = False
+        # in-flight work is done (or abandoned): close the remaining
+        # connections so their reader tasks see EOF and wind down
+        for writer in list(self._writers):
+            writer.close()
+        if self._connection_tasks:
+            await asyncio.wait(list(self._connection_tasks), timeout=5.0)
+        self._stopped.set()
+        return drained
+
+    # ------------------------------------------------------------------
+    # connection + request handling (event-loop thread only)
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        frontend = JsonRpcFrontend(
+            self.service,
+            default_assigner=self.default_assigner,
+            server_stats=self.stats,
+        )
+        with self._state_lock:
+            self._connections_total += 1
+            self._connections_active += 1
+        task = asyncio.current_task()
+        self._connection_tasks.add(task)
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        dispatches: set = set()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except ValueError:
+                    # line beyond _READLINE_LIMIT: framing is lost for
+                    # good on this connection; drop it
+                    break
+                if not raw:
+                    break  # EOF: the tenant closed its side
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                if self._draining.is_set():
+                    with self._state_lock:
+                        self._rejected_draining += 1
+                    await self._write(
+                        write_lock,
+                        writer,
+                        _reject(line, SERVER_DRAINING, _DRAINING_MESSAGE),
+                    )
+                    continue
+                with self._state_lock:
+                    admitted = self._in_flight < self.max_pending
+                    if admitted:
+                        self._in_flight += 1
+                        self._requests_total += 1
+                    else:
+                        self._rejected_busy += 1
+                if not admitted:
+                    await self._write(
+                        write_lock,
+                        writer,
+                        _reject(
+                            line, SERVER_BUSY, _busy_message(self.max_pending)
+                        ),
+                    )
+                    continue
+                self._idle_async.clear()
+                dispatch = asyncio.get_running_loop().create_task(
+                    self._dispatch(frontend, line, writer, write_lock)
+                )
+                dispatches.add(dispatch)
+                dispatch.add_done_callback(dispatches.discard)
+                if _is_shutdown_request(line):
+                    # per-connection shutdown: stop reading; in-flight
+                    # responses (incl. the acknowledgement) still land
+                    break
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            # tenant vanished (or the transport closed mid-drain under
+            # us); in-flight work below still completes into the cache
+            pass
+        finally:
+            if dispatches:
+                await asyncio.gather(*dispatches, return_exceptions=True)
+            self._writers.discard(writer)
+            self._connection_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            with self._state_lock:
+                self._connections_active -= 1
+
+    async def _dispatch(self, frontend, line, writer, write_lock) -> None:
+        try:
+            response, _shutdown = await asyncio.get_running_loop(
+            ).run_in_executor(self._executor, frontend.dispatch, line)
+            if response is not None:
+                await self._write(write_lock, writer, response)
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # tenant went away mid-response; the work is cached
+        finally:
+            with self._state_lock:
+                self._in_flight -= 1
+                idle = self._in_flight == 0
+            if idle:
+                self._idle_async.set()
+
+    async def _write(self, write_lock, writer, response: dict) -> None:
+        # one line per response, whole lines only: the lock keeps two
+        # completing dispatches from interleaving a connection's bytes
+        async with write_lock:
+            writer.write((encode_response(response) + "\n").encode("utf-8"))
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Connection/admission counters (the ``stats`` RPC's server part)."""
+        with self._state_lock:
+            return {
+                "transport": "async",
+                "connections_total": self._connections_total,
+                "connections_active": self._connections_active,
+                "requests_total": self._requests_total,
+                "in_flight": self._in_flight,
+                "rejected_busy": self._rejected_busy,
+                "rejected_draining": self._rejected_draining,
+                "max_pending": self.max_pending,
+                "draining": self._draining.is_set(),
+                "executor_workers": self.executor_workers,
+            }
+
+
+def serve_until_signalled(
+    server: "ExplorationServer | AsyncExplorationServer",
+) -> int:
     """Run *server* until SIGINT/SIGTERM, then drain; the CLI body.
 
     The server loop runs on a background thread while the main thread
-    waits for a signal — calling ``shutdown()`` from inside a signal
-    handler on the serving thread would deadlock, so the handler only
-    sets an event.
+    waits for a signal — calling shutdown from inside a signal handler
+    on the serving thread would deadlock, so the handler only sets an
+    event.  Works for either transport: both expose ``start()`` and a
+    thread-safe ``drain()``.
     """
     stop = threading.Event()
 

@@ -1,28 +1,37 @@
 """Tests for the socket-served multi-tenant exploration server.
 
-The server wraps the same frontend ``repro serve`` runs over stdio, so
+The servers wrap the same frontend ``repro serve`` runs over stdio, so
 these tests focus on what the socket layer adds: many concurrent
 tenants over one shared cache (exactly-once evaluation), bounded
 admission (``SERVER_BUSY`` backpressure), graceful drain
 (``SERVER_DRAINING`` + in-flight completion), per-connection
 ``shutdown`` semantics, and byte-identity with the stdio transport.
+
+Every battery runs against **both transports** — the multiplexed
+async default and the thread-per-connection reference — via the
+parametrized fixtures; the async-only multiplexing semantics (a slow
+request must not head-of-line-block a fast one on the same
+connection) get their own battery at the end.
 """
 
 import io
 import json
 import os
+import pathlib
 import re
 import signal
 import socket
 import subprocess
 import sys
 import threading
+import time
 
 import pytest
 
 from repro.analysis.sweep import ParallelSweepRunner
 from repro.errors import ServiceError, ValidationError
 from repro.service import (
+    AsyncExplorationServer,
     ExplorationServer,
     ExplorationService,
     RemoteRpcError,
@@ -37,6 +46,8 @@ from repro.service.rpc import SERVER_BUSY, SERVER_DRAINING, cell_from_params
 VOICE_CELL = {"app": "voice_coder", "platform": {"l1_kib": 2, "l2_kib": 16}}
 EDGE_CELL = {"app": "edge_detection", "platform": {"l1_kib": 2, "l2_kib": 16}}
 
+TRANSPORTS = {"threads": ExplorationServer, "async": AsyncExplorationServer}
+
 
 def rpc(method, request_id=1, **params):
     return {
@@ -47,13 +58,19 @@ def rpc(method, request_id=1, **params):
     }
 
 
+@pytest.fixture(params=sorted(TRANSPORTS))
+def server_cls(request):
+    """Both transports: every battery must hold for each."""
+    return TRANSPORTS[request.param]
+
+
 @pytest.fixture
-def start_server():
+def start_server(server_cls):
     """Factory: a started TCP server on an ephemeral port, auto-drained."""
     servers = []
 
     def start(service=None, **kwargs):
-        server = ExplorationServer(
+        server = server_cls(
             service if service is not None else ExplorationService(),
             listen=("127.0.0.1", 0),
             **kwargs,
@@ -95,26 +112,34 @@ class TestParseListenAddress:
 
 
 class TestConstruction:
-    def test_exactly_one_endpoint_required(self, tmp_path):
+    def test_exactly_one_endpoint_required(self, server_cls, tmp_path):
         service = ExplorationService()
         with pytest.raises(ServiceError, match="exactly one"):
-            ExplorationServer(service)
+            server_cls(service)
         with pytest.raises(ServiceError, match="exactly one"):
-            ExplorationServer(
+            server_cls(
                 service,
                 listen=("127.0.0.1", 0),
                 socket_path=tmp_path / "mhla.sock",
             )
 
-    def test_max_pending_must_be_positive(self):
+    def test_max_pending_must_be_positive(self, server_cls):
         with pytest.raises(ServiceError, match="max_pending"):
-            ExplorationServer(
+            server_cls(
                 ExplorationService(), listen=("127.0.0.1", 0), max_pending=0
+            )
+
+    def test_executor_workers_must_be_positive(self):
+        with pytest.raises(ServiceError, match="executor_workers"):
+            AsyncExplorationServer(
+                ExplorationService(),
+                listen=("127.0.0.1", 0),
+                executor_workers=0,
             )
 
 
 class TestTcpRoundtrip:
-    def test_submit_result_stats(self, start_server):
+    def test_submit_result_stats(self, start_server, server_cls):
         server = start_server()
         with ServiceClient(server.address) as client:
             submitted = client.call("submit", VOICE_CELL)
@@ -127,6 +152,8 @@ class TestTcpRoundtrip:
         assert stats["server"]["connections_total"] >= 1
         assert stats["server"]["requests_total"] >= 3
         assert stats["server"]["max_pending"] == server.max_pending
+        expected = "threads" if server_cls is ExplorationServer else "async"
+        assert stats["server"]["transport"] == expected
 
     def test_error_responses_carry_the_rpc_code(self, start_server):
         server = start_server()
@@ -231,10 +258,10 @@ class TestBackpressure:
 
 
 class TestDrain:
-    def test_drain_rejects_new_work_and_finishes_in_flight(self):
+    def test_drain_rejects_new_work_and_finishes_in_flight(self, server_cls):
         gate = GateRunner()
         service = ExplorationService(runner=gate)
-        server = ExplorationServer(service, listen=("127.0.0.1", 0))
+        server = server_cls(service, listen=("127.0.0.1", 0))
         server.start()
         slow = ServiceClient(server.address)
         live = ServiceClient(server.address)
@@ -289,9 +316,9 @@ class TestDrain:
 
 
 class TestUnixSocket:
-    def test_roundtrip_and_cleanup(self, tmp_path):
+    def test_roundtrip_and_cleanup(self, server_cls, tmp_path):
         path = tmp_path / "mhla.sock"
-        server = ExplorationServer(ExplorationService(), socket_path=path)
+        server = server_cls(ExplorationService(), socket_path=path)
         server.start()
         try:
             with ServiceClient(path) as client:
@@ -302,14 +329,14 @@ class TestUnixSocket:
         # drain unlinks the socket file so the name is reusable
         assert not path.exists()
 
-    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+    def test_stale_socket_file_is_reclaimed(self, server_cls, tmp_path):
         path = tmp_path / "mhla.sock"
         # a leftover socket file with no server behind it
         leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         leftover.bind(str(path))
         leftover.close()
         assert path.exists()
-        server = ExplorationServer(ExplorationService(), socket_path=path)
+        server = server_cls(ExplorationService(), socket_path=path)
         server.start()
         try:
             with ServiceClient(path) as client:
@@ -317,15 +344,84 @@ class TestUnixSocket:
         finally:
             server.drain(timeout=10.0)
 
-    def test_live_socket_path_is_refused(self, tmp_path):
+    def test_live_socket_path_is_refused(self, server_cls, tmp_path):
         path = tmp_path / "mhla.sock"
-        first = ExplorationServer(ExplorationService(), socket_path=path)
+        first = server_cls(ExplorationService(), socket_path=path)
         first.start()
         try:
             with pytest.raises(ServiceError, match="live server"):
-                ExplorationServer(ExplorationService(), socket_path=path)
+                server_cls(ExplorationService(), socket_path=path)
         finally:
             first.drain(timeout=10.0)
+
+
+class TestSocketPathLock:
+    """The stale-socket reclaim race: probe/unlink/bind is serialized."""
+
+    def test_simultaneous_reclaim_has_exactly_one_winner(
+        self, server_cls, tmp_path
+    ):
+        path = tmp_path / "mhla.sock"
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(str(path))
+        leftover.close()  # dead socket file both servers will probe stale
+
+        results = []
+        barrier = threading.Barrier(2)
+
+        def contender():
+            barrier.wait()
+            try:
+                results.append(
+                    server_cls(ExplorationService(), socket_path=path)
+                )
+            except ServiceError as error:
+                results.append(error)
+
+        threads = [threading.Thread(target=contender) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        servers = [r for r in results if not isinstance(r, Exception)]
+        errors = [r for r in results if isinstance(r, Exception)]
+        try:
+            # without the lock both could unlink/bind and one bind
+            # silently orphans the other; with it, exactly one wins
+            assert len(servers) == 1, results
+            assert len(errors) == 1 and "live server" in str(errors[0])
+            servers[0].start()
+            with ServiceClient(path) as client:
+                assert client.call("stats")["submitted"] == 0
+        finally:
+            for server in servers:
+                server.drain(timeout=10.0)
+
+    def test_dead_claimers_lock_is_taken_over(self, server_cls, tmp_path):
+        path = tmp_path / "mhla.sock"
+        lock = tmp_path / "mhla.sock.lock"
+        lock.write_text("999999999")  # no such pid: a crashed claimer
+        server = server_cls(ExplorationService(), socket_path=path)
+        try:
+            assert not lock.exists()  # reclaimed, then released
+        finally:
+            server.drain(timeout=10.0)
+
+    def test_live_claimers_lock_is_respected(self, server_cls, tmp_path):
+        path = tmp_path / "mhla.sock"
+        lock = tmp_path / "mhla.sock.lock"
+        lock.write_text(str(os.getpid()))  # a live (this!) process
+        import repro.service.server as server_mod
+
+        original = server_mod._SOCKET_LOCK_TIMEOUT_S
+        server_mod._SOCKET_LOCK_TIMEOUT_S = 0.2
+        try:
+            with pytest.raises(ServiceError, match="being claimed"):
+                server_cls(ExplorationService(), socket_path=path)
+            assert lock.exists()  # never stolen from a live claimer
+        finally:
+            server_mod._SOCKET_LOCK_TIMEOUT_S = original
+            lock.unlink()
 
 
 def grid_requests():
@@ -377,14 +473,118 @@ class TestTransportByteIdentity:
         assert "state" in last["result"]
 
 
+class TestMultiplexing:
+    """Async-transport-only: no head-of-line blocking on a connection."""
+
+    def test_fast_request_overtakes_parked_slow_request(self):
+        gate = GateRunner()
+        service = ExplorationService(runner=gate)
+        server = AsyncExplorationServer(service, listen=("127.0.0.1", 0))
+        server.start()
+        client = ServiceClient(server.address, read_timeout=30.0)
+        try:
+            slow_id = client.send_request("batch", {"cells": [VOICE_CELL]})
+            assert gate.entered.wait(timeout=30.0)
+            # the slow batch is parked inside the runner; a fast
+            # request pipelined behind it on the SAME connection must
+            # come back first — this is the head-of-line-blocking fix
+            fast_id = client.send_request("stats")
+            first = client.read_response()
+            assert first["id"] == fast_id
+            assert "result" in first
+            gate.release.set()
+            second = client.read_response()
+            assert second["id"] == slow_id
+            rows = second["result"]["outcomes"]
+            assert [row["status"] for row in rows] == ["done"]
+        finally:
+            gate.release.set()
+            client.close()
+            server.drain(timeout=10.0)
+
+    def test_threading_reference_serializes_the_same_pipeline(self):
+        """The contrast case: --transport threads answers in order."""
+        gate = GateRunner()
+        service = ExplorationService(runner=gate)
+        server = ExplorationServer(service, listen=("127.0.0.1", 0))
+        server.start()
+        client = ServiceClient(server.address, read_timeout=30.0)
+        try:
+            slow_id = client.send_request("batch", {"cells": [VOICE_CELL]})
+            assert gate.entered.wait(timeout=30.0)
+            client.send_request("stats")
+            gate.release.set()
+            # strict request order: the slow response lands first
+            assert client.read_response()["id"] == slow_id
+        finally:
+            gate.release.set()
+            client.close()
+            server.drain(timeout=10.0)
+
+    def test_pipeline_helper_reorders_by_id(self, tmp_path):
+        service = ExplorationService(store=ResultStore(tmp_path / "cache"))
+        server = AsyncExplorationServer(service, listen=("127.0.0.1", 0))
+        server.start()
+        try:
+            with ServiceClient(server.address) as client:
+                submitted = client.call("submit", VOICE_CELL)
+                responses = client.pipeline(
+                    [
+                        ("result", {"key": submitted["key"]}),
+                        ("stats", None),
+                        ("poll", {"key": submitted["key"]}),
+                    ]
+                )
+            assert [r["id"] for r in responses] == sorted(
+                r["id"] for r in responses
+            )
+            assert responses[0]["result"]["status"] == "done"
+            assert "submitted" in responses[1]["result"]
+        finally:
+            server.drain(timeout=10.0)
+
+    def test_many_idle_connections_cost_no_threads(self):
+        service = ExplorationService()
+        server = AsyncExplorationServer(service, listen=("127.0.0.1", 0))
+        server.start()
+        clients = []
+        try:
+            before = threading.active_count()
+            for _ in range(64):
+                client = ServiceClient(server.address)
+                client.connect()
+                clients.append(client)
+            # all 64 connections are live on the single loop thread
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.stats()["connections_active"] >= 64:
+                    break
+                time.sleep(0.01)
+            assert server.stats()["connections_active"] >= 64
+            assert threading.active_count() <= before + 2
+            assert clients[17].call("stats")["server"]["transport"] == "async"
+        finally:
+            for client in clients:
+                client.close()
+            server.drain(timeout=10.0)
+
+
 class TestServeCli:
-    def test_listen_call_and_sigterm_drain(self):
-        src = str(
-            __import__("pathlib").Path(__file__).resolve().parents[2] / "src"
-        )
+    @pytest.mark.parametrize("transport", sorted(TRANSPORTS))
+    def test_listen_call_and_sigterm_drain(self, transport):
+        src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
         env = {**os.environ, "PYTHONPATH": src}
         proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--listen", "127.0.0.1:0"],
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--transport",
+                transport,
+            ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
@@ -396,7 +596,9 @@ class TestServeCli:
             assert match, f"unexpected banner: {banner!r}"
             address = (match.group(1), int(match.group(2)))
             with ServiceClient(address, timeout=30.0) as client:
-                assert client.call("stats")["submitted"] == 0
+                stats = client.call("stats")
+                assert stats["submitted"] == 0
+                assert stats["server"]["transport"] == transport
             proc.send_signal(signal.SIGTERM)
             code = proc.wait(timeout=30.0)
             stderr = proc.stderr.read()

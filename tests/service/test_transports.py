@@ -1,0 +1,267 @@
+"""Transport equivalence battery: stdio vs threads vs async.
+
+The multiplexed async transport is the default precisely because it
+claims to change *nothing* observable except head-of-line blocking.
+This battery holds it to that: the 9-cell sweep grid answered over
+``--transport threads`` and the async default, against **one shared
+cache directory**, must produce byte-identical response lines (and
+match the stdio reference); identical request sequences must leave
+identical service counters; and SIGTERM must drain both the same way.
+"""
+
+import io
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.analysis.sweep import ParallelSweepRunner
+from repro.service import (
+    AsyncExplorationServer,
+    ExplorationServer,
+    ExplorationService,
+    ResultStore,
+    ServiceClient,
+    serve,
+)
+from repro.service.keys import cell_key
+from repro.service.rpc import SERVER_BUSY, cell_from_params
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+TRANSPORTS = {"threads": ExplorationServer, "async": AsyncExplorationServer}
+
+GRID_CELLS = [
+    {"app": app, "objective": objective}
+    for app in ("qsdpcm", "jpeg_dct", "mpeg4_mc")
+    for objective in ("edp", "cycles", "energy")
+]
+
+
+def grid_request_lines():
+    """The 9-cell grid: one batch, then a full result fetch per cell."""
+    lines = [
+        json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": 1,
+                "method": "batch",
+                "params": {"cells": GRID_CELLS},
+            },
+            separators=(",", ":"),
+        )
+    ]
+    for index, cell in enumerate(GRID_CELLS):
+        lines.append(
+            json.dumps(
+                {
+                    "jsonrpc": "2.0",
+                    "id": index + 2,
+                    "method": "result",
+                    "params": {
+                        "key": cell_key(cell_from_params(cell)),
+                        "full": True,
+                    },
+                },
+                separators=(",", ":"),
+            )
+        )
+    return lines
+
+
+def socket_lines(server_cls, cache_dir, request_lines):
+    """Run *request_lines* through a socket server over *cache_dir*."""
+    server = server_cls(
+        ExplorationService(store=ResultStore(cache_dir)),
+        listen=("127.0.0.1", 0),
+    )
+    server.start()
+    try:
+        with ServiceClient(server.address, timeout=300.0) as client:
+            return [client.send_line(line) for line in request_lines]
+    finally:
+        server.drain(timeout=30.0)
+
+
+class TestGridByteIdentity:
+    def test_nine_cell_grid_identical_across_all_three_transports(
+        self, tmp_path
+    ):
+        requests = grid_request_lines()
+        cache = tmp_path / "cache"
+        # stdio reference evaluates the grid cold into the shared cache
+        stdout = io.StringIO()
+        code = serve(
+            ExplorationService(store=ResultStore(cache)),
+            io.StringIO("\n".join(requests) + "\n"),
+            stdout,
+        )
+        assert code == 0
+        stdio = stdout.getvalue().splitlines()
+        assert len(stdio) == len(requests)
+        # both socket transports answer over the SAME cache directory
+        threads = socket_lines(ExplorationServer, cache, requests)
+        asynced = socket_lines(AsyncExplorationServer, cache, requests)
+        assert threads == stdio
+        assert asynced == stdio
+        # and the full-result payloads really round-tripped the state
+        for line in (stdio[-1], threads[-1], asynced[-1]):
+            payload = json.loads(line)
+            assert payload["result"]["status"] == "done"
+            assert "state" in payload["result"]
+
+
+def run_sequence(server_cls, cache_dir):
+    """One fixed call sequence -> (service counters, server counters)."""
+    server = server_cls(
+        ExplorationService(store=ResultStore(cache_dir)),
+        listen=("127.0.0.1", 0),
+    )
+    server.start()
+    try:
+        with ServiceClient(server.address, timeout=300.0) as client:
+            submitted = client.call("submit", GRID_CELLS[0])
+            client.call("submit", GRID_CELLS[0])
+            client.call("poll", {"key": submitted["key"]})
+            client.call("batch", {"cells": GRID_CELLS[:3]})
+            stats = client.call("stats")
+        return stats
+    finally:
+        server.drain(timeout=30.0)
+
+
+class TestCounterSemantics:
+    def test_identical_sequences_leave_identical_counters(self, tmp_path):
+        stats = {
+            name: run_sequence(cls, tmp_path / name)
+            for name, cls in TRANSPORTS.items()
+        }
+        # service-level counters: byte-for-byte the same bookkeeping
+        service_keys = [
+            "submitted",
+            "cache_hits",
+            "dedup_hits",
+            "evaluated",
+            "pending",
+            "in_flight",
+            "completed_retained",
+            "store_records",
+        ]
+        for key in service_keys:
+            values = {
+                name: stats[name].get(key, "<absent>") for name in stats
+            }
+            assert len(set(values.values())) == 1, (key, values)
+        # server-section counters: same admission accounting (the keys
+        # that describe the transport itself are allowed to differ)
+        server_keys = [
+            "connections_total",
+            "requests_total",
+            "rejected_busy",
+            "rejected_draining",
+            "max_pending",
+            "draining",
+        ]
+        for key in server_keys:
+            values = {name: stats[name]["server"][key] for name in stats}
+            assert len(set(values.values())) == 1, (key, values)
+
+    def test_rejection_lines_byte_identical(self, tmp_path):
+        """-32001 over either transport is the same bytes on the wire."""
+
+        class GateRunner(ParallelSweepRunner):
+            def __init__(self):
+                super().__init__(jobs=None)
+                self.entered = threading.Event()
+                self.release = threading.Event()
+
+            def run(self, cells):
+                self.entered.set()
+                assert self.release.wait(timeout=30.0)
+                return super().run(cells)
+
+        slow_line = json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": 7,
+                "method": "batch",
+                "params": {"cells": [GRID_CELLS[0]]},
+            },
+            separators=(",", ":"),
+        )
+        probe_line = json.dumps(
+            {"jsonrpc": "2.0", "id": 8, "method": "stats"},
+            separators=(",", ":"),
+        )
+        rejections = {}
+        for name, cls in TRANSPORTS.items():
+            gate = GateRunner()
+            server = cls(
+                ExplorationService(runner=gate),
+                listen=("127.0.0.1", 0),
+                max_pending=1,
+            )
+            server.start()
+            slow = ServiceClient(server.address, read_timeout=60.0)
+            fast = ServiceClient(server.address, read_timeout=60.0)
+            try:
+                slow.connect()
+                slow._send_raw(slow_line)
+                assert gate.entered.wait(timeout=30.0)
+                rejections[name] = fast.send_line(probe_line)
+                gate.release.set()
+                slow._read_raw()  # let the batch finish cleanly
+            finally:
+                gate.release.set()
+                slow.close()
+                fast.close()
+                server.drain(timeout=30.0)
+        assert rejections["threads"] == rejections["async"]
+        payload = json.loads(rejections["async"])
+        assert payload["error"]["code"] == SERVER_BUSY
+
+
+class TestSigtermParity:
+    def test_both_transports_drain_identically_on_sigterm(self):
+        outcomes = {}
+        for transport in sorted(TRANSPORTS):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "serve",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--transport",
+                    transport,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env={**os.environ, "PYTHONPATH": SRC},
+            )
+            try:
+                banner = proc.stdout.readline()
+                match = re.match(r"listening on (.+):(\d+)", banner)
+                assert match, f"unexpected banner: {banner!r}"
+                address = (match.group(1), int(match.group(2)))
+                with ServiceClient(address, timeout=30.0) as client:
+                    assert client.call("stats")["submitted"] == 0
+                proc.send_signal(signal.SIGTERM)
+                code = proc.wait(timeout=30.0)
+                stderr = proc.stderr.read()
+            finally:
+                if proc.poll() is None:  # pragma: no cover - cleanup
+                    proc.kill()
+                    proc.wait()
+                proc.stdout.close()
+                proc.stderr.close()
+            outcomes[transport] = (code, "Traceback" in stderr)
+        assert outcomes["threads"] == outcomes["async"] == (0, False)
