@@ -58,6 +58,13 @@ DEFAULT_METRICS: dict[str, list[str]] = {
     # duplicate_evaluations has a zero baseline: ANY growth is the
     # fleet-dedup hole reopening, caught by the zero-baseline rule
     "BENCH_fleet.json": ["duplicate_evaluations", "wall_s"],
+    # events_dropped has a zero baseline: the trace writer losing a
+    # single event fails the comparison outright
+    "BENCH_obs.json": [
+        "warm_grid.p50_on_ms",
+        "warm_grid.p50_off_ms",
+        "events_dropped",
+    ],
 }
 """Guarded dot-paths per snapshot basename, used when no ``--metric``
 is given on the command line."""

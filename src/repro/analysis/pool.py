@@ -39,6 +39,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.errors import EvaluationError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["BATCHES_PER_WORKER", "PersistentPool", "PoolStats", "get_pool"]
 
@@ -88,11 +89,24 @@ class PersistentPool:
         self._lock = threading.Lock()
         self._pool = None
         self._workers = 0
-        self._cold_starts = 0
-        self._dispatches = 0
-        self._batches = 0
-        self._tasks = 0
-        self._fallbacks = 0
+        # lifetime counters as typed instruments (one registry per
+        # pool; the process singleton's is what `metrics` exposes)
+        self.metrics = MetricsRegistry()
+        self._cold_starts = self.metrics.counter(
+            "repro_pool_cold_starts_total",
+            "Worker-pool (re)creations (healthy long-lived process: 1).")
+        self._dispatches = self.metrics.counter(
+            "repro_pool_dispatches_total", "map_batched calls fanned out.")
+        self._batches = self.metrics.counter(
+            "repro_pool_batches_total", "Contiguous batches dispatched.")
+        self._tasks = self.metrics.counter(
+            "repro_pool_tasks_total", "Items evaluated through the pool.")
+        self._fallbacks = self.metrics.counter(
+            "repro_pool_fallbacks_total",
+            "Batches replayed in-parent after a pool failure.")
+        self.metrics.gauge(
+            "repro_pool_workers", "Current worker-process count."
+        ).set_fn(lambda: self._workers)
 
     # ------------------------------------------------------------------
 
@@ -108,7 +122,7 @@ class PersistentPool:
                 context = multiprocessing.get_context("spawn")
                 self._pool = context.Pool(processes=workers)
                 self._workers = workers
-                self._cold_starts += 1
+                self._cold_starts.inc()
             return self._pool
 
     def _discard(self, pool):
@@ -187,10 +201,10 @@ class PersistentPool:
                         self._run_fallback(func, batch, worker_error)
                     )
         with self._lock:
-            self._dispatches += 1
-            self._batches += len(batches)
-            self._tasks += len(items)
-            self._fallbacks += fallbacks
+            self._dispatches.inc()
+            self._batches.inc(len(batches))
+            self._tasks.inc(len(items))
+            self._fallbacks.inc(fallbacks)
         return results
 
     @staticmethod
@@ -222,11 +236,11 @@ class PersistentPool:
         """Snapshot of the lifetime counters."""
         with self._lock:
             return PoolStats(
-                cold_starts=self._cold_starts,
-                dispatches=self._dispatches,
-                batches=self._batches,
-                tasks=self._tasks,
-                fallbacks=self._fallbacks,
+                cold_starts=self._cold_starts.value,
+                dispatches=self._dispatches.value,
+                batches=self._batches.value,
+                tasks=self._tasks.value,
+                fallbacks=self._fallbacks.value,
             )
 
     @property

@@ -30,10 +30,12 @@ match byte for byte.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.analysis.pool import get_pool
+from repro.obs import profile as obs_profile
 
 from repro.analysis.report import format_table
 from repro.apps import all_app_names, build_app
@@ -154,6 +156,23 @@ def evaluate_cell(cell: SweepCell) -> MhlaResult:
     ).explore()
 
 
+def _maybe_profile_cell(cell: SweepCell):
+    """``cProfile`` context for one cell when ``--profile`` is active.
+
+    Keyed by the cell's content key, so the ``.pstats`` artifact of a
+    slow cell is findable from the same id the cache and trace events
+    use.  A plain no-op context (no key computation, no profiler) when
+    profiling is off — both evaluation paths run through this, and the
+    off path must stay free.  Profiling runs in the worker process, so
+    the env-propagated directory reaches spawn-pool workers too.
+    """
+    if obs_profile.profile_dir() is None:
+        return nullcontext()
+    from repro.service.keys import cell_key  # circular at import time
+
+    return obs_profile.maybe_profile(cell_key(cell))
+
+
 def _evaluate_cell_guarded(
     cell: SweepCell,
 ) -> tuple[MhlaResult | None, str | None]:
@@ -166,7 +185,8 @@ def _evaluate_cell_guarded(
     warm pooled worker must match byte for byte.
     """
     try:
-        return evaluate_cell(cell), None
+        with _maybe_profile_cell(cell):
+            return evaluate_cell(cell), None
     except Exception as error:  # noqa: BLE001 — worker boundary
         return None, f"{type(error).__name__}: {error}"
 
@@ -215,16 +235,17 @@ def _evaluate_cell_warm(
     per cell inside :meth:`~repro.core.mhla.Mhla.explore`.
     """
     try:
-        program, platform, ctx = _cached_context(cell)
-        result = Mhla(
-            program,
-            platform,
-            objective=cell.objective,
-            sort_factor=cell.sort_factor,
-            assigner=cell.assigner,
-            ctx=ctx,
-        ).explore()
-        return result, None
+        with _maybe_profile_cell(cell):
+            program, platform, ctx = _cached_context(cell)
+            result = Mhla(
+                program,
+                platform,
+                objective=cell.objective,
+                sort_factor=cell.sort_factor,
+                assigner=cell.assigner,
+                ctx=ctx,
+            ).explore()
+            return result, None
     except Exception as error:  # noqa: BLE001 — worker boundary
         return None, f"{type(error).__name__}: {error}"
 

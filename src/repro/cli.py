@@ -35,6 +35,18 @@ Sub-commands mirror the experiments:
 * ``repro cache verify DIR``     — re-scan every segment and report
   corrupt/unrecognised lines and suspect keys (``--deep`` also
   rebuilds each stored result)
+* ``repro obs tail FILE``        — pretty-print (or ``--follow``) a
+  ``--trace-log`` file, optionally filtered to one ``--trace-id``
+
+Observability: ``repro run/sweep/search/fuzz/serve/call`` uniformly
+accept ``--log-level``/``--log-json`` (structured stderr logging),
+``--trace-log FILE`` (JSON-lines span events, shared by every process
+of a fleet) and ``--slow-ms T`` (spans slower than T additionally emit
+a ``slow_request`` dump).  ``repro run/sweep/serve --profile DIR``
+wraps each cell evaluation in ``cProfile`` and writes one
+``DIR/<key>.pstats`` artifact per unique cell.  ``repro call metrics``
+prints the serving stack's full metrics registry as Prometheus text;
+``repro cache stats/verify --json`` emit machine-readable reports.
 
 Both sweep forms accept ``--jobs N`` to fan the independent
 explorations across the process-wide persistent worker pool (created
@@ -99,6 +111,44 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     for name, description in app_descriptions().items():
         print(f"{name:18s} {description}")
     return 0
+
+
+def _configure_obs(args: argparse.Namespace) -> None:
+    """Apply the uniform observability flags (no-op without them).
+
+    Flags the user did not pass never *clear* settings inherited from
+    the environment (``REPRO_TRACE_LOG``/``REPRO_SLOW_MS``) — a child
+    ``repro`` invocation inside a traced fleet stays traced.
+    """
+    from repro import obs
+    from repro.obs import trace as obs_trace
+
+    level = getattr(args, "log_level", None)
+    log_json = getattr(args, "log_json", False)
+    if level is not None or log_json:
+        obs.setup_logging(level=level or "warning", json_lines=log_json)
+    trace_log = getattr(args, "trace_log", None)
+    slow_ms = getattr(args, "slow_ms", None)
+    if trace_log is not None or slow_ms is not None:
+        current_slow = obs_trace.slow_threshold_s()
+        obs.configure(
+            trace_log=(
+                trace_log
+                if trace_log is not None
+                else obs_trace.configured_trace_log()
+            ),
+            slow_ms=(
+                slow_ms
+                if slow_ms is not None
+                else (
+                    current_slow * 1000.0
+                    if current_slow is not None
+                    else None
+                )
+            ),
+        )
+    if getattr(args, "profile", None) is not None:
+        obs.configure_profile_dir(args.profile)
 
 
 SERVE_AUTO_COMPACT_RATIO = 4.0
@@ -530,6 +580,15 @@ def _cmd_call(args: argparse.Namespace) -> int:
         address, timeout=args.timeout, retry_busy=args.retry_busy
     ) as client:
         response = client.request(args.method, params)
+    result = response.get("result")
+    if (
+        args.method == "metrics"
+        and isinstance(result, dict)
+        and isinstance(result.get("text"), str)
+    ):
+        # raw Prometheus text, scrape-ready — not wrapped in JSON
+        print(result["text"], end="")
+        return 0
     print(json.dumps(response, separators=(",", ":")))
     return 0 if "error" not in response else 1
 
@@ -560,6 +619,11 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     if store is None:
         return 2
     stats = store.stats()
+    if args.json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     limits = stats["limits"]
     print(f"{'backend:':21s}{stats['backend']}")
     print(f"{'sealed segments:':21s}{stats['sealed_segments']}")
@@ -616,6 +680,11 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
     if store is None:
         return 2
     report = store.verify(deep=args.deep)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
     for counts in report["files"]:
         print(
             f"{counts['file']}: {counts['lines']} line(s) = "
@@ -654,6 +723,14 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
         problems.append("disk view diverges from loaded index")
     print(f"store is INCONSISTENT ({', '.join(problems)})")
     return 1
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    from repro.obs.tail import tail_trace_log
+
+    return tail_trace_log(
+        args.file, sys.stdout, follow=args.follow, trace_id=args.trace_id
+    )
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -759,6 +836,48 @@ def build_parser() -> argparse.ArgumentParser:
             "anytime-valid but machine-dependent; ignored by greedy)",
         )
 
+    def add_obs_args(
+        p: argparse.ArgumentParser, profile: bool = False
+    ) -> None:
+        p.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warning", "error"),
+            default=None,
+            help="stderr log verbosity for the repro logger tree "
+            "(default: warning)",
+        )
+        p.add_argument(
+            "--log-json",
+            action="store_true",
+            help="emit log records as JSON lines instead of plain text",
+        )
+        p.add_argument(
+            "--trace-log",
+            default=None,
+            metavar="FILE",
+            help="append JSON-lines span events to FILE; safe to share "
+            "one file across every process of a fleet (atomic "
+            "appends), correlated by the client-minted trace_id; "
+            "inherited by spawned workers via REPRO_TRACE_LOG",
+        )
+        p.add_argument(
+            "--slow-ms",
+            type=_positive_float,
+            default=None,
+            metavar="T",
+            help="spans slower than T milliseconds additionally emit a "
+            "slow_request dump into the trace log",
+        )
+        if profile:
+            p.add_argument(
+                "--profile",
+                default=None,
+                metavar="DIR",
+                help="wrap each cell evaluation in cProfile and write "
+                "DIR/<key>.pstats, one artifact per unique cell "
+                "(inherited by spawned workers via REPRO_PROFILE_DIR)",
+            )
+
     def add_cache_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--cache",
@@ -801,6 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_platform_args(run)
     add_assigner_args(run)
     add_cache_arg(run)
+    add_obs_args(run, profile=True)
     run.set_defaults(func=_cmd_run)
 
     search = sub.add_parser(
@@ -825,6 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sequential; winner and attribution are byte-identical "
         "regardless)",
     )
+    add_obs_args(search)
     search.set_defaults(func=_cmd_search)
 
     fig2 = sub.add_parser("fig2", help="Figure 2 (performance) for the suite")
@@ -864,6 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_assigner_args(sweep)
     add_cache_arg(sweep)
+    add_obs_args(sweep, profile=True)
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz_cmd = sub.add_parser(
@@ -910,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_assigner_args(fuzz_cmd, default="portfolio")
     add_cache_arg(fuzz_cmd)
+    add_obs_args(fuzz_cmd)
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     serve_cmd = sub.add_parser(
@@ -955,6 +1078,7 @@ def build_parser() -> argparse.ArgumentParser:
         "order so slow requests never block fast ones) or the "
         "thread-per-connection serialized reference (threads)",
     )
+    add_obs_args(serve_cmd, profile=True)
     serve_cmd.set_defaults(func=_cmd_serve)
 
     call = sub.add_parser(
@@ -997,6 +1121,7 @@ def build_parser() -> argparse.ArgumentParser:
         "refuses the connection while still starting up "
         "(default: 0, fail fast)",
     )
+    add_obs_args(call)
     call.set_defaults(func=_cmd_call)
 
     cache = sub.add_parser(
@@ -1010,6 +1135,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="occupancy, segment layout and damage counters"
     )
     cache_stats.add_argument("dir", metavar="DIR", help="cache directory")
+    cache_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the full stats report as JSON (stable key order)",
+    )
     cache_stats.set_defaults(func=_cmd_cache_stats)
 
     cache_compact = cache_sub.add_parser(
@@ -1049,7 +1178,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--deep", action="store_true",
         help="also rebuild every stored exploration result",
     )
+    cache_verify.add_argument(
+        "--json", action="store_true",
+        help="emit the full verification report as JSON (stable key "
+        "order); exit code still reflects consistency",
+    )
     cache_verify.set_defaults(func=_cmd_cache_verify)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability helpers (tail a trace log)",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_tail = obs_sub.add_parser(
+        "tail",
+        help="pretty-print a --trace-log file (optionally follow it)",
+    )
+    obs_tail.add_argument("file", metavar="FILE", help="trace log path")
+    obs_tail.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for appended events (tail -f style)",
+    )
+    obs_tail.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="only show events of one trace id",
+    )
+    obs_tail.set_defaults(func=_cmd_obs_tail)
 
     simulate_cmd = sub.add_parser(
         "simulate", help="validate estimator against the simulator"
@@ -1081,6 +1235,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _configure_obs(args)
         return args.func(args)
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,55 @@
+"""Fleet-wide observability: metrics registry, trace events, profiling.
+
+Three layers, all zero-dependency:
+
+* :mod:`repro.obs.metrics` — typed instruments (counter/gauge/
+  histogram) in per-component registries, merge-rendered as
+  Prometheus text by the ``metrics`` RPC / ``repro call metrics``;
+* :mod:`repro.obs.trace` — JSON-lines span events with a client-minted
+  ``trace_id`` propagated through RPC params and claim records, shared
+  across the fleet through one ``--trace-log`` file; slow-request
+  dumps past a configurable threshold;
+* :mod:`repro.obs.profile` — opt-in ``cProfile`` around cell
+  evaluation, one ``.pstats`` artifact per content key.
+
+Telemetry never touches cache keys, stored payloads, or deterministic
+replay: instrumented paths stay byte-identical on results.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    render_registries,
+)
+from repro.obs.profile import configure_profile_dir, maybe_profile, profile_dir
+from repro.obs.trace import (
+    configure,
+    emit,
+    enabled,
+    events_dropped,
+    mint_trace_id,
+    span,
+)
+from repro.obs.logs import setup_logging
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "configure",
+    "configure_profile_dir",
+    "emit",
+    "enabled",
+    "events_dropped",
+    "global_registry",
+    "maybe_profile",
+    "mint_trace_id",
+    "profile_dir",
+    "render_registries",
+    "setup_logging",
+    "span",
+]

@@ -1,0 +1,59 @@
+"""Uniform stderr logging setup for the CLI (plain or JSON lines).
+
+``--log-level/--log-json`` on every heavy CLI command route through
+:func:`setup_logging`: one stderr handler on the ``repro`` logger
+namespace, either human one-liners or machine-parseable JSON objects
+(``ts``/``level``/``logger``/``msg``).  Library code just uses
+``logging.getLogger("repro.<area>")`` and stays silent until a CLI
+(or embedding application) opts in.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["setup_logging"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+def setup_logging(level: str = "warning", json_lines: bool = False) -> None:
+    """Configure the ``repro`` logger tree (idempotent per process).
+
+    Replaces any handler a previous call installed, so tests and
+    long-lived embedders can reconfigure freely.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(_LEVELS.get(level.lower(), logging.WARNING))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    if json_lines:
+        handler.setFormatter(_JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    logger.propagate = False

@@ -1,0 +1,325 @@
+"""Zero-dependency typed metrics instruments and their registry.
+
+Every component that used to keep hand-rolled ``_foo += 1`` counters
+(the service queue, the result store, the worker pool, both socket
+servers) now owns a :class:`MetricsRegistry` of typed instruments:
+
+* :class:`Counter` — monotonic, ``inc()`` only;
+* :class:`Gauge` — settable/up-down, or backed by a callback so the
+  exposition always reads the live value (queue depth, worker count);
+* :class:`Histogram` — fixed upper-bound buckets (latency style),
+  cumulative counts plus sum/count, Prometheus semantics.
+
+Registries are **per component instance**, not process-global: tests
+build dozens of services and stores per process, and a single global
+namespace would collide.  The ``metrics`` RPC merges the registries of
+one serving stack (service + store + pool + server + the process-wide
+search registry) at exposition time via :func:`render_registries`.
+
+Rendering is the Prometheus text format, hand-rolled (the repo takes
+no third-party deps): ``# TYPE`` headers, families sorted by name,
+label sets sorted within a family — byte-stable output for a given set
+of instrument values, so goldens and dashboards can rely on field
+names never reordering.
+
+Lock discipline: instruments take one tiny lock per operation
+(``inc``/``observe``); no instrument lock is ever held while calling
+user code, and registry creation/getter calls lock only the name
+table.  Hot paths pay one uncontended lock acquire per increment.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "render_registries",
+]
+
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Upper bounds (seconds) for latency histograms — request-scale."""
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats render as integers."""
+    if value == float("inf"):
+        return "+Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_labels(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonic counter (``_total`` naming convention)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        return [(self.name, "", float(self.value))]
+
+    kind = "counter"
+
+
+class Gauge:
+    """Settable/up-down instrument, optionally callback-backed.
+
+    A callback gauge (``set_fn``) reads its value at exposition time —
+    the idiom for occupancy-style values that already live behind the
+    owning component's lock (queue depth, active connections).
+    """
+
+    __slots__ = ("name", "help", "_lock", "_value", "_fn")
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._fn = None
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Back this gauge with *fn*, read at every exposition."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        # never call user code under the instrument lock
+        try:
+            return float(fn())
+        except Exception:
+            return 0.0
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        return [(self.name, "", float(self.value))]
+
+    kind = "gauge"
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``observe(v)`` increments every bucket whose upper bound admits
+    *v*; rendering emits ``_bucket{le=...}`` lines (cumulative,
+    ``+Inf`` last), ``_sum`` and ``_count``.
+    """
+
+    __slots__ = ("name", "help", "_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ):
+        self.name = name
+        self.help = help_text
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            cumulative: list[int] = []
+            running = 0
+            for count in self._counts:
+                running += count
+                cumulative.append(running)
+            return cumulative, self._sum, self._count
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        cumulative, total, count = self.snapshot()
+        rows: list[tuple[str, str, float]] = []
+        for bound, cum in zip(self._bounds, cumulative):
+            rows.append(
+                (f"{self.name}_bucket",
+                 _format_labels({"le": _format_value(bound)}),
+                 float(cum))
+            )
+        rows.append(
+            (f"{self.name}_bucket", _format_labels({"le": "+Inf"}),
+             float(cumulative[-1]))
+        )
+        rows.append((f"{self.name}_sum", "", total))
+        rows.append((f"{self.name}_count", "", float(count)))
+        return rows
+
+    kind = "histogram"
+
+
+_Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A named table of instruments with idempotent typed getters.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when the name is already registered (so independent call sites can
+    share one) and raise when the name is bound to a different
+    instrument type — a registration bug worth failing loudly on.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, factory) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.__name__.lower()}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(
+            Counter, name, lambda: Counter(name, help_text)
+        )
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, lambda: Gauge(name, help_text))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, lambda: Histogram(name, help_text, buckets)
+        )
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def render(self) -> str:
+        """This registry alone, Prometheus text format."""
+        return render_registries([self])
+
+
+def render_registries(registries: Iterable[MetricsRegistry]) -> str:
+    """Merge-render several registries as one Prometheus text page.
+
+    Families are sorted by name; a name registered in several
+    registries keeps the first registration's help/type and emits each
+    registry's samples (label-distinct or summed is the caller's
+    concern — the serving stack's registries use disjoint names).
+    Output is byte-stable for fixed instrument values.
+    """
+    by_name: dict[str, list[_Instrument]] = {}
+    for registry in registries:
+        for instrument in registry.instruments():
+            by_name.setdefault(instrument.name, []).append(instrument)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        family = by_name[name]
+        head = family[0]
+        if head.help:
+            lines.append(f"# HELP {name} {head.help}")
+        lines.append(f"# TYPE {name} {head.kind}")
+        if head.kind != "histogram" and len(family) > 1:
+            # same scalar name in several registries: sum them
+            total = sum(inst.value for inst in family)
+            lines.append(f"{name} {_format_value(total)}")
+        else:
+            for sample_name, labels, value in head.samples():
+                lines.append(f"{sample_name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_global_registry = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """Process-wide registry for code without a component instance.
+
+    The search engine's instruments live here (engines are created per
+    run deep inside workers/strategies, with no serving-stack handle to
+    hang a registry on); the ``metrics`` RPC includes it.
+    """
+    return _global_registry

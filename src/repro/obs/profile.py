@@ -1,0 +1,64 @@
+"""Opt-in ``cProfile`` wrapping of cell evaluation.
+
+``repro run/sweep/serve --profile DIR`` exports ``REPRO_PROFILE_DIR``;
+the sweep worker bodies (both the serial guarded path and the
+spawn-pool warm path) wrap each cell's evaluation in
+:func:`maybe_profile` keyed by the cell's content key, writing
+``DIR/<key>.pstats`` — one artifact per unique cell, loadable with
+``python -m pstats`` or ``snakeviz``.  The environment variable is the
+transport deliberately: spawn workers re-import this module in a fresh
+interpreter and pick the setting up with zero plumbing.
+
+Disabled (no env var) the wrapper is a no-op context manager; the
+profiler never touches results, only observes the evaluation.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["ENV_PROFILE_DIR", "configure_profile_dir", "maybe_profile",
+           "profile_dir"]
+
+ENV_PROFILE_DIR = "REPRO_PROFILE_DIR"
+
+
+def configure_profile_dir(directory: str | os.PathLike | None) -> None:
+    """Set (or clear) the profile artifact directory for this process
+    and its spawned children."""
+    if directory is None:
+        os.environ.pop(ENV_PROFILE_DIR, None)
+        return
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    os.environ[ENV_PROFILE_DIR] = str(path)
+
+
+def profile_dir() -> Path | None:
+    """The active artifact directory, or ``None`` when profiling is off."""
+    value = os.environ.get(ENV_PROFILE_DIR)
+    return Path(value) if value else None
+
+
+@contextmanager
+def maybe_profile(key: str):
+    """Profile the block into ``<profile_dir>/<key>.pstats`` (no-op
+    when profiling is disabled; artifact failures never propagate)."""
+    directory = profile_dir()
+    if directory is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(directory / f"{key}.pstats"))
+        except OSError:
+            pass

@@ -1,0 +1,120 @@
+"""Pretty-printer/follower for trace logs (``repro obs tail``).
+
+The trace file is machine-first JSON lines; this module renders it
+human-first: one aligned line per event with wall-clock time, pid,
+the short trace id, the event name, duration, and the interesting
+fields — optionally filtered to one trace id and optionally following
+the file as the fleet appends to it (``tail -f`` style).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from datetime import datetime
+from pathlib import Path
+from typing import Iterator, TextIO
+
+__all__ = ["follow_lines", "format_event", "tail_trace_log"]
+
+_SKIP_FIELDS = {"ts", "event", "pid", "trace_id", "dur_ms"}
+
+
+def format_event(record: dict) -> str:
+    """One aligned human line for one parsed event record."""
+    ts = record.get("ts")
+    when = (
+        datetime.fromtimestamp(ts).strftime("%H:%M:%S.%f")[:-3]
+        if isinstance(ts, (int, float))
+        else "--:--:--.---"
+    )
+    pid = record.get("pid", "-")
+    trace = record.get("trace_id", "-")
+    event = record.get("event", "?")
+    parts = [f"{when} pid={pid:<7} trace={trace:<16} {event:<18}"]
+    dur = record.get("dur_ms")
+    if dur is not None:
+        parts.append(f"{dur:>9.3f}ms")
+    extras = [
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in _SKIP_FIELDS
+    ]
+    if extras:
+        parts.append(" ".join(extras))
+    return " ".join(parts)
+
+
+def follow_lines(
+    handle: TextIO, follow: bool, poll_s: float = 0.2
+) -> Iterator[str]:
+    """Lines from *handle*; with *follow*, keep polling for appends."""
+    while True:
+        line = handle.readline()
+        if line:
+            yield line
+            continue
+        if not follow:
+            return
+        time.sleep(poll_s)
+
+
+def _silence_broken_pipe(out: TextIO) -> None:
+    """Point *out* at /dev/null after its reader went away.
+
+    Once the pipe is broken every later write — including the
+    interpreter's exit-time flush of ``sys.stdout`` — would raise
+    again; redirecting the fd makes teardown silent.  Streams without
+    a real fd (tests pass ``StringIO``) are left alone.
+    """
+    try:
+        fd = out.fileno()
+    except (OSError, ValueError, AttributeError, io.UnsupportedOperation):
+        return
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, fd)
+        os.close(devnull)
+    except OSError:  # pragma: no cover - devnull unavailable
+        pass
+
+
+def tail_trace_log(
+    path: str | Path,
+    out: TextIO,
+    follow: bool = False,
+    trace_id: str | None = None,
+) -> int:
+    """Render *path* to *out*; returns a process exit code.
+
+    Unparseable lines are surfaced raw (prefixed ``?``) rather than
+    hidden — a corrupt trace line is itself a finding.  A reader that
+    stops listening (``head``, a pager quit mid-stream, Ctrl-C out of
+    ``--follow``) ends the tail cleanly, not with a traceback.
+    """
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as error:
+        print(f"error: cannot open trace log: {error}", file=out)
+        return 1
+    with handle:
+        try:
+            for line in follow_lines(handle, follow):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    print(f"? {line}", file=out)
+                    continue
+                if trace_id and record.get("trace_id") != trace_id:
+                    continue
+                print(format_event(record), file=out)
+        except KeyboardInterrupt:
+            pass
+        except BrokenPipeError:
+            _silence_broken_pipe(out)
+    return 0

@@ -1,0 +1,259 @@
+"""Structured JSON-lines trace events with fleet-wide correlation.
+
+One exploration request touches many processes: the client, the
+server that admitted it, possibly a *sibling* server that won the
+claim for the same key, and spawn-pool workers.  Every one of them
+appends span events to the same ``--trace-log`` file, tagged with a
+``trace_id`` minted at the client and propagated through JSON-RPC
+params and claim records — so ``repro obs tail --trace ID`` replays
+one exploration's whole fleet history in order.
+
+Mechanics:
+
+* **one line per event, one ``os.write`` per line**, on a raw
+  ``O_APPEND`` file descriptor — POSIX append semantics make
+  concurrent writes from many processes land whole (events are far
+  below the atomic-write threshold), so the shared file needs no
+  cross-process lock, and the single unbuffered syscall keeps the
+  enabled cost per event in single-digit microseconds;
+* **durations are monotonic-clock** (``time.monotonic``), never
+  wall-clock; the ``ts`` field is wall-clock for display only and is
+  never fed into anything cache-keyed;
+* **disabled is near-free**: :func:`emit` checks one module global
+  and returns; spans skip the clock reads too;
+* **config propagates to children through the environment**
+  (``REPRO_TRACE_LOG``, ``REPRO_SLOW_MS``): spawn-pool workers and
+  ``repro serve`` subprocesses pick the settings up on first emit
+  without any explicit plumbing;
+* a failed write **drops the event and counts it**
+  (``repro_obs_events_dropped_total`` in the global registry) —
+  telemetry must never take down the serving path.
+
+Slow-path hook: a span whose duration crosses the configured
+threshold (``--slow-ms`` / ``REPRO_SLOW_MS``) additionally emits a
+``slow_request`` event carrying the span's full detail — the
+"why was this submit slow" breadcrumb.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import global_registry
+
+__all__ = [
+    "configure",
+    "configured_trace_log",
+    "emit",
+    "enabled",
+    "events_dropped",
+    "mint_trace_id",
+    "slow_threshold_s",
+    "span",
+]
+
+ENV_TRACE_LOG = "REPRO_TRACE_LOG"
+ENV_SLOW_MS = "REPRO_SLOW_MS"
+
+_lock = threading.Lock()
+_path: str | None = None
+_fd: int | None = None
+_slow_threshold_s: float | None = None
+_loaded_env = False
+
+_dropped = global_registry().counter(
+    "repro_obs_events_dropped_total",
+    "Trace events lost to write failures (must stay 0).",
+)
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-digit correlation id (client-side)."""
+    return os.urandom(8).hex()
+
+
+def events_dropped() -> int:
+    """Events lost to write failures since process start."""
+    return _dropped.value
+
+
+def _load_env_locked() -> None:
+    global _loaded_env, _path, _slow_threshold_s
+    if _loaded_env:
+        return
+    _loaded_env = True
+    env_path = os.environ.get(ENV_TRACE_LOG)
+    if env_path and _path is None:
+        _path = env_path
+    env_slow = os.environ.get(ENV_SLOW_MS)
+    if env_slow and _slow_threshold_s is None:
+        try:
+            _slow_threshold_s = float(env_slow) / 1000.0
+        except ValueError:
+            pass
+
+
+def configure(
+    trace_log: str | os.PathLike | None = None,
+    slow_ms: float | None = None,
+    propagate_env: bool = True,
+) -> None:
+    """Set (or clear, with ``trace_log=None``) this process's tracing.
+
+    With *propagate_env* the settings are also exported so spawned
+    children (pool workers, ``repro serve`` subprocesses under test)
+    inherit them.
+    """
+    global _path, _fd, _slow_threshold_s, _loaded_env
+    with _lock:
+        _loaded_env = True  # explicit configuration beats the env
+        if _fd is not None:
+            try:
+                os.close(_fd)
+            except OSError:
+                pass
+            _fd = None
+        _path = os.fspath(trace_log) if trace_log is not None else None
+        _slow_threshold_s = (
+            float(slow_ms) / 1000.0 if slow_ms is not None else None
+        )
+    if propagate_env:
+        if trace_log is not None:
+            os.environ[ENV_TRACE_LOG] = os.fspath(trace_log)
+        else:
+            os.environ.pop(ENV_TRACE_LOG, None)
+        if slow_ms is not None:
+            os.environ[ENV_SLOW_MS] = repr(float(slow_ms))
+        else:
+            os.environ.pop(ENV_SLOW_MS, None)
+
+
+def enabled() -> bool:
+    """Whether events currently go anywhere (cheap pre-check)."""
+    with _lock:
+        _load_env_locked()
+        return _path is not None
+
+
+def configured_trace_log() -> str | None:
+    """The active trace-log path (``None`` when tracing is off)."""
+    with _lock:
+        _load_env_locked()
+        return _path
+
+
+def slow_threshold_s() -> float | None:
+    """The slow-request threshold in seconds (``None`` = disabled)."""
+    with _lock:
+        _load_env_locked()
+        return _slow_threshold_s
+
+
+def _writer_locked() -> int | None:
+    """The open ``O_APPEND`` fd, or None (must hold ``_lock``)."""
+    global _fd, _path
+    _load_env_locked()
+    if _path is None:
+        return None
+    if _fd is None:
+        try:
+            _fd = os.open(
+                _path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+        except OSError:
+            _dropped.inc()
+            _path = None  # do not retry every event
+            return None
+    return _fd
+
+
+def _json_value(value) -> str:
+    """One JSON scalar, fast-pathed for the common event field types.
+
+    ``json.dumps`` with custom separators builds a fresh encoder per
+    call — several microseconds per event, which at nine events per
+    warm request is the difference between "free" and "measurable".
+    Plain strings/ints/floats format directly; anything exotic falls
+    back to the real encoder.
+    """
+    kind = type(value)
+    if kind is str:
+        if '"' in value or "\\" in value or not value.isprintable():
+            return json.dumps(value)
+        return f'"{value}"'
+    if kind is bool:
+        return "true" if value else "false"
+    if kind is int:
+        return repr(value)
+    if kind is float and math.isfinite(value):
+        return repr(value)
+    return json.dumps(value, separators=(",", ":"))
+
+
+def emit(event: str, trace_id: str | None = None, **fields) -> None:
+    """Append one event line (no-op unless tracing is configured).
+
+    ``ts`` (wall-clock, display only) and ``pid`` are stamped here;
+    ``dur_ms`` and any caller fields ride along.  One unbuffered
+    ``os.write`` per line keeps concurrent appends from different
+    processes whole and the per-event cost at one syscall.
+    """
+    with _lock:
+        fd = _writer_locked()
+        if fd is None:
+            return
+        parts = [
+            f'"ts":{time.time():.6f}',
+            f'"event":{_json_value(event)}',
+            f'"pid":{os.getpid()}',
+        ]
+        if trace_id is not None:
+            parts.append(f'"trace_id":{_json_value(trace_id)}')
+        for key, value in fields.items():
+            if value is not None:
+                parts.append(f'"{key}":{_json_value(value)}')
+        try:
+            os.write(fd, ("{%s}\n" % ",".join(parts)).encode("utf-8"))
+        except (OSError, ValueError, TypeError):
+            _dropped.inc()
+
+
+@contextmanager
+def span(event: str, trace_id: str | None = None, **fields):
+    """Time a block and emit one event with its monotonic duration.
+
+    Exceptions propagate (the event still fires, with ``ok=false``).
+    Crossing the slow threshold additionally emits a ``slow_request``
+    dump carrying the span's full detail.
+    """
+    if not enabled():
+        yield
+        return
+    start = time.monotonic()
+    ok = True
+    try:
+        yield
+    except BaseException:
+        ok = False
+        raise
+    finally:
+        duration = time.monotonic() - start
+        dur_ms = round(duration * 1000.0, 3)
+        emit(event, trace_id=trace_id, dur_ms=dur_ms,
+             ok=None if ok else False, **fields)
+        threshold = slow_threshold_s()
+        if threshold is not None and duration >= threshold:
+            emit(
+                "slow_request",
+                trace_id=trace_id,
+                span=event,
+                dur_ms=dur_ms,
+                threshold_ms=round(threshold * 1000.0, 3),
+                ok=None if ok else False,
+                **fields,
+            )

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.assignment import (
     GreedyAssigner,
@@ -38,12 +39,26 @@ from repro.core.context import AnalysisContext, Assignment
 from repro.core.exhaustive import ExhaustiveAssigner
 from repro.core.incremental import IncrementalEvaluator
 from repro.errors import AssignmentError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import global_registry
 from repro.search.state import SearchState
 
 __all__ = ["ExactSearch", "Incumbent", "SearchBudget", "SearchEngine"]
 
 MAX_TRACE_STEPS = 24
 """Improvement events recorded on a metaheuristic trace (then elided)."""
+
+_SEARCH_RUNS = global_registry().counter(
+    "repro_search_runs_total", "Search-engine runs (any strategy)."
+)
+_SEARCH_IMPROVEMENTS = global_registry().counter(
+    "repro_search_improvements_total",
+    "Incumbent improvements across all engine runs.",
+)
+_SEARCH_NODES = global_registry().counter(
+    "repro_search_nodes_total",
+    "Scored moves charged against engine budgets.",
+)
 
 EXACT_NODE_FACTOR = 100
 """Branch-and-bound nodes granted per unit of move budget.
@@ -132,11 +147,20 @@ class SearchBudget:
 
 @dataclass
 class Incumbent:
-    """Best-so-far assignment (anytime result)."""
+    """Best-so-far assignment (anytime result).
+
+    *on_improve*, when set, fires on every adoption with the new best
+    value — the engine wires it to a trace event carrying the nodes
+    spent so far, which strung together is the anytime curve
+    (best-value-vs-nodes) of the run.
+    """
 
     assignment: Assignment
     value: float
     improvements: int = 0
+    on_improve: Callable[[float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def offer(self, assignment: Assignment, value: float) -> bool:
         """Adopt a strictly better assignment; True when it improved."""
@@ -144,6 +168,8 @@ class Incumbent:
             self.assignment = assignment
             self.value = value
             self.improvements += 1
+            if self.on_improve is not None:
+                self.on_improve(value)
             return True
         return False
 
@@ -210,6 +236,22 @@ class SearchEngine:
             assignment=greedy_assignment,
         )
         incumbent = Incumbent(assignment=greedy_assignment, value=state.value)
+        if obs_trace.enabled():
+            # anytime curve: one event per adoption, x = nodes spent
+            strategy, budget = self.name, self.budget
+            incumbent.on_improve = lambda value: obs_trace.emit(
+                "search.improve",
+                strategy=strategy,
+                value=value,
+                nodes=budget.used,
+            )
+            obs_trace.emit(
+                "search.start",
+                strategy=self.name,
+                initial=state.value,
+                budget=self.budget.nodes,
+                seed=self.seed,
+            )
         rng = random.Random(self.seed)
         steps: list[str] = list(greedy_trace.steps)
         events = self._explore(state, incumbent, rng)
@@ -234,6 +276,16 @@ class SearchEngine:
             final_value=incumbent.value,
             stats=stats,
             strategy=self.name,
+        )
+        _SEARCH_RUNS.inc()
+        _SEARCH_IMPROVEMENTS.inc(incumbent.improvements)
+        _SEARCH_NODES.inc(self.budget.used)
+        obs_trace.emit(
+            "search.done",
+            strategy=self.name,
+            final=incumbent.value,
+            improvements=incumbent.improvements,
+            nodes=self.budget.used,
         )
         return incumbent.assignment, trace
 

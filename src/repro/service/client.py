@@ -31,6 +31,7 @@ import socket
 import time
 
 from repro.errors import ServiceError
+from repro.obs.trace import mint_trace_id
 
 __all__ = [
     "DEFAULT_READ_TIMEOUT_S",
@@ -95,6 +96,12 @@ class ServiceClient:
     preserves the raw fail-fast behaviour; drain rejections
     (``-32002``) are never retried — a draining server will not come
     back.
+
+    Every client mints (or accepts) a *trace_id* and stamps it into
+    the params of every request it sends.  The server strips it before
+    validation and threads it through span events and claim records,
+    so one exploration is followable across the whole fleet from the
+    id printed by ``repro call --trace-log``.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class ServiceClient:
         timeout: float | None = 60.0,
         retry_busy: int = 0,
         read_timeout: float | None = DEFAULT_READ_TIMEOUT_S,
+        trace_id: str | None = None,
     ):
         if retry_busy < 0:
             raise ServiceError("retry_busy must be >= 0")
@@ -110,6 +118,7 @@ class ServiceClient:
         self.timeout = timeout
         self.read_timeout = read_timeout
         self.retry_busy = retry_busy
+        self.trace_id = trace_id if trace_id is not None else mint_trace_id()
         self._sock: socket.socket | None = None
         self._reader = None
         self._next_id = 0
@@ -215,8 +224,11 @@ class ServiceClient:
         self.connect()
         self._next_id += 1
         request = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
-        if params is not None:
-            request["params"] = params
+        # copy before stamping the trace id: the caller's dict stays
+        # untouched, and an explicit caller-provided trace_id wins
+        send_params = dict(params) if params is not None else {}
+        send_params.setdefault("trace_id", self.trace_id)
+        request["params"] = send_params
         self._send_raw(json.dumps(request, separators=(",", ":")))
         return self._next_id
 

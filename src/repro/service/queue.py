@@ -45,12 +45,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.analysis.sweep import ParallelSweepRunner, SweepCell, SweepCellResult
 from repro.core.mhla import MhlaResult
 from repro.errors import ServiceError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.service.keys import cell_key
 from repro.service.store import (
     CLAIM_DONE,
@@ -78,49 +79,87 @@ _POLL_MAX_S = 0.25
 class _Job:
     """One in-flight evaluation (shared by all duplicate submissions)."""
 
-    __slots__ = ("key", "cell", "status", "error", "event", "finished_at")
+    __slots__ = (
+        "key", "cell", "status", "error", "event", "finished_at", "trace_id",
+    )
 
-    def __init__(self, key: str, cell: SweepCell):
+    def __init__(self, key: str, cell: SweepCell, trace_id: str | None = None):
         self.key = key
         self.cell = cell
         self.status = PENDING
         self.error: str | None = None
         self.event = threading.Event()
         self.finished_at: float | None = None
+        self.trace_id = trace_id
 
 
-@dataclass
+#: (field, help) for every service lifetime counter, in exposition order.
+_STAT_FIELDS: tuple[tuple[str, str], ...] = (
+    ("submitted", "Cells submitted to this service."),
+    ("cache_hits", "Submissions served straight from the result store."),
+    ("deduplicated", "Submissions merged into an already in-flight job."),
+    ("evaluated", "Cells this server ran through the sweep runner."),
+    ("failed", "Jobs that finished with an error (incl. aborted batches)."),
+    ("aborted", "Jobs failed by a batch-level abort, never individually run."),
+    ("jobs_expired", "Finished job stubs dropped from the bounded ring."),
+    ("claims_won", "Keys whose fleet lease this server won and evaluated."),
+    ("claims_yielded", "Keys leased to a sibling server when we flushed."),
+    ("claims_reclaimed", "Lapsed sibling leases this server took over."),
+    ("resolved_remote", "Jobs resolved by a sibling server's result."),
+)
+
+
 class ServiceStats:
-    """Counters over one service lifetime (monotonic, cumulative)."""
+    """Counters over one service lifetime (monotonic, cumulative).
 
-    submitted: int = 0
-    cache_hits: int = 0
-    deduplicated: int = 0
-    evaluated: int = 0
-    failed: int = 0
-    jobs_expired: int = 0
-    claims_won: int = 0
-    claims_yielded: int = 0
-    claims_reclaimed: int = 0
+    Backed by typed :class:`~repro.obs.metrics.Counter` instruments in
+    the service's metrics registry; reads stay plain attribute access
+    (``stats.submitted`` is an ``int``) so callers and tests never see
+    the instruments.  **Exactly-once accounting invariant** — every
+    submission lands in precisely one of these classes::
+
+        submitted == cache_hits + deduplicated + evaluated + aborted
+                     + resolved_remote + in-flight jobs
+
+    (``failed`` is not in the partition: it overlaps ``evaluated`` for
+    cells whose run returned an error, and covers ``aborted`` for jobs
+    a batch-level crash failed without running.)
+    """
+
+    _COUNTER_HELP = dict(_STAT_FIELDS)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        self._counters = {
+            field: registry.counter(f"repro_service_{field}_total", help_text)
+            for field, help_text in _STAT_FIELDS
+        }
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        self._counters[field].inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(name)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of submissions served from the store."""
-        return self.cache_hits / self.submitted if self.submitted else 0.0
+        submitted = self.submitted
+        return self.cache_hits / submitted if submitted else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "submitted": self.submitted,
-            "cache_hits": self.cache_hits,
-            "deduplicated": self.deduplicated,
-            "evaluated": self.evaluated,
-            "failed": self.failed,
-            "jobs_expired": self.jobs_expired,
-            "claims_won": self.claims_won,
-            "claims_yielded": self.claims_yielded,
-            "claims_reclaimed": self.claims_reclaimed,
-            "hit_rate": self.hit_rate,
-        }
+        snapshot = {field: self._counters[field].value
+                    for field, _ in _STAT_FIELDS}
+        snapshot["hit_rate"] = (
+            snapshot["cache_hits"] / snapshot["submitted"]
+            if snapshot["submitted"]
+            else 0.0
+        )
+        return snapshot
 
 
 class ExplorationService:
@@ -156,7 +195,22 @@ class ExplorationService:
             raise ServiceError("completed_jobs_limit must be >= 0")
         self.store = store if store is not None else ResultStore()
         self.runner = runner if runner is not None else ParallelSweepRunner(jobs=jobs)
-        self.stats = ServiceStats()
+        self.metrics = MetricsRegistry()
+        self.stats = ServiceStats(self.metrics)
+        self.flush_seconds = self.metrics.histogram(
+            "repro_service_flush_seconds",
+            "Wall time of one flush batch (claim + evaluate + await).",
+        )
+        self.metrics.gauge(
+            "repro_service_pending", "Jobs queued for the next flush."
+        ).set_fn(lambda: len(self._pending))
+        self.metrics.gauge(
+            "repro_service_in_flight", "Jobs submitted but not finished."
+        ).set_fn(lambda: len(self._jobs))
+        self.metrics.gauge(
+            "repro_service_completed_retained",
+            "Finished job stubs in the bounded ring.",
+        ).set_fn(lambda: len(self._completed))
         self.completed_jobs_limit = completed_jobs_limit
         self.completed_job_ttl = completed_job_ttl
         self._lock = threading.Lock()
@@ -180,7 +234,7 @@ class ExplorationService:
         self._completed[job.key] = job
         while len(self._completed) > self.completed_jobs_limit:
             self._completed.popitem(last=False)
-            self.stats.jobs_expired += 1
+            self.stats.inc("jobs_expired")
 
     def _prune_completed(self) -> None:
         if self.completed_job_ttl is None or not self._completed:
@@ -191,7 +245,7 @@ class ExplorationService:
             if oldest.finished_at is None or oldest.finished_at > horizon:
                 break
             self._completed.popitem(last=False)
-            self.stats.jobs_expired += 1
+            self.stats.inc("jobs_expired")
 
     def _lookup_finished(self, key: str) -> _Job | None:
         self._prune_completed()
@@ -201,7 +255,12 @@ class ExplorationService:
     # client API: submit / poll / result
     # ------------------------------------------------------------------
 
-    def submit(self, cell: SweepCell, key: str | None = None) -> str:
+    def submit(
+        self,
+        cell: SweepCell,
+        key: str | None = None,
+        trace_id: str | None = None,
+    ) -> str:
         """Enqueue one cell; returns its content key (the job ticket).
 
         Cache hits and duplicates of in-flight jobs return immediately
@@ -211,20 +270,26 @@ class ExplorationService:
         evaluation failed (or aged out of the completed ring) is
         simply re-queued: a transient worker failure must not poison
         the key for the service's lifetime.
+
+        *trace_id* (optional, client-minted) tags the job's span
+        events; it never participates in the key.
         """
         if key is None:
             key = cell_key(cell)
         with self._lock:
-            self.stats.submitted += 1
+            self.stats.inc("submitted")
             if key in self.store:
-                self.stats.cache_hits += 1
-                return key
-            if key in self._jobs:
-                self.stats.deduplicated += 1
-                return key
-            self._prune_completed()
-            self._jobs[key] = _Job(key, cell)
-            self._pending.append(key)
+                self.stats.inc("cache_hits")
+                outcome = "cache_hit"
+            elif key in self._jobs:
+                self.stats.inc("deduplicated")
+                outcome = "dedup"
+            else:
+                self._prune_completed()
+                self._jobs[key] = _Job(key, cell, trace_id=trace_id)
+                self._pending.append(key)
+                outcome = "queued"
+        obs_trace.emit("submit", trace_id=trace_id, key=key, outcome=outcome)
         return key
 
     def poll(self, key: str) -> str:
@@ -334,6 +399,7 @@ class ExplorationService:
         key itself, so every job resolves: exactly-once fleet-wide in
         the steady state, at-least-once under crashes, never zero.
         """
+        flush_start = time.monotonic()
         with self._lock:
             batch = [
                 self._jobs[key]
@@ -345,25 +411,41 @@ class ExplorationService:
                 job.status = RUNNING
         if not batch:
             return 0
+        obs_trace.emit("dispatch", batch=len(batch))
         local: list[_Job] = []
         waiting: list[_Job] = []
         claims: dict[str, str] = {}
         for job in batch:
-            status, claim_id = self.store.try_claim(job.key)
+            status, claim_id = self.store.try_claim(
+                job.key, trace_id=job.trace_id
+            )
             if status == CLAIM_DONE:
                 # a sibling finished it between submit and now
                 with self._lock:
+                    self.stats.inc("resolved_remote")
                     self._finish(job, DONE)
                 job.event.set()
+                obs_trace.emit(
+                    "claim.done", trace_id=job.trace_id, key=job.key
+                )
             elif status == CLAIM_WON:
                 claims[job.key] = claim_id
                 local.append(job)
                 with self._lock:
-                    self.stats.claims_won += 1
+                    self.stats.inc("claims_won")
+                obs_trace.emit(
+                    "claim.won",
+                    trace_id=job.trace_id,
+                    key=job.key,
+                    claim_id=claim_id,
+                )
             else:
                 waiting.append(job)
                 with self._lock:
-                    self.stats.claims_yielded += 1
+                    self.stats.inc("claims_yielded")
+                obs_trace.emit(
+                    "claim.yielded", trace_id=job.trace_id, key=job.key
+                )
         try:
             if local:
                 self._evaluate(local, claims)
@@ -372,6 +454,7 @@ class ExplorationService:
             # must still resolve — their waiters are blocked on us
             if waiting:
                 self._await_siblings(waiting)
+            self.flush_seconds.observe(time.monotonic() - flush_start)
         return len(batch)
 
     def _evaluate(self, batch: list[_Job], claims: dict[str, str]) -> None:
@@ -382,19 +465,34 @@ class ExplorationService:
         can retry immediately instead of waiting out the lease.
         """
         abort_reason = "batch evaluation aborted"
+        eval_start = time.monotonic()
         try:
             outcomes = self.runner.run(tuple(job.cell for job in batch))
+            eval_ms = round((time.monotonic() - eval_start) * 1000.0, 3)
             with self._lock:
                 for job, outcome in zip(batch, outcomes):
                     if outcome.ok:
                         self.store.put_result(job.key, outcome.result)
                         self._finish(job, DONE)
-                        self.stats.evaluated += 1
+                        self.stats.inc("evaluated")
                     else:
                         self._release_claim(job.key, claims)
                         self._finish(job, FAILED, outcome.error)
-                        self.stats.evaluated += 1
-                        self.stats.failed += 1
+                        self.stats.inc("evaluated")
+                        self.stats.inc("failed")
+            for job, outcome in zip(batch, outcomes):
+                obs_trace.emit(
+                    "evaluate",
+                    trace_id=job.trace_id,
+                    key=job.key,
+                    batch=len(batch),
+                    batch_ms=eval_ms,
+                    ok=bool(outcome.ok),
+                )
+                if outcome.ok:
+                    obs_trace.emit(
+                        "store.put", trace_id=job.trace_id, key=job.key
+                    )
         except Exception as error:
             # name the real cause: "aborted" alone sends whoever reads
             # the job's error text hunting through server logs
@@ -411,7 +509,8 @@ class ExplorationService:
                     if job.status == RUNNING:
                         self._release_claim(job.key, claims)
                         self._finish(job, FAILED, abort_reason)
-                        self.stats.failed += 1
+                        self.stats.inc("failed")
+                        self.stats.inc("aborted")
             for job in batch:
                 job.event.set()
 
@@ -464,18 +563,32 @@ class ExplorationService:
         """
         if job.key in self.store:
             with self._lock:
+                self.stats.inc("resolved_remote")
                 self._finish(job, DONE)
             job.event.set()
+            obs_trace.emit(
+                "claim.resolved", trace_id=job.trace_id, key=job.key
+            )
             return True
-        status, claim_id = self.store.try_claim(job.key)
+        status, claim_id = self.store.try_claim(job.key, trace_id=job.trace_id)
         if status == CLAIM_DONE:
             with self._lock:
+                self.stats.inc("resolved_remote")
                 self._finish(job, DONE)
             job.event.set()
+            obs_trace.emit(
+                "claim.resolved", trace_id=job.trace_id, key=job.key
+            )
             return True
         if status == CLAIM_WON:
             with self._lock:
-                self.stats.claims_reclaimed += 1
+                self.stats.inc("claims_reclaimed")
+            obs_trace.emit(
+                "claim.reclaimed",
+                trace_id=job.trace_id,
+                key=job.key,
+                claim_id=claim_id,
+            )
             try:
                 self._evaluate([job], {job.key: claim_id})
             except Exception:
@@ -485,7 +598,11 @@ class ExplorationService:
             return True
         return False
 
-    def run(self, cells: Iterable[SweepCell]) -> tuple[SweepCellResult, ...]:
+    def run(
+        self,
+        cells: Iterable[SweepCell],
+        trace_id: str | None = None,
+    ) -> tuple[SweepCellResult, ...]:
         """Drop-in for :meth:`ParallelSweepRunner.run`, cache-backed.
 
         Submits every cell, flushes once, and returns outcomes in cell
@@ -503,7 +620,7 @@ class ExplorationService:
         try:
             jobs: list[_Job | None] = []
             for cell, key in zip(cell_list, keys):
-                self.submit(cell, key=key)
+                self.submit(cell, key=key, trace_id=trace_id)
                 # Hold the job reference now: the completed ring may
                 # age the stub out before we collect (batches larger
                 # than the ring), but the object itself keeps the
@@ -536,6 +653,14 @@ class ExplorationService:
     def service_stats(self) -> dict:
         """Counters plus queue/store occupancy, for the ``stats`` RPC.
 
+        The service-level section (lifetime counters + queue
+        occupancy) is one snapshot taken under ``self._lock`` — the
+        same lock every mutator holds — so a concurrent flush can
+        never be seen half-applied (e.g. ``evaluated`` bumped but
+        ``in_flight`` not yet shrunk).  The ``store`` and ``pool``
+        sections are separate components with their own locks; each is
+        internally consistent, snapshotted by its own ``stats()``.
+
         ``pool`` reports the process-wide persistent worker pool: a
         healthy long-lived service shows ``cold_starts`` stuck at 1
         (or 0 while serial) however many sweeps it has flushed.
@@ -546,16 +671,32 @@ class ExplorationService:
 
         with self._lock:
             self._prune_completed()
-            pending = len(self._pending)
-            in_flight = len(self._jobs)
-            completed = len(self._completed)
-        return {
-            **self.stats.as_dict(),
-            "pending": pending,
-            "in_flight": in_flight,
-            "completed_retained": completed,
-            "completed_jobs_limit": self.completed_jobs_limit,
-            "store_records": len(self.store),
-            "store": self.store.stats(),
-            "pool": asdict(get_pool().stats()),
-        }
+            snapshot = {
+                **self.stats.as_dict(),
+                "pending": len(self._pending),
+                "in_flight": len(self._jobs),
+                "completed_retained": len(self._completed),
+                "completed_jobs_limit": self.completed_jobs_limit,
+            }
+        snapshot["store_records"] = len(self.store)
+        snapshot["store"] = self.store.stats()
+        snapshot["pool"] = asdict(get_pool().stats())
+        return snapshot
+
+    def metrics_registries(self, extra=()) -> list[MetricsRegistry]:
+        """Every registry behind this serving stack, exposition-ready.
+
+        Service + store + process-wide pool + the global registry
+        (search instruments, dropped-event counter) + any *extra*
+        (the socket server passes its own).
+        """
+        from repro.analysis.pool import get_pool
+        from repro.obs.metrics import global_registry
+
+        return [
+            self.metrics,
+            self.store.metrics,
+            get_pool().metrics,
+            global_registry(),
+            *extra,
+        ]

@@ -33,6 +33,11 @@ Methods
               plus the store's lifecycle counters under ``"store"``
               (live records/bytes, segment layout, hits/misses/
               evictions, live claims, corrupt-line counts)
+``metrics``   -> ``{"text": ...}``: every registry of the serving
+              stack (service, store, worker pool, socket server,
+              process-wide search instruments) merged into one
+              Prometheus text page — ``repro call metrics`` prints it
+              raw for scraping
 ``gc``        params: optional ``{max_bytes, max_entries}`` ->
               evicts least-recently-used records down to the given
               (or configured) bounds; returns the eviction report
@@ -54,6 +59,13 @@ search engine
 :mod:`repro.search`); ``repro serve --assigner`` changes the default
 for cells that omit it.
 
+Any request's params may additionally carry a ``trace_id`` string
+(minted by :class:`repro.service.client.ServiceClient`).  It is
+stripped before cell validation — it never reaches the cache key — and
+stamped on every span event the request produces, across every process
+that touches the exploration (admission, dispatch, claim records,
+evaluation), so one ``--trace-log`` file tells the whole story.
+
 Errors use JSON-RPC error objects: ``-32700`` parse error, ``-32600``
 invalid request, ``-32601`` unknown method, ``-32602`` invalid params,
 ``-32000`` evaluation/service failures.  The socket server
@@ -68,12 +80,15 @@ from __future__ import annotations
 import io
 import json
 import os
+import time
 from typing import IO, Callable
 
 from repro.analysis.sweep import PlatformSpec, SweepCell
 from repro.analysis.export import result_to_dict, result_to_state
 from repro.core.assignment import Objective
 from repro.errors import ReproError, ValidationError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, render_registries
 from repro.search.config import AssignerSpec
 from repro.search.registry import ASSIGNER_NAMES
 from repro.service.keys import cell_key
@@ -259,7 +274,8 @@ class JsonRpcFrontend:
     under ``"server"`` — the socket server injects its connection and
     admission counters through it.  The base ``stats`` payload is
     unchanged when unset, keeping stdio responses byte-identical to a
-    server whose callback returns nothing.
+    server whose callback returns nothing.  *server_registry*, when
+    given, joins the registries the ``metrics`` method renders.
     """
 
     def __init__(
@@ -267,22 +283,32 @@ class JsonRpcFrontend:
         service: ExplorationService,
         default_assigner: AssignerSpec | None = None,
         server_stats: Callable[[], dict] | None = None,
+        server_registry: MetricsRegistry | None = None,
     ):
         self.service = service
         self.default_assigner = default_assigner
         self.server_stats = server_stats
+        self.server_registry = server_registry
         self.running = True
+        self._rpc_seconds = service.metrics.histogram(
+            "repro_rpc_request_seconds",
+            "JSON-RPC dispatch latency, request receipt to response "
+            "object (seconds).",
+        )
 
     def _cell(self, params: dict) -> SweepCell:
         return cell_from_params(params, default_assigner=self.default_assigner)
 
     # -- methods -------------------------------------------------------
+    # every method takes (params, trace_id): dispatch strips the
+    # trace_id param before validation and passes it explicitly, so
+    # the frontend stays reentrant (no per-request state on `self`)
 
-    def _submit(self, params: dict) -> dict:
-        key = self.service.submit(self._cell(params))
+    def _submit(self, params: dict, trace_id: str | None = None) -> dict:
+        key = self.service.submit(self._cell(params), trace_id=trace_id)
         return {"key": key, "status": self.service.poll(key)}
 
-    def _poll(self, params: dict) -> dict:
+    def _poll(self, params: dict, trace_id: str | None = None) -> dict:
         key = _require_key(params)
         status = self.service.poll(key)
         if status == "pending":
@@ -291,7 +317,7 @@ class JsonRpcFrontend:
             self.service.kick()
         return {"key": key, "status": status}
 
-    def _result(self, params: dict) -> dict:
+    def _result(self, params: dict, trace_id: str | None = None) -> dict:
         key = _require_key(params)
         try:
             result = self.service.result(key)
@@ -306,13 +332,13 @@ class JsonRpcFrontend:
             response["state"] = result_to_state(result)
         return response
 
-    def _batch(self, params: dict) -> dict:
+    def _batch(self, params: dict, trace_id: str | None = None) -> dict:
         if not isinstance(params, dict) or not isinstance(
             params.get("cells"), list
         ):
             raise _RpcError(INVALID_PARAMS, "batch needs a 'cells' array")
         cells = tuple(self._cell(cell) for cell in params["cells"])
-        outcomes = self.service.run(cells)
+        outcomes = self.service.run(cells, trace_id=trace_id)
         rows = []
         for outcome, cell in zip(outcomes, cells):
             row = {
@@ -324,13 +350,21 @@ class JsonRpcFrontend:
             rows.append(row)
         return {"outcomes": rows}
 
-    def _stats(self, _params: dict) -> dict:
+    def _stats(self, _params: dict, trace_id: str | None = None) -> dict:
         stats = self.service.service_stats()
         if self.server_stats is not None:
             stats["server"] = self.server_stats()
         return stats
 
-    def _gc(self, params: dict) -> dict:
+    def _metrics(self, _params: dict, trace_id: str | None = None) -> dict:
+        extra = (
+            (self.server_registry,) if self.server_registry is not None else ()
+        )
+        return {
+            "text": render_registries(self.service.metrics_registries(extra))
+        }
+
+    def _gc(self, params: dict, trace_id: str | None = None) -> dict:
         bounds = {}
         for field, target in (("max_bytes", "max_bytes"), ("max_entries", "max_records")):
             value = params.get(field)
@@ -349,10 +383,10 @@ class JsonRpcFrontend:
             )
         return self.service.store.gc(**bounds)
 
-    def _compact(self, _params: dict) -> dict:
+    def _compact(self, _params: dict, trace_id: str | None = None) -> dict:
         return self.service.store.compact()
 
-    def _shutdown(self, _params: dict) -> dict:
+    def _shutdown(self, _params: dict, trace_id: str | None = None) -> dict:
         # No state change here: dispatch() reports the shutdown to its
         # caller, and only handle_line() mutates `running`.  A handler
         # that wrote to the frontend would break dispatch reentrancy.
@@ -364,6 +398,7 @@ class JsonRpcFrontend:
         "result": _result,
         "batch": _batch,
         "stats": _stats,
+        "metrics": _metrics,
         "gc": _gc,
         "compact": _compact,
         "shutdown": _shutdown,
@@ -402,7 +437,19 @@ class JsonRpcFrontend:
             params = request.get("params", {})
             if not isinstance(params, dict):
                 raise _RpcError(INVALID_PARAMS, "params must be an object")
-            result = self._METHODS[method](self, params)
+            # telemetry-only: strip before validation so the strict
+            # cell/field checks (and the cache key) never see it
+            trace_id = params.pop("trace_id", None)
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise _RpcError(INVALID_PARAMS, "'trace_id' must be a string")
+            start = time.monotonic()
+            try:
+                with obs_trace.span(
+                    "respond", trace_id=trace_id, method=method
+                ):
+                    result = self._METHODS[method](self, params, trace_id)
+            finally:
+                self._rpc_seconds.observe(time.monotonic() - start)
             return (
                 {"jsonrpc": "2.0", "id": request_id, "result": result},
                 method == "shutdown",

@@ -65,6 +65,8 @@ import threading
 import time
 
 from repro.errors import ServiceError, ValidationError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.search.config import AssignerSpec
 from repro.service.queue import ExplorationService
 from repro.service.rpc import (
@@ -133,6 +135,40 @@ def _request_id(line: str):
     except json.JSONDecodeError:
         return None
     return request.get("id") if isinstance(request, dict) else None
+
+
+def _line_trace_id(line: str) -> str | None:
+    """The request's ``trace_id`` param, if any (tracing-only parse)."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(request, dict):
+        return None
+    params = request.get("params")
+    if isinstance(params, dict):
+        trace_id = params.get("trace_id")
+        if isinstance(trace_id, str):
+            return trace_id
+    return None
+
+
+def _make_server_metrics() -> tuple[MetricsRegistry, dict]:
+    """One registry + the shared counter set for a server transport."""
+    registry = MetricsRegistry()
+    counters = {
+        "connections_total": registry.counter(
+            "repro_server_connections_total", "Connections accepted."),
+        "requests_total": registry.counter(
+            "repro_server_requests_total", "Requests admitted."),
+        "rejected_busy": registry.counter(
+            "repro_server_rejected_busy_total",
+            "Requests rejected by the admission cap (-32001)."),
+        "rejected_draining": registry.counter(
+            "repro_server_rejected_draining_total",
+            "Requests rejected while draining (-32002)."),
+    }
+    return registry, counters
 
 
 def _reject(line: str, code: int, message: str) -> dict:
@@ -360,11 +396,17 @@ class ExplorationServer:
         self._state_lock = threading.Lock()
         self._idle = threading.Condition(self._state_lock)
         self._in_flight = 0
-        self._connections_total = 0
         self._connections_active = 0
-        self._requests_total = 0
-        self._rejected_busy = 0
-        self._rejected_draining = 0
+        self.metrics, self._counters = _make_server_metrics()
+        self.metrics.gauge(
+            "repro_server_in_flight", "Requests currently executing."
+        ).set_fn(lambda: self._in_flight)
+        self.metrics.gauge(
+            "repro_server_connections_active", "Open client connections."
+        ).set_fn(lambda: self._connections_active)
+        self.metrics.gauge(
+            "repro_server_max_pending", "Admission cap."
+        ).set_fn(lambda: self.max_pending)
         self._serving = threading.Event()
         self._socket_path = (
             pathlib.Path(socket_path) if socket_path is not None else None
@@ -393,10 +435,12 @@ class ExplorationServer:
             self.service,
             default_assigner=self.default_assigner,
             server_stats=self.stats,
+            server_registry=self.metrics,
         )
         with self._state_lock:
-            self._connections_total += 1
+            self._counters["connections_total"].inc()
             self._connections_active += 1
+        obs_trace.emit("accept", transport="threads")
         try:
             for raw in rfile:
                 response = self._handle_request(
@@ -419,17 +463,23 @@ class ExplorationServer:
     ) -> dict | None:
         if not line.strip():
             return None
+        trace_id = _line_trace_id(line) if obs_trace.enabled() else None
         if self._draining.is_set():
-            with self._state_lock:
-                self._rejected_draining += 1
+            self._counters["rejected_draining"].inc()
+            obs_trace.emit(
+                "reject.draining", trace_id=trace_id, transport="threads"
+            )
             return _reject(line, SERVER_DRAINING, _DRAINING_MESSAGE)
         if not self._admission.acquire(blocking=False):
-            with self._state_lock:
-                self._rejected_busy += 1
+            self._counters["rejected_busy"].inc()
+            obs_trace.emit(
+                "reject.busy", trace_id=trace_id, transport="threads"
+            )
             return _reject(line, SERVER_BUSY, _busy_message(self.max_pending))
         with self._state_lock:
             self._in_flight += 1
-            self._requests_total += 1
+        self._counters["requests_total"].inc()
+        obs_trace.emit("admit", trace_id=trace_id, transport="threads")
         try:
             return frontend.handle_line(line)
         finally:
@@ -496,13 +546,19 @@ class ExplorationServer:
         with self._state_lock:
             return {
                 "transport": "threads",
-                "connections_total": self._connections_total,
+                "connections_total": self._counters["connections_total"].value,
                 "connections_active": self._connections_active,
-                "requests_total": self._requests_total,
+                "requests_total": self._counters["requests_total"].value,
                 "in_flight": self._in_flight,
-                "rejected_busy": self._rejected_busy,
-                "rejected_draining": self._rejected_draining,
+                "rejected_busy": self._counters["rejected_busy"].value,
+                "rejected_draining": (
+                    self._counters["rejected_draining"].value
+                ),
                 "max_pending": self.max_pending,
+                # no executor on this transport (each connection gets a
+                # thread); the key is present so both transports expose
+                # an identical stats shape.
+                "executor_workers": None,
                 "draining": self._draining.is_set(),
             }
 
@@ -568,11 +624,20 @@ class AsyncExplorationServer:
         )
         self._state_lock = threading.Lock()
         self._in_flight = 0
-        self._connections_total = 0
         self._connections_active = 0
-        self._requests_total = 0
-        self._rejected_busy = 0
-        self._rejected_draining = 0
+        self.metrics, self._counters = _make_server_metrics()
+        self.metrics.gauge(
+            "repro_server_in_flight", "Requests currently executing."
+        ).set_fn(lambda: self._in_flight)
+        self.metrics.gauge(
+            "repro_server_connections_active", "Open client connections."
+        ).set_fn(lambda: self._connections_active)
+        self.metrics.gauge(
+            "repro_server_max_pending", "Admission cap."
+        ).set_fn(lambda: self.max_pending)
+        self.metrics.gauge(
+            "repro_server_executor_workers", "Dispatch-thread count."
+        ).set_fn(lambda: self.executor_workers)
         self._draining = threading.Event()
         self._drain_lock = threading.Lock()
         self._drain_started = False
@@ -745,10 +810,12 @@ class AsyncExplorationServer:
             self.service,
             default_assigner=self.default_assigner,
             server_stats=self.stats,
+            server_registry=self.metrics,
         )
         with self._state_lock:
-            self._connections_total += 1
+            self._counters["connections_total"].inc()
             self._connections_active += 1
+        obs_trace.emit("accept", transport="async")
         task = asyncio.current_task()
         self._connection_tasks.add(task)
         self._writers.add(writer)
@@ -767,9 +834,16 @@ class AsyncExplorationServer:
                 line = raw.decode("utf-8", errors="replace")
                 if not line.strip():
                     continue
+                trace_id = (
+                    _line_trace_id(line) if obs_trace.enabled() else None
+                )
                 if self._draining.is_set():
-                    with self._state_lock:
-                        self._rejected_draining += 1
+                    self._counters["rejected_draining"].inc()
+                    obs_trace.emit(
+                        "reject.draining",
+                        trace_id=trace_id,
+                        transport="async",
+                    )
                     await self._write(
                         write_lock,
                         writer,
@@ -780,10 +854,16 @@ class AsyncExplorationServer:
                     admitted = self._in_flight < self.max_pending
                     if admitted:
                         self._in_flight += 1
-                        self._requests_total += 1
-                    else:
-                        self._rejected_busy += 1
-                if not admitted:
+                if admitted:
+                    self._counters["requests_total"].inc()
+                    obs_trace.emit(
+                        "admit", trace_id=trace_id, transport="async"
+                    )
+                else:
+                    self._counters["rejected_busy"].inc()
+                    obs_trace.emit(
+                        "reject.busy", trace_id=trace_id, transport="async"
+                    )
                     await self._write(
                         write_lock,
                         writer,
@@ -850,15 +930,17 @@ class AsyncExplorationServer:
         with self._state_lock:
             return {
                 "transport": "async",
-                "connections_total": self._connections_total,
+                "connections_total": self._counters["connections_total"].value,
                 "connections_active": self._connections_active,
-                "requests_total": self._requests_total,
+                "requests_total": self._counters["requests_total"].value,
                 "in_flight": self._in_flight,
-                "rejected_busy": self._rejected_busy,
-                "rejected_draining": self._rejected_draining,
+                "rejected_busy": self._counters["rejected_busy"].value,
+                "rejected_draining": (
+                    self._counters["rejected_draining"].value
+                ),
                 "max_pending": self.max_pending,
-                "draining": self._draining.is_set(),
                 "executor_workers": self.executor_workers,
+                "draining": self._draining.is_set(),
             }
 
 

@@ -108,6 +108,7 @@ from typing import Callable
 from repro.analysis.export import result_from_state, result_to_state
 from repro.core.mhla import MhlaResult
 from repro.errors import ReproError, StoreError
+from repro.obs.metrics import MetricsRegistry
 from repro.service.keys import is_content_key
 
 STORE_FORMAT_VERSION = 1
@@ -267,31 +268,64 @@ class ResultStore:
         # never overlap _index — a data record retires its claim
         self._claims: dict[str, dict] = {}
         self._claim_counter = 0
-        self._claims_written = 0
-        self._releases_written = 0
-        self._claims_reclaimed = 0
         self._sealed_since_check = False
         self._pins: dict[str, int] = {}
         #: Test hook: called with a fault-point name at every crash-safe
         #: step of :meth:`compact`; raising simulates a crash there.
         self.crash_hook: Callable[[str], None] | None = None
-        # lifetime counters (see stats())
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._touches_written = 0
-        self._corrupt_count = 0
-        self._unrecognised_count = 0
+        # lifetime counters (see stats()), as typed instruments in this
+        # store's registry (merged into `repro call metrics`)
+        self.metrics = MetricsRegistry()
+        _counter = self.metrics.counter
+        self._claims_written = _counter(
+            "repro_store_claims_written_total", "Claim records appended.")
+        self._releases_written = _counter(
+            "repro_store_releases_written_total", "Release records appended.")
+        self._claims_reclaimed = _counter(
+            "repro_store_claims_reclaimed_total",
+            "Stale (expired or dead-pid) leases taken over.")
+        self._hits = _counter("repro_store_hits_total", "Key lookups served.")
+        self._misses = _counter(
+            "repro_store_misses_total", "Key lookups that found nothing.")
+        self._evictions = _counter(
+            "repro_store_evictions_total", "Records tombstoned by bounds/GC.")
+        self._touches_written = _counter(
+            "repro_store_touches_written_total",
+            "Persisted LRU refreshes (bounded disk stores only).")
+        self._syncs = _counter(
+            "repro_store_syncs_total",
+            "Directory syncs that scanned for sibling activity.")
+        self._reloads = _counter(
+            "repro_store_reloads_total",
+            "Full view rebuilds forced by seals/compactions underneath.")
+        self._load_races = _counter(
+            "repro_store_load_races_total",
+            "Files that vanished mid-load (concurrent seal/compact).")
+        self._evict_lock_timeouts = _counter(
+            "repro_store_evict_lock_timeouts_total",
+            "Evictions that ran unlocked after waiting out evict.lock.")
+        # resettable damage tallies: compaction drops damaged lines
+        # with their segments, so these are gauges, not counters
+        self._corrupt_count = self.metrics.gauge(
+            "repro_store_corrupt_lines", "Damaged lines in current files.")
+        self._unrecognised_count = self.metrics.gauge(
+            "repro_store_unrecognised_lines",
+            "Unrecognised records in current files.")
+        self.metrics.gauge(
+            "repro_store_live_records", "Keys currently visible."
+        ).set_fn(lambda: len(self._index))
+        self.metrics.gauge(
+            "repro_store_live_bytes", "Encoded bytes of the live records."
+        ).set_fn(lambda: self._live_bytes)
+        self.metrics.gauge(
+            "repro_store_live_claims", "Keys under an in-flight claim."
+        ).set_fn(lambda: len(self._claims))
         self._corrupt_detail: list[dict] = []
         self._holding_compact_lock = False
         # cross-process sync state: how far each file has been replayed
         # plus the last directory-mtime signature we synced against
         self._seg_progress: dict[str, int] = {}
         self._dir_mtime: int | None = None
-        self._syncs = 0
-        self._reloads = 0
-        self._load_races = 0
-        self._evict_lock_timeouts = 0
         self._dir = pathlib.Path(path) if path is not None else None
         self._file = self._dir / RESULTS_FILENAME if self._dir else None
         if self._dir is not None:
@@ -323,8 +357,8 @@ class ResultStore:
         for attempt in range(5):
             tolerant = attempt == 4
             self._reset_view()
-            self._corrupt_count = 0
-            self._unrecognised_count = 0
+            self._corrupt_count.set(0)
+            self._unrecognised_count.set(0)
             self._corrupt_detail = []
             # read before scanning: if the directory changes while we
             # load, the stale signature forces the next sync to look
@@ -336,9 +370,9 @@ class ResultStore:
                     except FileNotFoundError:
                         if not tolerant:
                             raise
-                        self._load_races += 1
+                        self._load_races.inc()
             except FileNotFoundError:
-                self._load_races += 1
+                self._load_races.inc()
                 continue
             self._active_bytes = self._seg_progress.get(RESULTS_FILENAME, 0)
             # a tolerant pass may have skipped files: a None signature
@@ -393,10 +427,10 @@ class ResultStore:
 
     def _note_damage(self, file: pathlib.Path, lineno: int, reason: str) -> None:
         if reason == "corrupt":
-            self._corrupt_count += 1
+            self._corrupt_count.inc()
             label = "skipping corrupt cache line"
         else:
-            self._unrecognised_count += 1
+            self._unrecognised_count.inc()
             label = "skipping unrecognised record"
         if len(self._corrupt_detail) < _CORRUPT_DETAIL_CAP:
             self._corrupt_detail.append(
@@ -541,7 +575,7 @@ class ResultStore:
 
     def _full_reload(self) -> None:
         """Discard and rebuild the in-memory view from the directory."""
-        self._reloads += 1
+        self._reloads.inc()
         self._load_directory()
 
     def _sync(self, check_active: bool = True) -> bool:
@@ -572,7 +606,7 @@ class ResultStore:
             if self._file_size(self._file) == self._active_bytes:
                 self._seg_progress[RESULTS_FILENAME] = self._active_bytes
                 return False
-        self._syncs += 1
+        self._syncs.inc()
         sealed = self._sealed_files()
         if {file.name for file in sealed} != (
             set(self._seg_progress) - {RESULTS_FILENAME}
@@ -695,9 +729,9 @@ class ResultStore:
             if record is None and self._dir is not None and self._sync():
                 record = self._index.get(key)
             if record is None or record.get("kind") != kind:
-                self._misses += 1
+                self._misses.inc()
                 return None
-            self._hits += 1
+            self._hits.inc()
             self._touch(key)
             self._maybe_auto_compact()
             return record["payload"]
@@ -715,7 +749,7 @@ class ResultStore:
                     "payload": {},
                 }
             )
-            self._touches_written += 1
+            self._touches_written.inc()
 
     def put(self, key: str, kind: str, payload: dict) -> bool:
         """Store *payload* under *key*; False if the key already exists.
@@ -755,15 +789,23 @@ class ResultStore:
     # in-flight claims
     # ------------------------------------------------------------------
 
-    def _claim_payload(self, ttl_s: float, now: float) -> dict:
+    def _claim_payload(
+        self, ttl_s: float, now: float, trace_id: str | None = None
+    ) -> dict:
         self._claim_counter += 1
-        return {
+        payload = {
             "claim_id": f"{self.server_id}:{self._claim_counter}",
             "pid": os.getpid(),
             "server": self.server_id,
             "claimed_at": now,
             "expires_at": now + ttl_s,
         }
+        if trace_id is not None:
+            # correlation only: replay reads claim_id/claimed_at/
+            # expires_at/pid/server and ignores this field, so traced
+            # and untraced fleets behave identically
+            payload["trace_id"] = trace_id
+        return payload
 
     def _write_claim(self, key: str, payload: dict) -> None:
         self._append(
@@ -774,7 +816,7 @@ class ResultStore:
                 "payload": payload,
             }
         )
-        self._claims_written += 1
+        self._claims_written.inc()
 
     def _write_release(
         self, key: str, claim_id: str, reclaimed: bool = False
@@ -787,7 +829,7 @@ class ResultStore:
                 "payload": {"claim_id": claim_id, "reclaimed": reclaimed},
             }
         )
-        self._releases_written += 1
+        self._releases_written.inc()
 
     def _claim_usurpable(self, claim: dict, now: float) -> bool:
         """True when *claim* may be taken over right *now*.
@@ -810,8 +852,18 @@ class ResultStore:
             and not self._pid_alive(pid)
         )
 
-    def try_claim(self, key: str, ttl_s: float | None = None) -> tuple[str, str | None]:
+    def try_claim(
+        self,
+        key: str,
+        ttl_s: float | None = None,
+        trace_id: str | None = None,
+    ) -> tuple[str, str | None]:
         """Try to lease *key* for evaluation; returns ``(status, claim_id)``.
+
+        *trace_id* (optional) is stamped into the claim payload for
+        fleet-wide correlation — a sibling that yields to this claim
+        can name the trace that owns it.  It plays no part in claim
+        resolution.
 
         Statuses:
 
@@ -853,12 +905,12 @@ class ResultStore:
                         key, current.get("claim_id", ""), reclaimed=True
                     )
                     self._claims.pop(key, None)
-                self._claims_reclaimed += 1
-            payload = self._claim_payload(ttl_s, now)
+                self._claims_reclaimed.inc()
+            payload = self._claim_payload(ttl_s, now, trace_id=trace_id)
             if self._file is None:
                 # memory-only store: single process, we trivially win
                 self._claims[key] = payload
-                self._claims_written += 1
+                self._claims_written.inc()
                 return CLAIM_WON, payload["claim_id"]
             self._write_claim(key, payload)
             # fold in everything appended since our last replay point —
@@ -1018,7 +1070,7 @@ class ResultStore:
             del self._index[victim]
             self._live_bytes -= self._line_bytes.pop(victim)
             del self._lru_order[victim]
-        self._evictions += len(victims)
+        self._evictions.inc(len(victims))
 
     def _evict_to(
         self,
@@ -1323,7 +1375,7 @@ class ResultStore:
                     self._reclaim_stale_lock(path)
                     continue
                 if time.monotonic() >= deadline:
-                    self._evict_lock_timeouts += 1
+                    self._evict_lock_timeouts.inc()
                     return False
                 time.sleep(delay)
                 delay = min(delay * 2, 0.05)
@@ -1437,8 +1489,8 @@ class ResultStore:
         self._fsync_dir()
         self._active_bytes = 0
         # the damaged lines were dropped with their segments
-        self._corrupt_count = 0
-        self._unrecognised_count = 0
+        self._corrupt_count.set(0)
+        self._unrecognised_count.set(0)
         self._corrupt_detail = []
         bytes_after = target.stat().st_size
         # the snapshot segment is the only file now, fully replayed by
@@ -1479,20 +1531,20 @@ class ResultStore:
                 "live_records": len(self._index),
                 "live_bytes": self._live_bytes,
                 "live_by_kind": dict(sorted(by_kind.items())),
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "touches_written": self._touches_written,
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "evictions": self._evictions.value,
+                "touches_written": self._touches_written.value,
                 "live_claims": len(self._claims),
-                "claims_written": self._claims_written,
-                "releases_written": self._releases_written,
-                "claims_reclaimed": self._claims_reclaimed,
-                "corrupt_lines": self._corrupt_count,
-                "unrecognised_lines": self._unrecognised_count,
-                "syncs": self._syncs,
-                "reloads": self._reloads,
-                "load_races": self._load_races,
-                "evict_lock_timeouts": self._evict_lock_timeouts,
+                "claims_written": self._claims_written.value,
+                "releases_written": self._releases_written.value,
+                "claims_reclaimed": self._claims_reclaimed.value,
+                "corrupt_lines": int(self._corrupt_count.value),
+                "unrecognised_lines": int(self._unrecognised_count.value),
+                "syncs": self._syncs.value,
+                "reloads": self._reloads.value,
+                "load_races": self._load_races.value,
+                "evict_lock_timeouts": self._evict_lock_timeouts.value,
                 "limits": {
                     "max_bytes": self.max_bytes,
                     "max_records": self.max_records,

@@ -1,0 +1,179 @@
+"""Unit tests for the typed metrics instruments and their registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    render_registries,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_counts_integers(self):
+        counter = Counter("c_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        # int all the way through: stats dicts built from .value must
+        # serialise as 5, never 5.0
+        assert isinstance(counter.value, int)
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_concurrent_increments_all_land(self):
+        counter = Counter("c_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_callback_gauge_reads_live_value(self):
+        box = {"n": 3}
+        gauge = Gauge("g")
+        gauge.set_fn(lambda: box["n"])
+        assert gauge.value == 3.0
+        box["n"] = 7
+        assert gauge.value == 7.0
+
+    def test_failing_callback_reads_zero(self):
+        gauge = Gauge("g")
+        gauge.set_fn(lambda: 1 / 0)
+        assert gauge.value == 0.0
+
+    def test_set_detaches_callback(self):
+        gauge = Gauge("g")
+        gauge.set_fn(lambda: 99)
+        gauge.set(1)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_observations_fill_cumulative_buckets(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        cumulative, total, count = hist.snapshot()
+        assert cumulative == [1, 2, 3]
+        assert total == pytest.approx(5.55)
+        assert count == 3
+
+    def test_bounds_are_sorted(self):
+        hist = Histogram("h", buckets=(1.0, 0.1))
+        hist.observe(0.5)
+        cumulative, _, _ = hist.snapshot()
+        assert cumulative == [0, 1, 1]
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.1)  # le is inclusive, Prometheus semantics
+        cumulative, _, _ = hist.snapshot()
+        assert cumulative == [1, 1, 1]
+
+
+class TestRegistry:
+    def test_getters_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "different help ignored")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestRender:
+    def test_exact_text_exposition(self):
+        """The exposition format is a contract: byte-stable output."""
+        registry = MetricsRegistry()
+        registry.counter("t_total", "Things.").inc(3)
+        registry.gauge("g", "Gauge help.").set(2.5)
+        hist = registry.histogram("h", "Histogram help.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert registry.render() == (
+            "# HELP g Gauge help.\n"
+            "# TYPE g gauge\n"
+            "g 2.5\n"
+            "# HELP h Histogram help.\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 5.55\n"
+            "h_count 3\n"
+            "# HELP t_total Things.\n"
+            "# TYPE t_total counter\n"
+            "t_total 3\n"
+        )
+
+    def test_render_is_stable_across_calls(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc(2)
+        assert registry.render() == registry.render()
+
+    def test_families_sorted_regardless_of_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total")
+        registry.counter("a_total")
+        lines = registry.render().splitlines()
+        assert lines.index("# TYPE a_total counter") < lines.index(
+            "# TYPE z_total counter"
+        )
+
+    def test_same_scalar_name_across_registries_is_summed(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("shared_total", "Shared.").inc(2)
+        right.counter("shared_total").inc(3)
+        text = render_registries([left, right])
+        assert "shared_total 5\n" in text
+        assert text.count("# TYPE shared_total counter") == 1
+
+    def test_no_instruments_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_help_line_omitted_when_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        assert registry.render() == "# TYPE c_total counter\nc_total 0\n"

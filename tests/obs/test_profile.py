@@ -1,0 +1,52 @@
+"""Unit tests for the opt-in cProfile slow-path hook."""
+
+import pstats
+
+import pytest
+
+from repro.obs import profile as obs_profile
+
+
+@pytest.fixture
+def profile_dir(tmp_path):
+    directory = tmp_path / "profiles"
+    obs_profile.configure_profile_dir(directory)
+    yield directory
+    obs_profile.configure_profile_dir(None)
+
+
+def busy_work() -> int:
+    return sum(index * index for index in range(1000))
+
+
+class TestMaybeProfile:
+    def test_disabled_by_default(self, tmp_path):
+        obs_profile.configure_profile_dir(None)
+        assert obs_profile.profile_dir() is None
+        with obs_profile.maybe_profile("somekey"):
+            busy_work()
+        assert not list(tmp_path.glob("**/*.pstats"))
+
+    def test_writes_a_loadable_pstats_artifact_per_key(self, profile_dir):
+        assert obs_profile.profile_dir() == profile_dir
+        with obs_profile.maybe_profile("deadbeef"):
+            busy_work()
+        artifact = profile_dir / "deadbeef.pstats"
+        assert artifact.is_file()
+        stats = pstats.Stats(str(artifact))
+        functions = {func for (_, _, func) in stats.stats}
+        assert "busy_work" in functions
+
+    def test_configure_creates_the_directory(self, tmp_path):
+        directory = tmp_path / "nested" / "profiles"
+        obs_profile.configure_profile_dir(directory)
+        try:
+            assert directory.is_dir()
+        finally:
+            obs_profile.configure_profile_dir(None)
+        assert obs_profile.profile_dir() is None
+
+    def test_body_exception_propagates(self, profile_dir):
+        with pytest.raises(RuntimeError):
+            with obs_profile.maybe_profile("failing"):
+                raise RuntimeError("boom")

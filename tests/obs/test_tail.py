@@ -1,0 +1,122 @@
+"""Unit tests for the trace-log pretty-printer (``repro obs tail``)."""
+
+import io
+import json
+
+from repro.obs.tail import format_event, tail_trace_log
+
+
+def write_log(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            if isinstance(record, str):
+                handle.write(record + "\n")
+            else:
+                handle.write(json.dumps(record) + "\n")
+
+
+class TestFormatEvent:
+    def test_full_record(self):
+        line = format_event(
+            {
+                "ts": 0.5,
+                "pid": 42,
+                "trace_id": "cafe",
+                "event": "evaluate",
+                "dur_ms": 12.345,
+                "key": "k1",
+            }
+        )
+        assert "pid=42" in line
+        assert "trace=cafe" in line
+        assert "evaluate" in line
+        assert "12.345ms" in line
+        assert "key=k1" in line
+
+    def test_minimal_record(self):
+        line = format_event({"event": "accept"})
+        assert "accept" in line
+        assert "trace=-" in line
+
+    def test_extras_sorted_and_core_fields_not_repeated(self):
+        line = format_event(
+            {"ts": 1.0, "pid": 1, "event": "x", "zeta": 1, "alpha": 2}
+        )
+        assert line.index("alpha=2") < line.index("zeta=1")
+        assert "ts=" not in line
+        assert "event=" not in line
+
+
+class TestTailTraceLog:
+    def test_prints_each_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_log(
+            path,
+            [
+                {"ts": 1.0, "pid": 1, "event": "submit", "trace_id": "aa"},
+                {"ts": 2.0, "pid": 1, "event": "evaluate", "trace_id": "bb"},
+            ],
+        )
+        out = io.StringIO()
+        assert tail_trace_log(path, out) == 0
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "submit" in lines[0]
+        assert "evaluate" in lines[1]
+
+    def test_trace_id_filter(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_log(
+            path,
+            [
+                {"ts": 1.0, "pid": 1, "event": "submit", "trace_id": "aa"},
+                {"ts": 2.0, "pid": 1, "event": "evaluate", "trace_id": "bb"},
+                {"ts": 3.0, "pid": 1, "event": "respond", "trace_id": "aa"},
+            ],
+        )
+        out = io.StringIO()
+        assert tail_trace_log(path, out, trace_id="aa") == 0
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "evaluate" not in out.getvalue()
+
+    def test_unparseable_line_is_shown_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_log(
+            path,
+            [
+                "this is not json",
+                {"ts": 1.0, "pid": 1, "event": "submit"},
+            ],
+        )
+        out = io.StringIO()
+        assert tail_trace_log(path, out) == 0
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "? this is not json"
+        assert "submit" in lines[1]
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        out = io.StringIO()
+        assert tail_trace_log(tmp_path / "absent.jsonl", out) == 1
+
+    def test_reader_gone_mid_stream_is_clean(self, tmp_path):
+        # `repro obs tail log | head -1` must not traceback when head
+        # closes the pipe after the first line
+        class OneLinePipe(io.StringIO):
+            def write(self, text):
+                if "\n" in self.getvalue():
+                    raise BrokenPipeError
+                return super().write(text)
+
+        path = tmp_path / "t.jsonl"
+        write_log(
+            path,
+            [
+                {"ts": 1.0, "pid": 1, "event": "submit"},
+                {"ts": 2.0, "pid": 1, "event": "evaluate"},
+            ],
+        )
+        out = OneLinePipe()
+        assert tail_trace_log(path, out) == 0
+        assert "submit" in out.getvalue()
+        assert "evaluate" not in out.getvalue()

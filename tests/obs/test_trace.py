@@ -1,0 +1,188 @@
+"""Unit tests for the structured trace/event layer."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs import trace as obs_trace
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def read_events(path) -> list[dict]:
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+@pytest.fixture
+def trace_log(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs_trace.configure(trace_log=path)
+    yield path
+    obs_trace.configure(trace_log=None)
+
+
+class TestConfigure:
+    def test_disabled_by_default_after_clear(self):
+        obs_trace.configure(trace_log=None)
+        assert not obs_trace.enabled()
+        assert obs_trace.configured_trace_log() is None
+        obs_trace.emit("nothing.happens")  # must be a silent no-op
+
+    def test_configure_enables_and_reports_path(self, trace_log):
+        assert obs_trace.enabled()
+        assert obs_trace.configured_trace_log() == str(trace_log)
+
+    def test_slow_threshold_round_trips_in_seconds(self, tmp_path):
+        obs_trace.configure(trace_log=tmp_path / "t.jsonl", slow_ms=250.0)
+        try:
+            assert obs_trace.slow_threshold_s() == pytest.approx(0.25)
+        finally:
+            obs_trace.configure(trace_log=None)
+        assert obs_trace.slow_threshold_s() is None
+
+    def test_configure_exports_env_for_children(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs_trace.configure(trace_log=path, slow_ms=5.0)
+        try:
+            assert os.environ[obs_trace.ENV_TRACE_LOG] == str(path)
+            assert float(os.environ[obs_trace.ENV_SLOW_MS]) == 5.0
+        finally:
+            obs_trace.configure(trace_log=None)
+        assert obs_trace.ENV_TRACE_LOG not in os.environ
+        assert obs_trace.ENV_SLOW_MS not in os.environ
+
+
+class TestEmit:
+    def test_event_line_shape(self, trace_log):
+        obs_trace.emit("unit.test", trace_id="cafe", key="k1", n=3)
+        (event,) = read_events(trace_log)
+        assert event["event"] == "unit.test"
+        assert event["trace_id"] == "cafe"
+        assert event["key"] == "k1"
+        assert event["n"] == 3
+        assert event["pid"] == os.getpid()
+        assert isinstance(event["ts"], float)
+
+    def test_none_fields_are_dropped(self, trace_log):
+        obs_trace.emit("unit.test", trace_id=None, key=None, kept=1)
+        (event,) = read_events(trace_log)
+        assert "trace_id" not in event
+        assert "key" not in event
+        assert event["kept"] == 1
+
+    def test_one_line_per_event(self, trace_log):
+        for index in range(5):
+            obs_trace.emit("unit.test", n=index)
+        events = read_events(trace_log)
+        assert [event["n"] for event in events] == list(range(5))
+
+    def test_unwritable_path_counts_drops_and_disables(self, tmp_path):
+        before = obs_trace.events_dropped()
+        obs_trace.configure(trace_log=tmp_path / "no-such-dir" / "t.jsonl")
+        try:
+            obs_trace.emit("lost.event")
+            assert obs_trace.events_dropped() == before + 1
+            # the path was abandoned: later emits are free no-ops, not
+            # one failed open per event
+            obs_trace.emit("also.lost")
+            assert obs_trace.events_dropped() == before + 1
+        finally:
+            obs_trace.configure(trace_log=None)
+
+    def test_mint_trace_id_is_hex_and_fresh(self):
+        ids = {obs_trace.mint_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+
+class TestSpan:
+    def test_span_emits_duration(self, trace_log):
+        with obs_trace.span("unit.span", trace_id="cafe", method="stats"):
+            time.sleep(0.002)
+        (event,) = read_events(trace_log)
+        assert event["event"] == "unit.span"
+        assert event["method"] == "stats"
+        assert event["dur_ms"] >= 1.0
+        assert "ok" not in event  # success omits the flag
+
+    def test_span_failure_reraises_and_flags(self, trace_log):
+        with pytest.raises(RuntimeError):
+            with obs_trace.span("unit.span"):
+                raise RuntimeError("boom")
+        (event,) = read_events(trace_log)
+        assert event["ok"] is False
+
+    def test_slow_span_emits_slow_request_dump(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs_trace.configure(trace_log=path, slow_ms=1.0)
+        try:
+            with obs_trace.span("unit.span", trace_id="cafe", key="k"):
+                time.sleep(0.01)
+        finally:
+            obs_trace.configure(trace_log=None)
+        span_event, slow = read_events(path)
+        assert span_event["event"] == "unit.span"
+        assert slow["event"] == "slow_request"
+        assert slow["span"] == "unit.span"
+        assert slow["trace_id"] == "cafe"
+        assert slow["key"] == "k"
+        assert slow["threshold_ms"] == 1.0
+        assert slow["dur_ms"] >= 1.0
+
+    def test_fast_span_emits_no_slow_request(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs_trace.configure(trace_log=path, slow_ms=10_000.0)
+        try:
+            with obs_trace.span("unit.span"):
+                pass
+        finally:
+            obs_trace.configure(trace_log=None)
+        events = read_events(path)
+        assert [event["event"] for event in events] == ["unit.span"]
+
+    def test_disabled_span_is_a_noop(self, tmp_path):
+        obs_trace.configure(trace_log=None)
+        with obs_trace.span("unit.span"):
+            pass  # nothing to assert beyond "does not raise"
+
+
+class TestEnvPropagation:
+    def test_child_process_traces_into_the_same_file(self, tmp_path):
+        """Spawned children pick the settings up with zero plumbing."""
+        path = tmp_path / "t.jsonl"
+        obs_trace.configure(trace_log=path)
+        try:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get(
+                "PYTHONPATH", ""
+            )
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    "from repro.obs import trace; "
+                    "trace.emit('child.event', trace_id='beef')",
+                ],
+                env=env,
+                check=True,
+                timeout=60,
+            )
+            obs_trace.emit("parent.event", trace_id="beef")
+        finally:
+            obs_trace.configure(trace_log=None)
+        events = read_events(path)
+        assert {event["event"] for event in events} == {
+            "child.event",
+            "parent.event",
+        }
+        pids = {event["pid"] for event in events}
+        assert len(pids) == 2  # two processes, one shared file
+        assert {event["trace_id"] for event in events} == {"beef"}

@@ -1,0 +1,109 @@
+"""Golden tests for ``repro cache stats/verify --json``.
+
+The JSON reports are machine-readable contracts (``sort_keys`` and a
+trailing newline from ``print``): scripts parse them, so key names and
+structure must not drift silently.  The fixture store is built from
+two fixed low-level records — deterministic bytes, no wall-clock
+fields — so the committed goldens are byte-stable up to the cache
+directory path, which the test normalises to ``<CACHE>``.
+
+To regenerate after an intentional report change::
+
+    PYTHONPATH=src python tests/service/test_cache_json_golden.py
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.service import ResultStore
+
+GOLDEN_DIR = pathlib.Path(__file__).parents[1] / "golden"
+
+CASES = {
+    "cache_stats.json": ["cache", "stats", "--json"],
+    "cache_verify.json": ["cache", "verify", "--json"],
+}
+
+
+def fixture_key(label: str) -> str:
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def build_store(tmp_path) -> pathlib.Path:
+    cache = tmp_path / "cache"
+    store = ResultStore(cache)
+    store.put(fixture_key("golden-a"), "unit_note", {"n": 1})
+    store.put(fixture_key("golden-b"), "unit_note", {"text": "fixed"})
+    return cache
+
+
+def render(cache: pathlib.Path, argv: list, capsys) -> tuple[int, str]:
+    code = main(argv[:2] + [str(cache)] + argv[2:])
+    out = capsys.readouterr().out
+    return code, out.replace(str(cache), "<CACHE>")
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    import contextlib
+    import io
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = build_store(pathlib.Path(tmp))
+        for name, argv in CASES.items():
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                assert main(argv[:2] + [str(cache)] + argv[2:]) == 0
+            text = buffer.getvalue().replace(str(cache), "<CACHE>")
+            (GOLDEN_DIR / name).write_text(text)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_json_report_matches_golden(name, tmp_path, capsys):
+    cache = build_store(tmp_path)
+    code, out = render(cache, CASES[name], capsys)
+    assert code == 0
+    golden = (GOLDEN_DIR / name).read_text()
+    assert out == golden, (
+        f"{name} drifted from the committed golden output; if the change "
+        "is intentional, regenerate via "
+        "tests/service/test_cache_json_golden.regenerate()"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_json_report_is_parseable_and_sorted(name, tmp_path, capsys):
+    cache = build_store(tmp_path)
+    _, out = render(cache, CASES[name], capsys)
+    report = json.loads(out)
+    assert list(report) == sorted(report)
+
+
+def test_verify_json_exit_code_reflects_damage(tmp_path, capsys):
+    cache = build_store(tmp_path)
+    with open(cache / "results.jsonl", "a", encoding="utf-8") as handle:
+        handle.write("{this is not json\n")
+    code = main(["cache", "verify", str(cache), "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert report["ok"] is False
+    assert report["corrupt_lines"] == 1
+
+
+def test_stats_json_agrees_with_plain_output(tmp_path, capsys):
+    cache = build_store(tmp_path)
+    assert main(["cache", "stats", str(cache), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert main(["cache", "stats", str(cache)]) == 0
+    plain = capsys.readouterr().out
+    assert f"{report['live_records']}" in plain
+    assert report["live_records"] == 2
+    assert report["backend"] == "disk"
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance entry point
+    regenerate()

@@ -1,0 +1,375 @@
+"""Fleet observability: trace events, metrics exposition, stats snapshots.
+
+Covers the tentpole acceptance criteria end to end:
+
+* the ``metrics`` RPC merges every registry of the serving stack into
+  one Prometheus text page with byte-stable field names;
+* span events follow one exploration through the service lifecycle
+  (submit -> dispatch -> claim -> evaluate -> store.put) under the
+  client-minted ``trace_id``;
+* one ``trace_id`` is observable in span events from **two different
+  server processes** sharing a cache directory — the claim winner and
+  the claim yielder — both in-process (deterministic, gated) and
+  across two real ``repro serve`` subprocesses;
+* the ``stats`` RPC snapshot is taken under the service lock, so the
+  exactly-once accounting invariant holds in every concurrently
+  observed snapshot, never just the quiescent one.
+"""
+
+import json
+import os
+import pathlib
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.analysis.sweep import ParallelSweepRunner, PlatformSpec, SweepCell
+from repro.core.assignment import Objective
+from repro.obs import trace as obs_trace
+from repro.service import (
+    AsyncExplorationServer,
+    ExplorationService,
+    ResultStore,
+    ServiceClient,
+)
+from repro.units import kib
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def make_cell(app: str = "voice_coder", l1_kib: float = 2.0) -> SweepCell:
+    return SweepCell(
+        app=app,
+        platform=PlatformSpec(l1_bytes=kib(l1_kib), l2_bytes=kib(16)),
+        objective=Objective.EDP,
+    )
+
+
+def read_events(path) -> list[dict]:
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def accounted(snapshot: dict) -> int:
+    """Right-hand side of the exactly-once accounting invariant."""
+    return (
+        snapshot["cache_hits"]
+        + snapshot["deduplicated"]
+        + snapshot["evaluated"]
+        + snapshot["aborted"]
+        + snapshot["resolved_remote"]
+        + snapshot["in_flight"]
+    )
+
+
+@pytest.fixture
+def trace_log(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    obs_trace.configure(trace_log=path)
+    yield path
+    obs_trace.configure(trace_log=None)
+
+
+class TestServiceTraceEvents:
+    def test_lifecycle_events_carry_the_submitted_trace_id(
+        self, tmp_path, trace_log, counting_runner
+    ):
+        service = ExplorationService(
+            store=ResultStore(tmp_path / "cache"), runner=counting_runner
+        )
+        key = service.submit(make_cell(), trace_id="feedfacefeedface")
+        service.result(key)
+        events = read_events(trace_log)
+        mine = [
+            event["event"]
+            for event in events
+            if event.get("trace_id") == "feedfacefeedface"
+        ]
+        for expected in ("submit", "claim.won", "evaluate", "store.put"):
+            assert expected in mine
+        submit = next(e for e in events if e["event"] == "submit")
+        assert submit["outcome"] == "queued"
+        assert submit["key"] == key
+        assert any(event["event"] == "dispatch" for event in events)
+
+    def test_cache_hit_outcome_recorded(self, tmp_path, trace_log):
+        service = ExplorationService(store=ResultStore(tmp_path / "cache"))
+        cell = make_cell()
+        service.result(service.submit(cell, trace_id="aaaa"))
+        service.submit(cell, trace_id="bbbb")
+        outcomes = {
+            event.get("trace_id"): event["outcome"]
+            for event in read_events(trace_log)
+            if event["event"] == "submit"
+        }
+        assert outcomes == {"aaaa": "queued", "bbbb": "cache_hit"}
+
+
+class TestMetricsExposition:
+    def test_metrics_rpc_merges_every_component_registry(self, tmp_path):
+        """One page with service, store, pool, server, search and obs
+        families — the byte-stable names dashboards key on."""
+        server = AsyncExplorationServer(
+            ExplorationService(store=ResultStore(tmp_path / "cache")),
+            listen=("127.0.0.1", 0),
+        )
+        server.start()
+        try:
+            with ServiceClient(server.address, timeout=30.0) as client:
+                client.call("submit", {"app": "voice_coder"})
+                text = client.call("metrics")["text"]
+        finally:
+            server.drain(timeout=30.0)
+        for family in (
+            "repro_service_submitted_total",
+            "repro_service_flush_seconds_bucket",
+            "repro_store_hits_total",
+            "repro_pool_dispatches_total",
+            "repro_server_requests_total",
+            "repro_server_in_flight",
+            "repro_server_executor_workers",
+            "repro_search_runs_total",
+            "repro_rpc_request_seconds_bucket",
+            "repro_obs_events_dropped_total",
+        ):
+            assert re.search(f"^{family}", text, re.MULTILINE), family
+        assert text.endswith("\n")
+        # every non-comment line is `name[{labels}] value`
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert re.fullmatch(
+                    r'[a-z_0-9]+(\{le="[^"]+"\})? [-+0-9.eE]+', line
+                ), line
+
+    def test_exposition_families_are_sorted(self, tmp_path):
+        service = ExplorationService(store=ResultStore(tmp_path / "cache"))
+        text = "".join(
+            registry.render() for registry in [service.metrics]
+        )
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert families == sorted(families)
+
+
+class TestStatsSnapshotConsistency:
+    def test_concurrent_snapshots_always_satisfy_the_invariant(self):
+        """``service_stats`` snapshots under the mutators' lock: the
+        exactly-once partition must hold in *every* observed snapshot,
+        even mid-flush, not only after quiesce."""
+        service = ExplorationService()
+        cells = [make_cell(l1_kib=float(size)) for size in range(1, 7)]
+        stop = threading.Event()
+        violations: list[dict] = []
+
+        def reader():
+            while not stop.is_set():
+                snapshot = service.service_stats()
+                if snapshot["submitted"] != accounted(snapshot):
+                    violations.append(snapshot)  # pragma: no cover
+
+        def writer(seed: int):
+            rng = random.Random(seed)
+            for _ in range(25):
+                action = rng.random()
+                if action < 0.7:
+                    service.submit(rng.choice(cells))
+                elif action < 0.9:
+                    service.flush()
+                else:
+                    service.poll("0" * 16)
+            service.flush()
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(seed,))
+                   for seed in range(3)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert violations == []
+        final = service.service_stats()
+        assert final["pending"] == 0
+        assert final["in_flight"] == 0
+        assert final["submitted"] == accounted(final)
+
+
+class GateRunner(ParallelSweepRunner):
+    """Runner that parks inside ``run`` until released.
+
+    While parked, the owning service has already written its claim
+    records (flush claims the whole batch *before* evaluating), so a
+    sibling service flushing the same key deterministically yields.
+    """
+
+    def __init__(self):
+        super().__init__(jobs=1)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def run(self, cells):
+        self.entered.set()
+        assert self.release.wait(timeout=60.0), "gate never released"
+        return super().run(cells)
+
+
+class TestClaimHandoffTracing:
+    def test_winner_and_yielder_events_share_one_trace_id(
+        self, tmp_path, trace_log, make_counting_runner
+    ):
+        """Deterministic in-process version: service A parks mid-batch
+        with the claim held; service B flushing the same key must
+        yield, then resolve remotely once A finishes."""
+        cache = tmp_path / "cache"
+        gate = GateRunner()
+        service_a = ExplorationService(store=ResultStore(cache), runner=gate)
+        runner_b = make_counting_runner()
+        service_b = ExplorationService(
+            store=ResultStore(cache), runner=runner_b
+        )
+        cell = make_cell()
+        trace_id = "0123456789abcdef"
+        service_a.submit(cell, trace_id=trace_id)
+        flusher = threading.Thread(target=service_a.flush)
+        flusher.start()
+        try:
+            assert gate.entered.wait(timeout=60.0)
+            outcomes: list = []
+            sibling = threading.Thread(
+                target=lambda: outcomes.extend(
+                    service_b.run([cell], trace_id=trace_id)
+                )
+            )
+            sibling.start()
+            deadline = time.monotonic() + 30.0
+            while service_b.stats.claims_yielded == 0:
+                assert time.monotonic() < deadline, "B never yielded"
+                time.sleep(0.01)
+        finally:
+            gate.release.set()
+        flusher.join(timeout=60.0)
+        sibling.join(timeout=60.0)
+        assert not flusher.is_alive() and not sibling.is_alive()
+        assert service_a.stats.claims_won == 1
+        assert service_b.stats.claims_yielded == 1
+        assert service_b.stats.resolved_remote == 1
+        assert runner_b.evaluated == []  # B never re-evaluated the key
+        assert outcomes and outcomes[0].result is not None
+        by_event = {}
+        for event in read_events(trace_log):
+            if event.get("trace_id") == trace_id:
+                by_event.setdefault(event["event"], []).append(event)
+        assert len(by_event["claim.won"]) == 1
+        assert len(by_event["claim.yielded"]) == 1
+        assert len(by_event["claim.resolved"]) == 1
+
+
+class TestFleetTraceIntegration:
+    def test_one_trace_id_spans_two_serve_processes(self, tmp_path):
+        """The acceptance criterion, against two real ``repro serve``
+        subprocesses sharing one cache and one trace log: the claim
+        winner's and the claim yielder's span events carry the same
+        client-minted trace_id, from different pids."""
+        cache = tmp_path / "cache"
+        trace_path = tmp_path / "trace.jsonl"
+        trace_id = "cafebabecafebabe"
+        # a batch wide enough that A is still mid-evaluation (claims
+        # held) while B flushes the shared key and yields
+        cells = [
+            {
+                "app": app,
+                "objective": objective,
+                "platform": {"l1_kib": l1},
+            }
+            for app in ("qsdpcm", "jpeg_dct", "mpeg4_mc")
+            for objective in ("edp", "cycles")
+            for l1 in (8, 4, 2)
+        ]
+        env = {**os.environ, "PYTHONPATH": SRC}
+        env.pop("REPRO_TRACE_LOG", None)
+        env.pop("REPRO_SLOW_MS", None)
+
+        def spawn():
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--listen", "127.0.0.1:0",
+                    "--cache", str(cache),
+                    "--trace-log", str(trace_path),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                env=env,
+            )
+            banner = proc.stdout.readline()
+            match = re.match(r"listening on (.+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            return proc, (match.group(1), int(match.group(2)))
+
+        proc_a, addr_a = spawn()
+        proc_b, addr_b = spawn()
+        try:
+            client_a = ServiceClient(addr_a, timeout=30.0,
+                                     read_timeout=300.0, trace_id=trace_id)
+            client_b = ServiceClient(addr_b, timeout=30.0,
+                                     read_timeout=300.0, trace_id=trace_id)
+            with client_a, client_b:
+                # fire the batch at A without waiting for the response,
+                # then wait for A's claim records to appear in the
+                # trace log before approaching B with the same key
+                client_a.send_request("batch", {"cells": cells})
+                deadline = time.monotonic() + 60.0
+                while True:
+                    events = (
+                        read_events(trace_path)
+                        if trace_path.exists()
+                        else []
+                    )
+                    if any(e["event"] == "claim.won" for e in events):
+                        break
+                    assert time.monotonic() < deadline, "A never claimed"
+                    time.sleep(0.02)
+                response_b = client_b.call("batch", {"cells": [cells[-1]]})
+                response_a = client_a.read_response()
+            assert "error" not in response_a
+            statuses_a = [
+                row["status"] for row in response_a["result"]["outcomes"]
+            ]
+            assert statuses_a == ["done"] * len(cells)
+            assert response_b["outcomes"][0]["status"] == "done"
+        finally:
+            for proc in (proc_a, proc_b):
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+            for proc in (proc_a, proc_b):
+                try:
+                    proc.wait(timeout=30.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait()
+                proc.stdout.close()
+        events = [
+            event
+            for event in read_events(trace_path)
+            if event.get("trace_id") == trace_id
+        ]
+        won_pids = {e["pid"] for e in events if e["event"] == "claim.won"}
+        yielded_pids = {
+            e["pid"] for e in events if e["event"] == "claim.yielded"
+        }
+        assert won_pids == {proc_a.pid}
+        assert yielded_pids == {proc_b.pid}
+        # one exploration, followable across the whole fleet
+        assert {proc_a.pid, proc_b.pid} <= {e["pid"] for e in events}

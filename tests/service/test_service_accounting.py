@@ -1,0 +1,146 @@
+"""Property test: the exactly-once accounting invariant.
+
+Every submission lands in precisely one bucket::
+
+    submitted == cache_hits + deduplicated + evaluated + aborted
+                 + resolved_remote + in-flight jobs
+
+:class:`~repro.service.queue.ServiceStats` documents this partition;
+here hypothesis drives random submit/poll/flush interleavings — on a
+single service and on two services sharing one cache directory — and
+the invariant is asserted after *every* operation, not just at the
+end.  The two-service runs additionally assert the fleet-wide
+exactly-once guarantee: each distinct key is evaluated by exactly one
+of the services.
+"""
+
+import tempfile
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweep import ParallelSweepRunner, PlatformSpec, SweepCell
+from repro.core.assignment import Objective
+from repro.service import ExplorationService, ResultStore, cell_key
+from repro.units import kib
+
+
+class RecordingRunner(ParallelSweepRunner):
+    """Runner that records every cell it actually evaluates."""
+
+    def __init__(self):
+        super().__init__(jobs=1)
+        self.evaluated: list[SweepCell] = []
+        self._record_lock = threading.Lock()
+
+    def run(self, cells):
+        cells = tuple(cells)
+        with self._record_lock:
+            self.evaluated.extend(cells)
+        return super().run(cells)
+
+CELLS = tuple(
+    SweepCell(
+        app="voice_coder",
+        platform=PlatformSpec(l1_bytes=kib(size), l2_bytes=kib(16)),
+        objective=Objective.EDP,
+    )
+    for size in (1.0, 2.0, 4.0, 8.0)
+)
+
+
+def check_invariant(service: ExplorationService) -> None:
+    snapshot = service.service_stats()
+    assert snapshot["submitted"] == (
+        snapshot["cache_hits"]
+        + snapshot["deduplicated"]
+        + snapshot["evaluated"]
+        + snapshot["aborted"]
+        + snapshot["resolved_remote"]
+        + snapshot["in_flight"]
+    ), snapshot
+
+
+def apply(service: ExplorationService, op: str, index: int) -> None:
+    if op == "submit":
+        service.submit(CELLS[index])
+    elif op == "poll":
+        service.poll(cell_key(CELLS[index]))
+    else:
+        service.flush()
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(("submit", "poll", "flush")),
+        st.integers(min_value=0, max_value=len(CELLS) - 1),
+    ),
+    max_size=25,
+)
+
+
+class TestAccountingInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=OPS)
+    def test_single_service_random_interleavings(self, ops):
+        service = ExplorationService(runner=RecordingRunner())
+        for op, index in ops:
+            apply(service, op, index)
+            check_invariant(service)
+        service.flush()
+        final = service.service_stats()
+        assert final["pending"] == 0
+        assert final["in_flight"] == 0
+        check_invariant(service)
+        # every queued submission was evaluated exactly once
+        submitted_keys = {
+            cell_key(CELLS[index]) for op, index in ops if op == "submit"
+        }
+        evaluated = [cell_key(cell) for cell in service.runner.evaluated]
+        assert sorted(evaluated) == sorted(set(evaluated))
+        assert set(evaluated) == submitted_keys
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(("submit", "poll", "flush")),
+                st.integers(min_value=0, max_value=len(CELLS) - 1),
+                st.integers(min_value=0, max_value=1),
+            ),
+            max_size=25,
+        )
+    )
+    def test_two_services_sharing_one_cache_dir(self, ops):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            services = [
+                ExplorationService(
+                    store=ResultStore(cache_dir), runner=RecordingRunner()
+                )
+                for _ in range(2)
+            ]
+            for op, index, who in ops:
+                apply(services[who], op, index)
+                for service in services:
+                    check_invariant(service)
+            for service in services:
+                service.flush()
+                final = service.service_stats()
+                assert final["pending"] == 0
+                assert final["in_flight"] == 0
+                check_invariant(service)
+            # fleet-wide exactly-once: each distinct key ran on exactly
+            # one of the two services, never both
+            submitted_keys = {
+                cell_key(CELLS[index])
+                for op, index, _ in ops
+                if op == "submit"
+            }
+            evaluated = [
+                cell_key(cell)
+                for service in services
+                for cell in service.runner.evaluated
+            ]
+            assert sorted(evaluated) == sorted(set(evaluated))
+            assert set(evaluated) == submitted_keys

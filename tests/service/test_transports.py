@@ -171,6 +171,15 @@ class TestCounterSemantics:
         for key in server_keys:
             values = {name: stats[name]["server"][key] for name in stats}
             assert len(set(values.values())) == 1, (key, values)
+        # both transports expose the SAME stats shape: a dashboard
+        # written against one must not KeyError on the other.  The
+        # threads transport has no executor, so its executor_workers
+        # is present but null; async reports the real worker count.
+        shapes = {name: set(stats[name]["server"]) for name in stats}
+        assert shapes["threads"] == shapes["async"]
+        assert "executor_workers" in shapes["threads"]
+        assert stats["threads"]["server"]["executor_workers"] is None
+        assert isinstance(stats["async"]["server"]["executor_workers"], int)
 
     def test_rejection_lines_byte_identical(self, tmp_path):
         """-32001 over either transport is the same bytes on the wire."""
